@@ -1,0 +1,145 @@
+"""Ablations: the design choices DESIGN.md calls out, measured.
+
+Each ablation compares the implementation's chosen mechanism against the
+naive alternative on the same instances, quantifying why the choice was
+made:
+
+* **A1** Tseitin vs distributive CNF inside the SAT backend — the
+  distributive transformation explodes on disjunctions of conjunctions,
+  Tseitin stays linear.
+* **A2** vector-space search vs brute-force word enumeration for
+  SWS(PL, PL) non-emptiness — the brute force pays |Σ|^length, the vector
+  search only 2^states.
+* **A3** Klug equality-pattern containment vs the single-canonical-database
+  fast path — the ≠-complete test enumerates partitions, so the fast path
+  matters whenever queries are comparison-free.
+* **A4** prefix-free component cores vs free-choice languages in regular
+  rewriting — run-to-completion changes *which* compositions exist, not
+  just cost (Theorem 5.3's "subtle interplay").
+"""
+
+import itertools
+
+import pytest
+
+from repro.logic import pl
+from repro.logic.cnf import to_cnf, tseitin
+from repro.logic.cq import Atom, ConjunctiveQuery, neq
+from repro.logic.sat import solve_cnf
+from repro.logic.terms import var
+
+
+def _dnf_formula(width: int) -> pl.Formula:
+    return pl.Or(
+        [pl.Var(f"a{i}") & pl.Var(f"b{i}") for i in range(width)]
+    )
+
+
+@pytest.mark.parametrize("width", [6, 8, 10])
+def test_a1_tseitin(benchmark, width):
+    """Linear-size equisatisfiable CNF."""
+    formula = _dnf_formula(width)
+
+    clauses, _root = benchmark(lambda: tseitin(formula))
+    benchmark.extra_info["clauses"] = len(clauses)
+    assert solve_cnf(clauses) is not None
+
+
+@pytest.mark.parametrize("width", [6, 8, 10])
+def test_a1_distributive(benchmark, width):
+    """Exponential-size equivalent CNF (the ablated alternative)."""
+    formula = _dnf_formula(width)
+
+    clauses = benchmark(lambda: to_cnf(formula))
+    benchmark.extra_info["clauses"] = len(clauses)
+    # The blow-up is the point: 2^width clauses.
+    assert len(clauses) == 2**width
+
+
+@pytest.mark.parametrize("bits", [2, 3])
+def test_a2_vector_search(benchmark, bits, one_shot):
+    """Chosen: AFA valuation-vector reachability."""
+    from repro.analysis import nonempty_pl
+    from repro.workloads.scaling import pl_counter_sws
+
+    service = pl_counter_sws(bits)
+    answer = one_shot(lambda: nonempty_pl(service))
+    assert answer.is_yes
+    benchmark.extra_info["bits"] = bits
+
+
+@pytest.mark.parametrize("bits", [2, 3])
+def test_a2_brute_force_words(benchmark, bits, one_shot):
+    """Ablated: enumerate words by increasing length and run each."""
+    from repro.core.run import run_pl
+    from repro.workloads.scaling import pl_counter_sws
+
+    service = pl_counter_sws(bits)
+
+    def brute():
+        for length in range(0, 2**bits + 1):
+            word = [frozenset()] * length
+            if run_pl(service, word).output:
+                return length
+        return None
+
+    found = one_shot(brute)
+    assert found == 2**bits
+    benchmark.extra_info["bits"] = bits
+
+
+x, y, z, u = var("x"), var("y"), var("z"), var("u")
+
+
+def _chain_query(length: int, with_neq: bool) -> ConjunctiveQuery:
+    variables = [var(f"v{i}") for i in range(length + 1)]
+    atoms = [
+        Atom("E", (variables[i], variables[i + 1])) for i in range(length)
+    ]
+    comparisons = [neq(variables[0], variables[-1])] if with_neq else []
+    return ConjunctiveQuery((variables[0], variables[-1]), atoms, comparisons)
+
+
+@pytest.mark.parametrize("length", [2, 3])
+def test_a3_fast_path_containment(benchmark, length, one_shot):
+    """Chosen fast path: single canonical database (no comparisons)."""
+    q1 = _chain_query(length, with_neq=False)
+    q2 = _chain_query(length, with_neq=False)
+
+    result = one_shot(lambda: q1.contained_in(q2))
+    assert result
+    benchmark.extra_info["length"] = length
+
+
+@pytest.mark.parametrize("length", [2, 3])
+def test_a3_pattern_enumeration(benchmark, length, one_shot):
+    """≠-complete path: partition enumeration over the query's terms."""
+    q1 = _chain_query(length, with_neq=True)
+    q2 = _chain_query(length, with_neq=True)
+
+    result = one_shot(lambda: q1.contained_in(q2))
+    assert result
+    benchmark.extra_info["length"] = length
+    benchmark.extra_info["variables"] = length + 1
+
+
+def test_a4_run_to_completion_changes_existence(benchmark):
+    """Prefix-free cores vs free choice: different composition verdicts."""
+    from repro.automata.regex import parse_regex
+    from repro.automata.regular_rewriting import rewrite
+
+    goal = parse_regex("a b b").to_nfa(["a", "b"])
+    components = {
+        "P": parse_regex("a | a b").to_nfa(["a", "b"]),
+        "Q": parse_regex("b").to_nfa(["a", "b"]),
+    }
+
+    def both():
+        stop = rewrite(goal, components, run_to_completion=True)
+        free = rewrite(goal, components, run_to_completion=False)
+        return stop.exact, free.exact
+
+    stop_exact, free_exact = benchmark(both)
+    # Run-to-completion pins P to its core 'a', making the goal
+    # composable; under free choice P is unreliable and nothing works.
+    assert stop_exact and not free_exact

@@ -1,0 +1,63 @@
+"""Experiment F1 — Figure 1: FSA vs SWS specification of the travel service.
+
+The paper's motivating comparison: the FSA of Figure 1(a) checks airfare,
+hotel and the local arrangement *sequentially* (three rounds of
+interaction), while the SWS of Figure 1(b) fans out in parallel (one round)
+and synthesizes deterministically.  The benchmark measures both
+specifications deciding the same booking and records the round counts; the
+accepted outcomes must coincide.
+"""
+
+import pytest
+
+from repro.core.run import run_relational
+from repro.models.roman import RomanService, encode_roman_word, roman_to_sws
+from repro.core.run import run_pl
+from repro.workloads import travel
+
+
+@pytest.mark.parametrize("scenario", ["tickets", "cars", "nothing"])
+def test_f1_sws_parallel_rounds(benchmark, scenario):
+    """The SWS decides any scenario in one round (tree height 1)."""
+    service = travel.travel_service()
+    database = travel.sample_database(
+        with_tickets=scenario == "tickets",
+        with_cars=scenario in ("tickets", "cars"),
+    )
+    request = travel.booking_request()
+
+    result = benchmark(lambda: run_relational(service, database, request))
+    benchmark.extra_info["rounds"] = result.tree.height()
+    benchmark.extra_info["packages"] = len(result.output)
+    assert result.tree.height() == 1
+    # Deterministic synthesis: tickets preferred when available.
+    if scenario == "tickets":
+        assert all(row[2] != travel.BLANK for row in result.output)
+    if scenario == "cars":
+        assert result.output and all(
+            row[3] != travel.BLANK for row in result.output
+        )
+    if scenario == "nothing":
+        assert not result.output
+
+
+def test_f1_fsa_sequential_rounds(benchmark):
+    """The FSA needs one interaction per aspect: three sequential rounds."""
+    fsa = travel.travel_fsa()
+    word = ["a", "h", "t"]
+
+    accepted = benchmark(lambda: fsa.accepts(word))
+    benchmark.extra_info["rounds"] = len(word)
+    assert accepted
+    assert len(word) == 3  # the paper's sequential-dependency point
+
+
+def test_f1_translated_fsa_as_sws(benchmark):
+    """The Roman translation preserves the FSA's decision, now in SWS form."""
+    service = RomanService(travel.travel_fsa(), "travel")
+    sws = roman_to_sws(service)
+    encoded = encode_roman_word(["a", "h", "c"])
+
+    value = benchmark(lambda: run_pl(sws, encoded).output)
+    assert value
+    benchmark.extra_info["sws_states"] = len(sws.states)

@@ -1,0 +1,92 @@
+"""Experiment T1.2 — Table 1, row SWS(CQ, UCQ).
+
+Paper bounds: non-emptiness EXPTIME-complete (upper bound via tree
+automata over execution trees; lower bound from sirup datalog); validation
+and equivalence undecidable.
+
+Benchmarked here:
+
+* the iterated-unfolding non-emptiness procedure on the recursive chain
+  family — cost grows with the session-length horizon, the exponential
+  unfolding the EXPTIME bound licenses;
+* the sirup substrate (the paper's hardness source) as baseline: bottom-up
+  datalog evaluation on growing transitive-closure instances;
+* the *bounded* equivalence semi-procedure on recursive services — the
+  undecidable cell, exercised at explicit budgets with three-valued
+  verdicts.
+"""
+
+import pytest
+
+from repro.analysis import equivalent_cq, nonempty_cq
+from repro.logic.cq import Atom
+from repro.logic.datalog import Rule, Sirup
+from repro.logic.terms import var
+from repro.workloads.scaling import cq_chain_sws, cq_diamond_sws
+
+
+@pytest.mark.parametrize("horizon", [2, 3, 4, 5])
+def test_t1_2_nonemptiness_unfolding(benchmark, horizon, one_shot):
+    """Unfolding-based non-emptiness at growing session-length budgets."""
+    service = cq_chain_sws(0)
+
+    answer = one_shot(lambda: nonempty_cq(service, max_session_length=horizon))
+    assert answer.is_yes  # the chain produces output from length 2 on
+    benchmark.extra_info["horizon"] = horizon
+
+
+@pytest.mark.parametrize("horizon", [2, 3, 4])
+def test_t1_2_nonemptiness_worst_case(benchmark, horizon, one_shot):
+    """Worst case: an empty recursive service with a doubling unfolding.
+
+    The emitting state is unsatisfiable, so the procedure must pay for the
+    full exponential unfolding at every horizon before answering UNKNOWN —
+    the EXPTIME shape without early exits.
+    """
+    from repro.workloads.scaling import cq_recursive_diamond_sws
+
+    service = cq_recursive_diamond_sws()
+
+    answer = one_shot(lambda: nonempty_cq(service, max_session_length=horizon))
+    assert answer.is_unknown
+    benchmark.extra_info["horizon"] = horizon
+
+
+@pytest.mark.parametrize("size", [6, 10, 14])
+def test_t1_2_sirup_baseline(benchmark, size, one_shot):
+    """The EXPTIME-hardness source: sirup evaluation (transitive closure)."""
+    x, y, z = var("x"), var("y"), var("z")
+    rule = Rule(Atom("T", (x, z)), [Atom("T", (x, y)), Atom("E", (y, z))])
+    facts = [("T", (0, 0))] + [("E", (i, i + 1)) for i in range(size)]
+    sirup = Sirup(rule, facts, ("T", (0, size)))
+
+    accepted = one_shot(sirup.accepts)
+    assert accepted
+    benchmark.extra_info["chain_length"] = size
+
+
+@pytest.mark.parametrize("horizon", [2, 3])
+def test_t1_2_bounded_equivalence(benchmark, horizon, one_shot):
+    """Undecidable cell: the bounded semi-procedure, never a wrong answer."""
+    chain = cq_chain_sws(0)
+
+    answer = one_shot(
+        lambda: equivalent_cq(chain, chain, max_session_length=horizon)
+    )
+    # Reflexivity can never be refuted; with a finite budget the verdict
+    # is UNKNOWN (sound), never NO.
+    assert not answer.is_no
+    benchmark.extra_info["horizon"] = horizon
+
+
+def test_t1_2_bounded_equivalence_finds_differences(benchmark):
+    """A real difference is found at some finite horizon (NO is exact)."""
+    answer = benchmark.pedantic(
+        lambda: equivalent_cq(
+            cq_chain_sws(0), cq_diamond_sws(1), max_session_length=3
+        ),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert answer.is_no

@@ -1,0 +1,123 @@
+"""Experiment T1.5 — Table 1, row SWS_nr(PL, PL).
+
+Paper bounds: non-emptiness and validation NP-complete, equivalence
+coNP-complete.  The upper-bound procedure is a SAT encoding (DPLL); the
+lower bound is the SAT reduction.  The benchmark sweeps random 3-CNF
+instances encoded as services and shows (a) the SWS procedure tracks the
+DPLL baseline on the same instances, and (b) the coNP equivalence check
+stays feasible on nonrecursive services.
+"""
+
+import pytest
+
+from repro.analysis import (
+    equivalent_pl,
+    nonempty_pl_nr_sat,
+    validate_pl,
+    validate_pl_nr_sat,
+)
+from repro.logic.sat import solve_cnf
+from repro.reductions.sat_to_sws import clauses_from_tuples, cnf_to_sws
+from repro.workloads.random_sws import random_pl_sws
+from repro.workloads.scaling import random_3cnf
+
+
+@pytest.mark.parametrize("n_variables,n_clauses", [(4, 8), (6, 14), (8, 20)])
+def test_t1_5_nonemptiness_sat_procedure(benchmark, n_variables, n_clauses):
+    """NP procedure: bounded-depth unfolding + DPLL."""
+    instances = [
+        cnf_to_sws(clauses_from_tuples(random_3cnf(seed, n_variables, n_clauses)))
+        for seed in range(5)
+    ]
+
+    def analyze():
+        return [nonempty_pl_nr_sat(sws).is_yes for sws in instances]
+
+    outcomes = benchmark(analyze)
+    benchmark.extra_info["satisfiable"] = sum(outcomes)
+    benchmark.extra_info["n_variables"] = n_variables
+
+
+@pytest.mark.parametrize("n_variables,n_clauses", [(4, 8), (6, 14), (8, 20)])
+def test_t1_5_dpll_baseline(benchmark, n_variables, n_clauses):
+    """Baseline: DPLL on the raw CNF (the reduction's source problem)."""
+    instances = [
+        clauses_from_tuples(random_3cnf(seed, n_variables, n_clauses))
+        for seed in range(5)
+    ]
+
+    def solve():
+        return [solve_cnf(clauses) is not None for clauses in instances]
+
+    outcomes = benchmark(solve)
+    benchmark.extra_info["satisfiable"] = sum(outcomes)
+
+
+def test_t1_5_procedures_agree(benchmark):
+    """Cross-validation: the NP procedure equals the DPLL baseline."""
+
+    def check():
+        for seed in range(10):
+            clauses = clauses_from_tuples(random_3cnf(seed, 5, 10))
+            via_sws = nonempty_pl_nr_sat(cnf_to_sws(clauses)).is_yes
+            via_dpll = solve_cnf(clauses) is not None
+            assert via_sws == via_dpll
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("n_states", [3, 4, 5])
+def test_t1_5_validation(benchmark, n_states, one_shot):
+    """Validation (NP): the SAT procedure, both output values."""
+    services = [
+        random_pl_sws(seed, n_states=n_states, n_variables=2, recursive=False)
+        for seed in range(4)
+    ]
+
+    def analyze():
+        return [
+            (
+                validate_pl_nr_sat(sws, True).verdict,
+                validate_pl_nr_sat(sws, False).verdict,
+            )
+            for sws in services
+        ]
+
+    one_shot(analyze)
+    benchmark.extra_info["n_states"] = n_states
+
+
+def test_t1_5_validation_routes_agree(benchmark):
+    """Cross-validation: SAT route equals the vector-search route."""
+
+    def check():
+        for seed in range(8):
+            sws = random_pl_sws(seed, n_states=4, n_variables=2, recursive=False)
+            for output in (True, False):
+                assert (
+                    validate_pl_nr_sat(sws, output).is_yes
+                    == validate_pl(sws, output).is_yes
+                )
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("n_states", [3, 4, 5])
+def test_t1_5_equivalence(benchmark, n_states, one_shot):
+    """Equivalence (coNP): pairwise over random nonrecursive services."""
+    services = [
+        random_pl_sws(seed, n_states=n_states, n_variables=2, recursive=False)
+        for seed in range(4)
+    ]
+
+    def analyze():
+        return [
+            equivalent_pl(a, b).verdict
+            for a in services
+            for b in services
+        ]
+
+    one_shot(analyze)
+    benchmark.extra_info["n_states"] = n_states

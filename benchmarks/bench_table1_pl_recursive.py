@@ -1,0 +1,60 @@
+"""Experiment T1.4 — Table 1, row SWS(PL, PL).
+
+Paper bounds: non-emptiness, validation and equivalence all
+PSPACE-complete, "along the same lines as AFA".  The succinct-counter
+family makes the exponential behaviour concrete: the service counter(b)
+accepts exactly input lengths ≡ 0 (mod 2^b), so the vector-reachability
+procedure must traverse 2^b valuation vectors before its first witness —
+the measured time should roughly double per extra bit.
+"""
+
+import pytest
+
+from repro.analysis import equivalent_pl, nonempty_pl, validate_pl
+from repro.reductions.afa_to_sws import afa_to_sws
+from repro.workloads.scaling import afa_counter, pl_counter_sws
+
+
+@pytest.mark.parametrize("bits", [2, 3, 4, 5])
+def test_t1_4_nonemptiness_counter(benchmark, bits, one_shot):
+    """PSPACE shape: witness length (and vector count) is 2^bits."""
+    service = pl_counter_sws(bits)
+
+    answer = one_shot(lambda: nonempty_pl(service))
+    assert answer.is_yes
+    assert len(answer.witness) == 2**bits
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["witness_length"] = len(answer.witness)
+
+
+@pytest.mark.parametrize("bits", [2, 3, 4])
+def test_t1_4_nonemptiness_via_afa_reduction(benchmark, bits, one_shot):
+    """The AFA lower-bound family pushed through the reduction."""
+    service = afa_to_sws(afa_counter(bits))
+
+    answer = one_shot(lambda: nonempty_pl(service))
+    assert answer.is_yes
+    benchmark.extra_info["bits"] = bits
+
+
+@pytest.mark.parametrize("bits", [2, 3, 4])
+def test_t1_4_validation_counter(benchmark, bits, one_shot):
+    """Validation coincides with non-emptiness for O = true (Section 4)."""
+    service = pl_counter_sws(bits)
+
+    answer = one_shot(lambda: validate_pl(service, True))
+    assert answer.is_yes
+    benchmark.extra_info["bits"] = bits
+
+
+@pytest.mark.parametrize("bits", [2, 3])
+def test_t1_4_equivalence_counters(benchmark, bits, one_shot):
+    """Equivalence via the product vector space: counter(b) vs counter(b+1)."""
+    left = pl_counter_sws(bits)
+    right = pl_counter_sws(bits + 1)
+
+    answer = one_shot(lambda: equivalent_pl(left, right))
+    assert answer.is_no
+    assert len(answer.witness) == 2**bits  # shortest distinguishing word
+    benchmark.extra_info["bits"] = bits
+    benchmark.extra_info["witness_length"] = len(answer.witness)

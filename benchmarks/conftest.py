@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one experiment of the paper (see DESIGN.md's
+per-experiment index and EXPERIMENTS.md for the recorded outcomes).  The
+benchmarks measure *scaling shape*, not absolute time: each parameterized
+family should grow the way its Table 1 / Table 2 complexity bound predicts.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Attach the experiment ids to the JSON export (if used)."""
+    for bench in output_json.get("benchmarks", []):
+        bench.setdefault("extra_info", {}).setdefault("paper", "PODS 2008")
+
+
+@pytest.fixture
+def one_shot(benchmark):
+    """Run the measured callable a small fixed number of times.
+
+    The decision procedures under test take milliseconds to seconds;
+    auto-calibration would re-run the expensive ones dozens of times for
+    no extra signal.
+    """
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=3, iterations=1, warmup_rounds=0
+        )
+
+    return run

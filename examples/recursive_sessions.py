@@ -1,0 +1,66 @@
+"""Recursive services and unbounded sessions: τ2 of Example 2.1.
+
+τ2 extends the travel service with a recursive airfare state
+``qa → (qa, φa), (qf, φa)``: the customer refines the airfare inquiry over
+several messages, and the synthesis rule ψ'a keeps the *latest* nonempty
+answer (Example 2.2's chain of (vj, fj) node pairs).
+
+The script also demonstrates the UCQ≠ expansion machinery on a recursive
+CQ/UCQ service: for each session length the whole run collapses into one
+union of conjunctive queries, which is how the Section 4 decision
+procedures avoid enumerating databases.
+
+Run:  python examples/recursive_sessions.py
+"""
+
+from repro.analysis import nonempty_cq
+from repro.core.unfold import expand
+from repro.workloads import travel
+from repro.workloads.scaling import cq_chain_sws
+
+
+def latest_wins_demo() -> None:
+    service = travel.recursive_airfare_service()
+    print(f"service: {service!r}  (dependency graph is cyclic)")
+    database = travel.sample_database().with_relation(
+        "Ra", [("k1", "EDI-MCO-0800"), ("k2", "AMS-MCO-0915"), ("k3", "LHR-MCO-1130")]
+    )
+    for keys in (["k1"], ["k1", "k2"], ["k1", "k2", "k3"]):
+        inquiries = travel.repeated_airfare_inquiries(keys)
+        result = service.run(database, inquiries)
+        flights = sorted({row[0] for row in result.output})
+        print(
+            f"  inquiries {keys}: tree size {result.tree.size():2d}, "
+            f"flights booked {flights}"
+        )
+    print(
+        "  -> the deepest nonempty inquiry wins; earlier answers are "
+        "discarded by ψ'a"
+    )
+
+
+def expansion_demo() -> None:
+    print("\nUnfolding a recursive CQ/UCQ service into UCQ≠ queries:")
+    chain = cq_chain_sws(0)
+    for n in range(1, 5):
+        expansion = expand(chain, n)
+        print(
+            f"  session length {n}: {len(expansion.disjuncts)} disjunct(s); "
+            f"satisfiable: {expansion.is_satisfiable()}"
+        )
+    answer = nonempty_cq(chain, max_session_length=4)
+    database, inputs = answer.witness
+    print(
+        f"  non-emptiness ({answer.verdict.value} at {answer.detail}): "
+        f"witness database has {database.total_rows()} tuples, "
+        f"input sequence has {len(inputs)} messages"
+    )
+
+
+def main() -> None:
+    latest_wins_demo()
+    expansion_demo()
+
+
+if __name__ == "__main__":
+    main()

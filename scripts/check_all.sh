@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification sweep: install, tests, benchmarks, examples.
+# Mirrors what EXPERIMENTS.md and test_output.txt/bench_output.txt record.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== install =="
+pip install -e . 2>/dev/null || python setup.py develop
+
+echo "== tests =="
+python -m pytest tests/
+
+echo "== benchmarks =="
+python -m pytest benchmarks/ --benchmark-only
+
+echo "== examples =="
+for example in examples/*.py; do
+    echo "-- ${example}"
+    python "${example}" > /dev/null
+done
+
+echo "all green"

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 517
+editable installs fail; this shim lets ``pip install -e . --no-build-isolation``
+take the classic ``setup.py develop`` path.  Metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Complexity and Composition of Synthesized Web "
+        "Services' (Fan, Geerts, Gelade, Neven, Poggi; PODS 2008)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

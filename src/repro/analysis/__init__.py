@@ -1,0 +1,70 @@
+"""Decision procedures for SWS's — Table 1 of the paper.
+
+For each class and each problem (non-emptiness, validation, equivalence)
+this package implements the procedure realizing the paper's upper bound,
+or — for the undecidable cells — a sound bounded semi-procedure returning
+three-valued :class:`~repro.analysis.verdict.Verdict` results:
+
+=======================  ==================  ====================  ====================
+class                    non-emptiness       validation            equivalence
+=======================  ==================  ====================  ====================
+SWS(PL, PL)              AFA vector search   AFA vector search     AFA pair search
+SWS_nr(PL, PL)           SAT (DPLL)          SAT (DPLL)            AFA pair search
+SWS(CQ, UCQ)             bounded unfolding   bounded search        bounded search
+SWS_nr(CQ, UCQ)          UCQ≠ expansion      small-model search    Klug containment
+SWS(FO, FO) (+nr)        bounded search      bounded search        bounded search
+=======================  ==================  ====================  ====================
+"""
+
+from repro.analysis.verdict import Verdict, Answer
+from repro.analysis.nonemptiness import (
+    nonempty,
+    nonempty_cq,
+    nonempty_cq_nr,
+    nonempty_fo_bounded,
+    nonempty_pl,
+    nonempty_pl_nr_sat,
+)
+from repro.analysis.validation import (
+    validate,
+    validate_cq_nr,
+    validate_pl,
+    validate_pl_nr_sat,
+)
+from repro.analysis.containment import (
+    contained,
+    contained_cq,
+    contained_cq_nr,
+    contained_pl,
+)
+from repro.analysis.equivalence import (
+    equivalent,
+    equivalent_cq,
+    equivalent_cq_nr,
+    equivalent_fo_bounded,
+    equivalent_pl,
+)
+
+__all__ = [
+    "Answer",
+    "Verdict",
+    "contained",
+    "contained_cq",
+    "contained_cq_nr",
+    "contained_pl",
+    "equivalent",
+    "equivalent_cq",
+    "equivalent_cq_nr",
+    "equivalent_fo_bounded",
+    "equivalent_pl",
+    "nonempty",
+    "nonempty_cq",
+    "nonempty_cq_nr",
+    "nonempty_fo_bounded",
+    "nonempty_pl",
+    "nonempty_pl_nr_sat",
+    "validate",
+    "validate_cq_nr",
+    "validate_pl",
+    "validate_pl_nr_sat",
+]

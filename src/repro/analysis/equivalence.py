@@ -1,0 +1,164 @@
+"""The equivalence problem (Section 4).
+
+    Given τ1 and τ2 over the same schemas, is τ1(D, I) = τ2(D, I) for all
+    D and I?
+
+With a cost model, equivalence lets a cheaper service replace a dearer one.
+
+* ``SWS(PL, PL)`` — :func:`equivalent_pl`: translate both services to AFAs
+  over their *joint* input alphabet and search the product vector space for
+  a disagreeing word (PSPACE; coNP on nonrecursive services, where vectors
+  stabilize within depth+1 steps).
+* ``SWS_nr(CQ, UCQ)`` — :func:`equivalent_cq_nr`: expand both services at
+  every session length up to saturation and decide UCQ≠ equivalence by
+  Klug-style containment both ways (the coNEXPTIME procedure of
+  Theorem 4.1(2), built on the containment algorithm for nonrecursive
+  queries with inequality).
+* ``SWS(CQ, UCQ)`` — undecidable; :func:`equivalent_cq` compares expansions
+  for session lengths up to a budget: NO with a witness length, or UNKNOWN.
+* FO classes — undecidable; :func:`equivalent_fo_bounded` searches small
+  instances for a distinguishing run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.analysis.verdict import Answer
+from repro.core.classes import SWSClass, classify, require_class
+from repro.core.pl_semantics import joint_variables, to_afa
+from repro.core.run import run_relational
+from repro.core.sws import SWS, SWSKind
+from repro.core.unfold import expand, saturation_length
+from repro.data.input_sequence import InputSequence
+from repro.errors import AnalysisError
+
+
+def _check_comparable(tau1: SWS, tau2: SWS) -> None:
+    if tau1.kind is not tau2.kind:
+        raise AnalysisError("equivalence requires services of the same kind")
+    if tau1.kind is SWSKind.RELATIONAL:
+        if tau1.db_schema != tau2.db_schema:
+            raise AnalysisError("equivalence requires identical database schemas")
+        assert tau1.input_schema is not None and tau2.input_schema is not None
+        if tau1.input_schema.attributes != tau2.input_schema.attributes:
+            raise AnalysisError("equivalence requires identical input schemas")
+        if tau1.output_arity != tau2.output_arity:
+            raise AnalysisError("equivalence requires identical output arities")
+
+
+def equivalent_pl(tau1: SWS, tau2: SWS) -> Answer:
+    """Exact equivalence for SWS(PL, PL) via the AFA product search.
+
+    A NO answer carries a shortest distinguishing word over the joint
+    alphabet.
+    """
+    require_class(tau1, SWSClass.PL_PL, "equivalent_pl")
+    require_class(tau2, SWSClass.PL_PL, "equivalent_pl")
+    variables = joint_variables(tau1, tau2)
+    left = to_afa(tau1, variables)
+    right = to_afa(tau2, variables)
+    witness = left.difference_witness(right)
+    if witness is None:
+        return Answer.yes(detail="product vector space exhausted")
+    return Answer.no(witness=list(witness), detail="distinguishing word")
+
+
+def equivalent_cq_nr(tau1: SWS, tau2: SWS) -> Answer:
+    """Exact equivalence for SWS_nr(CQ, UCQ) via expansion containment.
+
+    τ1 ≡ τ2 iff their expansions agree as UCQ≠ queries at every session
+    length up to the joint saturation — beyond it both expansions are
+    literally stable.
+    """
+    require_class(tau1, SWSClass.CQ_UCQ_NR, "equivalent_cq_nr")
+    require_class(tau2, SWSClass.CQ_UCQ_NR, "equivalent_cq_nr")
+    _check_comparable(tau1, tau2)
+    horizon = max(saturation_length(tau1), saturation_length(tau2))
+    for n in range(0, horizon + 1):
+        q1 = expand(tau1, n)
+        q2 = expand(tau2, n)
+        if not q1.contained_in(q2):
+            return Answer.no(detail=f"τ1 ⊄ τ2 at session length {n}")
+        if not q2.contained_in(q1):
+            return Answer.no(detail=f"τ2 ⊄ τ1 at session length {n}")
+    return Answer.yes(detail=f"expansions agree up to saturation ({horizon})")
+
+
+def equivalent_cq(tau1: SWS, tau2: SWS, max_session_length: int = 5) -> Answer:
+    """Bounded equivalence for SWS(CQ, UCQ): NO with witness, or UNKNOWN.
+
+    The problem is undecidable (Theorem 4.1(2)); expansions are compared
+    for every session length up to the budget.  Nonrecursive pairs
+    short-circuit to the exact procedure.
+    """
+    require_class(tau1, SWSClass.CQ_UCQ, "equivalent_cq")
+    require_class(tau2, SWSClass.CQ_UCQ, "equivalent_cq")
+    _check_comparable(tau1, tau2)
+    if not tau1.is_recursive() and not tau2.is_recursive():
+        return equivalent_cq_nr(tau1, tau2)
+    for n in range(0, max_session_length + 1):
+        q1 = expand(tau1, n)
+        q2 = expand(tau2, n)
+        if not q1.contained_in(q2):
+            return Answer.no(detail=f"τ1 ⊄ τ2 at session length {n}")
+        if not q2.contained_in(q1):
+            return Answer.no(detail=f"τ2 ⊄ τ1 at session length {n}")
+    return Answer.unknown(
+        detail=f"expansions agree up to session length {max_session_length}"
+    )
+
+
+def equivalent_fo_bounded(
+    tau1: SWS,
+    tau2: SWS,
+    max_domain: int = 2,
+    max_rows: int = 1,
+    max_session_length: int = 2,
+    budget: int = 20000,
+) -> Answer:
+    """Bounded equivalence for FO services: NO with witness, or UNKNOWN.
+
+    Runs both services over every instance within the bounds and compares
+    outputs; a disagreement is a definitive NO (with the witness instance).
+    """
+    from repro.analysis.nonemptiness import _small_databases
+
+    _check_comparable(tau1, tau2)
+    if tau1.kind is not SWSKind.RELATIONAL:
+        raise AnalysisError("equivalent_fo_bounded expects relational services")
+    assert tau1.input_schema is not None
+    domain = list(range(max_domain)) + sorted(
+        tau1.query_constants() | tau2.query_constants(), key=repr
+    )
+    arity = tau1.input_schema.arity
+    message_pool = list(itertools.product(domain, repeat=arity))
+    runs = 0
+    for database in _small_databases(tau1, domain, max_rows):
+        for n in range(0, max_session_length + 1):
+            for combo in itertools.product(
+                [()] + [(m,) for m in message_pool], repeat=n
+            ):
+                inputs = InputSequence(tau1.input_schema, [list(c) for c in combo])
+                runs += 1
+                if runs > budget:
+                    return Answer.unknown(detail=f"budget of {budget} runs spent")
+                out1 = run_relational(tau1, database, inputs).output.rows
+                out2 = run_relational(tau2, database, inputs).output.rows
+                if out1 != out2:
+                    return Answer.no(witness=(database, inputs))
+    return Answer.unknown(detail=f"no disagreement within bounds ({runs} runs)")
+
+
+def equivalent(tau1: SWS, tau2: SWS, **kwargs) -> Answer:
+    """Class-dispatching equivalence analysis."""
+    _check_comparable(tau1, tau2)
+    cls = {classify(tau1), classify(tau2)}
+    if cls <= {SWSClass.PL_PL, SWSClass.PL_PL_NR}:
+        return equivalent_pl(tau1, tau2)
+    if cls <= {SWSClass.CQ_UCQ_NR}:
+        return equivalent_cq_nr(tau1, tau2)
+    if cls <= {SWSClass.CQ_UCQ, SWSClass.CQ_UCQ_NR}:
+        return equivalent_cq(tau1, tau2, **kwargs)
+    return equivalent_fo_bounded(tau1, tau2, **kwargs)

@@ -1,0 +1,118 @@
+"""k-prefix recognizable languages (Theorem 5.1(4,5)).
+
+The paper's decidable general-PL composition cases rest on the notion of
+*k-prefix recognizable* languages: "languages for which membership is
+determined by the first k symbols of the input sequence, for some k ∈ N".
+Every SWS_nr(PL, PL) service defines one (its depth bounds the inspected
+prefix), and every MDT_nr(PL) mediator over nonrecursive components can
+only define such languages — so goals outside the class are immediately
+non-composable, and goals inside it bound the mediators worth trying.
+
+This module decides the notion on automata:
+
+* :func:`is_prefix_recognizable` / :func:`prefix_bound` — whether a
+  regular language is k-prefix recognizable, and the least such k;
+* :func:`sws_prefix_bound` — the same for a PL service's language, via
+  its AFA/NFA translation.
+
+The criterion: determinize; call a state *constant* when the language from
+it is ∅ or Σ*; the language is k-prefix recognizable iff every state
+reachable by a path of length ≥ k is constant.  The least k is
+1 + (the longest path from the initial state to a non-constant state),
+which is finite iff no non-constant state lies on a reachable cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.core.classes import SWSClass, require_class
+from repro.core.pl_semantics import sws_language_nfa_variables
+from repro.core.sws import SWS
+
+
+def _constant_states(dfa: DFA) -> frozenset:
+    """States from which the residual language is ∅ or Σ*."""
+    # Residual ∅: no final state reachable.
+    # Residual Σ*: no non-final state reachable.
+    reach: dict = {}
+    for state in dfa.states:
+        seen = set()
+        queue = deque([state])
+        hits_final = hits_nonfinal = False
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in dfa.finals:
+                hits_final = True
+            else:
+                hits_nonfinal = True
+            for symbol in dfa.alphabet:
+                queue.append(dfa.step(current, symbol))
+        reach[state] = not (hits_final and hits_nonfinal)
+    return frozenset(s for s, constant in reach.items() if constant)
+
+
+def prefix_bound(nfa: NFA) -> int | None:
+    """The least k such that L(nfa) is k-prefix recognizable, else ``None``.
+
+    ``k = 0`` means membership is constant (∅ or Σ*).
+    """
+    dfa = nfa.determinize()
+    constants = _constant_states(dfa)
+    # Longest path from the initial state through non-constant states; a
+    # cycle among reachable non-constant states means no finite bound.
+    depth: dict = {dfa.initial: 0}
+    if dfa.initial in constants:
+        return 0
+    longest = 0
+    in_progress: set = set()
+
+    def visit(state, d: int) -> int | None:
+        nonlocal longest
+        if state in constants:
+            return 0
+        if state in in_progress:
+            return None  # cycle through a non-constant state
+        in_progress.add(state)
+        best = 0
+        for symbol in dfa.alphabet:
+            target = dfa.step(state, symbol)
+            sub = visit(target, d + 1)
+            if sub is None:
+                return None
+            best = max(best, sub + 1)
+        in_progress.discard(state)
+        longest = max(longest, best)
+        return best
+
+    result = visit(dfa.initial, 0)
+    if result is None:
+        return None
+    return result
+
+
+def is_prefix_recognizable(nfa: NFA, k: int | None = None) -> bool:
+    """Whether L(nfa) is k-prefix recognizable (for the given k, or any)."""
+    bound = prefix_bound(nfa)
+    if bound is None:
+        return False
+    return True if k is None else bound <= k
+
+
+def sws_prefix_bound(sws: SWS, variables: Iterable[str] | None = None) -> int | None:
+    """The prefix bound of a PL service's language.
+
+    For a nonrecursive service this is at most ``depth + 1``; a recursive
+    service may or may not be prefix recognizable — the counter families
+    are the standard non-examples, delimiter-terminated services the
+    standard examples.
+    """
+    require_class(sws, SWSClass.PL_PL, "sws_prefix_bound")
+    nfa = sws_language_nfa_variables(sws, variables)
+    return prefix_bound(nfa)

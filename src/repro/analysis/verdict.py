@@ -1,0 +1,75 @@
+"""Three-valued verdicts for (semi-)decision procedures.
+
+Theorem 4.1 makes several analyses undecidable; the library's procedures
+for those cells are *sound but bounded*: they never return a wrong YES/NO,
+and report UNKNOWN when the resource budget runs out.  Decidable-cell
+procedures always return YES or NO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Generic, TypeVar
+
+
+class Verdict(Enum):
+    """Outcome of a bounded analysis."""
+
+    YES = "yes"
+    NO = "no"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        # Deliberately undefined: a Verdict must be compared explicitly so
+        # UNKNOWN is never silently treated as falsy NO.
+        raise TypeError(
+            "Verdict has no truth value; compare against Verdict.YES/NO/UNKNOWN"
+        )
+
+
+WitnessT = TypeVar("WitnessT")
+
+
+@dataclass(frozen=True)
+class Answer(Generic[WitnessT]):
+    """A verdict with an optional witness and a provenance note.
+
+    ``witness`` is, for non-emptiness, a pair ``(D, I)`` (or an input word
+    for PL services); for equivalence a distinguishing input; ``detail``
+    names the budget or procedure that produced the verdict.
+    """
+
+    verdict: Verdict
+    witness: WitnessT | None = None
+    detail: str = ""
+
+    @classmethod
+    def yes(cls, witness: Any = None, detail: str = "") -> "Answer":
+        """A positive answer."""
+        return cls(Verdict.YES, witness, detail)
+
+    @classmethod
+    def no(cls, witness: Any = None, detail: str = "") -> "Answer":
+        """A negative answer."""
+        return cls(Verdict.NO, witness, detail)
+
+    @classmethod
+    def unknown(cls, detail: str = "") -> "Answer":
+        """Budget exhausted without a verdict."""
+        return cls(Verdict.UNKNOWN, None, detail)
+
+    @property
+    def is_yes(self) -> bool:
+        """Whether the verdict is YES."""
+        return self.verdict is Verdict.YES
+
+    @property
+    def is_no(self) -> bool:
+        """Whether the verdict is NO."""
+        return self.verdict is Verdict.NO
+
+    @property
+    def is_unknown(self) -> bool:
+        """Whether the verdict is UNKNOWN."""
+        return self.verdict is Verdict.UNKNOWN

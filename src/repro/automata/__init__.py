@@ -1,0 +1,29 @@
+"""Finite automata substrate.
+
+The paper characterizes SWS(PL, PL) services against finite-state machinery:
+the Roman model specifies services as DFAs/NFAs (Section 3), the PSPACE
+bounds of Theorem 4.1(3) mirror alternating-finite-automaton (AFA)
+complexity, and the composition cases of Theorem 5.3 run through the
+rewriting of regular languages (Calvanese–De Giacomo–Lenzerini–Vardi).
+This package provides:
+
+``dfa`` / ``nfa``        deterministic and nondeterministic automata with
+                         the standard constructions (product, complement,
+                         determinization, minimization, equivalence,
+                         shortest witnesses)
+``afa``                  alternating (boolean) automata with backward
+                         valuation-vector semantics — the same engine the
+                         SWS(PL, PL) decision procedures use
+``regex``                regular expressions and Thompson's construction
+``regular_rewriting``    maximal rewriting of a regular language over
+                         component languages (drives MDT(∨) composition)
+``rpq``                  (2-way) regular path queries and UC2RPQs over
+                         graph databases (drives Corollary 5.2)
+"""
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.automata.afa import AFA
+from repro.automata.regex import Regex, parse_regex
+
+__all__ = ["AFA", "DFA", "NFA", "Regex", "parse_regex"]

@@ -1,0 +1,242 @@
+"""Alternating finite automata (boolean automata).
+
+Theorem 4.1(3) ties SWS(PL, PL) to AFA: the PSPACE lower bound on
+non-emptiness is by expressing AFA in SWS(PL, PL) "in ptime", and the
+upper bound checks non-emptiness "along the same lines as AFA non-emptiness
+checking".  This module implements AFA with arbitrary boolean transition
+conditions (alternation *and* negation) and the backward valuation-vector
+semantics that both AFA decision procedures and the SWS(PL, PL) procedures
+in :mod:`repro.core.pl_semantics` share:
+
+For a word ``w`` read *suffix-first*, the valuation vector ``V_w`` assigns
+each state ``q`` the truth of "the run from q accepts w".  ``V_ε`` is the
+final-state indicator; ``V_{a·w}(q) = δ(q, a)`` evaluated on ``V_w``.  The
+automaton accepts ``w`` iff the initial condition evaluates to true on
+``V_w``.  Reachability over the (finitely many) vectors decides emptiness
+in exponential time / polynomial space — the classical AFA bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.errors import ReproError
+from repro.logic import pl
+
+State = str
+Symbol = Hashable
+
+Vector = frozenset[State]
+"""A valuation vector, represented as the set of states valued true."""
+
+
+class AFA:
+    """An alternating finite automaton with boolean transition conditions.
+
+    ``transitions[(q, a)]`` is a propositional formula over state names;
+    a missing entry means ``false`` (the run from ``q`` rejects on ``a``).
+    ``initial_condition`` is a formula over state names evaluated on the
+    full-word vector; for a conventional AFA it is a single state variable.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Mapping[tuple[State, Symbol], pl.Formula],
+        initial_condition: pl.Formula,
+        finals: Iterable[State],
+    ) -> None:
+        self.states = frozenset(states)
+        self.alphabet = frozenset(alphabet)
+        self.transitions = dict(transitions)
+        self.initial_condition = initial_condition
+        self.finals = frozenset(finals)
+        if not self.finals <= self.states:
+            raise ReproError("final states must be states")
+        for (state, symbol), formula in self.transitions.items():
+            if state not in self.states:
+                raise ReproError(f"transition from unknown state {state!r}")
+            if symbol not in self.alphabet:
+                raise ReproError(f"transition on unknown symbol {symbol!r}")
+            stray = formula.variables() - self.states
+            if stray:
+                raise ReproError(
+                    f"transition condition mentions non-states {sorted(stray)}"
+                )
+        stray = initial_condition.variables() - self.states
+        if stray:
+            raise ReproError(f"initial condition mentions non-states {sorted(stray)}")
+
+    # -- backward semantics -----------------------------------------------------------
+
+    def empty_word_vector(self) -> Vector:
+        """``V_ε``: exactly the final states are true."""
+        return frozenset(self.finals)
+
+    def pre_step(self, vector: Vector, symbol: Symbol) -> Vector:
+        """``V_{a·w}`` from ``V_w``: evaluate every transition condition."""
+        return frozenset(
+            state
+            for state in self.states
+            if self.transitions.get((state, symbol), pl.FALSE).evaluate(vector)
+        )
+
+    def vector_for(self, word: Sequence[Symbol]) -> Vector:
+        """The valuation vector of a word (computed suffix-first)."""
+        vector = self.empty_word_vector()
+        for symbol in reversed(word):
+            vector = self.pre_step(vector, symbol)
+        return vector
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Language membership."""
+        return self.initial_condition.evaluate(self.vector_for(word))
+
+    # -- decision procedures -------------------------------------------------------------
+
+    def reachable_vectors(self) -> dict[Vector, tuple[Symbol, ...]]:
+        """All vectors reachable from ``V_ε``, with a witness suffix each.
+
+        The witness of vector ``V`` is a word ``w`` with ``V_w = V``.  The
+        search is breadth-first, so witnesses are shortest.
+        """
+        start = self.empty_word_vector()
+        witnesses: dict[Vector, tuple[Symbol, ...]] = {start: ()}
+        queue: deque[Vector] = deque([start])
+        order = sorted(self.alphabet, key=repr)
+        while queue:
+            vector = queue.popleft()
+            for symbol in order:
+                nxt = self.pre_step(vector, symbol)
+                if nxt not in witnesses:
+                    witnesses[nxt] = (symbol,) + witnesses[vector]
+                    queue.append(nxt)
+        return witnesses
+
+    def is_empty(self) -> bool:
+        """Emptiness via vector reachability."""
+        return self.accepting_witness() is None
+
+    def accepting_witness(self) -> tuple[Symbol, ...] | None:
+        """A word in the language, or ``None`` when empty.
+
+        Explores vectors breadth-first and stops at the first vector that
+        satisfies the initial condition, so the witness is of minimal
+        length among the BFS layers explored.
+        """
+        start = self.empty_word_vector()
+        if self.initial_condition.evaluate(start):
+            return ()
+        witnesses: dict[Vector, tuple[Symbol, ...]] = {start: ()}
+        queue: deque[Vector] = deque([start])
+        order = sorted(self.alphabet, key=repr)
+        while queue:
+            vector = queue.popleft()
+            for symbol in order:
+                nxt = self.pre_step(vector, symbol)
+                if nxt in witnesses:
+                    continue
+                word = (symbol,) + witnesses[vector]
+                if self.initial_condition.evaluate(nxt):
+                    return word
+                witnesses[nxt] = word
+                queue.append(nxt)
+        return None
+
+    def to_dfa(self) -> DFA:
+        """The *reverse-deterministic* DFA over valuation vectors.
+
+        Vectors are states; reading symbol ``a`` maps ``V_w`` to ``V_{a·w}``
+        — i.e. this DFA reads words **reversed**.  It accepts reverse(L):
+        a word ``w`` is in L(self) iff ``reversed(w)`` is accepted here.
+        """
+        witnesses = self.reachable_vectors()
+        vectors = set(witnesses)
+        transitions: dict[tuple[Vector, Symbol], Vector] = {}
+        for vector in vectors:
+            for symbol in self.alphabet:
+                transitions[(vector, symbol)] = self.pre_step(vector, symbol)
+        finals = {
+            vector
+            for vector in vectors
+            if self.initial_condition.evaluate(vector)
+        }
+        return DFA(vectors, self.alphabet, transitions, self.empty_word_vector(), finals)
+
+    def to_nfa(self) -> NFA:
+        """An NFA for the (forward) language, via reversing :meth:`to_dfa`."""
+        reverse_dfa = self.to_dfa()
+        transitions: dict[tuple[Vector, Symbol | None], set[Vector]] = {}
+        for (source, symbol), target in reverse_dfa.transitions.items():
+            transitions.setdefault((target, symbol), set()).add(source)
+        return NFA(
+            reverse_dfa.states,
+            reverse_dfa.alphabet,
+            {k: frozenset(v) for k, v in transitions.items()},
+            reverse_dfa.finals,
+            {reverse_dfa.initial},
+        )
+
+    def equivalent_to(self, other: "AFA") -> bool:
+        """Language equivalence via the product of vector spaces.
+
+        Runs a joint BFS over pairs of vectors; the automata differ iff
+        some reachable pair disagrees on the initial conditions.
+        """
+        if self.alphabet != other.alphabet:
+            raise ReproError("equivalence requires identical alphabets")
+        return self.difference_witness(other) is None
+
+    def difference_witness(self, other: "AFA") -> tuple[Symbol, ...] | None:
+        """A word accepted by exactly one of the two automata, or ``None``."""
+        if self.alphabet != other.alphabet:
+            raise ReproError("comparison requires identical alphabets")
+        start = (self.empty_word_vector(), other.empty_word_vector())
+        seen: dict[tuple[Vector, Vector], tuple[Symbol, ...]] = {start: ()}
+        queue: deque[tuple[Vector, Vector]] = deque([start])
+        order = sorted(self.alphabet, key=repr)
+        while queue:
+            pair = queue.popleft()
+            mine, theirs = pair
+            word = seen[pair]
+            if self.initial_condition.evaluate(mine) != other.initial_condition.evaluate(
+                theirs
+            ):
+                return word
+            for symbol in order:
+                nxt = (self.pre_step(mine, symbol), other.pre_step(theirs, symbol))
+                if nxt not in seen:
+                    seen[nxt] = (symbol,) + word
+                    queue.append(nxt)
+        return None
+
+    @classmethod
+    def from_nfa(cls, nfa: NFA) -> "AFA":
+        """Encode an NFA as an AFA (disjunctive transition conditions).
+
+        The NFA must be ε-free; eliminate ε-transitions by determinizing
+        first if needed.
+        """
+        for (_state, symbol) in nfa.transitions:
+            if symbol is None:
+                raise ReproError("from_nfa requires an ε-free NFA")
+        states = {str(s) for s in nfa.states}
+        if len(states) != len(nfa.states):
+            raise ReproError("NFA state names collide after str()")
+        transitions: dict[tuple[State, Symbol], pl.Formula] = {}
+        for (source, symbol), targets in nfa.transitions.items():
+            transitions[(str(source), symbol)] = pl.disjoin(
+                pl.Var(str(t)) for t in sorted(targets, key=repr)
+            )
+        initial = pl.disjoin(pl.Var(str(s)) for s in sorted(nfa.initials, key=repr))
+        return cls(states, nfa.alphabet, transitions, initial, {str(s) for s in nfa.finals})
+
+    def __repr__(self) -> str:
+        return (
+            f"AFA(states={len(self.states)}, alphabet={len(self.alphabet)}, "
+            f"finals={len(self.finals)})"
+        )

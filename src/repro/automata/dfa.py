@@ -1,0 +1,217 @@
+"""Deterministic finite automata.
+
+DFAs play three roles in the reproduction: Roman-model services *are* DFAs
+(Section 3), the special cases of Theorem 5.3(2) distinguish DFA goals from
+NFA goals, and every language-level decision procedure (equivalence of
+PL services, regular rewriting) determinizes into this representation.
+
+States are arbitrary hashable objects.  A DFA here is *total over its
+alphabet by convention of the transition map*: missing transitions go to an
+implicit dead state, which keeps hand-built automata small.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+
+State = Hashable
+Symbol = Hashable
+
+#: Implicit dead state used to totalize partial transition maps.
+DEAD = "__dead__"
+
+
+class DFA:
+    """A deterministic finite automaton."""
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Mapping[tuple[State, Symbol], State],
+        initial: State,
+        finals: Iterable[State],
+    ) -> None:
+        self.states = frozenset(states) | {DEAD}
+        self.alphabet = frozenset(alphabet)
+        self.transitions = dict(transitions)
+        self.initial = initial
+        self.finals = frozenset(finals)
+        if initial not in self.states:
+            raise ReproError(f"initial state {initial!r} not a state")
+        if not self.finals <= self.states:
+            raise ReproError("final states must be states")
+        for (state, symbol), target in self.transitions.items():
+            if state not in self.states or target not in self.states:
+                raise ReproError(f"transition {(state, symbol)} uses unknown state")
+            if symbol not in self.alphabet:
+                raise ReproError(f"transition on unknown symbol {symbol!r}")
+
+    # -- running -------------------------------------------------------------------
+
+    def step(self, state: State, symbol: Symbol) -> State:
+        """One transition; missing entries go to the dead state."""
+        if symbol not in self.alphabet:
+            raise ReproError(f"symbol {symbol!r} not in alphabet")
+        return self.transitions.get((state, symbol), DEAD)
+
+    def run(self, word: Sequence[Symbol]) -> State:
+        """The state reached from the initial state on ``word``."""
+        state = self.initial
+        for symbol in word:
+            state = self.step(state, symbol)
+        return state
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Language membership."""
+        return self.run(word) in self.finals
+
+    # -- classical constructions ----------------------------------------------------
+
+    def complement(self) -> "DFA":
+        """The DFA for the complement language (over the same alphabet)."""
+        # Totalize explicitly so non-final includes the dead state.
+        transitions = dict(self.transitions)
+        for state in self.states:
+            for symbol in self.alphabet:
+                transitions.setdefault((state, symbol), DEAD)
+        finals = self.states - self.finals
+        return DFA(self.states, self.alphabet, transitions, self.initial, finals)
+
+    def product(self, other: "DFA", accept: str = "and") -> "DFA":
+        """Synchronous product; ``accept`` is ``"and"``, ``"or"`` or ``"xor"``."""
+        if self.alphabet != other.alphabet:
+            raise ReproError("product requires identical alphabets")
+        initial = (self.initial, other.initial)
+        states: set[State] = set()
+        transitions: dict[tuple[State, Symbol], State] = {}
+        queue: deque[tuple[State, State]] = deque([initial])
+        while queue:
+            pair = queue.popleft()
+            if pair in states:
+                continue
+            states.add(pair)
+            left, right = pair
+            for symbol in self.alphabet:
+                target = (self.step(left, symbol), other.step(right, symbol))
+                transitions[(pair, symbol)] = target
+                if target not in states:
+                    queue.append(target)
+        def accepting(pair: tuple[State, State]) -> bool:
+            in_left = pair[0] in self.finals
+            in_right = pair[1] in other.finals
+            if accept == "and":
+                return in_left and in_right
+            if accept == "or":
+                return in_left or in_right
+            if accept == "xor":
+                return in_left != in_right
+            raise ReproError(f"unknown product mode {accept!r}")
+        finals = {pair for pair in states if accepting(pair)}
+        return DFA(states, self.alphabet, transitions, initial, finals)
+
+    def reachable_states(self) -> frozenset[State]:
+        """States reachable from the initial state."""
+        seen: set[State] = set()
+        queue: deque[State] = deque([self.initial])
+        while queue:
+            state = queue.popleft()
+            if state in seen:
+                continue
+            seen.add(state)
+            for symbol in self.alphabet:
+                queue.append(self.step(state, symbol))
+        return frozenset(seen)
+
+    def is_empty(self) -> bool:
+        """Whether the language is empty."""
+        return not (self.reachable_states() & self.finals)
+
+    def shortest_accepted(self) -> tuple[Symbol, ...] | None:
+        """A shortest accepted word, or ``None`` when the language is empty."""
+        queue: deque[tuple[State, tuple[Symbol, ...]]] = deque([(self.initial, ())])
+        seen: set[State] = set()
+        order = sorted(self.alphabet, key=repr)
+        while queue:
+            state, word = queue.popleft()
+            if state in seen:
+                continue
+            seen.add(state)
+            if state in self.finals:
+                return word
+            for symbol in order:
+                queue.append((self.step(state, symbol), word + (symbol,)))
+        return None
+
+    def equivalent_to(self, other: "DFA") -> bool:
+        """Language equivalence via the symmetric-difference product."""
+        return self.product(other, accept="xor").is_empty()
+
+    def contained_in(self, other: "DFA") -> bool:
+        """Language containment L(self) ⊆ L(other)."""
+        return self.product(other.complement(), accept="and").is_empty()
+
+    def minimized(self) -> "DFA":
+        """Moore's partition-refinement minimization (reachable part)."""
+        reachable = self.reachable_states()
+        finals = self.finals & reachable
+        nonfinals = reachable - finals
+        partition: list[set[State]] = [s for s in (set(finals), set(nonfinals)) if s]
+        changed = True
+        while changed:
+            changed = False
+            block_of: dict[State, int] = {}
+            for i, block in enumerate(partition):
+                for state in block:
+                    block_of[state] = i
+            refined: list[set[State]] = []
+            for block in partition:
+                groups: dict[tuple[int, ...], set[State]] = {}
+                for state in block:
+                    signature = tuple(
+                        block_of[self.step(state, symbol)]
+                        if self.step(state, symbol) in block_of
+                        else -1
+                        for symbol in sorted(self.alphabet, key=repr)
+                    )
+                    groups.setdefault(signature, set()).add(state)
+                refined.extend(groups.values())
+                if len(groups) > 1:
+                    changed = True
+            partition = refined
+        block_of = {}
+        for i, block in enumerate(partition):
+            for state in block:
+                block_of[state] = i
+        transitions: dict[tuple[State, Symbol], State] = {}
+        for state in reachable:
+            for symbol in self.alphabet:
+                target = self.step(state, symbol)
+                if target in block_of:
+                    transitions[(block_of[state], symbol)] = block_of[target]
+        new_finals = {block_of[s] for s in finals}
+        return DFA(
+            set(block_of.values()),
+            self.alphabet,
+            transitions,
+            block_of[self.initial],
+            new_finals,
+        )
+
+    def to_nfa(self) -> "NFA":
+        """View as an NFA."""
+        from repro.automata.nfa import NFA
+
+        transitions: dict[tuple[State, Symbol], frozenset[State]] = {}
+        for (state, symbol), target in self.transitions.items():
+            transitions[(state, symbol)] = frozenset({target})
+        return NFA(self.states, self.alphabet, transitions, {self.initial}, self.finals)
+
+    def __repr__(self) -> str:
+        return (
+            f"DFA(states={len(self.states)}, alphabet={len(self.alphabet)}, "
+            f"finals={len(self.finals)})"
+        )

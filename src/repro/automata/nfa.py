@@ -1,0 +1,314 @@
+"""Nondeterministic finite automata (with ε-transitions).
+
+NFAs model Roman-model composite services and the regular languages the
+MDT(∨) composition machinery (Theorem 5.3) manipulates.  The class supports
+the standard constructions plus two operations the paper's composition
+semantics needs specifically:
+
+* :meth:`prefix_free_restriction` — component services invoked by a
+  mediator *run to completion and stop at the first final state*
+  (Theorem 5.3(1) proof sketch), so the effective component language is the
+  prefix-free core: accepted words none of whose proper prefixes are
+  accepted;
+* :meth:`substitute` — homomorphic substitution of component languages for
+  alphabet symbols, used to expand a candidate mediator language back over
+  the base alphabet.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.automata.dfa import DFA
+from repro.errors import ReproError
+
+State = Hashable
+Symbol = Hashable
+
+#: ε label for silent transitions.
+EPSILON = None
+
+
+class NFA:
+    """A nondeterministic finite automaton with optional ε-transitions."""
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Mapping[tuple[State, Symbol | None], Iterable[State]],
+        initials: Iterable[State],
+        finals: Iterable[State],
+    ) -> None:
+        self.states = frozenset(states)
+        self.alphabet = frozenset(alphabet)
+        if EPSILON in self.alphabet:
+            raise ReproError("ε (None) cannot be an alphabet symbol")
+        self.transitions: dict[tuple[State, Symbol | None], frozenset[State]] = {
+            key: frozenset(targets) for key, targets in transitions.items()
+        }
+        self.initials = frozenset(initials)
+        self.finals = frozenset(finals)
+        if not self.initials <= self.states or not self.finals <= self.states:
+            raise ReproError("initial/final states must be states")
+        for (state, symbol), targets in self.transitions.items():
+            if state not in self.states or not targets <= self.states:
+                raise ReproError(f"transition {(state, symbol)} uses unknown state")
+            if symbol is not EPSILON and symbol not in self.alphabet:
+                raise ReproError(f"transition on unknown symbol {symbol!r}")
+
+    # -- construction helpers ---------------------------------------------------------
+
+    @classmethod
+    def for_word(cls, word: Sequence[Symbol], alphabet: Iterable[Symbol]) -> "NFA":
+        """The NFA accepting exactly one word."""
+        states = list(range(len(word) + 1))
+        transitions = {
+            (i, symbol): {i + 1} for i, symbol in enumerate(word)
+        }
+        return cls(states, alphabet, transitions, {0}, {len(word)})
+
+    @classmethod
+    def empty_language(cls, alphabet: Iterable[Symbol]) -> "NFA":
+        """The NFA accepting nothing."""
+        return cls({0}, alphabet, {}, {0}, set())
+
+    # -- running ------------------------------------------------------------------------
+
+    def epsilon_closure(self, states: Iterable[State]) -> frozenset[State]:
+        """ε-closure of a state set."""
+        closure: set[State] = set(states)
+        queue = deque(closure)
+        while queue:
+            state = queue.popleft()
+            for target in self.transitions.get((state, EPSILON), frozenset()):
+                if target not in closure:
+                    closure.add(target)
+                    queue.append(target)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[State], symbol: Symbol) -> frozenset[State]:
+        """All states reachable by consuming one symbol (with ε-closures)."""
+        current = self.epsilon_closure(states)
+        moved: set[State] = set()
+        for state in current:
+            moved |= self.transitions.get((state, symbol), frozenset())
+        return self.epsilon_closure(moved)
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Language membership."""
+        current = self.epsilon_closure(self.initials)
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.finals)
+
+    # -- standard constructions ------------------------------------------------------------
+
+    def determinize(self) -> DFA:
+        """Subset construction (reachable part only)."""
+        initial = self.epsilon_closure(self.initials)
+        states: set[frozenset[State]] = set()
+        transitions: dict[tuple[frozenset[State], Symbol], frozenset[State]] = {}
+        queue: deque[frozenset[State]] = deque([initial])
+        while queue:
+            subset = queue.popleft()
+            if subset in states:
+                continue
+            states.add(subset)
+            for symbol in self.alphabet:
+                target = self.step(subset, symbol)
+                transitions[(subset, symbol)] = target
+                if target not in states:
+                    queue.append(target)
+        finals = {s for s in states if s & self.finals}
+        return DFA(states, self.alphabet, transitions, initial, finals)
+
+    def union(self, other: "NFA") -> "NFA":
+        """Language union (disjoint-state sum)."""
+        return self._combine(other, connect="union")
+
+    def concat(self, other: "NFA") -> "NFA":
+        """Language concatenation."""
+        return self._combine(other, connect="concat")
+
+    def star(self) -> "NFA":
+        """Kleene star."""
+        tagged = self._tag(0)
+        start = ("star", "s")
+        states = set(tagged.states) | {start}
+        transitions = dict(tagged.transitions)
+        eps_key = lambda s: (s, EPSILON)  # noqa: E731 - local alias
+        extra: dict[tuple[State, Symbol | None], set[State]] = {}
+        extra[eps_key(start)] = set(tagged.initials)
+        for final in tagged.finals:
+            extra.setdefault(eps_key(final), set()).update(tagged.initials)
+        merged = _merge_transitions(transitions, extra)
+        return NFA(states, self.alphabet, merged, {start}, set(tagged.finals) | {start})
+
+    def _combine(self, other: "NFA", connect: str) -> "NFA":
+        if self.alphabet != other.alphabet:
+            alphabet = self.alphabet | other.alphabet
+            left = self.with_alphabet(alphabet)
+            right = other.with_alphabet(alphabet)
+        else:
+            left, right = self, other
+        a = left._tag(0)
+        b = right._tag(1)
+        states = set(a.states) | set(b.states)
+        transitions: dict[tuple[State, Symbol | None], frozenset[State]] = {}
+        transitions.update(a.transitions)
+        transitions.update(b.transitions)
+        if connect == "union":
+            initials = set(a.initials) | set(b.initials)
+            finals = set(a.finals) | set(b.finals)
+        elif connect == "concat":
+            extra: dict[tuple[State, Symbol | None], set[State]] = {}
+            for final in a.finals:
+                extra.setdefault((final, EPSILON), set()).update(b.initials)
+            transitions = _merge_transitions(transitions, extra)
+            initials = set(a.initials)
+            finals = set(b.finals)
+        else:
+            raise ReproError(f"unknown combination {connect!r}")
+        return NFA(states, a.alphabet, transitions, initials, finals)
+
+    def _tag(self, tag: int) -> "NFA":
+        mapping = {s: (tag, s) for s in self.states}
+        transitions = {
+            ((tag, s), symbol): frozenset((tag, t) for t in targets)
+            for (s, symbol), targets in self.transitions.items()
+        }
+        return NFA(
+            mapping.values(),
+            self.alphabet,
+            transitions,
+            (mapping[s] for s in self.initials),
+            (mapping[s] for s in self.finals),
+        )
+
+    def with_alphabet(self, alphabet: Iterable[Symbol]) -> "NFA":
+        """The same automaton over a (super)alphabet."""
+        alphabet = frozenset(alphabet)
+        if not self.alphabet <= alphabet:
+            raise ReproError("new alphabet must contain the old one")
+        return NFA(self.states, alphabet, self.transitions, self.initials, self.finals)
+
+    # -- decision procedures -----------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """Whether the language is empty (reachability of a final state)."""
+        seen: set[State] = set()
+        queue = deque(self.epsilon_closure(self.initials))
+        while queue:
+            state = queue.popleft()
+            if state in seen:
+                continue
+            seen.add(state)
+            if state in self.finals:
+                return False
+            for (source, _symbol), targets in self.transitions.items():
+                if source == state:
+                    queue.extend(targets)
+        return True
+
+    def contained_in(self, other: "NFA") -> bool:
+        """Language containment via determinization of ``other``."""
+        alphabet = self.alphabet | other.alphabet
+        left = self.with_alphabet(alphabet).determinize()
+        right = other.with_alphabet(alphabet).determinize()
+        return left.contained_in(right)
+
+    def equivalent_to(self, other: "NFA") -> bool:
+        """Language equivalence via determinization."""
+        alphabet = self.alphabet | other.alphabet
+        left = self.with_alphabet(alphabet).determinize()
+        right = other.with_alphabet(alphabet).determinize()
+        return left.equivalent_to(right)
+
+    def shortest_accepted(self) -> tuple[Symbol, ...] | None:
+        """A shortest accepted word, or ``None``."""
+        return self.determinize().shortest_accepted()
+
+    # -- paper-specific operations --------------------------------------------------------------
+
+    def prefix_free_restriction(self) -> "NFA":
+        """Words accepted with no accepted proper prefix.
+
+        Models "run to completion, stop at the first final state": once a
+        component service reaches a final state it stops consuming input,
+        so continuations of accepted words are unreachable behaviours.
+        Implemented on the determinization by cutting all transitions out
+        of accepting states.
+        """
+        dfa = self.determinize()
+        transitions = {
+            (state, symbol): frozenset({target})
+            for (state, symbol), target in dfa.transitions.items()
+            if state not in dfa.finals
+        }
+        return NFA(dfa.states, dfa.alphabet, transitions, {dfa.initial}, dfa.finals)
+
+    def substitute(self, languages: Mapping[Symbol, "NFA"], alphabet: Iterable[Symbol]) -> "NFA":
+        """Homomorphic substitution: replace each symbol edge by a language.
+
+        ``languages`` maps every symbol of this automaton's alphabet to an
+        NFA over the target ``alphabet``.  The result accepts exactly
+        ``{ w1...wk | a1...ak ∈ L(self), wi ∈ L(languages[ai]) }``.
+        """
+        alphabet = frozenset(alphabet)
+        states: set[State] = {("outer", s) for s in self.states}
+        transitions: dict[tuple[State, Symbol | None], set[State]] = {}
+        copy_index = 0
+        for (source, symbol), targets in self.transitions.items():
+            if symbol is EPSILON:
+                transitions.setdefault((("outer", source), EPSILON), set()).update(
+                    ("outer", t) for t in targets
+                )
+                continue
+            if symbol not in languages:
+                raise ReproError(f"no language supplied for symbol {symbol!r}")
+            component = languages[symbol]
+            for target in targets:
+                tag = ("copy", copy_index)
+                copy_index += 1
+                for cstate in component.states:
+                    states.add((tag, cstate))
+                for (cs, csym), ctargets in component.transitions.items():
+                    transitions.setdefault(((tag, cs), csym), set()).update(
+                        (tag, ct) for ct in ctargets
+                    )
+                transitions.setdefault((("outer", source), EPSILON), set()).update(
+                    (tag, ci) for ci in component.initials
+                )
+                for cfinal in component.finals:
+                    transitions.setdefault(((tag, cfinal), EPSILON), set()).add(
+                        ("outer", target)
+                    )
+        return NFA(
+            states,
+            alphabet,
+            {k: frozenset(v) for k, v in transitions.items()},
+            {("outer", s) for s in self.initials},
+            {("outer", s) for s in self.finals},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA(states={len(self.states)}, alphabet={len(self.alphabet)}, "
+            f"finals={len(self.finals)})"
+        )
+
+
+def _merge_transitions(
+    base: Mapping[tuple[State, Symbol | None], frozenset[State]],
+    extra: Mapping[tuple[State, Symbol | None], set[State]],
+) -> dict[tuple[State, Symbol | None], frozenset[State]]:
+    merged: dict[tuple[State, Symbol | None], set[State]] = {
+        key: set(targets) for key, targets in base.items()
+    }
+    for key, targets in extra.items():
+        merged.setdefault(key, set()).update(targets)
+    return {key: frozenset(targets) for key, targets in merged.items()}

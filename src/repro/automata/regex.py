@@ -1,0 +1,258 @@
+"""Regular expressions and Thompson's construction.
+
+Regular expressions are the convenient surface syntax for the goal and
+component languages of the MDT(∨) composition cases (Theorem 5.3) and for
+(2-way) regular path queries (Corollary 5.2).  Symbols are single
+identifiers; the concrete syntax supports ``|`` (union), juxtaposition
+(concatenation), ``*`` (star), ``+`` (plus), ``?`` (option), parentheses,
+``()`` for ε and identifiers — multi-character identifiers must be
+parenthesized apart by whitespace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.automata.nfa import NFA
+from repro.errors import QueryError
+
+Symbol = Hashable
+
+
+class Regex:
+    """Base class for regular expressions."""
+
+    def symbols(self) -> frozenset[Symbol]:
+        """All alphabet symbols occurring in the expression."""
+        raise NotImplementedError
+
+    def to_nfa(self, alphabet: Iterable[Symbol] | None = None) -> NFA:
+        """Thompson's construction."""
+        alphabet = frozenset(alphabet) if alphabet is not None else self.symbols()
+        return self._build(alphabet)
+
+    def _build(self, alphabet: frozenset[Symbol]) -> NFA:
+        raise NotImplementedError
+
+    # -- sugar --------------------------------------------------------------
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return Union_((self, other))
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return Concat((self, other))
+
+    def star(self) -> "Regex":
+        """Kleene star of this expression."""
+        return Star(self)
+
+
+@dataclass(frozen=True)
+class EmptySet(Regex):
+    """The empty language."""
+
+    def symbols(self) -> frozenset[Symbol]:
+        return frozenset()
+
+    def _build(self, alphabet: frozenset[Symbol]) -> NFA:
+        return NFA.empty_language(alphabet)
+
+    def __str__(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The language {ε}."""
+
+    def symbols(self) -> frozenset[Symbol]:
+        return frozenset()
+
+    def _build(self, alphabet: frozenset[Symbol]) -> NFA:
+        return NFA({0}, alphabet, {}, {0}, {0})
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Sym(Regex):
+    """A single alphabet symbol."""
+
+    symbol: Symbol
+
+    def symbols(self) -> frozenset[Symbol]:
+        return frozenset({self.symbol})
+
+    def _build(self, alphabet: frozenset[Symbol]) -> NFA:
+        return NFA({0, 1}, alphabet, {(0, self.symbol): {1}}, {0}, {1})
+
+    def __str__(self) -> str:
+        return str(self.symbol)
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation of subexpressions."""
+
+    parts: tuple[Regex, ...]
+
+    def __init__(self, parts: Iterable[Regex]) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def symbols(self) -> frozenset[Symbol]:
+        return frozenset().union(*(p.symbols() for p in self.parts))
+
+    def _build(self, alphabet: frozenset[Symbol]) -> NFA:
+        if not self.parts:
+            return Epsilon()._build(alphabet)
+        nfa = self.parts[0]._build(alphabet)
+        for part in self.parts[1:]:
+            nfa = nfa.concat(part._build(alphabet))
+        return nfa
+
+    def __str__(self) -> str:
+        return " ".join(
+            f"({p})" if isinstance(p, Union_) else str(p) for p in self.parts
+        )
+
+
+@dataclass(frozen=True)
+class Union_(Regex):
+    """Union of subexpressions."""
+
+    parts: tuple[Regex, ...]
+
+    def __init__(self, parts: Iterable[Regex]) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def symbols(self) -> frozenset[Symbol]:
+        return frozenset().union(*(p.symbols() for p in self.parts))
+
+    def _build(self, alphabet: frozenset[Symbol]) -> NFA:
+        if not self.parts:
+            return NFA.empty_language(alphabet)
+        nfa = self.parts[0]._build(alphabet)
+        for part in self.parts[1:]:
+            nfa = nfa.union(part._build(alphabet))
+        return nfa
+
+    def __str__(self) -> str:
+        return " | ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star."""
+
+    operand: Regex
+
+    def symbols(self) -> frozenset[Symbol]:
+        return self.operand.symbols()
+
+    def _build(self, alphabet: frozenset[Symbol]) -> NFA:
+        return self.operand._build(alphabet).star()
+
+    def __str__(self) -> str:
+        inner = str(self.operand)
+        if isinstance(self.operand, (Sym, Epsilon, EmptySet)):
+            return f"{inner}*"
+        return f"({inner})*"
+
+
+# -- parser --------------------------------------------------------------------
+#
+# regex   := branch ('|' branch)*
+# branch  := piece*
+# piece   := base ('*' | '+' | '?')*
+# base    := identifier | '(' regex ')' | '()'
+
+
+class _RegexParser:
+    def __init__(self, text: str) -> None:
+        self._tokens = self._tokenize(text)
+        self._pos = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> list[str]:
+        tokens: list[str] = []
+        i = 0
+        while i < len(text):
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+            elif ch in "()|*+?":
+                tokens.append(ch)
+                i += 1
+            elif ch.isalnum() or ch in "_-^":
+                j = i
+                while j < len(text) and (text[j].isalnum() or text[j] in "_-^"):
+                    j += 1
+                tokens.append(text[i:j])
+                i = j
+            else:
+                raise QueryError(f"unexpected character {ch!r} in regex {text!r}")
+        return tokens
+
+    def _peek(self) -> str | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise QueryError("unexpected end of regex")
+        self._pos += 1
+        return token
+
+    def parse(self) -> Regex:
+        regex = self._regex()
+        if self._peek() is not None:
+            raise QueryError(f"trailing regex tokens: {self._tokens[self._pos:]}")
+        return regex
+
+    def _regex(self) -> Regex:
+        branches = [self._branch()]
+        while self._peek() == "|":
+            self._next()
+            branches.append(self._branch())
+        return branches[0] if len(branches) == 1 else Union_(branches)
+
+    def _branch(self) -> Regex:
+        pieces: list[Regex] = []
+        while self._peek() is not None and self._peek() not in {")", "|"}:
+            pieces.append(self._piece())
+        if not pieces:
+            return Epsilon()
+        return pieces[0] if len(pieces) == 1 else Concat(pieces)
+
+    def _piece(self) -> Regex:
+        base = self._base()
+        while self._peek() in {"*", "+", "?"}:
+            op = self._next()
+            if op == "*":
+                base = Star(base)
+            elif op == "+":
+                base = Concat((base, Star(base)))
+            else:
+                base = Union_((base, Epsilon()))
+        return base
+
+    def _base(self) -> Regex:
+        token = self._next()
+        if token == "(":
+            if self._peek() == ")":
+                self._next()
+                return Epsilon()
+            inner = self._regex()
+            if self._next() != ")":
+                raise QueryError("unbalanced parentheses in regex")
+            return inner
+        if token in {")", "|", "*", "+", "?"}:
+            raise QueryError(f"unexpected regex token {token!r}")
+        return Sym(token)
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse the concrete regex syntax described in the module docstring."""
+    return _RegexParser(text).parse()

@@ -1,0 +1,167 @@
+"""Rewriting of regular languages over component languages.
+
+Theorem 5.3 settles the MDT(∨) composition cases by "employing the
+2EXPSPACE NFA rewriting algorithm of [Calvanese, De Giacomo, Lenzerini,
+Vardi 2002], taking into account the subtle interplay between a mediator
+and the SWS's it calls" — component services *run to completion and stop at
+the first final state*, so only their prefix-free cores contribute.
+
+Given a goal language ``L`` over alphabet Σ and component languages
+``L_1, ..., L_m``, the *maximal rewriting* is the largest language ``M``
+over the component alphabet ``{e_1, ..., e_m}`` with
+``sub(M) ⊆ L``, where ``sub`` substitutes any word of ``L_i`` for ``e_i``.
+An *exact* rewriting exists iff additionally ``L ⊆ sub(M)``.
+
+The construction: determinize ``L``; for each component compute the
+relation ``R_i = {(s, t) | ∃ w ∈ L_i : s →w t}`` on DFA states; run a
+subset construction over the component alphabet where a set ``T`` of DFA
+states tracks everything reachable under *some* substitution choice; a
+word is in ``M`` iff its ``T`` is nonempty and contains only accepting
+states.  (The doubly-exponential blow-up of the paper's bound lives in the
+determinization plus this subset construction.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.errors import ReproError
+
+Symbol = Hashable
+
+
+@dataclass(frozen=True)
+class RewritingResult:
+    """Outcome of a regular-rewriting computation.
+
+    ``maximal`` is the maximal rewriting over the component alphabet;
+    ``exact`` tells whether it is an exact (equivalent) rewriting;
+    ``witness`` is, when not exact, a word of the goal language that no
+    substitution of ``maximal`` produces.
+    """
+
+    maximal: NFA
+    exact: bool
+    witness: tuple[Symbol, ...] | None
+
+
+def component_relation(goal_dfa: DFA, component: NFA) -> frozenset[tuple]:
+    """The reachability relation ``R = {(s, t) | ∃ w ∈ L(component): s →w t}``.
+
+    Computed as a product reachability: explore pairs (goal state, component
+    state-set); whenever the component set hits a final state, record
+    (origin, current goal state).
+    """
+    relation: set[tuple] = set()
+    for origin in goal_dfa.states:
+        start = (origin, component.epsilon_closure(component.initials))
+        seen: set[tuple] = set()
+        queue: deque[tuple] = deque([start])
+        while queue:
+            state, cset = queue.popleft()
+            if (state, cset) in seen:
+                continue
+            seen.add((state, cset))
+            if cset & component.finals:
+                relation.add((origin, state))
+            for symbol in goal_dfa.alphabet:
+                nxt_c = component.step(cset, symbol)
+                if not nxt_c:
+                    continue
+                nxt = (goal_dfa.step(state, symbol), nxt_c)
+                if nxt not in seen:
+                    queue.append(nxt)
+    return frozenset(relation)
+
+
+def maximal_rewriting(
+    goal: NFA, components: Mapping[Symbol, NFA]
+) -> NFA:
+    """The maximal rewriting of ``goal`` over the component alphabet.
+
+    ``components`` maps component names to their languages over the goal's
+    alphabet.  The result is an automaton over the component names.
+    """
+    goal_dfa = goal.determinize()
+    relations = {
+        name: component_relation(goal_dfa, automaton.with_alphabet(goal_dfa.alphabet))
+        for name, automaton in components.items()
+    }
+    successors: dict[Symbol, dict] = {}
+    for name, relation in relations.items():
+        table: dict = {}
+        for source, target in relation:
+            table.setdefault(source, set()).add(target)
+        successors[name] = table
+
+    initial = frozenset({goal_dfa.initial})
+    states: set[frozenset] = set()
+    transitions: dict[tuple[frozenset, Symbol], frozenset] = {}
+    queue: deque[frozenset] = deque([initial])
+    while queue:
+        subset = queue.popleft()
+        if subset in states:
+            continue
+        states.add(subset)
+        for name in components:
+            table = successors[name]
+            target: set = set()
+            for state in subset:
+                target |= table.get(state, set())
+            target_f = frozenset(target)
+            transitions[(subset, name)] = target_f
+            if target_f not in states:
+                queue.append(target_f)
+    finals = {
+        subset for subset in states if subset and subset <= goal_dfa.finals
+    }
+    dfa_transitions = {
+        key: frozenset({value}) for key, value in transitions.items()
+    }
+    return NFA(states, frozenset(components), dfa_transitions, {initial}, finals)
+
+
+def rewrite(
+    goal: NFA,
+    components: Mapping[Symbol, NFA],
+    run_to_completion: bool = True,
+) -> RewritingResult:
+    """Maximal rewriting plus exactness check.
+
+    With ``run_to_completion`` (the SWS semantics of Theorem 5.3), each
+    component language is first restricted to its prefix-free core.
+    """
+    alphabet = goal.alphabet
+    for nfa in components.values():
+        alphabet |= nfa.alphabet
+    goal_padded = goal.with_alphabet(alphabet)
+    effective = {
+        name: (
+            nfa.with_alphabet(alphabet).prefix_free_restriction()
+            if run_to_completion
+            else nfa.with_alphabet(alphabet)
+        )
+        for name, nfa in components.items()
+    }
+    maximal = maximal_rewriting(goal_padded, effective)
+    substituted = maximal.substitute(effective, alphabet)
+    goal_dfa = goal_padded.determinize()
+    sub_dfa = substituted.determinize()
+    missing = goal_dfa.product(sub_dfa.complement(), accept="and")
+    witness = missing.shortest_accepted()
+    return RewritingResult(maximal=maximal, exact=witness is None, witness=witness)
+
+
+def exact_rewriting_exists(
+    goal: NFA, components: Mapping[Symbol, NFA], run_to_completion: bool = True
+) -> bool:
+    """Whether an exact rewriting of the goal over the components exists.
+
+    By maximality, an exact rewriting exists iff the maximal one is exact —
+    this is the decision procedure behind Theorem 5.3(1) and (2).
+    """
+    return rewrite(goal, components, run_to_completion).exact

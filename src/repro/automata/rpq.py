@@ -1,0 +1,307 @@
+"""(2-way) regular path queries over graph databases.
+
+Corollary 5.2 identifies a decidable composition case for data-driven
+recursive services: goal services expressing UC2RPQ queries, components
+expressing CQ queries, mediators expressing UC2RPQs.  This module supplies
+the UC2RPQ substrate:
+
+* :class:`GraphDatabase` — an edge-labeled graph "encoded by a collection
+  of binary relations for edges, along with their inverse" (Section 5.2);
+* :class:`RPQ` — a 2-way regular path query: a regular expression over
+  edge labels and their inverses, computing node pairs connected by a
+  matching path;
+* :class:`C2RPQ` / :class:`UC2RPQ` — conjunctions and unions thereof;
+* containment utilities: language-based containment for RPQs (sound, and
+  complete for forward-only RPQs) and a bounded canonical-path check for
+  conjunctive queries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.automata.nfa import NFA
+from repro.automata.regex import Regex
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+from repro.errors import QueryError
+from repro.logic.terms import Variable
+
+Node = Hashable
+Label = str
+
+
+def inverse(label: Label) -> Label:
+    """The inverse edge label: ``a ↦ a^`` and ``a^ ↦ a``."""
+    if label.endswith("^"):
+        return label[:-1]
+    return label + "^"
+
+
+def is_inverse(label: Label) -> bool:
+    """Whether a label denotes a reversed edge."""
+    return label.endswith("^")
+
+
+class GraphDatabase:
+    """An edge-labeled directed graph.
+
+    Stored as label → set of (source, target) edges; inverse labels are
+    derived on demand, matching the paper's encoding of a semistructured
+    database as binary relations plus their inverses.
+    """
+
+    def __init__(self, edges: Mapping[Label, Iterable[tuple[Node, Node]]] = ()) -> None:
+        self._edges: dict[Label, frozenset[tuple[Node, Node]]] = {}
+        for label, pairs in dict(edges).items():
+            if is_inverse(label):
+                raise QueryError("supply forward edges only; inverses are derived")
+            self._edges[label] = frozenset((s, t) for s, t in pairs)
+
+    def labels(self) -> frozenset[Label]:
+        """The forward edge labels."""
+        return frozenset(self._edges)
+
+    def nodes(self) -> frozenset[Node]:
+        """All graph nodes."""
+        out: set[Node] = set()
+        for pairs in self._edges.values():
+            for source, target in pairs:
+                out.add(source)
+                out.add(target)
+        return frozenset(out)
+
+    def edges(self, label: Label) -> frozenset[tuple[Node, Node]]:
+        """Edges under a (possibly inverse) label."""
+        if is_inverse(label):
+            forward = self._edges.get(inverse(label), frozenset())
+            return frozenset((t, s) for s, t in forward)
+        return self._edges.get(label, frozenset())
+
+    def as_relations(self) -> dict[str, Relation]:
+        """Binary relations (forward and inverse) for CQ evaluation."""
+        out: dict[str, Relation] = {}
+        for label in self._edges:
+            for name in (label, inverse(label)):
+                schema = RelationSchema(name, ("src", "dst"))
+                out[name] = Relation(schema, self.edges(name))
+        return out
+
+    def __repr__(self) -> str:
+        total = sum(len(p) for p in self._edges.values())
+        return f"GraphDatabase(labels={len(self._edges)}, edges={total})"
+
+
+@dataclass(frozen=True)
+class RPQ:
+    """A 2-way regular path query: a regex over labels and inverses."""
+
+    regex: Regex
+    name: str = "rpq"
+
+    def labels(self) -> frozenset[Label]:
+        """Labels (including inverses) the regex mentions."""
+        return frozenset(str(s) for s in self.regex.symbols())
+
+    def to_nfa(self, alphabet: Iterable[Label] | None = None) -> NFA:
+        """The automaton of the path language."""
+        return self.regex.to_nfa(alphabet)
+
+    def evaluate(self, graph: GraphDatabase) -> frozenset[tuple[Node, Node]]:
+        """All node pairs connected by a path whose labels spell a word
+        of the regex (inverse labels traverse edges backwards)."""
+        alphabet = self.labels() | graph.labels()
+        nfa = self.to_nfa(alphabet)
+        results: set[tuple[Node, Node]] = set()
+        start_states = nfa.epsilon_closure(nfa.initials)
+        for origin in graph.nodes():
+            # Product BFS over (graph node, NFA state set).
+            seen: set[tuple[Node, frozenset]] = set()
+            queue: deque[tuple[Node, frozenset]] = deque([(origin, start_states)])
+            while queue:
+                node, states = queue.popleft()
+                if (node, states) in seen:
+                    continue
+                seen.add((node, states))
+                if states & nfa.finals:
+                    results.add((origin, node))
+                for label in alphabet:
+                    nxt_states = nfa.step(states, label)
+                    if not nxt_states:
+                        continue
+                    for source, target in graph.edges(label):
+                        if source == node:
+                            queue.append((target, nxt_states))
+        return frozenset(results)
+
+    def contained_in(self, other: "RPQ") -> bool:
+        """Path-language containment.
+
+        Sound for 2RPQs and complete for forward-only RPQs; 2-way
+        containment in full generality needs two-way automata, outside
+        this reproduction's scope (documented in EXPERIMENTS.md).
+        """
+        alphabet = self.labels() | other.labels()
+        return self.to_nfa(alphabet).contained_in(other.to_nfa(alphabet))
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.regex}"
+
+
+@dataclass(frozen=True)
+class PathAtom:
+    """A path atom ``(x, rpq, y)`` in a conjunctive 2RPQ."""
+
+    source: Variable
+    rpq: RPQ
+    target: Variable
+
+    def __str__(self) -> str:
+        return f"({self.source}, {self.rpq.regex}, {self.target})"
+
+
+class C2RPQ:
+    """A conjunctive 2RPQ: head variables plus path atoms."""
+
+    def __init__(
+        self,
+        head: Sequence[Variable],
+        atoms: Iterable[PathAtom],
+        name: str = "q",
+    ) -> None:
+        self.head = tuple(head)
+        self.atoms = tuple(atoms)
+        self.name = name
+        body_vars = {v for a in self.atoms for v in (a.source, a.target)}
+        missing = set(self.head) - body_vars
+        if missing:
+            raise QueryError(
+                f"unsafe C2RPQ: head variables {sorted(v.name for v in missing)} "
+                "not used in any path atom"
+            )
+
+    def variables(self) -> frozenset[Variable]:
+        """All variables of the query."""
+        return frozenset(
+            v for a in self.atoms for v in (a.source, a.target)
+        ) | frozenset(self.head)
+
+    def evaluate(self, graph: GraphDatabase) -> frozenset[tuple[Node, ...]]:
+        """Join of the path atoms, projected on the head."""
+        atom_results = [(a, a.rpq.evaluate(graph)) for a in self.atoms]
+        answers: set[tuple[Node, ...]] = set()
+        variables = sorted(self.variables(), key=lambda v: v.name)
+
+        def extend(
+            index: int, binding: dict[Variable, Node]
+        ) -> Iterator[dict[Variable, Node]]:
+            if index == len(atom_results):
+                yield binding
+                return
+            atom, pairs = atom_results[index]
+            for source, target in pairs:
+                if atom.source in binding and binding[atom.source] != source:
+                    continue
+                if atom.target in binding:
+                    expected = source if atom.target == atom.source else binding[atom.target]
+                    if expected != target:
+                        continue
+                if atom.source == atom.target and source != target:
+                    continue
+                child = dict(binding)
+                child[atom.source] = source
+                child[atom.target] = target
+                yield from extend(index + 1, child)
+
+        del variables
+        for binding in extend(0, {}):
+            answers.add(tuple(binding[v] for v in self.head))
+        return frozenset(answers)
+
+    def __str__(self) -> str:
+        head = ", ".join(v.name for v in self.head)
+        body = ", ".join(str(a) for a in self.atoms)
+        return f"{self.name}({head}) :- {body}"
+
+
+class UC2RPQ:
+    """A union of conjunctive 2RPQs with a common head arity."""
+
+    def __init__(self, disjuncts: Iterable[C2RPQ], name: str = "q") -> None:
+        self.disjuncts = tuple(disjuncts)
+        self.name = name
+        arities = {len(d.head) for d in self.disjuncts}
+        if len(arities) > 1:
+            raise QueryError(f"mixed arities in UC2RPQ: {sorted(arities)}")
+
+    def evaluate(self, graph: GraphDatabase) -> frozenset[tuple[Node, ...]]:
+        """Union of the disjuncts' answers."""
+        out: set[tuple[Node, ...]] = set()
+        for disjunct in self.disjuncts:
+            out |= disjunct.evaluate(graph)
+        return frozenset(out)
+
+    def __iter__(self) -> Iterator[C2RPQ]:
+        return iter(self.disjuncts)
+
+    def __str__(self) -> str:
+        return "  UNION  ".join(str(d) for d in self.disjuncts)
+
+
+def canonical_graph(word: Sequence[Label], start: str = "n") -> GraphDatabase:
+    """The path graph spelling ``word`` (inverses traverse backwards).
+
+    Canonical databases of path queries: node ``n0 → n1 → ...`` with the
+    i-th edge labeled by ``word[i]`` (or reversed, for inverse labels).
+    """
+    edges: dict[Label, set[tuple[Node, Node]]] = {}
+    for i, label in enumerate(word):
+        source, target = f"{start}{i}", f"{start}{i + 1}"
+        if is_inverse(label):
+            edges.setdefault(inverse(label), set()).add((target, source))
+        else:
+            edges.setdefault(label, set()).add((source, target))
+    return GraphDatabase(edges)
+
+
+def rpq_contained_in_bounded(
+    query: RPQ, other: "RPQ | UC2RPQ", max_length: int = 6
+) -> bool:
+    """Bounded containment check via canonical path graphs.
+
+    Enumerates words of ``query`` up to ``max_length`` and verifies the
+    other query answers the endpoints on each canonical path graph.  Sound
+    for refutation; confirmation is complete only up to the bound.
+    """
+    alphabet = sorted(query.labels())
+    nfa = query.to_nfa(alphabet)
+    words = _words_up_to(nfa, max_length)
+    for word in words:
+        graph = canonical_graph(word)
+        endpoints = ("n0", f"n{len(word)}")
+        if isinstance(other, RPQ):
+            answers = other.evaluate(graph)
+        else:
+            answers = other.evaluate(graph)
+        if endpoints not in answers:
+            return False
+    return True
+
+
+def _words_up_to(nfa: NFA, max_length: int) -> list[tuple[Label, ...]]:
+    words: list[tuple[Label, ...]] = []
+    start = nfa.epsilon_closure(nfa.initials)
+    queue: deque[tuple[frozenset, tuple[Label, ...]]] = deque([(start, ())])
+    while queue:
+        states, word = queue.popleft()
+        if states & nfa.finals:
+            words.append(word)
+        if len(word) == max_length:
+            continue
+        for symbol in sorted(nfa.alphabet, key=repr):
+            nxt = nfa.step(states, symbol)
+            if nxt:
+                queue.append((nxt, word + (str(symbol),)))
+    return words

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: synthesized Web services.
+
+* :mod:`~repro.core.sws` — the SWS data type of Definition 2.1: states,
+  transition rules, synthesis rules, start state; plus the dependency graph
+  and the recursive/nonrecursive distinction.
+* :mod:`~repro.core.exec_tree` — execution trees (the run objects of
+  Section 2).
+* :mod:`~repro.core.run` — the step relation ⇒(τ,D,I): generating
+  (top-down spawning) and gathering (bottom-up synthesis).
+* :mod:`~repro.core.classes` — the class lattice SWS(LMsg, LAct) and
+  classification of a concrete SWS.
+* :mod:`~repro.core.pl_semantics` — the language semantics of SWS(PL, PL)
+  services (valuation vectors, translation to AFA) used by the Table 1
+  decision procedures.
+* :mod:`~repro.core.unfold` — expansion of nonrecursive SWS(CQ, UCQ)
+  services into UCQ≠ queries, and bounded unfolding of recursive ones.
+"""
+
+from repro.core.builder import pl_sws, relational_sws
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.core.classes import SWSClass, classify
+from repro.core.exec_tree import ExecutionNode, RunResult
+from repro.core.run import run, run_pl, run_relational
+
+__all__ = [
+    "ExecutionNode",
+    "RunResult",
+    "SWS",
+    "SWSClass",
+    "SWSKind",
+    "SynthesisRule",
+    "TransitionRule",
+    "classify",
+    "pl_sws",
+    "relational_sws",
+    "run",
+    "run_pl",
+    "run_relational",
+]

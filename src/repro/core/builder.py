@@ -1,0 +1,168 @@
+"""A fluent builder for SWS's, with textual rule queries.
+
+Hand-assembling ``TransitionRule``/``SynthesisRule`` dictionaries is
+mechanical; the builder lets services be written the way the paper writes
+them — one transition rule and one synthesis rule per state, queries in
+concrete syntax:
+
+    service = (
+        relational_sws("tau1", DB_SCHEMA, payload=("tag", "key"), output_arity=2)
+        .transition("q0", ("qa", "M(t, k) :- In(t, k), t = 'a'"))
+        .synthesize("q0", "A(x, y) :- Act_qa(x, y)")
+        .final("qa")
+        .synthesize("qa", "A(k, f) :- Msg(t, k), Ra(k, f)")
+        .build()
+    )
+
+Relational queries are parsed by :mod:`repro.logic.parsing` — CQ clauses
+by default, UCQs via ``;``-separated disjuncts, FO via ``Head(...) := φ``.
+PL services take formulas in :func:`repro.logic.pl.parse` syntax.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.errors import SWSDefinitionError
+from repro.logic import pl
+from repro.logic.parsing import parse_cq, parse_fo_query, parse_ucq
+
+
+def _parse_relational(text: str):
+    """Dispatch on the rule arrow: ``:=`` is FO, ``:-`` is CQ/UCQ."""
+    if ":=" in text:
+        return parse_fo_query(text)
+    if ";" in text:
+        return parse_ucq(text)
+    return parse_cq(text)
+
+
+class SWSBuilder:
+    """Accumulates states and rules; ``build()`` validates everything."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: SWSKind,
+        db_schema: DatabaseSchema | None = None,
+        input_schema: RelationSchema | None = None,
+        output_arity: int | None = None,
+    ) -> None:
+        self._name = name
+        self._kind = kind
+        self._db_schema = db_schema
+        self._input_schema = input_schema
+        self._output_arity = output_arity
+        self._states: list[str] = []
+        self._start: str | None = None
+        self._transitions: dict[str, TransitionRule] = {}
+        self._synthesis: dict[str, SynthesisRule] = {}
+
+    # -- states -----------------------------------------------------------------
+
+    def _register(self, state: str) -> None:
+        if state not in self._states:
+            self._states.append(state)
+        if self._start is None:
+            self._start = state
+
+    def start(self, state: str) -> "SWSBuilder":
+        """Declare the start state explicitly (default: first mentioned)."""
+        self._register(state)
+        self._start = state
+        return self
+
+    # -- rules -------------------------------------------------------------------
+
+    def transition(
+        self, state: str, *targets: tuple[str, str] | tuple[str, object]
+    ) -> "SWSBuilder":
+        """``δ(state): state → (target, query), ...``.
+
+        Each target is ``(successor, query)``; string queries are parsed
+        (PL or relational per the builder's kind), non-strings are taken
+        as pre-built query objects.
+        """
+        self._register(state)
+        parsed: list[tuple[str, object]] = []
+        for target, query in targets:
+            self._register(target)
+            if isinstance(query, str):
+                query = (
+                    pl.parse(query)
+                    if self._kind is SWSKind.PL
+                    else _parse_relational(query)
+                )
+            parsed.append((target, query))
+        if state in self._transitions:
+            raise SWSDefinitionError(f"state {state!r} already has a transition rule")
+        self._transitions[state] = TransitionRule(parsed)
+        return self
+
+    def final(self, state: str) -> "SWSBuilder":
+        """Mark ``state`` final (empty transition rhs)."""
+        self._register(state)
+        if state in self._transitions:
+            raise SWSDefinitionError(f"state {state!r} already has a transition rule")
+        self._transitions[state] = TransitionRule()
+        return self
+
+    def synthesize(self, state: str, query: str | object) -> "SWSBuilder":
+        """``σ(state): Act(state) ← query``."""
+        self._register(state)
+        if isinstance(query, str):
+            query = (
+                pl.parse(query)
+                if self._kind is SWSKind.PL
+                else _parse_relational(query)
+            )
+        if state in self._synthesis:
+            raise SWSDefinitionError(f"state {state!r} already has a synthesis rule")
+        self._synthesis[state] = SynthesisRule(query)
+        return self
+
+    # -- assembly -----------------------------------------------------------------
+
+    def build(self) -> SWS:
+        """Validate per Definition 2.1 and produce the service."""
+        if self._start is None:
+            raise SWSDefinitionError("a service needs at least one state")
+        return SWS(
+            self._states,
+            self._start,
+            self._transitions,
+            self._synthesis,
+            kind=self._kind,
+            db_schema=self._db_schema,
+            input_schema=self._input_schema,
+            output_arity=self._output_arity,
+            name=self._name,
+        )
+
+
+def pl_sws(name: str) -> SWSBuilder:
+    """Builder for an SWS(PL, PL) service."""
+    return SWSBuilder(name, SWSKind.PL)
+
+
+def relational_sws(
+    name: str,
+    db_schema: DatabaseSchema,
+    payload: Sequence[str] | RelationSchema,
+    output_arity: int,
+) -> SWSBuilder:
+    """Builder for a relational (CQ/UCQ/FO) service.
+
+    ``payload`` is the input payload schema, or just its attribute names.
+    """
+    if not isinstance(payload, RelationSchema):
+        payload = RelationSchema("Rin", tuple(payload))
+    return SWSBuilder(
+        name,
+        SWSKind.RELATIONAL,
+        db_schema=db_schema,
+        input_schema=payload,
+        output_arity=output_arity,
+    )

@@ -1,0 +1,103 @@
+"""Execution trees.
+
+A run of an SWS on ``(D, I)`` is a rewriting of execution trees
+(Section 2, "Runs of SWS's").  Each node carries a state, a timestamp, a
+message register and an action register.  The engines in
+:mod:`repro.core.run` build the final tree of the run — the tree in which
+no register is left undefined — and the metrics here feed the Figure 1
+benchmark (parallel rounds vs sequential FSA steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generic, Iterator, TypeVar
+
+RegisterT = TypeVar("RegisterT")
+
+
+@dataclass
+class ExecutionNode(Generic[RegisterT]):
+    """One node of an execution tree.
+
+    ``msg`` and ``act`` are booleans for PL services and
+    :class:`~repro.data.relation.Relation` values for relational services;
+    ``act`` is ``None`` (the paper's ⊥) only transiently during a run.
+    """
+
+    state: str
+    timestamp: int
+    msg: RegisterT
+    act: RegisterT | None = None
+    children: list["ExecutionNode[RegisterT]"] = field(default_factory=list)
+
+    def size(self) -> int:
+        """Number of nodes in the subtree."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def height(self) -> int:
+        """Length (in edges) of the longest root-to-leaf path."""
+        if not self.children:
+            return 0
+        return 1 + max(child.height() for child in self.children)
+
+    def leaves(self) -> Iterator["ExecutionNode[RegisterT]"]:
+        """All leaf nodes, left to right."""
+        if not self.children:
+            yield self
+            return
+        for child in self.children:
+            yield from child.leaves()
+
+    def nodes(self) -> Iterator["ExecutionNode[RegisterT]"]:
+        """All nodes, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.nodes()
+
+    def max_timestamp(self) -> int:
+        """The largest timestamp in the tree.
+
+        Mediator runs need this: after a component service consumes part of
+        the input, the mediator resumes at the first unconsumed message
+        (Section 5.1, rule (2)).
+        """
+        return max(node.timestamp for node in self.nodes())
+
+    def render(self, indent: str = "") -> str:
+        """A human-readable tree dump (for examples and debugging)."""
+        summary = _summarize(self.msg), _summarize(self.act)
+        lines = [
+            f"{indent}{self.state}@{self.timestamp} msg={summary[0]} act={summary[1]}"
+        ]
+        for child in self.children:
+            lines.append(child.render(indent + "  "))
+        return "\n".join(lines)
+
+
+def _summarize(register: Any) -> str:
+    if register is None:
+        return "⊥"
+    if isinstance(register, bool):
+        return "true" if register else "false"
+    try:
+        return f"{len(register)} rows"
+    except TypeError:
+        return repr(register)
+
+
+@dataclass
+class RunResult(Generic[RegisterT]):
+    """The outcome of one run: the output register and the final tree."""
+
+    output: RegisterT
+    tree: ExecutionNode[RegisterT]
+
+    @property
+    def accepted(self) -> bool:
+        """For PL runs: whether the output value is true.
+
+        For relational runs: whether the output relation is nonempty (the
+        service "generated actions" in this session).
+        """
+        return bool(self.output)

@@ -1,0 +1,183 @@
+"""Language semantics of SWS(PL, PL) services.
+
+A PL service τ defines a language over the alphabet of truth assignments:
+``L(τ) = { I | τ(∅, I) = true }``.  Theorem 4.1(3) pins the decision
+problems for this class at PSPACE (NP/coNP for the nonrecursive subclass),
+"along the same lines as AFA".  This module makes the correspondence
+executable:
+
+*Backward valuation semantics.*  For a state ``q``, register value
+``m ∈ {true, false}`` and input suffix ``w``, let ``value(q, m, w)`` be the
+action value gathered at a node labeled ``q`` whose message register holds
+``m`` when the remaining input is ``w``:
+
+* ``k = 0``:   ``value = ψ_q(w1, m)`` — final synthesis reads the current
+  message (``w1 = ∅`` when ``w`` is empty, rule (3));
+* ``k > 0``, ``w = ε``:  ``value = false`` (input exhausted, rule (1));
+* ``k > 0``, ``m = false`` at a non-start state:  ``value = false``
+  (empty register, rule (1));
+* otherwise:  ``value = ψ_q[Ai ↦ value(qi, φi(w1, m), w2..)]`` (rules
+  (2)+(4)).
+
+``L(τ)`` membership is ``value(q0, false, I)`` — the start state is exempt
+from the empty-register cutoff (the paper's root special case).
+
+The pair ``(q, m)`` space is finite, so τ is exactly an alternating finite
+automaton over the pairs: :func:`to_afa` builds it, and every Table 1
+decision procedure for the PL classes reduces to the AFA engine of
+:mod:`repro.automata.afa`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.automata.afa import AFA
+from repro.core.classes import SWSClass, require_class
+from repro.core.sws import MSG, SWS, SWSKind
+from repro.errors import AnalysisError
+from repro.logic import pl
+
+Assignment = frozenset[str]
+
+
+def alphabet_for(
+    sws: SWS, variables: Iterable[str] | None = None
+) -> tuple[Assignment, ...]:
+    """The effective input alphabet: all assignments over the input variables.
+
+    Exponential in the number of input variables — the services the paper's
+    PL analyses target carry few variables (FSA letters are encoded one
+    variable per letter; Section 3).  ``variables`` overrides the inferred
+    set, e.g. to analyze two services over their joint variables.
+    """
+    names = sorted(variables if variables is not None else sws.input_variables())
+    return tuple(
+        frozenset(combo)
+        for r in range(len(names) + 1)
+        for combo in itertools.combinations(names, r)
+    )
+
+
+def _state_var(state: str, msg: bool) -> str:
+    return f"{state}|{'T' if msg else 'F'}"
+
+
+def to_afa(sws: SWS, variables: Iterable[str] | None = None) -> AFA:
+    """The AFA over (state, register) pairs with ``L(AFA) = L(τ)``.
+
+    Symbols are truth assignments (frozensets of input variables).  The
+    construction follows the backward semantics in the module docstring:
+
+    * AFA states: pairs ``(q, m)`` named ``"q|T"`` / ``"q|F"``;
+    * finals: pairs with ``k = 0`` and ``ψ_q(∅, m)`` true (the ``V_ε``
+      vector);
+    * transition of ``(q, m)`` on assignment ``a``: for ``k = 0`` the
+      constant ``ψ_q(a, m)``; for ``k > 0`` the formula
+      ``ψ_q[Ai ↦ (qi, φi(a, m))]`` — except the dead pairs (non-start,
+      ``k > 0``, ``m = false``), whose transitions are ``false``;
+    * initial condition: the variable ``(q0, false)`` — the start pair is
+      exempt from the dead-pair rule because q0 never occurs on a rhs.
+    """
+    require_class(sws, SWSClass.PL_PL, "to_afa")
+    symbols = alphabet_for(sws, variables)
+    states = [
+        _state_var(state, msg) for state in sws.states for msg in (True, False)
+    ]
+    transitions: dict[tuple[str, Assignment], pl.Formula] = {}
+    finals: set[str] = set()
+    for state in sws.states:
+        rule = sws.transitions[state]
+        sigma = sws.synthesis[state].query
+        assert isinstance(sigma, pl.Formula)
+        aliases = sws.successor_register_aliases(state) if not rule.is_final else {}
+        for msg in (True, False):
+            pair = _state_var(state, msg)
+            if rule.is_final:
+                # V_ε entry: ψ on the empty assignment.
+                env_eps = frozenset({MSG}) if msg else frozenset()
+                if sigma.evaluate(env_eps):
+                    finals.add(pair)
+                for a in symbols:
+                    env = a | ({MSG} if msg else frozenset())
+                    transitions[(pair, a)] = pl.TRUE if sigma.evaluate(env) else pl.FALSE
+                continue
+            if not msg and state != sws.start:
+                continue  # dead pair: all transitions false, not final
+            for a in symbols:
+                env = a | ({MSG} if msg else frozenset())
+                substitution: dict[str, pl.Formula] = {}
+                child_pairs: list[str] = []
+                for target, phi in rule.targets:
+                    assert isinstance(phi, pl.Formula)
+                    child_pairs.append(_state_var(target, phi.evaluate(env)))
+                for name, position in aliases.items():
+                    substitution[name] = pl.Var(child_pairs[position])
+                transitions[(pair, a)] = sigma.substitute(substitution).simplify()
+    return AFA(
+        states,
+        symbols,
+        transitions,
+        pl.Var(_state_var(sws.start, False)),
+        finals,
+    )
+
+
+def language_value(sws: SWS, word: Sequence[Assignment]) -> bool:
+    """``value(q0, false, word)`` computed directly (no AFA construction).
+
+    Cross-validates :func:`to_afa` and the execution-tree engine: all three
+    agree on every word (tested property).
+    """
+    require_class(sws, SWSClass.PL_PL, "language_value")
+
+    def value(state: str, msg: bool, position: int) -> bool:
+        rule = sws.transitions[state]
+        sigma = sws.synthesis[state].query
+        assert isinstance(sigma, pl.Formula)
+        current = word[position] if position < len(word) else frozenset()
+        if rule.is_final:
+            env = frozenset(current) | ({MSG} if msg else frozenset())
+            return sigma.evaluate(env)
+        if position >= len(word):
+            return False
+        if not msg and state != sws.start:
+            return False
+        env = frozenset(current) | ({MSG} if msg else frozenset())
+        child_values: list[bool] = []
+        for target, phi in rule.targets:
+            assert isinstance(phi, pl.Formula)
+            child_values.append(value(target, phi.evaluate(env), position + 1))
+        aliases = sws.successor_register_aliases(state)
+        register_env = frozenset(
+            name for name, pos in aliases.items() if child_values[pos]
+        )
+        return sigma.evaluate(register_env)
+
+    return value(sws.start, False, 0)
+
+
+def sws_language_nfa_variables(
+    sws: SWS, variables: Iterable[str] | None = None
+):
+    """The NFA of L(τ) over the alphabet of ``variables`` (default: own).
+
+    Thin convenience over :func:`to_afa` used by analyses that live
+    outside the mediator package (e.g. k-prefix recognizability).
+    """
+    return to_afa(sws, variables).to_nfa()
+
+
+def joint_variables(*services: SWS) -> frozenset[str]:
+    """The union of the input variables of several PL services.
+
+    Comparative analyses (equivalence, composition) must run all services
+    over the same alphabet.
+    """
+    out: frozenset[str] = frozenset()
+    for sws in services:
+        if sws.kind is not SWSKind.PL:
+            raise AnalysisError("joint_variables expects PL services")
+        out |= sws.input_variables()
+    return out

@@ -1,0 +1,42 @@
+"""Relational data substrate.
+
+The paper defines SWS's over three relational schemas: a database schema
+``R`` for the local database ``D``, an input schema ``Rin`` for input
+messages, and an external schema ``Rout`` for output actions.  This package
+provides the corresponding runtime objects:
+
+* :class:`~repro.data.schema.RelationSchema` / ``DatabaseSchema`` — typed
+  relation and database schemas;
+* :class:`~repro.data.relation.Relation` — an immutable set of tuples over a
+  relation schema, with the classical relational-algebra operations;
+* :class:`~repro.data.database.Database` — an instance of a database schema;
+* :class:`~repro.data.input_sequence.InputSequence` — the sequence
+  ``I = I1, ..., In`` of input messages, convertible to/from the paper's
+  encoding as a single relation with a timestamp attribute ``ts``;
+* :mod:`~repro.data.actions` — helpers for interpreting output relations as
+  committed actions (inserts/deletes/external messages);
+* :mod:`~repro.data.generators` — seeded random instance generators used by
+  tests and benchmarks.
+"""
+
+from repro.data.schema import Attribute, DatabaseSchema, RelationSchema, TS_ATTRIBUTE
+from repro.data.relation import Relation, Row
+from repro.data.database import Database
+from repro.data.input_sequence import InputSequence
+from repro.data.actions import ActionKind, ActionLog, commit_actions
+from repro.data.generators import InstanceGenerator
+
+__all__ = [
+    "ActionKind",
+    "ActionLog",
+    "Attribute",
+    "Database",
+    "DatabaseSchema",
+    "InputSequence",
+    "InstanceGenerator",
+    "Relation",
+    "RelationSchema",
+    "Row",
+    "TS_ATTRIBUTE",
+    "commit_actions",
+]

@@ -1,0 +1,128 @@
+"""Interpreting output relations as committed actions.
+
+The output of an SWS run is a relation over the external schema ``Rout``
+denoting *actions*: "tuples to be inserted into or deleted from D, and
+external messages to be sent to other services or users" (Section 2).  The
+paper keeps the local database fixed during a run and commits all actions at
+the end of the session.
+
+This module provides the commit step.  An :class:`ActionLog` classifies the
+rows of an output relation into inserts, deletes and external messages via a
+caller-supplied *interpretation* — typically a tag attribute, as in the
+paper's travel example where a ``tag`` attribute distinguishes airfare,
+hotel, ticket and car tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.data.database import Database
+from repro.data.relation import Relation, Row
+from repro.errors import RunError
+
+
+class ActionKind(Enum):
+    """The three kinds of actions an output tuple may denote."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    MESSAGE = "message"
+
+
+@dataclass(frozen=True)
+class Action:
+    """A single classified action.
+
+    ``target`` names the database relation affected (for inserts/deletes) or
+    the recipient channel (for external messages); ``payload`` is the data
+    tuple written or sent.
+    """
+
+    kind: ActionKind
+    target: str
+    payload: Row
+
+
+#: An interpretation maps an output row to its classified action.
+Interpretation = Callable[[Row], Action]
+
+
+@dataclass
+class ActionLog:
+    """The classified actions of one committed session."""
+
+    inserts: dict[str, set[Row]] = field(default_factory=dict)
+    deletes: dict[str, set[Row]] = field(default_factory=dict)
+    messages: dict[str, set[Row]] = field(default_factory=dict)
+
+    def record(self, action: Action) -> None:
+        """Add one action to the log."""
+        if action.kind is ActionKind.INSERT:
+            self.inserts.setdefault(action.target, set()).add(action.payload)
+        elif action.kind is ActionKind.DELETE:
+            self.deletes.setdefault(action.target, set()).add(action.payload)
+        else:
+            self.messages.setdefault(action.target, set()).add(action.payload)
+
+    def is_empty(self) -> bool:
+        """Whether the session produced no actions at all."""
+        return not (self.inserts or self.deletes or self.messages)
+
+
+def classify_actions(output: Relation, interpretation: Interpretation) -> ActionLog:
+    """Classify every output row through ``interpretation``."""
+    log = ActionLog()
+    for row in output:
+        log.record(interpretation(row))
+    return log
+
+
+def commit_actions(
+    database: Database,
+    output: Relation,
+    interpretation: Interpretation,
+) -> tuple[Database, ActionLog]:
+    """Commit a session's output against a database.
+
+    Returns the updated database and the action log.  Deletes are applied
+    before inserts, so a tuple both deleted and inserted ends up present —
+    the conventional "last writer wins within a transaction" resolution.
+    Inserting into or deleting from an unknown relation raises
+    :class:`RunError` (the interpretation is at fault, not the SWS).
+    """
+    log = classify_actions(output, interpretation)
+    updated = database
+    for name, rows in log.deletes.items():
+        if name not in database.schema:
+            raise RunError(f"delete action targets unknown relation {name!r}")
+        updated = updated.delete(name, rows)
+    for name, rows in log.inserts.items():
+        if name not in database.schema:
+            raise RunError(f"insert action targets unknown relation {name!r}")
+        updated = updated.insert(name, rows)
+    return updated, log
+
+
+def tag_interpretation(
+    tag_position: int,
+    kind_by_tag: Mapping[Any, ActionKind],
+    target_by_tag: Mapping[Any, str],
+) -> Interpretation:
+    """Build an interpretation that dispatches on a tag attribute.
+
+    ``tag_position`` is the positional index of the tag within output rows;
+    ``kind_by_tag`` and ``target_by_tag`` map tag values to the action kind
+    and target.  Unknown tags raise :class:`RunError` at commit time.
+    """
+
+    def interpret(row: Row) -> Action:
+        tag = row[tag_position]
+        if tag not in kind_by_tag or tag not in target_by_tag:
+            raise RunError(f"output row {row} carries unknown action tag {tag!r}")
+        payload = tuple(v for i, v in enumerate(row) if i != tag_position)
+        return Action(kind_by_tag[tag], target_by_tag[tag], payload)
+
+    return interpret

@@ -1,0 +1,115 @@
+"""Database instances.
+
+A :class:`Database` is an instance of a :class:`DatabaseSchema`: one
+:class:`Relation` per relation schema.  Following the paper (Section 2,
+"Notations"), the local database is read-only during a run; updates are
+committed only at the end of a session (see :mod:`repro.data.actions`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.data.relation import Relation, Row
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.errors import SchemaError
+
+
+class Database(Mapping[str, Relation]):
+    """An immutable instance of a database schema."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        contents: Mapping[str, Iterable[Sequence[Any]]] | None = None,
+    ) -> None:
+        self.schema = schema
+        contents = dict(contents or {})
+        unknown = set(contents) - set(schema)
+        if unknown:
+            raise SchemaError(
+                f"database contents mention unknown relations {sorted(unknown)}"
+            )
+        self._relations: dict[str, Relation] = {}
+        for name in schema:
+            rows = contents.get(name, ())
+            if isinstance(rows, Relation):
+                if rows.schema.attributes != schema[name].attributes:
+                    raise SchemaError(
+                        f"relation {name!r} has wrong attributes for this schema"
+                    )
+                self._relations[name] = rows.rename(name)
+            else:
+                self._relations[name] = Relation(schema[name], rows)
+
+    @classmethod
+    def empty(cls, schema: DatabaseSchema) -> "Database":
+        """An instance with every relation empty."""
+        return cls(schema, {})
+
+    # -- Mapping protocol -----------------------------------------------------
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"database has no relation {name!r}; relations are "
+                f"{sorted(self._relations)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.items()))
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{n}:{len(r)}" for n, r in self._relations.items())
+        return f"Database({sizes})"
+
+    # -- convenience ------------------------------------------------------------
+
+    def with_relation(self, name: str, rows: Iterable[Sequence[Any]]) -> "Database":
+        """Return a copy of this database with relation ``name`` replaced."""
+        contents: dict[str, Iterable[Row]] = {
+            n: rel.rows for n, rel in self._relations.items()
+        }
+        contents[name] = [tuple(r) for r in rows]
+        return Database(self.schema, contents)
+
+    def insert(self, name: str, rows: Iterable[Sequence[Any]]) -> "Database":
+        """Return a copy with ``rows`` inserted into relation ``name``."""
+        new_rows = list(self._relations[name].rows) + [tuple(r) for r in rows]
+        return self.with_relation(name, new_rows)
+
+    def delete(self, name: str, rows: Iterable[Sequence[Any]]) -> "Database":
+        """Return a copy with ``rows`` removed from relation ``name``."""
+        doomed = {tuple(r) for r in rows}
+        kept = [r for r in self._relations[name].rows if r not in doomed]
+        return self.with_relation(name, kept)
+
+    def active_domain(self) -> frozenset[Any]:
+        """All data values appearing anywhere in the database."""
+        values: set[Any] = set()
+        for rel in self._relations.values():
+            values |= rel.active_domain()
+        return frozenset(values)
+
+    def total_rows(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+
+def single_relation_database(schema: RelationSchema, rows: Iterable[Sequence[Any]]) -> Database:
+    """Convenience constructor for a database holding one relation."""
+    db_schema = DatabaseSchema([schema])
+    return Database(db_schema, {schema.name: rows})

@@ -1,0 +1,74 @@
+"""Seeded random instance generators.
+
+Benchmarks and property-based tests need reproducible random databases and
+input sequences.  :class:`InstanceGenerator` wraps a seeded
+:class:`random.Random` and draws values from a bounded integer domain, which
+suffices for the paper's uninterpreted data model (only equality matters).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.data.database import Database
+from repro.data.input_sequence import InputSequence
+from repro.data.relation import Relation
+from repro.data.schema import DatabaseSchema, RelationSchema
+
+
+class InstanceGenerator:
+    """Draws random relations, databases and input sequences."""
+
+    def __init__(self, seed: int = 0, domain_size: int = 8) -> None:
+        if domain_size < 1:
+            raise ValueError("domain_size must be positive")
+        self._rng = random.Random(seed)
+        self.domain: tuple[int, ...] = tuple(range(domain_size))
+
+    def value(self) -> int:
+        """One random domain value."""
+        return self._rng.choice(self.domain)
+
+    def row(self, arity: int) -> tuple[int, ...]:
+        """One random row of the given arity."""
+        return tuple(self.value() for _ in range(arity))
+
+    def relation(self, schema: RelationSchema, size: int) -> Relation:
+        """A random relation with at most ``size`` rows (duplicates collapse)."""
+        return Relation(schema, [self.row(schema.arity) for _ in range(size)])
+
+    def database(self, schema: DatabaseSchema, rows_per_relation: int) -> Database:
+        """A random database instance."""
+        contents = {
+            name: self.relation(schema[name], rows_per_relation).rows
+            for name in schema
+        }
+        return Database(schema, contents)
+
+    def input_sequence(
+        self,
+        payload: RelationSchema,
+        length: int,
+        rows_per_message: int,
+    ) -> InputSequence:
+        """A random input sequence of ``length`` messages."""
+        messages = [
+            [self.row(payload.arity) for _ in range(rows_per_message)]
+            for _ in range(length)
+        ]
+        return InputSequence(payload, messages)
+
+    def truth_assignment(self, variables: Sequence[str]) -> frozenset[str]:
+        """A random truth assignment, as the set of true variables.
+
+        Input messages of SWS(PL, PL) services are truth assignments
+        (Section 2, "SWS classes").
+        """
+        return frozenset(v for v in variables if self._rng.random() < 0.5)
+
+    def pl_input_word(
+        self, variables: Sequence[str], length: int
+    ) -> tuple[frozenset[str], ...]:
+        """A random word of truth assignments for PL services."""
+        return tuple(self.truth_assignment(variables) for _ in range(length))

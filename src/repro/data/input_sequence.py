@@ -1,0 +1,161 @@
+"""Input message sequences.
+
+Section 2 of the paper encodes an input sequence ``I = I1, ..., In`` as a
+single relation over the input schema ``Rin`` whose ``ts`` attribute gives
+the position of each tuple: ``Ij = { t | t in I and t[ts] = j }``.
+
+:class:`InputSequence` stores the sequence positionally (one payload
+relation per step), which is what the run semantics consumes, and converts
+to/from the paper's timestamped single-relation encoding.  Positions are
+1-based, matching the paper.  A position may be empty (an empty message).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema, TS_ATTRIBUTE, input_schema, payload_schema
+from repro.errors import RunError, SchemaError
+
+
+class InputSequence:
+    """A finite sequence ``I1, ..., In`` of input messages.
+
+    Each message is a :class:`Relation` over the *payload* schema (the input
+    schema without ``ts``).  The empty sequence (``n = 0``) is allowed.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        messages: Iterable[Iterable[Sequence[Any]]] = (),
+    ) -> None:
+        """Create a sequence over payload ``schema`` from per-step row sets.
+
+        ``schema`` must *not* contain the ``ts`` attribute; use
+        :meth:`from_timestamped` to decode the paper's encoding.
+        """
+        if schema.has_attribute(TS_ATTRIBUTE):
+            raise SchemaError(
+                "InputSequence takes the payload schema (without 'ts'); "
+                "use InputSequence.from_timestamped for the encoded form"
+            )
+        self.schema = schema
+        self._messages: tuple[Relation, ...] = tuple(
+            rows if isinstance(rows, Relation) else Relation(schema, rows)
+            for rows in messages
+        )
+        for msg in self._messages:
+            if msg.schema.attributes != schema.attributes:
+                raise SchemaError(
+                    f"message attributes {msg.schema.attributes} do not match "
+                    f"payload schema {schema.attributes}"
+                )
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_timestamped(cls, relation: Relation) -> "InputSequence":
+        """Decode the paper's single-relation encoding.
+
+        The relation must carry a ``ts`` attribute with positive-integer
+        values; the sequence length is the maximum timestamp, and positions
+        without tuples become empty messages.
+        """
+        schema = relation.schema
+        if not schema.has_attribute(TS_ATTRIBUTE):
+            raise SchemaError(f"relation {schema.name!r} has no {TS_ATTRIBUTE!r}")
+        ts_pos = schema.position(TS_ATTRIBUTE)
+        payload = payload_schema(schema)
+        payload_positions = [
+            schema.position(a) for a in schema.attributes if a != TS_ATTRIBUTE
+        ]
+        buckets: dict[int, list[tuple[Any, ...]]] = {}
+        for row in relation:
+            ts = row[ts_pos]
+            if not isinstance(ts, int) or ts < 1:
+                raise RunError(f"timestamp {ts!r} is not a positive integer")
+            buckets.setdefault(ts, []).append(tuple(row[p] for p in payload_positions))
+        n = max(buckets) if buckets else 0
+        return cls(payload, [buckets.get(j, []) for j in range(1, n + 1)])
+
+    @classmethod
+    def empty(cls, schema: RelationSchema) -> "InputSequence":
+        """The empty sequence (no messages at all)."""
+        return cls(schema, [])
+
+    # -- sequence protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._messages)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InputSequence):
+            return NotImplemented
+        return (
+            self.schema.attributes == other.schema.attributes
+            and self._messages == other._messages
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.schema.attributes, self._messages))
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(str(len(m)) for m in self._messages)
+        return f"InputSequence(n={len(self)}, sizes=[{sizes}])"
+
+    def message(self, j: int) -> Relation:
+        """Return ``Ij`` (1-based).
+
+        Positions beyond the sequence length yield the empty relation: the
+        run semantics treats an exhausted input as carrying no tuples (see
+        DESIGN.md, Section 3).
+        """
+        if j < 1:
+            raise RunError(f"message positions are 1-based, got {j}")
+        if j > len(self._messages):
+            return Relation.empty(self.schema)
+        return self._messages[j - 1]
+
+    # -- conversions ---------------------------------------------------------------
+
+    def to_timestamped(self, name: str | None = None) -> Relation:
+        """Encode as a single relation with a leading ``ts`` attribute."""
+        encoded_schema = input_schema(name or self.schema.name, self.schema.attributes)
+        rows = [
+            (j,) + row
+            for j, msg in enumerate(self._messages, start=1)
+            for row in msg
+        ]
+        return Relation(encoded_schema, rows)
+
+    def prefix(self, k: int) -> "InputSequence":
+        """The first ``k`` messages (or all, if shorter)."""
+        return InputSequence(self.schema, self._messages[:k])
+
+    def suffix(self, j: int) -> "InputSequence":
+        """The messages from position ``j`` (1-based) onwards: ``Ij, ..., In``.
+
+        Mediator runs hand a component service the *remaining* input
+        ``I^j = Ij, ..., In`` (Section 5.1, rule (2)).
+        """
+        if j < 1:
+            raise RunError(f"suffix positions are 1-based, got {j}")
+        return InputSequence(self.schema, self._messages[j - 1 :])
+
+    def concat(self, other: "InputSequence") -> "InputSequence":
+        """Concatenate two sequences over the same payload schema."""
+        if self.schema.attributes != other.schema.attributes:
+            raise SchemaError("cannot concatenate sequences over different schemas")
+        return InputSequence(self.schema, self._messages + other._messages)
+
+    def active_domain(self) -> frozenset[Any]:
+        """All data values appearing in any message."""
+        values: set[Any] = set()
+        for msg in self._messages:
+            values |= msg.active_domain()
+        return frozenset(values)

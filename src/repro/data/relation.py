@@ -1,0 +1,173 @@
+"""Immutable relation instances and relational-algebra operations.
+
+A :class:`Relation` pairs a :class:`~repro.data.schema.RelationSchema` with a
+frozen set of same-arity tuples.  Relations are value objects: every
+operation returns a new relation.  The query evaluators in
+:mod:`repro.logic` operate on relations through this interface, which keeps
+run semantics (Section 2 of the paper) independent of the query language.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.data.schema import Attribute, RelationSchema
+from repro.errors import SchemaError
+
+#: A database row: a positional tuple of data values.  Values may be any
+#: hashable Python scalar (str, int, float, bool, ...); the library never
+#: interprets them beyond equality comparisons, matching the paper's
+#: uninterpreted infinite domain of data values.
+Row = tuple[Any, ...]
+
+
+class Relation:
+    """An immutable set of rows over a relation schema."""
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[Any]] = ()) -> None:
+        self.schema = schema
+        frozen: set[Row] = set()
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != schema.arity:
+                raise SchemaError(
+                    f"row {tup} has arity {len(tup)}, schema {schema.name!r} "
+                    f"expects {schema.arity}"
+                )
+            frozen.add(tup)
+        self._rows: frozenset[Row] = frozenset(frozen)
+
+    # -- basic protocol -----------------------------------------------------
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        """The underlying frozen set of rows."""
+        return self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        """Equality compares schema attributes and rows (not schema names).
+
+        Two relations with identical contents but different relation names
+        denote the same set of facts; register contents in runs are compared
+        this way.
+        """
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.schema.attributes == other.schema.attributes
+            and self._rows == other._rows
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.schema.attributes, self._rows))
+
+    def __repr__(self) -> str:
+        sample = sorted(self._rows, key=repr)[:4]
+        suffix = ", ..." if len(self._rows) > 4 else ""
+        body = ", ".join(repr(r) for r in sample)
+        return f"Relation({self.schema.name}: {{{body}{suffix}}} [{len(self)} rows])"
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: RelationSchema) -> "Relation":
+        """The empty relation over ``schema``."""
+        return cls(schema)
+
+    def with_rows(self, rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Return a relation with ``rows`` added."""
+        return Relation(self.schema, list(self._rows) + [tuple(r) for r in rows])
+
+    # -- relational algebra --------------------------------------------------
+
+    def select(self, predicate: Callable[[Mapping[Attribute, Any]], bool]) -> "Relation":
+        """Select rows satisfying ``predicate`` (given as an attr→value map)."""
+        attrs = self.schema.attributes
+        kept = [row for row in self._rows if predicate(dict(zip(attrs, row)))]
+        return Relation(self.schema, kept)
+
+    def select_eq(self, attribute: Attribute, value: Any) -> "Relation":
+        """Select rows whose ``attribute`` equals ``value``."""
+        pos = self.schema.position(attribute)
+        return Relation(self.schema, [r for r in self._rows if r[pos] == value])
+
+    def project(self, attributes: Sequence[Attribute], name: str | None = None) -> "Relation":
+        """Project onto ``attributes`` (in the given order)."""
+        positions = [self.schema.position(a) for a in attributes]
+        out_schema = RelationSchema(name or self.schema.name, attributes)
+        return Relation(out_schema, [tuple(r[p] for p in positions) for r in self._rows])
+
+    def rename(self, name: str) -> "Relation":
+        """Return the same rows under a different relation name."""
+        return Relation(self.schema.renamed(name), self._rows)
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union; attribute lists must coincide."""
+        self._check_compatible(other, "union")
+        return Relation(self.schema, self._rows | other._rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference; attribute lists must coincide."""
+        self._check_compatible(other, "difference")
+        return Relation(self.schema, self._rows - other._rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection; attribute lists must coincide."""
+        self._check_compatible(other, "intersection")
+        return Relation(self.schema, self._rows & other._rows)
+
+    def natural_join(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Natural join on shared attribute names.
+
+        The result schema carries this relation's attributes followed by the
+        non-shared attributes of ``other``.
+        """
+        shared = [a for a in self.schema.attributes if other.schema.has_attribute(a)]
+        other_extra = [a for a in other.schema.attributes if a not in shared]
+        out_attrs = self.schema.attributes + tuple(other_extra)
+        out_schema = RelationSchema(
+            name or f"{self.schema.name}_join_{other.schema.name}", out_attrs
+        )
+        my_pos = {a: self.schema.position(a) for a in shared}
+        their_pos = {a: other.schema.position(a) for a in shared}
+        extra_pos = [other.schema.position(a) for a in other_extra]
+
+        # Hash join on the shared attribute values.
+        index: dict[Row, list[Row]] = {}
+        for row in other._rows:
+            key = tuple(row[their_pos[a]] for a in shared)
+            index.setdefault(key, []).append(row)
+
+        out_rows: list[Row] = []
+        for row in self._rows:
+            key = tuple(row[my_pos[a]] for a in shared)
+            for match in index.get(key, ()):
+                out_rows.append(row + tuple(match[p] for p in extra_pos))
+        return Relation(out_schema, out_rows)
+
+    def active_domain(self) -> frozenset[Any]:
+        """All data values appearing in the relation."""
+        return frozenset(value for row in self._rows for value in row)
+
+    # -- internal -------------------------------------------------------------
+
+    def _check_compatible(self, other: "Relation", op: str) -> None:
+        if self.schema.attributes != other.schema.attributes:
+            raise SchemaError(
+                f"{op} requires identical attribute lists: "
+                f"{self.schema.attributes} vs {other.schema.attributes}"
+            )

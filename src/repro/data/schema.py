@@ -1,0 +1,161 @@
+"""Relational schemas.
+
+The paper assumes (Section 2, "Notations") that an SWS is defined over a
+relational schema ``R`` for the local database, a single-relation input
+schema ``Rin`` carrying a timestamp attribute ``ts``, and a single-relation
+external schema ``Rout``.  We model schemas explicitly so that queries and
+runs can be validated before execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+
+#: Name of the timestamp attribute of the input schema.  The paper encodes
+#: an input sequence ``I1, ..., In`` as a single relation over ``Rin`` whose
+#: ``ts`` attribute carries the position of each message.
+TS_ATTRIBUTE = "ts"
+
+#: Attribute names are plain strings.
+Attribute = str
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A named relation schema: a relation name and an attribute list.
+
+    Attribute order matters (queries address positions through attribute
+    names, and tuples are stored positionally).  Attribute names must be
+    unique within a schema.
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    def __init__(self, name: str, attributes: Iterable[Attribute]) -> None:
+        attrs = tuple(attributes)
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attributes in schema {name!r}: {attrs}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attrs)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def position(self, attribute: Attribute) -> int:
+        """Return the positional index of ``attribute``.
+
+        Raises :class:`SchemaError` if the attribute does not exist.
+        """
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"schema {self.name!r} has no attribute {attribute!r}; "
+                f"attributes are {self.attributes}"
+            ) from None
+
+    def has_attribute(self, attribute: Attribute) -> bool:
+        """Whether the schema contains ``attribute``."""
+        return attribute in self.attributes
+
+    def drop(self, attribute: Attribute) -> "RelationSchema":
+        """Return a copy of this schema without ``attribute``."""
+        if not self.has_attribute(attribute):
+            raise SchemaError(
+                f"cannot drop {attribute!r}: not in schema {self.name!r}"
+            )
+        remaining = tuple(a for a in self.attributes if a != attribute)
+        return RelationSchema(self.name, remaining)
+
+    def renamed(self, name: str) -> "RelationSchema":
+        """Return a copy of this schema under a different relation name."""
+        return RelationSchema(name, self.attributes)
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class DatabaseSchema(Mapping[str, RelationSchema]):
+    """A database schema: a finite set of relation schemas keyed by name."""
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:
+        self._relations: dict[str, RelationSchema] = {}
+        for rel in relations:
+            if rel.name in self._relations:
+                raise SchemaError(f"duplicate relation schema {rel.name!r}")
+            self._relations[rel.name] = rel
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"database schema has no relation {name!r}; "
+                f"relations are {sorted(self._relations)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        # Mapping's default __contains__ relies on __getitem__ raising
+        # KeyError; ours raises SchemaError, so spell membership out.
+        return name in self._relations
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.items()))
+
+    def relation_names(self) -> tuple[str, ...]:
+        """Names of all relations, in insertion order."""
+        return tuple(self._relations)
+
+    def extended(self, *relations: RelationSchema) -> "DatabaseSchema":
+        """Return a schema extended with additional relation schemas."""
+        return DatabaseSchema(list(self._relations.values()) + list(relations))
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(r) for r in self._relations.values()) + "}"
+
+
+def input_schema(name: str, payload_attributes: Iterable[Attribute]) -> RelationSchema:
+    """Build an input schema ``Rin`` with the mandatory ``ts`` attribute.
+
+    The paper assumes ``Rin`` has a timestamp attribute ``ts`` of natural
+    numbers so that a single relation encodes a message sequence; the
+    remaining *payload* attributes carry the message content.
+    """
+    payload = tuple(payload_attributes)
+    if TS_ATTRIBUTE in payload:
+        raise SchemaError(
+            f"payload attributes must not include the reserved {TS_ATTRIBUTE!r}"
+        )
+    return RelationSchema(name, (TS_ATTRIBUTE,) + payload)
+
+
+def payload_schema(schema: RelationSchema) -> RelationSchema:
+    """Strip the ``ts`` attribute from an input schema.
+
+    Individual messages ``Ij`` of a sequence are relations over the payload
+    attributes only; the timestamp is implicit in the position ``j``.
+    """
+    if not schema.has_attribute(TS_ATTRIBUTE):
+        raise SchemaError(
+            f"schema {schema.name!r} is not an input schema: no {TS_ATTRIBUTE!r}"
+        )
+    return schema.drop(TS_ATTRIBUTE)

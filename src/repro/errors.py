@@ -1,0 +1,54 @@
+"""Exception hierarchy for the SWS reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch one base class.  Subclasses partition errors by subsystem:
+
+* :class:`SchemaError` — malformed or mismatched relational schemas.
+* :class:`QueryError` — ill-formed queries or evaluation against the wrong
+  schema (arity mismatches, unbound variables, unsafe negation).
+* :class:`SWSDefinitionError` — an SWS or mediator that violates
+  Definition 2.1 / 5.1 of the paper (missing rules, start state on a rhs,
+  queries in the wrong language class).
+* :class:`RunError` — a failure during a run (e.g. input sequence with
+  gaps in its timestamps).
+* :class:`AnalysisError` — a decision procedure invoked on a class of SWS's
+  it does not support (e.g. the NP procedure on a recursive SWS).
+* :class:`BudgetExceededError` — a bounded (semi-)decision procedure
+  exhausted its resource budget without reaching a verdict; callers that
+  prefer three-valued results should use the ``Verdict``-returning variants
+  instead of the raising ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relational schema is malformed or two schemas are incompatible."""
+
+
+class QueryError(ReproError):
+    """A query is ill-formed or was evaluated against a mismatched schema."""
+
+
+class SWSDefinitionError(ReproError):
+    """An SWS/mediator definition violates Definition 2.1 or 5.1."""
+
+
+class RunError(ReproError):
+    """A run over a database and input sequence could not be carried out."""
+
+
+class AnalysisError(ReproError):
+    """A decision procedure was applied outside of its supported class."""
+
+
+class BudgetExceededError(ReproError):
+    """A bounded procedure ran out of budget before reaching a verdict."""
+
+    def __init__(self, message: str, *, budget: int | None = None) -> None:
+        super().__init__(message)
+        self.budget = budget

@@ -1,0 +1,27 @@
+"""Extensions the paper proposes as future work (Section 6).
+
+* :mod:`~repro.extensions.aggregation` — "a practical topic for future
+  work is to extend SWS's by incorporating aggregation and a cost model
+  into action synthesis to find, e.g., a travel package with minimum total
+  cost": cost models over output rows and aggregate-selecting synthesis.
+* :mod:`~repro.extensions.sessions` — the delimiter-based multi-session
+  processing sketched at the end of Section 2's overview: "one can treat a
+  long (possibly infinite) input sequence as a list of consecutive
+  sessions, by adding a delimiter # ... such that actions are committed
+  whenever # is encountered".
+"""
+
+from repro.extensions.aggregation import (
+    AggregateQuery,
+    CostModel,
+    min_cost_synthesis,
+)
+from repro.extensions.sessions import SessionOutcome, run_sessions
+
+__all__ = [
+    "AggregateQuery",
+    "CostModel",
+    "SessionOutcome",
+    "min_cost_synthesis",
+    "run_sessions",
+]

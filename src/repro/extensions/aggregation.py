@@ -1,0 +1,130 @@
+"""Aggregation and cost models in action synthesis (Section 6 future work).
+
+The paper closes with: "a practical topic for future work is to extend
+SWS's by incorporating aggregation and a cost model into action synthesis
+to find, e.g., a travel package with minimum total cost when airfare,
+hotel and other components are all taken together.  While aggregation on
+composed services is certainly needed in practice, we are not aware of any
+formal study of this issue."
+
+This module supplies that extension in the shape the SWS model suggests:
+
+* a :class:`CostModel` prices the *values* appearing in output rows (one
+  price table per output position, with don't-care positions free), so a
+  row's cost is the total cost of the package it denotes;
+* an :class:`AggregateQuery` wraps an ordinary synthesis query and applies
+  an aggregate selector to its answer — :func:`min_cost_synthesis` builds
+  the arg-min selector the travel example wants.
+
+An ``AggregateQuery`` exposes the same ``arity`` / ``evaluate`` interface
+as the CQ/UCQ/FO queries, so it drops into any synthesis rule; the run
+engine needs no changes.  Note the model-theoretic price: aggregation
+breaks the positivity/monotonicity the Section 4 expansion machinery
+leans on, so the decision procedures deliberately reject services with
+aggregate rules (they classify as FO-like through
+:func:`repro.core.classes.classify` dispatching on query types).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.data.relation import Relation, Row
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices for the values appearing at each output position.
+
+    ``prices[i]`` maps a value at output position ``i`` to its cost;
+    values absent from the table cost ``default`` (don't-care markers
+    should be priced 0 via ``free_values``).
+    """
+
+    prices: tuple[Mapping[Any, float], ...]
+    default: float = 0.0
+    free_values: frozenset[Any] = field(default_factory=frozenset)
+
+    def row_cost(self, row: Row) -> float:
+        """Total cost of one output row."""
+        if len(row) != len(self.prices):
+            raise QueryError(
+                f"row arity {len(row)} does not match the cost model "
+                f"({len(self.prices)} positions)"
+            )
+        total = 0.0
+        for position, value in enumerate(row):
+            if value in self.free_values:
+                continue
+            total += self.prices[position].get(value, self.default)
+        return total
+
+    def cheapest(self, rows) -> frozenset[Row]:
+        """The rows of minimum total cost (all ties)."""
+        rows = list(rows)
+        if not rows:
+            return frozenset()
+        best = min(self.row_cost(row) for row in rows)
+        return frozenset(row for row in rows if self.row_cost(row) == best)
+
+
+#: An aggregate selector takes the inner query's answers and returns the
+#: selected subset (or any derived same-arity rows).
+Selector = Callable[[frozenset], frozenset]
+
+
+class AggregateQuery:
+    """A synthesis query post-processed by an aggregate selector.
+
+    Wraps any query object exposing ``arity`` and
+    ``evaluate(env) -> frozenset[Row]``; drops into SWS/mediator synthesis
+    rules unchanged.
+    """
+
+    def __init__(self, inner, selector: Selector, name: str = "agg") -> None:
+        self.inner = inner
+        self.selector = selector
+        self.name = name
+
+    @property
+    def arity(self) -> int:
+        """The inner query's head arity."""
+        return self.inner.arity
+
+    def relations(self) -> frozenset[str]:
+        """Relations the inner query mentions."""
+        return self.inner.relations()
+
+    def evaluate(self, env: Mapping[str, Relation]) -> frozenset[Row]:
+        """Inner answers filtered through the selector."""
+        return frozenset(self.selector(self.inner.evaluate(env)))
+
+    def __repr__(self) -> str:
+        return f"AggregateQuery({self.name!r} over {self.inner!r})"
+
+
+def min_cost_synthesis(inner, cost_model: CostModel, name: str = "argmin"):
+    """The arg-min aggregate: keep only the cheapest packages.
+
+    The paper's motivating aggregate — "a travel package with minimum
+    total cost when airfare, hotel and other components are all taken
+    together".
+    """
+    return AggregateQuery(inner, cost_model.cheapest, name)
+
+
+def sum_per_group(
+    rows: frozenset, group_positions: tuple[int, ...], value_of: Callable[[Row], float]
+) -> dict[tuple, float]:
+    """Grouped aggregation helper: sum ``value_of`` per group key.
+
+    Not used by any synthesis rule directly; exported for cost-model
+    reporting in examples and benchmarks.
+    """
+    totals: dict[tuple, float] = {}
+    for row in rows:
+        key = tuple(row[p] for p in group_positions)
+        totals[key] = totals.get(key, 0.0) + value_of(row)
+    return totals

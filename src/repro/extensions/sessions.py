@@ -1,0 +1,101 @@
+"""Delimiter-separated multi-session processing (Section 2 overview).
+
+The paper's notion of session is flexible — one input sequence, one
+commit — but the overview notes that "one can also treat a long (possibly
+infinite) input sequence as a list of consecutive sessions, by adding a
+delimiter # to indicate the end of a session, such that actions are
+committed whenever # is encountered".
+
+:func:`run_sessions` implements exactly that driver loop on top of the
+single-session run engine: split the input at delimiter messages, run the
+service once per segment, commit each session's actions against the
+evolving database, and return the per-session outcomes.  This is the one
+place in the library where the local database changes between runs — in
+accordance with the paper's assumption that it is fixed *within* each
+session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.run import run_relational
+from repro.core.sws import SWS
+from repro.data.actions import ActionLog, Interpretation, commit_actions
+from repro.data.database import Database
+from repro.data.input_sequence import InputSequence
+from repro.data.relation import Relation, Row
+
+#: Decides whether an input message is a session delimiter.
+DelimiterPredicate = Callable[[Relation], bool]
+
+
+@dataclass
+class SessionOutcome:
+    """One committed session: its output, action log and post-database."""
+
+    index: int
+    output: Relation
+    log: ActionLog
+    database_after: Database
+
+
+def split_sessions(
+    inputs: InputSequence, is_delimiter: DelimiterPredicate
+) -> list[InputSequence]:
+    """Split an input sequence at delimiter messages.
+
+    Delimiter messages are consumed by the split (they carry no payload for
+    the service); a trailing segment without a delimiter still forms a
+    session, and empty segments (consecutive delimiters) are kept — an
+    empty session is a legal, silent run.
+    """
+    segments: list[list] = [[]]
+    for j in range(1, len(inputs) + 1):
+        message = inputs.message(j)
+        if is_delimiter(message):
+            segments.append([])
+        else:
+            segments[-1].append(list(message.rows))
+    if segments and not segments[-1] and len(segments) > 1:
+        segments.pop()
+    return [InputSequence(inputs.schema, segment) for segment in segments]
+
+
+def tag_delimiter(tag_position: int, tag_value) -> DelimiterPredicate:
+    """A delimiter predicate: any row carries the given tag value."""
+
+    def predicate(message: Relation) -> bool:
+        return any(row[tag_position] == tag_value for row in message)
+
+    return predicate
+
+
+def run_sessions(
+    sws: SWS,
+    database: Database,
+    inputs: InputSequence,
+    is_delimiter: DelimiterPredicate,
+    interpretation: Interpretation,
+) -> list[SessionOutcome]:
+    """Run consecutive sessions, committing actions at each delimiter.
+
+    Returns one :class:`SessionOutcome` per session, in order; each
+    session runs against the database produced by the previous session's
+    commit.
+    """
+    outcomes: list[SessionOutcome] = []
+    current = database
+    for index, segment in enumerate(split_sessions(inputs, is_delimiter)):
+        result = run_relational(sws, current, segment)
+        current, log = commit_actions(current, result.output, interpretation)
+        outcomes.append(
+            SessionOutcome(
+                index=index,
+                output=result.output,
+                log=log,
+                database_after=current,
+            )
+        )
+    return outcomes

@@ -1,0 +1,31 @@
+"""Query and constraint languages.
+
+The paper parametrizes SWS classes by the languages in which transition and
+synthesis queries are written: propositional logic (PL), conjunctive queries
+with equality and inequality (CQ), unions of conjunctive queries (UCQ) and
+first-order logic (FO).  This package implements all four, plus the two
+engines the composition-synthesis results lean on: datalog (with the
+inverse-rule rewriting of Duschka–Genesereth) and answering queries using
+views.
+
+Submodules
+----------
+``pl``        propositional formulas: AST, parser, evaluation, substitution
+``cnf``       CNF / Tseitin transformation
+``sat``       DPLL SAT solver (drives the NP decision procedures)
+``terms``     variables and constants shared by CQ/UCQ/FO/datalog
+``cq``        conjunctive queries with =, ≠: evaluation, homomorphisms,
+              canonical databases, containment (Klug-style under ≠)
+``ucq``       unions of conjunctive queries: evaluation, satisfiability,
+              containment, equivalence
+``fo``        first-order queries: active-domain evaluation, bounded-model
+              satisfiability search
+``datalog``   datalog programs, semi-naive evaluation, sirups
+``rewriting`` answering queries using views (bucket-style equivalent
+              rewritings; inverse-rule maximally-contained rewritings)
+``parsing``   textual syntax for CQ/UCQ/datalog/FO queries
+"""
+
+from repro.logic import cnf, cq, datalog, fo, parsing, pl, rewriting, sat, terms, ucq
+
+__all__ = ["cnf", "cq", "datalog", "fo", "parsing", "pl", "rewriting", "sat", "terms", "ucq"]

@@ -1,0 +1,170 @@
+"""Conversion of propositional formulas to CNF.
+
+Two routes are provided:
+
+* :func:`to_cnf` — the classical distributive transformation.  Output is
+  logically *equivalent* to the input but may be exponentially larger; used
+  for small formulas and in tests as an oracle.
+* :func:`tseitin` — the Tseitin transformation.  Output is *equisatisfiable*
+  (introduces fresh definition variables) and only linearly larger; used by
+  the SAT-backed decision procedures of Section 4 (the NP upper bounds for
+  SWS_nr(PL, PL)).
+
+Clauses are frozensets of :class:`Literal`; a CNF is a list of clauses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.logic import pl
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A possibly-negated propositional variable."""
+
+    variable: str
+    positive: bool = True
+
+    def negated(self) -> "Literal":
+        """The complementary literal."""
+        return Literal(self.variable, not self.positive)
+
+    def __str__(self) -> str:
+        return self.variable if self.positive else f"!{self.variable}"
+
+
+Clause = frozenset[Literal]
+CNF = list[Clause]
+
+
+def _nnf(formula: pl.Formula, negate: bool) -> pl.Formula:
+    """Negation normal form (negations pushed to variables)."""
+    if isinstance(formula, pl.Var):
+        return pl.Not(formula) if negate else formula
+    if isinstance(formula, pl.Const):
+        return pl.Const(formula.value != negate)
+    if isinstance(formula, pl.Not):
+        return _nnf(formula.operand, not negate)
+    if isinstance(formula, pl.And):
+        parts = [_nnf(op, negate) for op in formula.operands]
+        return pl.Or(parts) if negate else pl.And(parts)
+    if isinstance(formula, pl.Or):
+        parts = [_nnf(op, negate) for op in formula.operands]
+        return pl.And(parts) if negate else pl.Or(parts)
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def to_cnf(formula: pl.Formula) -> CNF:
+    """Equivalent CNF via NNF + distribution.  Exponential in the worst case."""
+    nnf = _nnf(formula.simplify(), negate=False).simplify()
+    return _distribute(nnf)
+
+
+def _distribute(formula: pl.Formula) -> CNF:
+    if isinstance(formula, pl.Const):
+        return [] if formula.value else [frozenset()]
+    if isinstance(formula, pl.Var):
+        return [frozenset({Literal(formula.name)})]
+    if isinstance(formula, pl.Not):
+        if isinstance(formula.operand, pl.Var):
+            return [frozenset({Literal(formula.operand.name, positive=False)})]
+        raise QueryError("formula is not in NNF")
+    if isinstance(formula, pl.And):
+        clauses: CNF = []
+        for op in formula.operands:
+            clauses.extend(_distribute(op))
+        return _prune(clauses)
+    if isinstance(formula, pl.Or):
+        parts = [_distribute(op) for op in formula.operands]
+        clauses = [
+            frozenset(itertools.chain.from_iterable(choice))
+            for choice in itertools.product(*parts)
+        ]
+        return _prune(clauses)
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def _prune(clauses: Iterable[Clause]) -> CNF:
+    """Drop tautological clauses and duplicates."""
+    seen: set[Clause] = set()
+    out: CNF = []
+    for clause in clauses:
+        if any(lit.negated() in clause for lit in clause):
+            continue
+        if clause in seen:
+            continue
+        seen.add(clause)
+        out.append(clause)
+    return out
+
+
+class FreshVariables:
+    """Generator of fresh variable names with a fixed prefix."""
+
+    def __init__(self, prefix: str = "_t") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def __next__(self) -> str:
+        return f"{self._prefix}{next(self._counter)}"
+
+    def __iter__(self) -> Iterator[str]:
+        return self
+
+
+def tseitin(formula: pl.Formula, fresh: FreshVariables | None = None) -> tuple[CNF, str]:
+    """Equisatisfiable CNF via the Tseitin transformation.
+
+    Returns ``(clauses, root)`` where ``root`` is the definition variable
+    standing for the whole formula; the clauses assert ``root`` together with
+    the definitional biconditionals, so the CNF is satisfiable iff the
+    formula is.
+    """
+    fresh = fresh or FreshVariables()
+    clauses: CNF = []
+    root = _tseitin_define(formula.simplify(), clauses, fresh)
+    clauses.append(frozenset({Literal(root)}))
+    return _prune(clauses), root
+
+
+def _tseitin_define(
+    formula: pl.Formula, clauses: CNF, fresh: FreshVariables
+) -> str:
+    if isinstance(formula, pl.Var):
+        return formula.name
+    if isinstance(formula, pl.Const):
+        name = next(fresh)
+        lit = Literal(name, positive=formula.value)
+        clauses.append(frozenset({lit}))
+        return name
+    if isinstance(formula, pl.Not):
+        inner = _tseitin_define(formula.operand, clauses, fresh)
+        name = next(fresh)
+        # name <-> !inner
+        clauses.append(frozenset({Literal(name, False), Literal(inner, False)}))
+        clauses.append(frozenset({Literal(name), Literal(inner)}))
+        return name
+    if isinstance(formula, pl.And):
+        parts = [_tseitin_define(op, clauses, fresh) for op in formula.operands]
+        name = next(fresh)
+        # name -> each part;  all parts -> name
+        for part in parts:
+            clauses.append(frozenset({Literal(name, False), Literal(part)}))
+        clauses.append(
+            frozenset({Literal(name)} | {Literal(p, False) for p in parts})
+        )
+        return name
+    if isinstance(formula, pl.Or):
+        parts = [_tseitin_define(op, clauses, fresh) for op in formula.operands]
+        name = next(fresh)
+        # each part -> name;  name -> some part
+        for part in parts:
+            clauses.append(frozenset({Literal(name), Literal(part, False)}))
+        clauses.append(frozenset({Literal(name, False)} | {Literal(p) for p in parts}))
+        return name
+    raise QueryError(f"unknown formula node {type(formula).__name__}")

@@ -1,0 +1,568 @@
+"""Conjunctive queries with equality and inequality.
+
+The SWS classes SWS(CQ, UCQ) and SWS_nr(CQ, UCQ) (Section 2) use conjunctive
+queries — with ``=`` and ``≠``, as the paper stipulates — for transition
+rules, and unions of conjunctive queries for synthesis rules.  This module
+implements:
+
+* the CQ data type with relational atoms, equalities and inequalities;
+* evaluation against a database (any mapping of relation names to
+  :class:`~repro.data.relation.Relation`), via backtracking joins;
+* satisfiability (consistency of the =/≠ constraints);
+* canonical databases, including the enumeration over *equality patterns*
+  (partitions of the query's terms) that Klug's containment test for queries
+  with inequality requires — this is the engine behind the coNEXPTIME
+  equivalence procedure for SWS_nr(CQ, UCQ) (Theorem 4.1(2));
+* containment and equivalence (against CQs and unions of CQs);
+* core minimization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.data.relation import Relation, Row
+from repro.errors import QueryError
+from repro.logic.terms import (
+    Constant,
+    FreshVariableFactory,
+    Substitution,
+    Term,
+    Variable,
+    partitions,
+    term_value,
+)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``R(t1, ..., tk)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Iterable[Term]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def variables(self) -> frozenset[Variable]:
+        """Variables occurring in the atom."""
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    def constants(self) -> frozenset[Constant]:
+        """Constants occurring in the atom."""
+        return frozenset(t for t in self.terms if isinstance(t, Constant))
+
+    def rename(self, mapping: Mapping[Variable, Term]) -> "Atom":
+        """Apply a variable renaming/substitution to the atom."""
+        return Atom(self.relation, tuple(_apply(t, mapping) for t in self.terms))
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """An equality (``negated=False``) or inequality (``negated=True``)."""
+
+    left: Term
+    right: Term
+    negated: bool
+
+    def variables(self) -> frozenset[Variable]:
+        """Variables occurring in the comparison."""
+        return frozenset(t for t in (self.left, self.right) if isinstance(t, Variable))
+
+    def rename(self, mapping: Mapping[Variable, Term]) -> "Comparison":
+        """Apply a variable renaming/substitution."""
+        return Comparison(_apply(self.left, mapping), _apply(self.right, mapping), self.negated)
+
+    def __str__(self) -> str:
+        op = "!=" if self.negated else "="
+        return f"{self.left} {op} {self.right}"
+
+
+def eq(left: Term, right: Term) -> Comparison:
+    """An equality atom."""
+    return Comparison(left, right, negated=False)
+
+
+def neq(left: Term, right: Term) -> Comparison:
+    """An inequality atom."""
+    return Comparison(left, right, negated=True)
+
+
+def _apply(term: Term, mapping: Mapping[Variable, Term]) -> Term:
+    if isinstance(term, Variable):
+        return mapping.get(term, term)
+    return term
+
+
+@dataclass(frozen=True)
+class LabeledNull:
+    """A fresh value used in canonical databases.
+
+    Labeled nulls compare unequal to every ordinary constant and to every
+    other null, which is exactly the freshness canonical-database arguments
+    need.
+    """
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"⊥{self.index}"
+
+
+class ConjunctiveQuery:
+    """A conjunctive query with =/≠: ``head :- atoms, comparisons``.
+
+    ``head`` is a tuple of terms (variables or constants); a 0-ary head
+    makes the query boolean.  The query must be *safe*: every head variable
+    and every variable in a comparison must be range-restricted, i.e. occur
+    in a relational atom or be transitively equated to one (or to a
+    constant).
+    """
+
+    def __init__(
+        self,
+        head: Iterable[Term],
+        atoms: Iterable[Atom],
+        comparisons: Iterable[Comparison] = (),
+        name: str = "Q",
+    ) -> None:
+        self.head: tuple[Term, ...] = tuple(head)
+        self.atoms: tuple[Atom, ...] = tuple(atoms)
+        self.comparisons: tuple[Comparison, ...] = tuple(comparisons)
+        self.name = name
+        self._check_safety()
+
+    # -- structure ----------------------------------------------------------------
+
+    def variables(self) -> frozenset[Variable]:
+        """All variables occurring anywhere in the query."""
+        out: set[Variable] = {t for t in self.head if isinstance(t, Variable)}
+        for atom in self.atoms:
+            out |= atom.variables()
+        for comp in self.comparisons:
+            out |= comp.variables()
+        return frozenset(out)
+
+    def constants(self) -> frozenset[Constant]:
+        """All constants occurring anywhere in the query."""
+        out: set[Constant] = {t for t in self.head if isinstance(t, Constant)}
+        for atom in self.atoms:
+            out |= atom.constants()
+        for comp in self.comparisons:
+            out |= {
+                t for t in (comp.left, comp.right) if isinstance(t, Constant)
+            }
+        return frozenset(out)
+
+    def relations(self) -> frozenset[str]:
+        """Names of all relations the query mentions."""
+        return frozenset(a.relation for a in self.atoms)
+
+    @property
+    def arity(self) -> int:
+        """Head arity."""
+        return len(self.head)
+
+    def equalities(self) -> tuple[Comparison, ...]:
+        """The equality comparisons."""
+        return tuple(c for c in self.comparisons if not c.negated)
+
+    def inequalities(self) -> tuple[Comparison, ...]:
+        """The inequality comparisons."""
+        return tuple(c for c in self.comparisons if c.negated)
+
+    def rename(self, mapping: Mapping[Variable, Term], name: str | None = None) -> "ConjunctiveQuery":
+        """Apply a variable renaming/substitution throughout the query."""
+        return ConjunctiveQuery(
+            tuple(_apply(t, mapping) for t in self.head),
+            tuple(a.rename(mapping) for a in self.atoms),
+            tuple(c.rename(mapping) for c in self.comparisons),
+            name or self.name,
+        )
+
+    def rename_apart(self, factory: FreshVariableFactory) -> "ConjunctiveQuery":
+        """Rename every variable to a fresh one from ``factory``."""
+        mapping = factory.rename_apart(sorted(self.variables()))
+        return self.rename(mapping)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return (
+            self.head == other.head
+            and set(self.atoms) == set(other.atoms)
+            and set(self.comparisons) == set(other.comparisons)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.head, frozenset(self.atoms), frozenset(self.comparisons)))
+
+    def __str__(self) -> str:
+        head = f"{self.name}({', '.join(str(t) for t in self.head)})"
+        body = ", ".join(
+            [str(a) for a in self.atoms] + [str(c) for c in self.comparisons]
+        )
+        return f"{head} :- {body}" if body else f"{head} :- true"
+
+    def __repr__(self) -> str:
+        return f"<CQ {self}>"
+
+    # -- safety --------------------------------------------------------------------
+
+    def _check_safety(self) -> None:
+        classes = self._equality_classes()
+        restricted: set[Variable] = set()
+        atom_vars = {v for a in self.atoms for v in a.variables()}
+        for cls in classes.values():
+            grounded = any(isinstance(t, Constant) for t in cls) or any(
+                t in atom_vars for t in cls if isinstance(t, Variable)
+            )
+            if grounded:
+                restricted |= {t for t in cls if isinstance(t, Variable)}
+        restricted |= atom_vars
+        needed = {t for t in self.head if isinstance(t, Variable)}
+        for comp in self.comparisons:
+            needed |= comp.variables()
+        unsafe = needed - restricted
+        if unsafe:
+            raise QueryError(
+                f"query {self.name!r} is unsafe: variables "
+                f"{sorted(v.name for v in unsafe)} are not range-restricted"
+            )
+
+    def _equality_classes(self) -> dict[Term, list[Term]]:
+        """Union-find closure of the equality atoms, keyed by representative."""
+        parent: dict[Term, Term] = {}
+
+        def find(t: Term) -> Term:
+            parent.setdefault(t, t)
+            while parent[t] != t:
+                parent[t] = parent[parent[t]]
+                t = parent[t]
+            return t
+
+        def union(a: Term, b: Term) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for term in self._all_terms():
+            find(term)
+        for comp in self.equalities():
+            union(comp.left, comp.right)
+        classes: dict[Term, list[Term]] = {}
+        for term in parent:
+            classes.setdefault(find(term), []).append(term)
+        return classes
+
+    def _all_terms(self) -> Iterator[Term]:
+        yield from self.head
+        for atom in self.atoms:
+            yield from atom.terms
+        for comp in self.comparisons:
+            yield comp.left
+            yield comp.right
+
+    # -- satisfiability ---------------------------------------------------------------
+
+    def normalized(self) -> "ConjunctiveQuery | None":
+        """Eliminate equalities by substituting class representatives.
+
+        Returns an equivalent query without equality atoms, or ``None`` when
+        the =/≠ constraints are inconsistent (two distinct constants forced
+        equal, or an inequality within one class).
+        """
+        classes = self._equality_classes()
+        mapping: dict[Variable, Term] = {}
+        for cls in classes.values():
+            constants = [t for t in cls if isinstance(t, Constant)]
+            if len({c.value for c in constants}) > 1:
+                return None
+            rep: Term
+            if constants:
+                rep = constants[0]
+            else:
+                rep = min(
+                    (t for t in cls if isinstance(t, Variable)),
+                    key=lambda v: v.name,
+                )
+            for term in cls:
+                if isinstance(term, Variable):
+                    mapping[term] = rep
+        new_ineqs: list[Comparison] = []
+        for comp in self.inequalities():
+            left = _apply(comp.left, mapping)
+            right = _apply(comp.right, mapping)
+            if left == right:
+                return None
+            if isinstance(left, Constant) and isinstance(right, Constant):
+                continue  # distinct constants: trivially satisfied
+            new_ineqs.append(Comparison(left, right, negated=True))
+        return ConjunctiveQuery(
+            tuple(_apply(t, mapping) for t in self.head),
+            tuple(a.rename(mapping) for a in self.atoms),
+            tuple(dict.fromkeys(new_ineqs)),
+            self.name,
+        )
+
+    def is_satisfiable(self) -> bool:
+        """Whether some database makes the query return its head."""
+        return self.normalized() is not None
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def evaluate(self, database: Mapping[str, Relation]) -> frozenset[Row]:
+        """Evaluate against a database; returns the set of head tuples."""
+        normalized = self.normalized()
+        if normalized is None:
+            return frozenset()
+        results: set[Row] = set()
+        for substitution in normalized._matches(database):
+            if not normalized._inequalities_hold(substitution):
+                continue
+            results.add(
+                tuple(term_value(t, substitution) for t in normalized.head)
+            )
+        return frozenset(results)
+
+    def holds(self, database: Mapping[str, Relation]) -> bool:
+        """For boolean queries: whether the body is satisfied."""
+        return bool(self.evaluate(database))
+
+    def _matches(self, database: Mapping[str, Relation]) -> Iterator[dict[Variable, Any]]:
+        """Backtracking join over the relational atoms."""
+        ordered = self._atom_order()
+        yield from self._match_atoms(ordered, 0, {}, database)
+
+    def _atom_order(self) -> list[Atom]:
+        """Greedy join order: maximize bound variables at each step."""
+        remaining = list(self.atoms)
+        bound: set[Variable] = set()
+        ordered: list[Atom] = []
+        while remaining:
+            best = max(remaining, key=lambda a: (len(a.variables() & bound), -len(a.variables())))
+            ordered.append(best)
+            remaining.remove(best)
+            bound |= best.variables()
+        return ordered
+
+    def _match_atoms(
+        self,
+        atoms: list[Atom],
+        index: int,
+        substitution: dict[Variable, Any],
+        database: Mapping[str, Relation],
+    ) -> Iterator[dict[Variable, Any]]:
+        if index == len(atoms):
+            yield dict(substitution)
+            return
+        atom = atoms[index]
+        if atom.relation not in database:
+            raise QueryError(
+                f"query {self.name!r} mentions relation {atom.relation!r} "
+                f"absent from the database ({sorted(database)})"
+            )
+        for row in database[atom.relation]:
+            extension = _unify(atom.terms, row, substitution)
+            if extension is None:
+                continue
+            yield from self._match_atoms(atoms, index + 1, extension, database)
+
+    def _inequalities_hold(self, substitution: Substitution) -> bool:
+        for comp in self.inequalities():
+            if term_value(comp.left, substitution) == term_value(comp.right, substitution):
+                return False
+        return True
+
+    # -- canonical databases and containment ---------------------------------------------
+
+    def canonical_instance(self) -> tuple[dict[str, set[Row]], Row] | None:
+        """The canonical database: variables frozen to distinct nulls.
+
+        Returns ``(facts, head_row)`` or ``None`` if the query is
+        unsatisfiable.  This is the *most general* pattern; containment
+        under inequality additionally needs :meth:`equality_patterns`.
+        """
+        normalized = self.normalized()
+        if normalized is None:
+            return None
+        freeze: dict[Variable, Any] = {
+            v: LabeledNull(i) for i, v in enumerate(sorted(normalized.variables()))
+        }
+        return normalized._freeze(freeze)
+
+    def equality_patterns(
+        self, extra_constants: Iterable[Constant] = ()
+    ) -> Iterator[tuple[dict[str, set[Row]], Row]]:
+        """All canonical databases over the equality patterns of the query.
+
+        A pattern partitions the query's variables, identifying variables
+        within a block and separating blocks; blocks may also be merged with
+        constants.  Patterns violating the query's inequalities are skipped.
+        Klug's containment test quantifies over exactly these instances:
+        ``Q1 ⊆ Q2`` iff every pattern's canonical database makes ``Q2``
+        return the frozen head of ``Q1``.
+
+        ``extra_constants`` must include the constants of the *containing*
+        query when the patterns drive a containment test: a variable of this
+        query can, on a real database, take the value of a constant that
+        only the other query mentions, and completeness requires covering
+        that case.
+        """
+        normalized = self.normalized()
+        if normalized is None:
+            return
+        variables = sorted(normalized.variables())
+        constants = sorted(set(normalized.constants()) | set(extra_constants))
+        # Each variable is either merged into one of the constants or placed
+        # in a partition block with other variables.  We enumerate by first
+        # choosing, for every variable, a constant (or "none"), and then
+        # partitioning the unmerged variables.
+        options: list[list[Constant | None]] = [
+            [None, *constants] for _ in variables
+        ]
+        for choice in itertools.product(*options):
+            merged: dict[Variable, Any] = {}
+            free: list[Variable] = []
+            for variable, target in zip(variables, choice):
+                if target is None:
+                    free.append(variable)
+                else:
+                    merged[variable] = target.value
+            for partition in partitions(free):
+                freeze = dict(merged)
+                for i, block in enumerate(partition):
+                    for variable in block:
+                        freeze[variable] = LabeledNull(i)
+                instance = normalized._freeze_checked(freeze)
+                if instance is not None:
+                    yield instance
+
+    def _freeze(self, freeze: Mapping[Variable, Any]) -> tuple[dict[str, set[Row]], Row]:
+        facts: dict[str, set[Row]] = {}
+        for atom in self.atoms:
+            row = tuple(term_value(t, freeze) for t in atom.terms)
+            facts.setdefault(atom.relation, set()).add(row)
+        head_row = tuple(term_value(t, freeze) for t in self.head)
+        return facts, head_row
+
+    def _freeze_checked(
+        self, freeze: Mapping[Variable, Any]
+    ) -> tuple[dict[str, set[Row]], Row] | None:
+        if not self._inequalities_hold(freeze):
+            return None
+        return self._freeze(freeze)
+
+    def contained_in(self, other: "ConjunctiveQuery") -> bool:
+        """Whether this query is contained in ``other`` (Klug-style test)."""
+        return self.contained_in_union((other,))
+
+    def contained_in_union(self, disjuncts: Sequence["ConjunctiveQuery"]) -> bool:
+        """Containment in a union of CQs.
+
+        Complete for CQs with =/≠ (the equality-pattern enumeration) and for
+        unions on the right-hand side (Sagiv–Yannakakis: the frozen head
+        must be produced by *some* disjunct on *each* canonical instance).
+        """
+        for disjunct in disjuncts:
+            if disjunct.arity != self.arity:
+                raise QueryError(
+                    "containment requires equal head arities: "
+                    f"{self.arity} vs {disjunct.arity}"
+                )
+        needs_patterns = bool(self.inequalities()) or any(
+            d.inequalities() for d in disjuncts
+        )
+        instances: Iterable[tuple[dict[str, set[Row]], Row]]
+        if needs_patterns:
+            other_constants: set[Constant] = set()
+            for disjunct in disjuncts:
+                other_constants |= disjunct.constants()
+            instances = self.equality_patterns(other_constants)
+        else:
+            canonical = self.canonical_instance()
+            instances = [canonical] if canonical is not None else []
+        all_relations = self.relations().union(*(d.relations() for d in disjuncts))
+        for facts, head_row in instances:
+            database = _facts_as_database(facts, all_relations)
+            if not any(head_row in d.evaluate(database) for d in disjuncts):
+                return False
+        return True
+
+    def equivalent_to(self, other: "ConjunctiveQuery") -> bool:
+        """Mutual containment."""
+        return self.contained_in(other) and other.contained_in(self)
+
+    def minimized(self) -> "ConjunctiveQuery":
+        """Remove redundant atoms while preserving equivalence (core).
+
+        Only meaningful (and only attempted) for queries without
+        inequalities; queries with ≠ are returned unchanged.
+        """
+        if self.inequalities():
+            return self
+        atoms = list(self.atoms)
+        changed = True
+        while changed:
+            changed = False
+            for atom in list(atoms):
+                candidate_atoms = [a for a in atoms if a != atom]
+                if not candidate_atoms:
+                    continue
+                try:
+                    candidate = ConjunctiveQuery(
+                        self.head, candidate_atoms, self.comparisons, self.name
+                    )
+                except QueryError:
+                    continue  # dropping the atom breaks safety
+                if candidate.equivalent_to(self):
+                    atoms = candidate_atoms
+                    changed = True
+                    break
+        return ConjunctiveQuery(self.head, atoms, self.comparisons, self.name)
+
+
+def _unify(
+    terms: Sequence[Term], row: Row, substitution: Mapping[Variable, Any]
+) -> dict[Variable, Any] | None:
+    """Extend a substitution so the atom's terms match ``row``."""
+    if len(terms) != len(row):
+        raise QueryError(
+            f"atom arity {len(terms)} does not match row arity {len(row)}"
+        )
+    extension = dict(substitution)
+    for term, value in zip(terms, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            bound = extension.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                extension[term] = value
+            elif bound != value:
+                return None
+    return extension
+
+
+_UNBOUND = object()
+
+
+def _facts_as_database(
+    facts: Mapping[str, set[Row]], relations: Iterable[str]
+) -> dict[str, Relation]:
+    """Wrap frozen facts as anonymous relations for evaluation."""
+    from repro.data.schema import RelationSchema
+
+    database: dict[str, Relation] = {}
+    for name in relations:
+        rows = facts.get(name, set())
+        arity = len(next(iter(rows))) if rows else 0
+        schema = RelationSchema(name, [f"a{i}" for i in range(arity)])
+        database[name] = Relation(schema, rows)
+    return database

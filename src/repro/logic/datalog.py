@@ -1,0 +1,233 @@
+"""Datalog programs and sirups.
+
+Two of the paper's complexity arguments lean on datalog:
+
+* the EXPTIME lower bound for SWS(CQ, UCQ) non-emptiness is by reduction
+  from *sirup* evaluation — single-rule datalog programs with a single
+  ground fact, EXPTIME-complete by Gottlob & Papadimitriou (Theorem 4.1(2));
+* the maximally-contained rewriting algorithm of Duschka & Genesereth used
+  in the UC2RPQ composition case (Corollary 5.2) produces a datalog program
+  (the *inverse rules*), which must then be evaluated.
+
+This module provides datalog rules and programs, bottom-up semi-naive
+evaluation, and sirup construction/evaluation.  Rules may carry =/≠
+comparisons in their bodies (needed by the inverse-rule rewriting for
+queries with inequality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.data.relation import Relation, Row
+from repro.errors import QueryError
+from repro.logic.cq import Atom, Comparison, ConjunctiveQuery
+from repro.logic.terms import Constant, Term, Variable
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A datalog rule ``head :- body, comparisons``.
+
+    Safety: every head variable must occur in a positive body atom.
+    """
+
+    head: Atom
+    body: tuple[Atom, ...]
+    comparisons: tuple[Comparison, ...] = ()
+
+    def __init__(
+        self,
+        head: Atom,
+        body: Iterable[Atom],
+        comparisons: Iterable[Comparison] = (),
+    ) -> None:
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "comparisons", tuple(comparisons))
+        body_vars = {v for a in self.body for v in a.variables()}
+        unsafe = self.head.variables() - body_vars
+        if unsafe:
+            raise QueryError(
+                f"unsafe rule: head variables {sorted(v.name for v in unsafe)} "
+                f"missing from the body"
+            )
+
+    def as_query(self) -> ConjunctiveQuery:
+        """The rule body as a CQ with the head terms as its head."""
+        return ConjunctiveQuery(
+            self.head.terms, self.body, self.comparisons, self.head.relation
+        )
+
+    def __str__(self) -> str:
+        body = ", ".join([str(a) for a in self.body] + [str(c) for c in self.comparisons])
+        return f"{self.head} :- {body}" if body else f"{self.head}."
+
+
+class Program:
+    """A datalog program: a list of rules.
+
+    IDB predicates are those appearing in some rule head; every other
+    predicate is EDB and must be supplied by the input database.
+    """
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self.rules: tuple[Rule, ...] = tuple(rules)
+
+    def idb_predicates(self) -> frozenset[str]:
+        """Predicates defined by rules."""
+        return frozenset(rule.head.relation for rule in self.rules)
+
+    def edb_predicates(self) -> frozenset[str]:
+        """Predicates the program reads but never derives."""
+        idb = self.idb_predicates()
+        out: set[str] = set()
+        for rule in self.rules:
+            out |= {a.relation for a in rule.body if a.relation not in idb}
+        return frozenset(out)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(
+        self, edb: Mapping[str, Relation], max_iterations: int | None = None
+    ) -> dict[str, frozenset[Row]]:
+        """Least fixpoint via semi-naive bottom-up evaluation.
+
+        ``edb`` supplies the extensional relations.  Returns all derived
+        facts per IDB predicate.  ``max_iterations`` bounds the number of
+        rounds (handy for instrumentation); the fixpoint of a datalog
+        program over a finite database is always reached in finitely many
+        rounds, so ``None`` means "run to fixpoint".
+        """
+        idb = self.idb_predicates()
+        facts: dict[str, set[Row]] = {p: set() for p in idb}
+        # Seed round: rules whose bodies touch only EDB can fire immediately;
+        # the uniform loop below handles everything, starting from empty IDB.
+        delta: dict[str, set[Row]] = {p: set() for p in idb}
+        rounds = 0
+        while True:
+            rounds += 1
+            if max_iterations is not None and rounds > max_iterations:
+                break
+            new: dict[str, set[Row]] = {p: set() for p in idb}
+            database = self._combined(edb, facts)
+            for rule in self.rules:
+                derived = rule.as_query().evaluate(database)
+                fresh = derived - facts[rule.head.relation]
+                new[rule.head.relation] |= fresh
+            if not any(new.values()):
+                break
+            for predicate, rows in new.items():
+                facts[predicate] |= rows
+            delta = new
+        del delta
+        return {p: frozenset(rows) for p, rows in facts.items()}
+
+    def _combined(
+        self, edb: Mapping[str, Relation], facts: Mapping[str, set[Row]]
+    ) -> dict[str, Relation]:
+        from repro.data.schema import RelationSchema
+
+        database: dict[str, Relation] = dict(edb)
+        arities = self._idb_arities()
+        for predicate, rows in facts.items():
+            arity = arities[predicate]
+            schema = RelationSchema(predicate, [f"a{i}" for i in range(arity)])
+            database[predicate] = Relation(schema, rows)
+        return database
+
+    def _idb_arities(self) -> dict[str, int]:
+        arities: dict[str, int] = {}
+        for rule in self.rules:
+            name = rule.head.relation
+            arity = len(rule.head.terms)
+            if arities.setdefault(name, arity) != arity:
+                raise QueryError(f"predicate {name!r} used with two arities")
+        return arities
+
+
+@dataclass(frozen=True)
+class Sirup:
+    """A single-rule program with ground facts and a ground goal.
+
+    Deciding whether the goal is derivable is EXPTIME-complete (Gottlob &
+    Papadimitriou), the source of the paper's EXPTIME lower bound for
+    SWS(CQ, UCQ) non-emptiness.
+    """
+
+    rule: Rule
+    facts: tuple[tuple[str, Row], ...]
+    goal: tuple[str, Row]
+
+    def __init__(
+        self,
+        rule: Rule,
+        facts: Iterable[tuple[str, Sequence]],
+        goal: tuple[str, Sequence],
+    ) -> None:
+        object.__setattr__(self, "rule", rule)
+        object.__setattr__(
+            self, "facts", tuple((p, tuple(row)) for p, row in facts)
+        )
+        object.__setattr__(self, "goal", (goal[0], tuple(goal[1])))
+
+    def accepts(self) -> bool:
+        """Whether the goal is derivable from the facts via the rule."""
+        from repro.data.schema import RelationSchema
+
+        idb = self.rule.head.relation
+        # Split facts into EDB relations and seed IDB facts.
+        edb_rows: dict[str, set[Row]] = {}
+        seed_idb: set[Row] = set()
+        for predicate, row in self.facts:
+            if predicate == idb:
+                seed_idb.add(row)
+            else:
+                edb_rows.setdefault(predicate, set()).add(row)
+        # Seed IDB facts are injected through a fresh EDB predicate and a
+        # copy rule, so Program.evaluate can remain pure bottom-up.
+        seed_predicate = f"_seed_{idb}"
+        arity = len(self.rule.head.terms)
+        head_vars = tuple(Variable(f"x{i}") for i in range(arity))
+        copy_rule = Rule(
+            Atom(idb, head_vars), [Atom(seed_predicate, head_vars)]
+        )
+        program = Program([self.rule, copy_rule])
+        edb: dict[str, Relation] = {}
+        for predicate, rows in edb_rows.items():
+            width = len(next(iter(rows)))
+            schema = RelationSchema(predicate, [f"a{i}" for i in range(width)])
+            edb[predicate] = Relation(schema, rows)
+        seed_schema = RelationSchema(seed_predicate, [f"a{i}" for i in range(arity)])
+        edb[seed_predicate] = Relation(seed_schema, seed_idb)
+        # EDB predicates mentioned by the rule but without facts are empty.
+        for predicate in program.edb_predicates():
+            if predicate not in edb:
+                arity_guess = self._predicate_arity(predicate)
+                schema = RelationSchema(
+                    predicate, [f"a{i}" for i in range(arity_guess)]
+                )
+                edb[predicate] = Relation(schema, set())
+        derived = program.evaluate(edb)
+        goal_predicate, goal_row = self.goal
+        if goal_predicate == idb:
+            return goal_row in derived.get(idb, frozenset())
+        return goal_row in edb.get(goal_predicate, Relation(
+            RelationSchema(goal_predicate, [f"a{i}" for i in range(len(goal_row))]), ()
+        )).rows
+
+    def _predicate_arity(self, predicate: str) -> int:
+        for atom_ in self.rule.body:
+            if atom_.relation == predicate:
+                return len(atom_.terms)
+        raise QueryError(f"predicate {predicate!r} not used by the sirup rule")

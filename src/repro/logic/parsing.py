@@ -1,0 +1,324 @@
+"""Textual syntax for the relational rule languages.
+
+Hand-building query ASTs is verbose; this module provides a small concrete
+syntax for the languages SWS rules are written in:
+
+Conjunctive queries / datalog rules (``parse_cq``, ``parse_rule``)::
+
+    Q(x, y) :- E(x, y), F(y, z), x != z, w = 'tag'
+
+UCQs (``parse_ucq``) — disjuncts with a shared head predicate, separated
+by ``;``::
+
+    Q(x) :- E(x, y) ; Q(x) :- F(x, y), x != y
+
+First-order queries (``parse_fo_query``) — ``head := formula`` with the
+connectives ``and``, ``or``, ``not``, quantifiers ``exists``/``forall``
+(bound variables before a ``.``), equality ``=`` / ``!=`` and relational
+atoms::
+
+    Q(f, r) := Act_qa(f) and (Act_qt(r) or not exists u . Act_qt(u))
+
+Lexical rules: identifiers starting with a lowercase letter are variables;
+identifiers starting with an uppercase letter or ``_`` are relation names
+in atom position; constants are numbers or single-quoted strings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import QueryError
+from repro.logic import fo
+from repro.logic.cq import Atom, Comparison, ConjunctiveQuery
+from repro.logic.datalog import Rule
+from repro.logic.terms import Constant, Term, Variable
+from repro.logic.ucq import UnionQuery
+
+
+class _Lexer:
+    SYMBOLS = {":-", ":=", "!=", "=", "(", ")", ",", ".", ";"}
+
+    def __init__(self, text: str) -> None:
+        self.tokens = list(self._tokenize(text))
+        self.position = 0
+
+    def _tokenize(self, text: str) -> Iterator[tuple[str, object]]:
+        i = 0
+        while i < len(text):
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+                continue
+            two = text[i : i + 2]
+            if two in self.SYMBOLS:
+                yield ("sym", two)
+                i += 2
+                continue
+            if ch in self.SYMBOLS:
+                yield ("sym", ch)
+                i += 1
+                continue
+            if ch == "'":
+                j = text.find("'", i + 1)
+                if j < 0:
+                    raise QueryError(f"unterminated string constant at {i}")
+                yield ("const", text[i + 1 : j])
+                i = j + 1
+                continue
+            if ch.isdigit() or (ch == "-" and i + 1 < len(text) and text[i + 1].isdigit()):
+                j = i + 1
+                while j < len(text) and (text[j].isdigit() or text[j] == "."):
+                    j += 1
+                lexeme = text[i:j]
+                yield ("const", float(lexeme) if "." in lexeme else int(lexeme))
+                i = j
+                continue
+            if ch.isalpha() or ch == "_":
+                j = i
+                while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                yield ("name", text[i:j])
+                i = j
+                continue
+            raise QueryError(f"unexpected character {ch!r} at {i}")
+
+    def peek(self) -> tuple[str, object] | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> tuple[str, object]:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, lexeme = self.next()
+        if kind != "sym" or lexeme != value:
+            raise QueryError(f"expected {value!r}, got {lexeme!r}")
+
+    def at_symbol(self, value: str) -> bool:
+        token = self.peek()
+        return token is not None and token == ("sym", value)
+
+    def done(self) -> bool:
+        return self.peek() is None
+
+
+def _term(lexer: _Lexer) -> Term:
+    kind, lexeme = lexer.next()
+    if kind == "const":
+        return Constant(lexeme)
+    if kind == "name":
+        assert isinstance(lexeme, str)
+        return Variable(lexeme)
+    raise QueryError(f"expected a term, got {lexeme!r}")
+
+
+def _term_list(lexer: _Lexer) -> list[Term]:
+    lexer.expect("(")
+    terms: list[Term] = []
+    if not lexer.at_symbol(")"):
+        terms.append(_term(lexer))
+        while lexer.at_symbol(","):
+            lexer.next()
+            terms.append(_term(lexer))
+    lexer.expect(")")
+    return terms
+
+
+def _head(lexer: _Lexer) -> tuple[str, list[Term]]:
+    kind, name = lexer.next()
+    if kind != "name":
+        raise QueryError(f"expected a head predicate, got {name!r}")
+    assert isinstance(name, str)
+    return name, _term_list(lexer)
+
+
+def _body_item(lexer: _Lexer) -> Atom | Comparison:
+    # Either  Rel(t, ...)  or  term (=|!=) term.
+    checkpoint = lexer.position
+    kind, lexeme = lexer.next()
+    if kind == "name" and lexer.at_symbol("("):
+        assert isinstance(lexeme, str)
+        return Atom(lexeme, _term_list(lexer))
+    # Comparison: rewind and parse term op term.
+    lexer.position = checkpoint
+    left = _term(lexer)
+    op_kind, op = lexer.next()
+    if op_kind != "sym" or op not in {"=", "!="}:
+        raise QueryError(f"expected '=' or '!=', got {op!r}")
+    right = _term(lexer)
+    return Comparison(left, right, negated=(op == "!="))
+
+
+def _cq_clause(lexer: _Lexer) -> ConjunctiveQuery:
+    name, head = _head(lexer)
+    lexer.expect(":-")
+    atoms: list[Atom] = []
+    comparisons: list[Comparison] = []
+    while True:
+        item = _body_item(lexer)
+        if isinstance(item, Atom):
+            atoms.append(item)
+        else:
+            comparisons.append(item)
+        if lexer.at_symbol(","):
+            lexer.next()
+            continue
+        break
+    return ConjunctiveQuery(head, atoms, comparisons, name)
+
+
+def parse_cq(text: str) -> ConjunctiveQuery:
+    """Parse one conjunctive query, e.g. ``Q(x) :- E(x, y), x != y``."""
+    lexer = _Lexer(text)
+    query = _cq_clause(lexer)
+    if not lexer.done():
+        raise QueryError(f"trailing tokens: {lexer.tokens[lexer.position:]}")
+    return query
+
+
+def parse_ucq(text: str) -> UnionQuery:
+    """Parse a UCQ: CQ clauses separated by ``;`` (same head predicate)."""
+    lexer = _Lexer(text)
+    disjuncts = [_cq_clause(lexer)]
+    while lexer.at_symbol(";"):
+        lexer.next()
+        disjuncts.append(_cq_clause(lexer))
+    if not lexer.done():
+        raise QueryError(f"trailing tokens: {lexer.tokens[lexer.position:]}")
+    names = {d.name for d in disjuncts}
+    if len(names) > 1:
+        raise QueryError(f"disjuncts use different head predicates: {sorted(names)}")
+    return UnionQuery(disjuncts, name=disjuncts[0].name)
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a datalog rule (same syntax as a CQ clause)."""
+    query = parse_cq(text)
+    return Rule(Atom(query.name, query.head), query.atoms, query.comparisons)
+
+
+def parse_program(text: str):
+    """Parse a datalog program: one rule per non-empty line (or ``;``)."""
+    from repro.logic.datalog import Program
+
+    chunks: list[str] = []
+    for line in text.replace(";", "\n").splitlines():
+        line = line.strip()
+        if line and not line.startswith("%"):
+            chunks.append(line)
+    return Program([parse_rule(chunk) for chunk in chunks])
+
+
+# -- FO ------------------------------------------------------------------------
+
+
+def _fo_formula(lexer: _Lexer) -> fo.FOFormula:
+    return _fo_quantified(lexer)
+
+
+def _fo_quantified(lexer: _Lexer) -> fo.FOFormula:
+    token = lexer.peek()
+    if token is not None and token[0] == "name" and token[1] in {"exists", "forall"}:
+        _kind, quantifier = lexer.next()
+        variables: list[Variable] = []
+        while True:
+            kind, lexeme = lexer.next()
+            if kind != "name":
+                raise QueryError(f"expected a bound variable, got {lexeme!r}")
+            assert isinstance(lexeme, str)
+            variables.append(Variable(lexeme))
+            if lexer.at_symbol(","):
+                lexer.next()
+                continue
+            break
+        lexer.expect(".")
+        body = _fo_quantified(lexer)
+        cls = fo.Exists if quantifier == "exists" else fo.Forall
+        return cls(tuple(variables), body)
+    return _fo_or(lexer)
+
+
+def _fo_or(lexer: _Lexer) -> fo.FOFormula:
+    parts = [_fo_and(lexer)]
+    while True:
+        token = lexer.peek()
+        if token == ("name", "or"):
+            lexer.next()
+            parts.append(_fo_and(lexer))
+        else:
+            break
+    return parts[0] if len(parts) == 1 else fo.OrF(parts)
+
+
+def _fo_and(lexer: _Lexer) -> fo.FOFormula:
+    parts = [_fo_unary(lexer)]
+    while True:
+        token = lexer.peek()
+        if token == ("name", "and"):
+            lexer.next()
+            parts.append(_fo_unary(lexer))
+        else:
+            break
+    return parts[0] if len(parts) == 1 else fo.AndF(parts)
+
+
+def _fo_unary(lexer: _Lexer) -> fo.FOFormula:
+    token = lexer.peek()
+    if token == ("name", "not"):
+        lexer.next()
+        return fo.NotF(_fo_unary(lexer))
+    if token is not None and token[0] == "name" and token[1] in {"exists", "forall"}:
+        return _fo_quantified(lexer)
+    if lexer.at_symbol("("):
+        lexer.next()
+        inner = _fo_formula(lexer)
+        lexer.expect(")")
+        return inner
+    return _fo_atom(lexer)
+
+
+def _fo_atom(lexer: _Lexer) -> fo.FOFormula:
+    checkpoint = lexer.position
+    kind, lexeme = lexer.next()
+    if kind == "name" and lexer.at_symbol("("):
+        assert isinstance(lexeme, str)
+        return fo.RelAtom(Atom(lexeme, _term_list(lexer)))
+    lexer.position = checkpoint
+    left = _term(lexer)
+    op_kind, op = lexer.next()
+    if op_kind != "sym" or op not in {"=", "!="}:
+        raise QueryError(f"expected '=' or '!=', got {op!r}")
+    right = _term(lexer)
+    equality = fo.Equals(left, right)
+    return fo.NotF(equality) if op == "!=" else equality
+
+
+def parse_fo(text: str) -> fo.FOFormula:
+    """Parse a first-order formula (see the module docstring's syntax)."""
+    lexer = _Lexer(text)
+    formula = _fo_formula(lexer)
+    if not lexer.done():
+        raise QueryError(f"trailing tokens: {lexer.tokens[lexer.position:]}")
+    return formula
+
+
+def parse_fo_query(text: str) -> fo.FOQuery:
+    """Parse ``Head(x, ...) := formula`` into an FO query."""
+    lexer = _Lexer(text)
+    name, head = _head(lexer)
+    lexer.expect(":=")
+    formula = _fo_formula(lexer)
+    if not lexer.done():
+        raise QueryError(f"trailing tokens: {lexer.tokens[lexer.position:]}")
+    head_vars: list[Variable] = []
+    for term in head:
+        if not isinstance(term, Variable):
+            raise QueryError("FO query heads must be variables")
+        head_vars.append(term)
+    return fo.FOQuery(tuple(head_vars), formula, name)

@@ -1,0 +1,354 @@
+"""Propositional logic.
+
+SWS(PL, PL) services (Section 2, "SWS classes") express both transition and
+synthesis queries as propositional formulas.  An input message is a truth
+assignment represented as the set of variables that are true; message and
+action registers hold a single truth value.
+
+This module provides the formula AST, a small recursive-descent parser, and
+the operations the SWS machinery needs: evaluation, substitution of formulas
+for variables (used when synthesis formulas are instantiated with successor
+action values), variable collection, and structural simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Mapping
+
+from repro.errors import QueryError
+
+Assignment = AbstractSet[str]
+
+
+class Formula:
+    """Base class for propositional formulas.
+
+    Formulas are immutable value objects; ``&``, ``|``, ``~`` and ``>>``
+    build conjunctions, disjunctions, negations and implications.
+    """
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        """Truth value under ``assignment`` (the set of true variables)."""
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[str]:
+        """All variables occurring in the formula."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "Formula"]) -> "Formula":
+        """Replace variables by formulas, simultaneously."""
+        raise NotImplementedError
+
+    def simplify(self) -> "Formula":
+        """Bottom-up constant propagation and trivial-identity removal."""
+        raise NotImplementedError
+
+    # -- operator sugar -------------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return Or((Not(self), other))
+
+
+@dataclass(frozen=True)
+class Var(Formula):
+    """A propositional variable."""
+
+    name: str
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return self.name in assignment
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def substitute(self, mapping: Mapping[str, Formula]) -> Formula:
+        return mapping.get(self.name, self)
+
+    def simplify(self) -> Formula:
+        return self
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Formula):
+    """A propositional constant (true or false)."""
+
+    value: bool
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return self.value
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[str, Formula]) -> Formula:
+        return self
+
+    def simplify(self) -> Formula:
+        return self
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def substitute(self, mapping: Mapping[str, Formula]) -> Formula:
+        return Not(self.operand.substitute(mapping))
+
+    def simplify(self) -> Formula:
+        inner = self.operand.simplify()
+        if isinstance(inner, Const):
+            return Const(not inner.value)
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+
+    def __str__(self) -> str:
+        return f"!{_wrap(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction.  ``And(())`` is true."""
+
+    operands: tuple[Formula, ...]
+
+    def __init__(self, operands: Iterable[Formula]) -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return all(op.evaluate(assignment) for op in self.operands)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset().union(*(op.variables() for op in self.operands))
+
+    def substitute(self, mapping: Mapping[str, Formula]) -> Formula:
+        return And(op.substitute(mapping) for op in self.operands)
+
+    def simplify(self) -> Formula:
+        flat: list[Formula] = []
+        for op in self.operands:
+            s = op.simplify()
+            if isinstance(s, Const):
+                if not s.value:
+                    return FALSE
+                continue
+            if isinstance(s, And):
+                flat.extend(s.operands)
+            else:
+                flat.append(s)
+        if not flat:
+            return TRUE
+        if len(flat) == 1:
+            return flat[0]
+        return And(flat)
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "true"
+        return " & ".join(_wrap(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction.  ``Or(())`` is false."""
+
+    operands: tuple[Formula, ...]
+
+    def __init__(self, operands: Iterable[Formula]) -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return any(op.evaluate(assignment) for op in self.operands)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset().union(*(op.variables() for op in self.operands))
+
+    def substitute(self, mapping: Mapping[str, Formula]) -> Formula:
+        return Or(op.substitute(mapping) for op in self.operands)
+
+    def simplify(self) -> Formula:
+        flat: list[Formula] = []
+        for op in self.operands:
+            s = op.simplify()
+            if isinstance(s, Const):
+                if s.value:
+                    return TRUE
+                continue
+            if isinstance(s, Or):
+                flat.extend(s.operands)
+            else:
+                flat.append(s)
+        if not flat:
+            return FALSE
+        if len(flat) == 1:
+            return flat[0]
+        return Or(flat)
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "false"
+        return " | ".join(_wrap(op) for op in self.operands)
+
+
+def _wrap(formula: Formula) -> str:
+    if isinstance(formula, (Var, Const, Not)):
+        return str(formula)
+    return f"({formula})"
+
+
+def conjoin(formulas: Iterable[Formula]) -> Formula:
+    """Conjunction of a (possibly empty) collection, simplified."""
+    return And(formulas).simplify()
+
+
+def disjoin(formulas: Iterable[Formula]) -> Formula:
+    """Disjunction of a (possibly empty) collection, simplified."""
+    return Or(formulas).simplify()
+
+
+def iff(left: Formula, right: Formula) -> Formula:
+    """Biconditional, expressed through the core connectives."""
+    return (left & right) | (~left & ~right)
+
+
+# -- parser -----------------------------------------------------------------
+#
+# Grammar (lowest to highest precedence):
+#   formula    := implication
+#   implication:= disjunction ('->' implication)?
+#   disjunction:= conjunction ('|' conjunction)*
+#   conjunction:= unary ('&' unary)*
+#   unary      := '!' unary | atom
+#   atom       := 'true' | 'false' | identifier | '(' formula ')'
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = self._tokenize(text)
+        self._pos = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> list[str]:
+        tokens: list[str] = []
+        i = 0
+        while i < len(text):
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+            elif ch in "()&|!":
+                tokens.append(ch)
+                i += 1
+            elif text.startswith("->", i):
+                tokens.append("->")
+                i += 2
+            elif ch.isalnum() or ch == "_":
+                j = i
+                while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                tokens.append(text[i:j])
+                i = j
+            else:
+                raise QueryError(f"unexpected character {ch!r} in formula {text!r}")
+        return tokens
+
+    def _peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise QueryError("unexpected end of formula")
+        self._pos += 1
+        return token
+
+    def parse(self) -> Formula:
+        formula = self._implication()
+        if self._peek() is not None:
+            raise QueryError(f"trailing tokens after formula: {self._tokens[self._pos:]}")
+        return formula
+
+    def _implication(self) -> Formula:
+        left = self._disjunction()
+        if self._peek() == "->":
+            self._next()
+            right = self._implication()
+            return Or((Not(left), right))
+        return left
+
+    def _disjunction(self) -> Formula:
+        operands = [self._conjunction()]
+        while self._peek() == "|":
+            self._next()
+            operands.append(self._conjunction())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(operands)
+
+    def _conjunction(self) -> Formula:
+        operands = [self._unary()]
+        while self._peek() == "&":
+            self._next()
+            operands.append(self._unary())
+        if len(operands) == 1:
+            return operands[0]
+        return And(operands)
+
+    def _unary(self) -> Formula:
+        if self._peek() == "!":
+            self._next()
+            return Not(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Formula:
+        token = self._next()
+        if token == "(":
+            inner = self._implication()
+            if self._next() != ")":
+                raise QueryError("unbalanced parentheses in formula")
+            return inner
+        if token == "true":
+            return TRUE
+        if token == "false":
+            return FALSE
+        if token in {")", "&", "|", "->", "!"}:
+            raise QueryError(f"unexpected token {token!r} in formula")
+        return Var(token)
+
+
+def parse(text: str) -> Formula:
+    """Parse a formula from its textual syntax.
+
+    Connectives: ``!`` (not), ``&`` (and), ``|`` (or), ``->`` (implies);
+    constants ``true`` / ``false``; identifiers are variables.
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,167 @@
+"""A DPLL SAT solver.
+
+The NP upper bounds of Theorem 4.1(3) — non-emptiness and validation for
+SWS_nr(PL, PL) — are realized by encoding the bounded-depth run of a
+nonrecursive PL service into a propositional formula and handing it to this
+solver.  The solver implements classical DPLL with unit propagation, pure
+literal elimination and a most-frequent-variable branching heuristic; it is
+complete, deterministic, and more than fast enough for the instance sizes
+the benchmarks sweep.
+
+The solver also exposes :func:`satisfiable`, :func:`valid`,
+:func:`equivalent` and :func:`all_models` conveniences over formulas.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.logic import pl
+from repro.logic.cnf import CNF, Clause, Literal, to_cnf, tseitin
+
+
+def solve_cnf(clauses: Iterable[Clause]) -> dict[str, bool] | None:
+    """Return a satisfying assignment for a CNF, or ``None`` if UNSAT.
+
+    The returned assignment covers every variable the search fixed; callers
+    may extend it arbitrarily on untouched variables.
+    """
+    return _dpll([frozenset(c) for c in clauses], {})
+
+
+def _dpll(clauses: list[Clause], assignment: dict[str, bool]) -> dict[str, bool] | None:
+    if any(not clause for clause in clauses):
+        return None
+    clauses, assignment = _propagate(clauses, dict(assignment))
+    if clauses is None:
+        return None
+    if not clauses:
+        return assignment
+    variable = _choose_variable(clauses)
+    for value in (True, False):
+        trial = dict(assignment)
+        trial[variable] = value
+        reduced = _assign(clauses, Literal(variable, value))
+        if reduced is None:
+            continue
+        result = _dpll(reduced, trial)
+        if result is not None:
+            return result
+    return None
+
+
+def _propagate(
+    clauses: list[Clause], assignment: dict[str, bool]
+) -> tuple[list[Clause] | None, dict[str, bool]]:
+    """Exhaustive unit propagation and pure-literal elimination."""
+    changed = True
+    while changed:
+        changed = False
+        # Unit propagation.
+        unit = next((c for c in clauses if len(c) == 1), None)
+        if unit is not None:
+            lit = next(iter(unit))
+            assignment[lit.variable] = lit.positive
+            clauses = _assign(clauses, lit)
+            if clauses is None:
+                return None, assignment
+            changed = True
+            continue
+        # Pure literal elimination.
+        polarity: dict[str, set[bool]] = {}
+        for clause in clauses:
+            for lit in clause:
+                polarity.setdefault(lit.variable, set()).add(lit.positive)
+        pure = next(
+            (var for var, pols in polarity.items() if len(pols) == 1), None
+        )
+        if pure is not None:
+            positive = next(iter(polarity[pure]))
+            assignment[pure] = positive
+            clauses = _assign(clauses, Literal(pure, positive))
+            if clauses is None:
+                return None, assignment
+            changed = True
+    return clauses, assignment
+
+
+def _assign(clauses: list[Clause], literal: Literal) -> list[Clause] | None:
+    """Condition a CNF on a literal; ``None`` signals a conflict."""
+    negation = literal.negated()
+    out: list[Clause] = []
+    for clause in clauses:
+        if literal in clause:
+            continue
+        if negation in clause:
+            reduced = clause - {negation}
+            if not reduced:
+                return None
+            out.append(reduced)
+        else:
+            out.append(clause)
+    return out
+
+
+def _choose_variable(clauses: list[Clause]) -> str:
+    counts: Counter[str] = Counter()
+    for clause in clauses:
+        for lit in clause:
+            counts[lit.variable] += 1
+    variable, _count = counts.most_common(1)[0]
+    return variable
+
+
+# -- formula-level conveniences -------------------------------------------------
+
+
+def satisfiable(formula: pl.Formula) -> bool:
+    """Whether the formula has a model (Tseitin + DPLL)."""
+    clauses, _root = tseitin(formula)
+    return solve_cnf(clauses) is not None
+
+
+def model(formula: pl.Formula) -> frozenset[str] | None:
+    """A model of the formula as the set of true *original* variables.
+
+    Returns ``None`` when unsatisfiable.  Tseitin definition variables are
+    filtered out; original variables the solver never touched default to
+    false, which is always sound for a completed DPLL run.
+    """
+    clauses, _root = tseitin(formula)
+    solution = solve_cnf(clauses)
+    if solution is None:
+        return None
+    original = formula.variables()
+    return frozenset(v for v in original if solution.get(v, False))
+
+
+def valid(formula: pl.Formula) -> bool:
+    """Whether the formula is a tautology."""
+    return not satisfiable(pl.Not(formula))
+
+
+def equivalent(left: pl.Formula, right: pl.Formula) -> bool:
+    """Whether two formulas agree under every assignment."""
+    differ = (left & pl.Not(right)) | (pl.Not(left) & right)
+    return not satisfiable(differ)
+
+
+def all_models(formula: pl.Formula) -> Iterator[frozenset[str]]:
+    """Enumerate all models over the formula's own variables.
+
+    Exponential by nature; used by tests and brute-force oracles on small
+    formulas only.
+    """
+    variables = sorted(formula.variables())
+    for mask in range(2 ** len(variables)):
+        assignment = frozenset(
+            v for i, v in enumerate(variables) if mask >> i & 1
+        )
+        if formula.evaluate(assignment):
+            yield assignment
+
+
+def count_models(formula: pl.Formula) -> int:
+    """Number of models over the formula's own variables (brute force)."""
+    return sum(1 for _ in all_models(formula))

@@ -1,0 +1,128 @@
+"""Terms shared by the relational query languages.
+
+A term is a :class:`Variable` or a :class:`Constant`.  Queries in CQ, UCQ,
+FO and datalog are built from relational atoms over terms; the paper's CQ
+and UCQ classes additionally allow equality and inequality atoms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A data constant embedded in a query."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+    def __lt__(self, other: object) -> bool:
+        # Stable ordering for deterministic output; variables sort before
+        # constants, constants by repr.
+        if isinstance(other, Variable):
+            return False
+        if isinstance(other, Constant):
+            return repr(self.value) < repr(other.value)
+        return NotImplemented
+
+
+Term = Union[Variable, Constant]
+
+#: A substitution maps variables to data values.
+Substitution = Mapping[Variable, Any]
+
+
+def var(name: str) -> Variable:
+    """Shorthand constructor for a variable."""
+    return Variable(name)
+
+
+def vars_(*names: str) -> tuple[Variable, ...]:
+    """Shorthand constructor for several variables at once."""
+    return tuple(Variable(n) for n in names)
+
+
+def const(value: Any) -> Constant:
+    """Shorthand constructor for a constant."""
+    return Constant(value)
+
+
+def term_value(term: Term, substitution: Substitution) -> Any:
+    """Resolve a term under a substitution.
+
+    Raises :class:`KeyError` for unbound variables — callers are expected to
+    only resolve terms they have already bound (safety is checked at query
+    construction time).
+    """
+    if isinstance(term, Constant):
+        return term.value
+    return substitution[term]
+
+
+def is_ground(terms: Iterable[Term]) -> bool:
+    """Whether every term in the collection is a constant."""
+    return all(isinstance(t, Constant) for t in terms)
+
+
+class FreshVariableFactory:
+    """Produces variables guaranteed not to collide with a reserved set.
+
+    Query composition and unfolding (Sections 2 and 5 machinery) rename the
+    variables of inlined query bodies apart; this factory centralizes that.
+    """
+
+    def __init__(self, reserved: Iterable[Variable] = (), prefix: str = "_v") -> None:
+        self._taken = {v.name for v in reserved}
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def reserve(self, variables: Iterable[Variable]) -> None:
+        """Mark more names as taken."""
+        self._taken.update(v.name for v in variables)
+
+    def fresh(self) -> Variable:
+        """A variable whose name has never been handed out or reserved."""
+        while True:
+            candidate = f"{self._prefix}{next(self._counter)}"
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return Variable(candidate)
+
+    def rename_apart(self, variables: Iterable[Variable]) -> dict[Variable, Variable]:
+        """A renaming of ``variables`` onto entirely fresh ones."""
+        return {v: self.fresh() for v in dict.fromkeys(variables)}
+
+
+def partitions(items: list) -> Iterator[list[list]]:
+    """Enumerate all set partitions of ``items``.
+
+    Used by the Klug-style containment test for CQ with inequality, which
+    quantifies over the equality patterns of the contained query's terms.
+    The count is the Bell number of ``len(items)`` — callers keep queries
+    small.
+    """
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in partitions(rest):
+        # Put `first` into each existing block ...
+        for i in range(len(partition)):
+            yield partition[:i] + [[first] + partition[i]] + partition[i + 1 :]
+        # ... or into a block of its own.
+        yield [[first]] + partition

@@ -1,0 +1,233 @@
+"""Unions of conjunctive queries.
+
+Synthesis rules of SWS(CQ, UCQ) services are UCQs (Section 2).  Besides
+evaluation and the classical decision procedures (satisfiability,
+containment à la Sagiv–Yannakakis extended to =/≠ via the equality-pattern
+machinery in :mod:`repro.logic.cq`), this module implements *composition*:
+unfolding atoms that refer to derived relations (message/action registers)
+by the UCQs defining them.  Composition is the engine behind the expansion
+of a nonrecursive SWS into a single UCQ≠ query (Theorem 4.1(2) machinery)
+and behind the query-rewriting view of composition synthesis (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.data.relation import Relation, Row
+from repro.errors import QueryError
+from repro.logic.cq import Atom, Comparison, ConjunctiveQuery, eq
+from repro.logic.terms import FreshVariableFactory, Term, Variable
+
+
+class UnionQuery:
+    """A union of conjunctive queries with a common head arity.
+
+    The empty union (no disjuncts) is allowed and denotes the query with the
+    constant empty answer — SWS synthesis rules may degenerate to it.
+    """
+
+    def __init__(
+        self,
+        disjuncts: Iterable[ConjunctiveQuery],
+        arity: int | None = None,
+        name: str = "Q",
+    ) -> None:
+        self.disjuncts: tuple[ConjunctiveQuery, ...] = tuple(disjuncts)
+        self.name = name
+        if self.disjuncts:
+            arities = {d.arity for d in self.disjuncts}
+            if len(arities) != 1:
+                raise QueryError(f"mixed head arities in union: {sorted(arities)}")
+            inferred = arities.pop()
+            if arity is not None and arity != inferred:
+                raise QueryError(
+                    f"declared arity {arity} does not match disjuncts ({inferred})"
+                )
+            self.arity = inferred
+        else:
+            if arity is None:
+                raise QueryError("empty union requires an explicit arity")
+            self.arity = arity
+
+    # -- structure -----------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, arity: int, name: str = "Q") -> "UnionQuery":
+        """The union with no disjuncts (constant empty answer)."""
+        return cls((), arity=arity, name=name)
+
+    @classmethod
+    def of(cls, *disjuncts: ConjunctiveQuery) -> "UnionQuery":
+        """Union of the given CQs."""
+        return cls(disjuncts)
+
+    def variables(self) -> frozenset[Variable]:
+        """All variables across the disjuncts."""
+        out: frozenset[Variable] = frozenset()
+        for d in self.disjuncts:
+            out |= d.variables()
+        return out
+
+    def relations(self) -> frozenset[str]:
+        """All relation names across the disjuncts."""
+        out: frozenset[str] = frozenset()
+        for d in self.disjuncts:
+            out |= d.relations()
+        return out
+
+    def union(self, other: "UnionQuery") -> "UnionQuery":
+        """Union of two UCQs of the same arity."""
+        if self.arity != other.arity:
+            raise QueryError(
+                f"cannot union arity {self.arity} with arity {other.arity}"
+            )
+        return UnionQuery(self.disjuncts + other.disjuncts, arity=self.arity, name=self.name)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self.disjuncts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnionQuery):
+            return NotImplemented
+        return self.arity == other.arity and set(self.disjuncts) == set(other.disjuncts)
+
+    def __hash__(self) -> int:
+        return hash((self.arity, frozenset(self.disjuncts)))
+
+    def __str__(self) -> str:
+        if not self.disjuncts:
+            return f"{self.name}/{self.arity} :- false"
+        return "  UNION  ".join(str(d) for d in self.disjuncts)
+
+    def __repr__(self) -> str:
+        return f"<UCQ {len(self.disjuncts)} disjuncts, arity {self.arity}>"
+
+    # -- semantics ----------------------------------------------------------------
+
+    def evaluate(self, database: Mapping[str, Relation]) -> frozenset[Row]:
+        """Union of the disjuncts' answers."""
+        out: set[Row] = set()
+        for disjunct in self.disjuncts:
+            out |= disjunct.evaluate(database)
+        return frozenset(out)
+
+    def is_satisfiable(self) -> bool:
+        """Whether some database yields a nonempty answer."""
+        return any(d.is_satisfiable() for d in self.disjuncts)
+
+    def satisfiable_disjuncts(self) -> "UnionQuery":
+        """Drop unsatisfiable disjuncts (a normalization step)."""
+        kept = [d for d in self.disjuncts if d.is_satisfiable()]
+        return UnionQuery(kept, arity=self.arity, name=self.name)
+
+    # -- containment / equivalence ------------------------------------------------------
+
+    def contained_in(self, other: "UnionQuery") -> bool:
+        """Sagiv–Yannakakis containment, =/≠-complete via equality patterns."""
+        if self.arity != other.arity:
+            raise QueryError(
+                f"containment requires equal arities: {self.arity} vs {other.arity}"
+            )
+        return all(
+            d.contained_in_union(other.disjuncts) for d in self.disjuncts
+        )
+
+    def equivalent_to(self, other: "UnionQuery") -> bool:
+        """Mutual containment."""
+        return self.contained_in(other) and other.contained_in(self)
+
+    def minimized(self) -> "UnionQuery":
+        """Drop unsatisfiable and redundant disjuncts, minimize the rest."""
+        kept: list[ConjunctiveQuery] = []
+        candidates = [d for d in self.disjuncts if d.is_satisfiable()]
+        for i, disjunct in enumerate(candidates):
+            others = candidates[:i] + candidates[i + 1 :]
+            if others and disjunct.contained_in_union(others):
+                candidates = others
+                return UnionQuery(
+                    candidates, arity=self.arity, name=self.name
+                ).minimized()
+        kept = [d.minimized() for d in candidates]
+        return UnionQuery(kept, arity=self.arity, name=self.name)
+
+
+def compose(
+    query: ConjunctiveQuery,
+    definitions: Mapping[str, UnionQuery],
+    factory: FreshVariableFactory | None = None,
+) -> UnionQuery:
+    """Unfold derived-relation atoms of ``query`` by their definitions.
+
+    Every atom over a relation in ``definitions`` is replaced by the body of
+    one of the defining UCQ's disjuncts (renamed apart), with the defining
+    head equated to the atom's terms; the cross product over all choices
+    yields a UCQ.  Atoms over other relations are kept as-is.
+
+    This is classical query composition: the result is equivalent to
+    evaluating ``query`` on a database where every derived relation holds
+    the answer of its definition.
+    """
+    factory = factory or FreshVariableFactory(sorted(query.variables()))
+    choice_lists: list[list[tuple[list[Atom], list[Comparison]]]] = []
+    for atom in query.atoms:
+        if atom.relation not in definitions:
+            choice_lists.append([([atom], [])])
+            continue
+        definition = definitions[atom.relation]
+        if definition.arity != len(atom.terms):
+            raise QueryError(
+                f"definition of {atom.relation!r} has arity {definition.arity}, "
+                f"atom uses {len(atom.terms)}"
+            )
+        expansions: list[tuple[list[Atom], list[Comparison]]] = []
+        for disjunct in definition.disjuncts:
+            renamed = disjunct.rename_apart(factory)
+            bindings = [
+                eq(atom_term, head_term)
+                for atom_term, head_term in zip(atom.terms, renamed.head)
+            ]
+            expansions.append(
+                (list(renamed.atoms), list(renamed.comparisons) + bindings)
+            )
+        choice_lists.append(expansions)
+
+    disjuncts: list[ConjunctiveQuery] = []
+    for combo in _product(choice_lists):
+        atoms: list[Atom] = []
+        comparisons: list[Comparison] = list(query.comparisons)
+        for atom_part, comp_part in combo:
+            atoms.extend(atom_part)
+            comparisons.extend(comp_part)
+        candidate = ConjunctiveQuery(query.head, atoms, comparisons, query.name)
+        if candidate.is_satisfiable():
+            disjuncts.append(candidate)
+    return UnionQuery(disjuncts, arity=query.arity, name=query.name)
+
+
+def compose_union(
+    query: UnionQuery,
+    definitions: Mapping[str, UnionQuery],
+    factory: FreshVariableFactory | None = None,
+) -> UnionQuery:
+    """Unfold every disjunct of a UCQ (see :func:`compose`)."""
+    factory = factory or FreshVariableFactory(sorted(query.variables()))
+    result = UnionQuery.empty(query.arity, name=query.name)
+    for disjunct in query.disjuncts:
+        result = result.union(compose(disjunct, definitions, factory))
+    return result
+
+
+def _product(
+    choice_lists: Sequence[Sequence[tuple[list[Atom], list[Comparison]]]],
+) -> Iterator[tuple[tuple[list[Atom], list[Comparison]], ...]]:
+    if not choice_lists:
+        yield ()
+        return
+    head, *rest = choice_lists
+    for choice in head:
+        for tail in _product(rest):
+            yield (choice,) + tail

@@ -1,0 +1,61 @@
+"""SWS mediators and composition synthesis — Section 5 / Table 2.
+
+* :mod:`~repro.mediator.mediator` — the MDT(LAct) data type of
+  Definition 5.1 and its run semantics (component services as "oracle
+  queries" run to completion on the remaining input, timestamps advanced
+  past the consumed prefix).
+* :mod:`~repro.mediator.synthesis` — PL composition synthesis: the
+  k-prefix machinery of Theorem 5.1(4,5) and the regular-language
+  rewriting route of Theorem 5.3(1,2).
+* :mod:`~repro.mediator.rewriting_based` — CQ/UCQ composition synthesis
+  via equivalent query rewriting using views (Theorem 5.1(3)).
+* :mod:`~repro.mediator.bounded` — MDT_b(PL): the bounded-invocation
+  mediators of Theorem 5.3(3), synthesized by small-model enumeration.
+"""
+
+from repro.mediator.mediator import (
+    Mediator,
+    MediatorTransitionRule,
+    mediator_equivalent_to_sws_pl,
+    run_mediator,
+    run_mediator_pl,
+    run_mediator_relational,
+)
+from repro.mediator.synthesis import (
+    boolean_language_combination,
+    compose_pl_prefix,
+    compose_pl_regular,
+    kprefix_bound,
+    mediator_from_rewriting_nfa,
+    mediator_language_equivalent,
+    mediator_language_nfa,
+)
+from repro.mediator.rewriting_based import compose_cq_nr, mediator_from_ucq_rewriting
+from repro.mediator.bounded import compose_mdtb_pl
+from repro.mediator.rpq_composition import (
+    chain_view,
+    compose_uc2rpq,
+    evaluate_over_views,
+)
+
+__all__ = [
+    "Mediator",
+    "MediatorTransitionRule",
+    "chain_view",
+    "compose_cq_nr",
+    "compose_mdtb_pl",
+    "compose_pl_prefix",
+    "compose_pl_regular",
+    "compose_uc2rpq",
+    "evaluate_over_views",
+    "kprefix_bound",
+    "mediator_equivalent_to_sws_pl",
+    "mediator_from_rewriting_nfa",
+    "mediator_from_ucq_rewriting",
+    "mediator_language_equivalent",
+    "mediator_language_nfa",
+    "boolean_language_combination",
+    "run_mediator",
+    "run_mediator_pl",
+    "run_mediator_relational",
+]

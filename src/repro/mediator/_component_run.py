@@ -1,0 +1,56 @@
+"""Component-service invocation: the eval(τ) operator of Definition 5.1.
+
+A mediator invokes a component on the *remaining* input ``I^j``, seeds the
+component's start-state message register with its own Msg(v), lets the
+component run to completion, and advances past the input the component
+consumed (the maximum timestamp of the component's execution tree).
+
+Register-schema note: mediator registers hold Rout-shaped relations (a
+child register receives a component's *output*), while a component's
+message register is Rin-shaped.  The paper assumes the schemas are unified
+by outer union; here seeding a component with a nonempty register requires
+matching arities, and an empty register seeds an empty one regardless —
+enough for root-level invocations (Example 5.1) and for unified-schema
+services.
+"""
+
+from __future__ import annotations
+
+from repro.core.run import PLWord, run_pl, run_relational
+from repro.core.sws import MSG, SWS
+from repro.data.database import Database
+from repro.data.input_sequence import InputSequence
+from repro.data.relation import Relation
+from repro.errors import RunError
+
+
+def run_component_relational(
+    component: SWS,
+    database: Database,
+    suffix: InputSequence,
+    seed: Relation,
+) -> tuple[Relation, int]:
+    """Run a relational component; returns (output, consumed messages).
+
+    ``consumed`` is the component tree's maximum timestamp, so the
+    mediator resumes at absolute position ``j + consumed`` — the paper's
+    ``l_i + 1`` in relative terms.
+    """
+    payload = component.input_schema
+    assert payload is not None
+    if seed and seed.schema.arity != payload.arity:
+        raise RunError(
+            f"cannot seed component {component.name!r}: register arity "
+            f"{seed.schema.arity} vs input payload arity {payload.arity}"
+        )
+    root_msg = Relation(payload.renamed(MSG), seed.rows if seed else ())
+    result = run_relational(component, database, suffix, root_msg=root_msg)
+    return result.output, result.tree.max_timestamp()
+
+
+def run_component_pl(
+    component: SWS, suffix: PLWord, seed: bool
+) -> tuple[bool, int]:
+    """Run a PL component; returns (output value, consumed messages)."""
+    result = run_pl(component, list(suffix), root_msg=seed)
+    return result.output, result.tree.max_timestamp()

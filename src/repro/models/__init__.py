@@ -1,0 +1,40 @@
+"""Prior Web-service models and their SWS translations (Section 3).
+
+The paper's Section 3 shows that FSA and transducer abstractions embed into
+SWS classes via pairs of functions (fτ, fI): fτ maps a service ω to an SWS
+τ, fI maps ω-inputs to τ-inputs, and ``τ(D, fI(I)) = ω(I, D)``.
+
+* :mod:`~repro.models.roman` — the Roman model (services as DFAs/NFAs over
+  action alphabets) → SWS(PL, PL);
+* :mod:`~repro.models.peer` — the peer model of Deutsch et al. (data-driven
+  transducers with state relations) → SWS(FO, FO);
+* :mod:`~repro.models.guarded` — guarded automata (Mealy machines with
+  propositional guards, the conversation-protocol abstraction) →
+  SWS(PL, PL);
+* :mod:`~repro.models.colombo` — a Colombo-style guarded transition system
+  over world states → peer → SWS(FO, FO), the paper's "Other models"
+  chain.
+"""
+
+from repro.models.roman import RomanService, encode_roman_word, roman_to_sws
+from repro.models.peer import Peer, encode_peer_prefix, peer_to_sws
+from repro.models.guarded import GuardedAutomaton, guarded_to_sws
+from repro.models.colombo import (
+    ColomboService,
+    ColomboTransition,
+    colombo_to_peer,
+)
+
+__all__ = [
+    "ColomboService",
+    "ColomboTransition",
+    "GuardedAutomaton",
+    "Peer",
+    "RomanService",
+    "colombo_to_peer",
+    "encode_peer_prefix",
+    "encode_roman_word",
+    "guarded_to_sws",
+    "peer_to_sws",
+    "roman_to_sws",
+]

@@ -1,0 +1,297 @@
+"""A Colombo-style service model and its embedding (Section 3, "Other models").
+
+The paper notes: "As observed in [13], services supported by the Colombo
+model [5] or expressed as guarded automata of [15] can also be expressed as
+peers of [13].  As a result, one can also use SWS(FO, FO) to study the
+behaviors of the Colombo services."
+
+Colombo models a service as a guarded transition system over *world
+states* of a local database: each transition fires when its FO guard holds
+against the current world state and input, and executes an *atomic
+process* that modifies state relations.  This module implements a
+single-service core of that model and the two-step embedding the paper
+describes:
+
+    Colombo service  →  peer (state relation + FO rules)  →  SWS(FO, FO)
+
+The world state is folded into the peer's state relation with a
+control-state tag column (the classical product encoding); the tests
+verify the full chain against the Colombo service's direct semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.database import Database
+from repro.data.relation import Row
+from repro.data.schema import DatabaseSchema
+from repro.errors import SWSDefinitionError
+from repro.logic import fo
+from repro.logic.cq import Atom
+from repro.logic.terms import Constant, Variable
+from repro.models.peer import INPUT_RELATION, Peer, STATE_RELATION
+
+
+@dataclass(frozen=True)
+class ColomboTransition:
+    """A guarded transition ``q --[guard / process]--> q'``.
+
+    ``guard`` is a closed-or-input-parameterized FO condition over the
+    database, the current world-state relation ``World`` and the input
+    ``InP``; ``process`` is an FO query computing the *next* world-state
+    relation from the same.  All world rows share the service's fixed
+    ``arity``.
+    """
+
+    source: str
+    target: str
+    guard: fo.FOFormula
+    process: fo.FOQuery
+
+
+@dataclass(frozen=True)
+class ColomboService:
+    """A deterministic Colombo-style service.
+
+    ``states`` are control states, transitions are tried in order (first
+    enabled guard wins — determinism by priority, a standard Colombo
+    restriction), and a step with no enabled transition leaves control and
+    world state unchanged.  The service's observable output at each step
+    is its world state at accepting control states, else empty.
+    """
+
+    states: tuple[str, ...]
+    initial: str
+    accepting: frozenset[str]
+    transitions: tuple[ColomboTransition, ...]
+    db_schema: DatabaseSchema
+    arity: int
+    name: str = "colombo"
+
+    def __post_init__(self) -> None:
+        state_set = set(self.states)
+        if self.initial not in state_set or not self.accepting <= state_set:
+            raise SWSDefinitionError("initial/accepting states must be states")
+        for transition in self.transitions:
+            if transition.source not in state_set or transition.target not in state_set:
+                raise SWSDefinitionError("transition uses unknown state")
+            if transition.process.arity != self.arity:
+                raise SWSDefinitionError("process arity must match the service")
+
+    # -- direct semantics ---------------------------------------------------------
+
+    def _env(self, database: Database, world: frozenset[Row], message: frozenset[Row]):
+        from repro.data.relation import Relation
+        from repro.data.schema import RelationSchema
+
+        columns = tuple(f"c{i}" for i in range(self.arity))
+        env = {name: database[name] for name in database}
+        env["World"] = Relation(RelationSchema("World", columns), world)
+        env[INPUT_RELATION] = Relation(
+            RelationSchema(INPUT_RELATION, columns), message
+        )
+        return env
+
+    def run(
+        self, database: Database, inputs: Sequence[frozenset[Row]]
+    ) -> list[frozenset[Row]]:
+        """Outputs at every step (world state at accepting control states)."""
+        control = self.initial
+        world: frozenset[Row] = frozenset()
+        outputs: list[frozenset[Row]] = []
+        for message in inputs:
+            env = self._env(database, world, message)
+            for transition in self.transitions:
+                if transition.source != control:
+                    continue
+                if transition.guard._holds(env, {}, sorted(
+                    fo.active_domain(env, transition.guard), key=repr
+                )):
+                    world = transition.process.evaluate(env)
+                    control = transition.target
+                    break
+            outputs.append(world if control in self.accepting else frozenset())
+        return outputs
+
+
+def _retag(formula: fo.FOFormula, control: str) -> fo.FOFormula:
+    """Rewrite ``World(t̄)`` atoms onto the tagged peer state relation.
+
+    The peer's state relation holds rows ``(control_state, world_row...)``
+    plus one control row ``(control_state, ⊥, ..., ⊥)`` so the control
+    state survives an empty world.
+    """
+    if isinstance(formula, fo.RelAtom):
+        atom = formula.atom
+        if atom.relation == "World":
+            return fo.RelAtom(
+                Atom(STATE_RELATION, (Constant(f"w@{control}"),) + tuple(atom.terms))
+            )
+        return formula
+    if isinstance(formula, fo.Equals):
+        return formula
+    if isinstance(formula, fo.NotF):
+        return fo.NotF(_retag(formula.operand, control))
+    if isinstance(formula, fo.AndF):
+        return fo.AndF(_retag(op, control) for op in formula.operands)
+    if isinstance(formula, fo.OrF):
+        return fo.OrF(_retag(op, control) for op in formula.operands)
+    if isinstance(formula, fo.Exists):
+        return fo.Exists(formula.variables, _retag(formula.body, control))
+    if isinstance(formula, fo.Forall):
+        return fo.Forall(formula.variables, _retag(formula.body, control))
+    raise SWSDefinitionError(f"unknown formula node {type(formula).__name__}")
+
+
+CONTROL_MARK = "ctl"
+FILLER = "·"
+
+
+def colombo_to_peer(service: ColomboService) -> Peer:
+    """Fold control state and world state into one peer state relation.
+
+    Encoding: the peer state holds one control row
+    ``('ctl@<q>', ·, ..., ·)`` plus world rows ``('w@<q>', row...)``; the
+    peer's arity is the service arity + 1.  The step rule cases over the
+    control rows, applying the highest-priority enabled transition's
+    process (guard conjoined, earlier guards negated) or copying the state
+    when nothing fires.  The output rule projects the world rows of
+    accepting control states.
+    """
+    arity = service.arity
+    kind = Variable("kd")
+    payload = tuple(Variable(f"p{i}") for i in range(arity))
+    in_payload = tuple(Variable(f"i{i}") for i in range(1 + arity))
+
+    def control_row(state: str) -> fo.FOFormula:
+        fillers = [fo.Equals(p, Constant(FILLER)) for p in payload]
+        return fo.AndF([fo.Equals(kind, Constant(f"{CONTROL_MARK}@{state}")), *fillers])
+
+    def at_control(state: str) -> fo.FOFormula:
+        anon = tuple(Variable(f"a{i}") for i in range(arity))
+        return fo.Exists(
+            anon,
+            fo.RelAtom(
+                Atom(STATE_RELATION, (Constant(f"{CONTROL_MARK}@{state}"),) + anon)
+            ),
+        )
+
+    def initial_control() -> fo.FOFormula:
+        """True when no control row exists yet (step 1)."""
+        anon = tuple(Variable(f"b{i}") for i in range(arity + 1))
+        return fo.NotF(
+            fo.Exists(anon, fo.RelAtom(Atom(STATE_RELATION, anon)))
+        )
+
+    # The peer input is the Colombo input padded with a leading filler
+    # column so arities line up; strip it when embedding guards/processes.
+    def strip_input(formula: fo.FOFormula) -> fo.FOFormula:
+        if isinstance(formula, fo.RelAtom):
+            atom = formula.atom
+            if atom.relation == INPUT_RELATION:
+                return fo.RelAtom(
+                    Atom(INPUT_RELATION, (Constant(FILLER),) + tuple(atom.terms))
+                )
+            return formula
+        if isinstance(formula, fo.Equals):
+            return formula
+        if isinstance(formula, fo.NotF):
+            return fo.NotF(strip_input(formula.operand))
+        if isinstance(formula, fo.AndF):
+            return fo.AndF(strip_input(op) for op in formula.operands)
+        if isinstance(formula, fo.OrF):
+            return fo.OrF(strip_input(op) for op in formula.operands)
+        if isinstance(formula, (fo.Exists, fo.Forall)):
+            cls = type(formula)
+            return cls(formula.variables, strip_input(formula.body))
+        raise SWSDefinitionError(f"unknown node {type(formula).__name__}")
+
+    disjuncts: list[fo.FOFormula] = []
+    for state in service.states:
+        outgoing = [t for t in service.transitions if t.source == state]
+        here: fo.FOFormula = at_control(state)
+        if state == service.initial:
+            here = fo.OrF([here, initial_control()])
+        blockers: list[fo.FOFormula] = []
+        for transition in outgoing:
+            guard = strip_input(_retag(transition.guard, state))
+            enabled = fo.AndF([here, *blockers, guard])
+            process_body = strip_input(
+                _retag(transition.process.formula, state)
+            )
+            head_map = dict(zip(transition.process.head, payload))
+            process_body = _rename(process_body, head_map)
+            fired_world = fo.AndF(
+                [
+                    fo.Equals(kind, Constant(f"w@{transition.target}")),
+                    process_body,
+                ]
+            )
+            fired_control = control_row(transition.target)
+            disjuncts.append(fo.AndF([enabled, fo.OrF([fired_world, fired_control])]))
+            blockers.append(fo.NotF(guard))
+        # No transition fires: copy world rows and control row.
+        stay_world = fo.AndF(
+            [
+                fo.Equals(kind, Constant(f"w@{state}")),
+                fo.RelAtom(
+                    Atom(STATE_RELATION, (Constant(f"w@{state}"),) + payload)
+                ),
+            ]
+        )
+        stay_control = control_row(state)
+        disjuncts.append(
+            fo.AndF([here, *blockers, fo.OrF([stay_world, stay_control])])
+        )
+    state_rule = fo.FOQuery((kind,) + payload, fo.OrF(disjuncts), "colombo_step")
+
+    out_head = tuple(Variable(f"o{i}") for i in range(arity + 1))
+    out_disjuncts = []
+    for state in sorted(service.accepting):
+        out_disjuncts.append(
+            fo.AndF(
+                [
+                    fo.Equals(out_head[0], Constant(FILLER)),
+                    fo.RelAtom(
+                        Atom(
+                            STATE_RELATION,
+                            (Constant(f"w@{state}"),) + out_head[1:],
+                        )
+                    ),
+                ]
+            )
+        )
+    output_rule = fo.FOQuery(
+        out_head,
+        fo.OrF(out_disjuncts) if out_disjuncts else fo.OrF([]),
+        "colombo_out",
+    )
+    return Peer(
+        service.db_schema,
+        arity + 1,
+        state_rule,
+        output_rule,
+        name=f"peer_{service.name}",
+    )
+
+
+def _rename(formula: fo.FOFormula, mapping) -> fo.FOFormula:
+    from repro.models.peer import _rename_free
+
+    return _rename_free(formula, mapping)
+
+
+def encode_colombo_inputs(
+    inputs: Sequence[frozenset[Row]], arity: int
+) -> list[frozenset[Row]]:
+    """Pad Colombo messages with the filler column the peer encoding adds."""
+    return [
+        frozenset((FILLER,) + row for row in message) for message in inputs
+    ]
+
+
+def decode_colombo_outputs(rows: frozenset[Row]) -> frozenset[Row]:
+    """Strip the filler column from peer outputs."""
+    return frozenset(row[1:] for row in rows)

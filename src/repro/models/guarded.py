@@ -1,0 +1,123 @@
+"""Guarded automata (conversation protocols) and their SWS translation.
+
+Fu, Bultan and Su's guarded automata extend Mealy machines with transition
+guards; the paper notes (end of Section 3) that such services — like the
+Colombo model — embed into the peer model and hence into SWS(FO, FO).  For
+the propositional fragment (guards over message variables, no data), the
+embedding factors through SWS(PL, PL) exactly like the Roman translation,
+with guards replacing exact-letter tests; this is the translation
+implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.errors import SWSDefinitionError
+from repro.logic import pl
+
+#: Delimiter variable marking the end of a conversation.
+DELIMITER_VARIABLE = "hash"
+
+
+@dataclass(frozen=True)
+class GuardedAutomaton:
+    """A guarded automaton over propositional message variables.
+
+    ``transitions`` maps a state to its outgoing (guard, target) pairs; a
+    message (truth assignment over ``variables``) may satisfy several
+    guards — the automaton is nondeterministic, accepting a conversation
+    iff some run ends in a final state.
+    """
+
+    states: tuple[str, ...]
+    variables: tuple[str, ...]
+    transitions: dict[str, tuple[tuple[pl.Formula, str], ...]]
+    initial: str
+    finals: frozenset[str]
+    name: str = "guarded"
+
+    def __post_init__(self) -> None:
+        state_set = set(self.states)
+        if self.initial not in state_set or not self.finals <= state_set:
+            raise SWSDefinitionError("initial/final states must be states")
+        if DELIMITER_VARIABLE in self.variables:
+            raise SWSDefinitionError(
+                f"{DELIMITER_VARIABLE!r} is reserved for the translation"
+            )
+        for state, moves in self.transitions.items():
+            if state not in state_set:
+                raise SWSDefinitionError(f"transitions from unknown {state!r}")
+            for guard, target in moves:
+                if target not in state_set:
+                    raise SWSDefinitionError(f"transition to unknown {target!r}")
+                stray = guard.variables() - set(self.variables)
+                if stray:
+                    raise SWSDefinitionError(
+                        f"guard mentions unknown variables {sorted(stray)}"
+                    )
+
+    def accepts(self, conversation: Sequence[frozenset[str]]) -> bool:
+        """Whether some guarded run over the conversation ends final."""
+        current = {self.initial}
+        for message in conversation:
+            nxt: set[str] = set()
+            for state in current:
+                for guard, target in self.transitions.get(state, ()):
+                    if guard.evaluate(message):
+                        nxt.add(target)
+            current = nxt
+            if not current:
+                return False
+        return bool(current & self.finals)
+
+
+def guarded_to_sws(automaton: GuardedAutomaton) -> SWS:
+    """Translate a guarded automaton into SWS(PL, PL).
+
+    Structure mirrors the Roman translation: guards become transition
+    formulas (conjoined with ¬#), final states gain a delimiter edge to a
+    fresh ``q_f``, synthesis is disjunctive, and a fresh start state
+    replicates the initial state (whose original may have incoming edges).
+    """
+    not_delim = pl.Not(pl.Var(DELIMITER_VARIABLE))
+    state_name = {s: f"g_{s}" for s in automaton.states}
+    sws_states = ["g_start"] + [state_name[s] for s in automaton.states] + ["g_f"]
+    transitions: dict[str, TransitionRule] = {}
+    synthesis: dict[str, SynthesisRule] = {}
+
+    def rule_for(state: str) -> tuple[TransitionRule, SynthesisRule]:
+        targets: list[tuple[str, pl.Formula]] = []
+        for guard, target in automaton.transitions.get(state, ()):
+            targets.append((state_name[target], (guard & not_delim).simplify()))
+        if state in automaton.finals:
+            targets.append(("g_f", pl.Var(DELIMITER_VARIABLE)))
+        if not targets:
+            return TransitionRule(), SynthesisRule(pl.FALSE)
+        registers = pl.disjoin(pl.Var(f"A{i + 1}") for i in range(len(targets)))
+        return TransitionRule(targets), SynthesisRule(registers)
+
+    transitions["g_start"], synthesis["g_start"] = rule_for(automaton.initial)
+    for state in automaton.states:
+        transitions[state_name[state]], synthesis[state_name[state]] = rule_for(state)
+    transitions["g_f"] = TransitionRule()
+    synthesis["g_f"] = SynthesisRule(pl.Var("Msg"))
+    return SWS(
+        sws_states,
+        "g_start",
+        transitions,
+        synthesis,
+        kind=SWSKind.PL,
+        name=f"sws_{automaton.name}",
+    )
+
+
+def encode_conversation(
+    conversation: Iterable[frozenset[str]],
+) -> list[frozenset[str]]:
+    """fI: append the delimiter message to a conversation."""
+    encoded = [frozenset(message) for message in conversation]
+    encoded.append(frozenset({DELIMITER_VARIABLE}))
+    return encoded

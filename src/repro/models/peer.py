@@ -1,0 +1,259 @@
+"""The peer model of Deutsch et al. and its SWS(FO, FO) translation.
+
+Section 3 characterizes a peer by a fixed local database, state relations
+tracking updates, user inputs, action relations and queues, with FO rules
+producing actions/updates/outputs at each step.  This module implements the
+single-peer core of that model (state relation + FO step/output rules; the
+multi-peer queue machinery of [13] is orthogonal to the translation the
+paper sketches) and the translation:
+
+* the SWS has three states — ``q0 → (qs, φ), (qf, φ)``,
+  ``qs → (qs, φ), (qf, φ)``, ``qf`` final — exactly the shape the paper
+  gives;
+* one FO query ``φ`` combines the peer's rules: it computes the successor
+  state relation from the register (which encodes the current state
+  relation) and the current input, tagged into the single input/register
+  schema by a leading ``kind`` column, plus a sentinel ``live`` row so the
+  empty peer state does not trip the empty-register cutoff of rule (1);
+* ``qf``'s synthesis fires exactly on the session delimiter ``#`` and
+  emits the peer's output for the state the register carries.
+
+fI encodes a peer input prefix ``I1..Ij`` as the tagged messages followed
+by the delimiter; then ``τ(D, fI(I, j))`` equals the peer's step-``j``
+output for every prefix — the per-step correspondence the paper states
+(its concatenated encoding ``I1,#,I1,I2,#,...`` replays the same prefixes
+back to back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.sws import MSG, SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.data.database import Database
+from repro.data.input_sequence import InputSequence
+from repro.data.relation import Relation, Row
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.errors import SWSDefinitionError
+from repro.logic import fo
+from repro.logic.cq import Atom
+from repro.logic.terms import Constant, Variable
+
+#: kind-column tags of the unified input/register schema.
+KIND_DATA = "data"
+KIND_STATE = "state"
+KIND_LIVE = "live"
+KIND_DELIM = "#"
+
+#: Filler value for payload positions of sentinel/delimiter rows.
+FILLER = "·"
+
+#: Reserved relation names peer rules are written against.
+STATE_RELATION = "State"
+INPUT_RELATION = "InP"
+
+
+@dataclass(frozen=True)
+class Peer:
+    """A single data-driven peer (transducer).
+
+    ``arity`` is the common width of the state relation and of input
+    messages.  ``state_rule`` computes the next state relation from
+    ``State`` (the current state), ``InP`` (the current input message) and
+    the database relations; ``output_rule`` computes the step output from
+    ``State`` (the *post*-step state) and the database.
+    """
+
+    db_schema: DatabaseSchema
+    arity: int
+    state_rule: fo.FOQuery
+    output_rule: fo.FOQuery
+    name: str = "peer"
+
+    def __post_init__(self) -> None:
+        if self.state_rule.arity != self.arity:
+            raise SWSDefinitionError("state rule arity must match the peer arity")
+        if self.output_rule.arity != self.arity:
+            raise SWSDefinitionError("output rule arity must match the peer arity")
+
+    def _env(
+        self, database: Database, state: frozenset[Row], message: frozenset[Row]
+    ) -> dict[str, Relation]:
+        columns = tuple(f"c{i}" for i in range(self.arity))
+        env: dict[str, Relation] = {name: database[name] for name in database}
+        env[STATE_RELATION] = Relation(
+            RelationSchema(STATE_RELATION, columns), state
+        )
+        env[INPUT_RELATION] = Relation(
+            RelationSchema(INPUT_RELATION, columns), message
+        )
+        return env
+
+    def run(
+        self, database: Database, inputs: Sequence[frozenset[Row]]
+    ) -> list[frozenset[Row]]:
+        """Outputs at every step: ``O_j = out(update(S_{j-1}, I_j))``."""
+        state: frozenset[Row] = frozenset()
+        outputs: list[frozenset[Row]] = []
+        for message in inputs:
+            state = self.state_rule.evaluate(self._env(database, state, message))
+            outputs.append(
+                self.output_rule.evaluate(
+                    self._env(database, state, frozenset())
+                )
+            )
+        return outputs
+
+
+def _retag_formula(formula: fo.FOFormula, kind_by_relation: dict[str, tuple[str, str]]) -> fo.FOFormula:
+    """Rewrite ``State``/``InP`` atoms onto the tagged unified schema.
+
+    ``kind_by_relation`` maps a rule-level relation to ``(register, kind)``
+    — e.g. ``State ↦ (Msg, 'state')`` — and an atom ``State(t̄)`` becomes
+    ``Msg('state', t̄)``.
+    """
+    if isinstance(formula, fo.RelAtom):
+        atom = formula.atom
+        if atom.relation in kind_by_relation:
+            register, kind = kind_by_relation[atom.relation]
+            return fo.RelAtom(
+                Atom(register, (Constant(kind),) + tuple(atom.terms))
+            )
+        return formula
+    if isinstance(formula, fo.Equals):
+        return formula
+    if isinstance(formula, fo.NotF):
+        return fo.NotF(_retag_formula(formula.operand, kind_by_relation))
+    if isinstance(formula, fo.AndF):
+        return fo.AndF(
+            _retag_formula(op, kind_by_relation) for op in formula.operands
+        )
+    if isinstance(formula, fo.OrF):
+        return fo.OrF(
+            _retag_formula(op, kind_by_relation) for op in formula.operands
+        )
+    if isinstance(formula, fo.Exists):
+        return fo.Exists(
+            formula.variables, _retag_formula(formula.body, kind_by_relation)
+        )
+    if isinstance(formula, fo.Forall):
+        return fo.Forall(
+            formula.variables, _retag_formula(formula.body, kind_by_relation)
+        )
+    raise SWSDefinitionError(f"unknown formula node {type(formula).__name__}")
+
+
+def peer_to_sws(peer: Peer) -> SWS:
+    """fτ: translate a peer into SWS(FO, FO) (the paper's 3-state shape)."""
+    retag = {
+        STATE_RELATION: (MSG, KIND_STATE),
+        INPUT_RELATION: ("In", KIND_DATA),
+    }
+    # Internal variable names are deliberately obscure: the peer rule's own
+    # head variables are renamed onto them, and renaming the *body first*
+    # keeps a peer head variable that happens to share a name with the
+    # translation's variables from being captured.
+    kind = Variable("__peer_kind")
+    payload = tuple(Variable(f"__peer_p{i}") for i in range(peer.arity))
+
+    # φ: next tagged register = tagged next state ∪ {('live', ·, ..., ·)}.
+    head_map = dict(zip(peer.state_rule.head, payload))
+    state_body = _rename_free(
+        _retag_formula(peer.state_rule.formula, retag), head_map
+    )
+    next_state = fo.AndF(
+        [fo.Equals(kind, Constant(KIND_STATE)), state_body]
+    )
+    fillers = [fo.Equals(p, Constant(FILLER)) for p in payload]
+    sentinel = fo.AndF([fo.Equals(kind, Constant(KIND_LIVE)), *fillers])
+    phi = fo.FOQuery((kind,) + payload, fo.OrF([next_state, sentinel]), "phi")
+
+    # ψf: on a delimiter message, emit the peer's output for the carried
+    # state (register rows tagged 'state').
+    delim_payload = tuple(Variable(f"__peer_d{i}") for i in range(peer.arity))
+    saw_delimiter = fo.Exists(
+        delim_payload,
+        fo.RelAtom(Atom("In", (Constant(KIND_DELIM),) + delim_payload)),
+    )
+    output_body = _retag_formula(peer.output_rule.formula, {STATE_RELATION: (MSG, KIND_STATE)})
+    out_head = tuple(Variable(f"__peer_o{i}") for i in range(peer.arity))
+    output_body = _rename_free(output_body, dict(zip(peer.output_rule.head, out_head)))
+    psi_f = fo.FOQuery(out_head, fo.AndF([saw_delimiter, output_body]), "psi_f")
+
+    # Internal synthesis: union of the two successor registers.
+    union_head = tuple(Variable(f"__peer_u{i}") for i in range(peer.arity))
+    union = fo.FOQuery(
+        union_head,
+        fo.OrF(
+            [fo.atom("A1", *union_head), fo.atom("A2", *union_head)]
+        ),
+        "psi_union",
+    )
+    transitions = {
+        "q0": TransitionRule([("qs", phi), ("qf", phi)]),
+        "qs": TransitionRule([("qs", phi), ("qf", phi)]),
+        "qf": TransitionRule(),
+    }
+    synthesis = {
+        "q0": SynthesisRule(union),
+        "qs": SynthesisRule(union),
+        "qf": SynthesisRule(psi_f),
+    }
+    payload_schema = RelationSchema(
+        "Rin", ("kind",) + tuple(f"c{i}" for i in range(peer.arity))
+    )
+    return SWS(
+        ("q0", "qs", "qf"),
+        "q0",
+        transitions,
+        synthesis,
+        kind=SWSKind.RELATIONAL,
+        db_schema=peer.db_schema,
+        input_schema=payload_schema,
+        output_arity=peer.arity,
+        name=f"sws_{peer.name}",
+    )
+
+
+def _rename_free(formula: fo.FOFormula, mapping: dict[Variable, Variable]) -> fo.FOFormula:
+    """Rename free variables of a formula (bound variables untouched)."""
+    if isinstance(formula, fo.RelAtom):
+        atom = formula.atom
+        terms = tuple(
+            mapping.get(t, t) if isinstance(t, Variable) else t
+            for t in atom.terms
+        )
+        return fo.RelAtom(Atom(atom.relation, terms))
+    if isinstance(formula, fo.Equals):
+        left = mapping.get(formula.left, formula.left) if isinstance(formula.left, Variable) else formula.left
+        right = mapping.get(formula.right, formula.right) if isinstance(formula.right, Variable) else formula.right
+        return fo.Equals(left, right)
+    if isinstance(formula, fo.NotF):
+        return fo.NotF(_rename_free(formula.operand, mapping))
+    if isinstance(formula, fo.AndF):
+        return fo.AndF(_rename_free(op, mapping) for op in formula.operands)
+    if isinstance(formula, fo.OrF):
+        return fo.OrF(_rename_free(op, mapping) for op in formula.operands)
+    if isinstance(formula, (fo.Exists, fo.Forall)):
+        inner = {
+            k: v for k, v in mapping.items() if k not in formula.variables
+        }
+        cls = type(formula)
+        return cls(formula.variables, _rename_free(formula.body, inner))
+    raise SWSDefinitionError(f"unknown formula node {type(formula).__name__}")
+
+
+def encode_peer_prefix(
+    inputs: Sequence[frozenset[Row]], steps: int, arity: int
+) -> InputSequence:
+    """fI for one step: the tagged prefix ``I1..Ij`` plus the delimiter."""
+    payload_schema = RelationSchema(
+        "Rin", ("kind",) + tuple(f"c{i}" for i in range(arity))
+    )
+    messages = [
+        [(KIND_DATA,) + row for row in message]
+        for message in list(inputs)[:steps]
+    ]
+    messages.append([(KIND_DELIM,) + (FILLER,) * arity])
+    return InputSequence(payload_schema, messages)

@@ -1,0 +1,157 @@
+"""The Roman model and its SWS(PL, PL) translation (Section 3).
+
+A Roman-model service is a DFA (NFA for composite services) over an
+alphabet of *actions*; it accepts an action string iff the string drives it
+to a final state — "the service legally terminates".
+
+The paper's translation fτ builds an SWS(PL, PL) service with the DFA's
+states plus one fresh final state ``qf``:
+
+* the transition rule of state ``q`` collects all DFA transitions of ``q``:
+  ``q → (q1, φ_{a1}), ..., (qk, φ_{ak})`` where ``φ_a`` checks that the
+  current input message *is* the letter ``a``; a DFA-final ``q``
+  additionally targets ``(qf, φ_#)``, with ``#`` a fresh session delimiter;
+* ``σ(qf): Act(qf) ← Msg`` and internal synthesis is the disjunction of
+  the successor registers.
+
+fI augments a string with per-letter truth assignments and appends ``#``;
+then ``ω accepts w  ⟺  τ accepts fI(w)`` over the empty database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.automata.dfa import DEAD, DFA
+from repro.automata.nfa import NFA
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.errors import SWSDefinitionError
+from repro.logic import pl
+
+#: Propositional variable encoding the session delimiter.
+DELIMITER_VARIABLE = "hash"
+
+
+def letter_variable(letter: str) -> str:
+    """The propositional variable encoding an action letter."""
+    return f"ltr_{letter}"
+
+
+@dataclass(frozen=True)
+class RomanService:
+    """A Roman-model service: a finite automaton over action letters.
+
+    ``automaton`` may be a DFA (atomic service) or an NFA (composite
+    service, per the paper's note that composition yields NFAs).
+    """
+
+    automaton: DFA | NFA
+    name: str = "roman"
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        """The action alphabet."""
+        return frozenset(str(a) for a in self.automaton.alphabet)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Whether the action string legally terminates the service."""
+        return self.automaton.accepts(list(word))
+
+
+def _letter_formula(letter: str, alphabet: Iterable[str]) -> pl.Formula:
+    """φ_a: the current message encodes exactly the letter ``a``."""
+    positives = [pl.Var(letter_variable(letter))]
+    negatives = [
+        pl.Not(pl.Var(letter_variable(other)))
+        for other in sorted(alphabet)
+        if other != letter
+    ]
+    negatives.append(pl.Not(pl.Var(DELIMITER_VARIABLE)))
+    return pl.conjoin(positives + negatives)
+
+
+def _delimiter_formula(alphabet: Iterable[str]) -> pl.Formula:
+    """φ_#: the current message is the session delimiter."""
+    positives = [pl.Var(DELIMITER_VARIABLE)]
+    negatives = [
+        pl.Not(pl.Var(letter_variable(letter))) for letter in sorted(alphabet)
+    ]
+    return pl.conjoin(positives + negatives)
+
+
+def roman_to_sws(service: RomanService) -> SWS:
+    """fτ: translate a Roman-model service into SWS(PL, PL).
+
+    Handles both DFA and NFA services (an NFA state's rule lists one
+    target per nondeterministic choice; the disjunctive synthesis makes
+    the SWS accept iff *some* run accepts, as NFA semantics requires).
+    The DFA/NFA initial state may have incoming transitions, which
+    Definition 2.1 forbids for the start state; the translation therefore
+    adds a fresh start state replicating the initial state's rule.
+    """
+    automaton = service.automaton
+    alphabet = sorted(service.alphabet)
+    if isinstance(automaton, DFA):
+        states = [s for s in automaton.states if s != DEAD]
+        initials = [automaton.initial]
+        finals = set(automaton.finals)
+        moves: dict[object, list[tuple[str, object]]] = {s: [] for s in states}
+        for (source, symbol), target in automaton.transitions.items():
+            if source == DEAD or target == DEAD:
+                continue
+            moves[source].append((str(symbol), target))
+    else:
+        for (_s, symbol) in automaton.transitions:
+            if symbol is None:
+                raise SWSDefinitionError(
+                    "roman_to_sws needs an ε-free NFA; determinize first"
+                )
+        states = list(automaton.states)
+        initials = list(automaton.initials)
+        finals = set(automaton.finals)
+        moves = {s: [] for s in states}
+        for (source, symbol), targets in automaton.transitions.items():
+            for target in targets:
+                moves[source].append((str(symbol), target))
+
+    state_name = {s: f"q_{i}" for i, s in enumerate(sorted(states, key=repr))}
+    sws_states = ["q_start"] + [state_name[s] for s in states] + ["q_f"]
+    transitions: dict[str, TransitionRule] = {}
+    synthesis: dict[str, SynthesisRule] = {}
+
+    def rule_for(sources: list) -> tuple[TransitionRule, SynthesisRule]:
+        targets: list[tuple[str, pl.Formula]] = []
+        for source in sources:
+            for letter, target in sorted(moves[source], key=repr):
+                targets.append((state_name[target], _letter_formula(letter, alphabet)))
+        if any(source in finals for source in sources):
+            targets.append(("q_f", _delimiter_formula(alphabet)))
+        if not targets:
+            # A rejecting sink: final SWS state that never produces.
+            return TransitionRule(), SynthesisRule(pl.FALSE)
+        rule = TransitionRule(targets)
+        registers = pl.disjoin(pl.Var(f"A{i + 1}") for i in range(len(targets)))
+        return rule, SynthesisRule(registers)
+
+    transitions["q_start"], synthesis["q_start"] = rule_for(initials)
+    for state in states:
+        name = state_name[state]
+        transitions[name], synthesis[name] = rule_for([state])
+    transitions["q_f"] = TransitionRule()
+    synthesis["q_f"] = SynthesisRule(pl.Var("Msg"))
+    return SWS(
+        sws_states,
+        "q_start",
+        transitions,
+        synthesis,
+        kind=SWSKind.PL,
+        name=f"sws_{service.name}",
+    )
+
+
+def encode_roman_word(word: Sequence[str]) -> list[frozenset[str]]:
+    """fI: encode an action string as SWS input (delimiter appended)."""
+    encoded = [frozenset({letter_variable(letter)}) for letter in word]
+    encoded.append(frozenset({DELIMITER_VARIABLE}))
+    return encoded

@@ -1,0 +1,32 @@
+"""Executable hardness reductions (lower-bound witnesses of Theorem 4.1).
+
+* :mod:`~repro.reductions.sat_to_sws` — SAT ≤p non-emptiness of
+  SWS_nr(PL, PL): the NP lower bound of Theorem 4.1(3).
+* :mod:`~repro.reductions.afa_to_sws` — AFA emptiness ≤p non-emptiness of
+  SWS(PL, PL): the PSPACE lower bound of Theorem 4.1(3) ("AFA ... can be
+  expressed in SWS(PL, PL), in ptime").
+* :mod:`~repro.reductions.fo_sat_to_sws` — FO satisfiability ≤ non-
+  emptiness of SWS_nr(FO, FO): the undecidability of Theorem 4.1(1).
+* :mod:`~repro.reductions.qbf` — a QBF evaluator, the Q3SAT substrate
+  behind the PSPACE lower bound for SWS_nr(CQ, UCQ) (used as a baseline
+  in the benchmarks; the paper's reduction construction is not spelled
+  out, see DESIGN.md).
+
+Each reduction doubles as a correctness oracle: the target decision
+procedure must agree with a direct solver on the source instance.
+"""
+
+from repro.reductions.sat_to_sws import cnf_to_sws, sat_instance_to_sws
+from repro.reductions.afa_to_sws import afa_to_sws, encode_afa_word
+from repro.reductions.fo_sat_to_sws import fo_sat_to_sws
+from repro.reductions.qbf import QBF, evaluate_qbf
+
+__all__ = [
+    "QBF",
+    "afa_to_sws",
+    "cnf_to_sws",
+    "encode_afa_word",
+    "evaluate_qbf",
+    "fo_sat_to_sws",
+    "sat_instance_to_sws",
+]

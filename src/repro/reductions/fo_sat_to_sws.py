@@ -1,0 +1,58 @@
+"""FO satisfiability ≤ SWS_nr(FO, FO) non-emptiness (Theorem 4.1(1)).
+
+The undecidability of every decision problem for the FO classes is by
+reduction from FO satisfiability: a closed FO sentence φ over a schema R
+becomes the one-state service whose final synthesis outputs a constant
+tuple guarded by φ — the service produces an action on (D, I) iff D ⊨ φ,
+so it is non-empty iff φ has a (finite) model.
+
+Note the database-theory reading: satisfiability here is *finite*
+satisfiability over the uninterpreted domain, which is the right notion
+for services over databases (and is itself undecidable by Trakhtenbrot's
+theorem, so the reduction carries full force).
+"""
+
+from __future__ import annotations
+
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.logic import fo
+from repro.logic.terms import Constant, Variable
+
+
+def fo_sat_to_sws(
+    sentence: fo.FOFormula,
+    db_schema: DatabaseSchema,
+    name: str = "fosat",
+) -> SWS:
+    """φ ↦ τφ with: τφ non-empty ⟺ φ finitely satisfiable.
+
+    ``τφ`` consists of a single final start state whose synthesis emits the
+    constant tuple ``('ok',)`` exactly when the local database satisfies
+    φ.  Input messages are ignored (payload schema is a dummy single
+    attribute).
+    """
+    free = sentence.free_variables()
+    if free:
+        raise ValueError(
+            f"the reduction needs a closed sentence; free: "
+            f"{sorted(v.name for v in free)}"
+        )
+    out = Variable("o")
+    query = fo.FOQuery(
+        (out,),
+        fo.AndF([fo.Equals(out, Constant("ok")), sentence]),
+        "guarded_emit",
+    )
+    payload = RelationSchema("Rin", ("dummy",))
+    return SWS(
+        ("q0",),
+        "q0",
+        {"q0": TransitionRule()},
+        {"q0": SynthesisRule(query)},
+        kind=SWSKind.RELATIONAL,
+        db_schema=db_schema,
+        input_schema=payload,
+        output_arity=1,
+        name=name,
+    )

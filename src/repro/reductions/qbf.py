@@ -1,0 +1,76 @@
+"""Quantified boolean formulas.
+
+The PSPACE lower bound for SWS_nr(CQ, UCQ) non-emptiness (Theorem 4.1(2))
+is by reduction from Q3SAT.  The paper does not spell the construction out;
+the reproduction therefore ships the Q3SAT substrate itself — a QBF data
+type and evaluator — as the baseline the benchmarks compare the expansion-
+based procedure against on the shared-DAG scaling family (see DESIGN.md,
+"Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.logic import pl
+
+
+@dataclass(frozen=True)
+class QBF:
+    """A prenex QBF: a quantifier prefix over a propositional matrix.
+
+    ``prefix`` lists (quantifier, variable) pairs outermost-first, with
+    quantifier ``'E'`` or ``'A'``; the matrix may mention exactly the
+    prefixed variables.
+    """
+
+    prefix: tuple[tuple[str, str], ...]
+    matrix: pl.Formula
+
+    def __post_init__(self) -> None:
+        quantified = {v for _q, v in self.prefix}
+        stray = self.matrix.variables() - quantified
+        if stray:
+            raise ValueError(f"unquantified variables {sorted(stray)}")
+        if any(q not in {"E", "A"} for q, _v in self.prefix):
+            raise ValueError("quantifiers must be 'E' or 'A'")
+
+
+def evaluate_qbf(qbf: QBF) -> bool:
+    """Evaluate a closed QBF (the textbook PSPACE recursion)."""
+
+    def recurse(index: int, assignment: frozenset[str]) -> bool:
+        if index == len(qbf.prefix):
+            return qbf.matrix.evaluate(assignment)
+        quantifier, variable = qbf.prefix[index]
+        with_true = recurse(index + 1, assignment | {variable})
+        if quantifier == "E" and with_true:
+            return True
+        if quantifier == "A" and not with_true:
+            return False
+        return recurse(index + 1, assignment)
+
+    return recurse(0, frozenset())
+
+
+def random_qbf(seed: int, n_variables: int, n_clauses: int) -> QBF:
+    """A random alternating-prefix 3-CNF QBF (benchmark workload)."""
+    import random
+
+    from repro.workloads.scaling import random_3cnf
+
+    rng = random.Random(seed)
+    variables = [f"v{i}" for i in range(n_variables)]
+    prefix = tuple(
+        ("E" if i % 2 == 0 else "A", v) for i, v in enumerate(variables)
+    )
+    clauses = random_3cnf(rng.randint(0, 10**9), n_variables, n_clauses)
+    matrix = pl.conjoin(
+        pl.disjoin(
+            pl.Var(v) if positive else pl.Not(pl.Var(v))
+            for v, positive in clause
+        )
+        for clause in clauses
+    )
+    return QBF(prefix, matrix)

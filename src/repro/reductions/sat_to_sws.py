@@ -1,0 +1,94 @@
+"""SAT ≤p SWS_nr(PL, PL) non-emptiness (Theorem 4.1(3), NP lower bound).
+
+The reduction is the paper's: a propositional formula φ over variables
+x1..xm becomes a two-state service whose single final state evaluates φ on
+the first input message — the service produces an action iff some truth
+assignment (= input message) satisfies φ, i.e. iff φ is satisfiable.
+
+A slightly richer variant (:func:`cnf_to_sws`) spreads a CNF's clauses over
+parallel states with conjunctive synthesis, exercising the synthesis
+machinery instead of a single formula: state ``c_i`` checks clause ``i`` on
+the shared input, the root conjoins all clause registers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.logic import pl
+from repro.logic.cnf import Clause, Literal
+
+
+def sat_instance_to_sws(formula: pl.Formula, name: str = "sat") -> SWS:
+    """φ ↦ τφ with: τφ non-empty ⟺ φ satisfiable.
+
+    ``τφ`` has a start state spawning one final state whose synthesis
+    evaluates φ on the first input message; the witness input message *is*
+    the satisfying assignment.
+    """
+    transitions = {
+        "q0": TransitionRule([("qe", pl.TRUE)]),
+        "qe": TransitionRule(),
+    }
+    synthesis = {
+        "q0": SynthesisRule(pl.Var("A1")),
+        "qe": SynthesisRule(formula),
+    }
+    return SWS(
+        ("q0", "qe"),
+        "q0",
+        transitions,
+        synthesis,
+        kind=SWSKind.PL,
+        name=name,
+    )
+
+
+def cnf_to_sws(clauses: Iterable[Clause], name: str = "cnf") -> SWS:
+    """CNF ↦ τ with one parallel state per clause, conjunctive synthesis.
+
+    τ is non-empty iff the CNF is satisfiable; the construction showcases
+    the "parallel checks + deterministic synthesis" style of Figure 1(b):
+    every clause is inspected in parallel on the same input message and the
+    root commits only when all clause registers are true.
+    """
+    clause_list = [frozenset(c) for c in clauses]
+    states = ["q0"] + [f"c{i}" for i in range(len(clause_list))] + ["probe"]
+    transitions: dict[str, TransitionRule] = {}
+    synthesis: dict[str, SynthesisRule] = {}
+    if clause_list:
+        transitions["q0"] = TransitionRule(
+            [(f"c{i}", pl.TRUE) for i in range(len(clause_list))]
+        )
+        synthesis["q0"] = SynthesisRule(
+            pl.conjoin(pl.Var(f"A{i + 1}") for i in range(len(clause_list)))
+        )
+    else:
+        transitions["q0"] = TransitionRule([("probe", pl.TRUE)])
+        synthesis["q0"] = SynthesisRule(pl.Var("A1"))
+    transitions["probe"] = TransitionRule()
+    synthesis["probe"] = SynthesisRule(pl.TRUE)
+    for i, clause in enumerate(clause_list):
+        state = f"c{i}"
+        transitions[state] = TransitionRule()
+        synthesis[state] = SynthesisRule(_clause_formula(clause))
+    return SWS(states, "q0", transitions, synthesis, kind=SWSKind.PL, name=name)
+
+
+def _clause_formula(clause: Clause) -> pl.Formula:
+    literals: list[pl.Formula] = []
+    for literal in sorted(clause):
+        variable = pl.Var(literal.variable)
+        literals.append(variable if literal.positive else pl.Not(variable))
+    return pl.disjoin(literals)
+
+
+def clauses_from_tuples(
+    clauses: Sequence[Sequence[tuple[str, bool]]]
+) -> list[Clause]:
+    """Convert (variable, polarity) tuples to solver clauses."""
+    return [
+        frozenset(Literal(variable, positive) for variable, positive in clause)
+        for clause in clauses
+    ]

@@ -1,0 +1,18 @@
+"""Workloads: the paper's running example and generator families.
+
+* :mod:`~repro.workloads.travel` — the Disney-World travel-package service
+  of Figure 1 and Examples 1.1 / 2.1 / 2.2 / 5.1, in FSA form, SWS form
+  (τ1), recursive SWS form (τ2) and composed form (mediator π1).
+* :mod:`~repro.workloads.pl_services` — letter-encoded session services
+  (exact words, unions, recursive stars) — the vocabulary of the PL
+  composition experiments.
+* :mod:`~repro.workloads.random_sws` — seeded random SWS generators for
+  every class of Table 1, used by property tests and benchmarks.
+* :mod:`~repro.workloads.scaling` — parameterized instance families whose
+  decision-procedure cost exhibits the growth the complexity bounds
+  predict (the "shape" reproduction of Tables 1 and 2).
+"""
+
+from repro.workloads import pl_services, random_sws, scaling, travel
+
+__all__ = ["pl_services", "random_sws", "scaling", "travel"]

@@ -1,0 +1,194 @@
+"""Hand-buildable PL services with letter-encoded languages.
+
+Composition synthesis over SWS(PL, PL) manipulates services as language
+acceptors over an alphabet of letters encoded one propositional variable
+each, with a dedicated session delimiter ``#`` (the encoding both the Roman
+translation and the AFA reduction use).  This module builds:
+
+* :func:`word_service` — a chain service accepting exactly one
+  delimiter-terminated symbol sequence (and, per rule (3) semantics,
+  ignoring whatever follows it — services are prefix-determined);
+* :func:`union_word_service` — a union of such chains below one start
+  state, the typical "menu of session shapes" goal of the composition
+  benchmarks;
+* :func:`encode_letters` — words → input assignments.
+
+Sessions run "letters then #": a component service consumes exactly its
+word, so sequential invocation by a mediator concatenates sessions —
+the alignment Theorem 5.3's run-to-completion semantics relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.sws import MSG, SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.errors import SWSDefinitionError
+from repro.logic import pl
+
+#: The delimiter symbol terminating a session.
+HASH = "#"
+
+#: Propositional variable encoding the delimiter.
+HASH_VARIABLE = "hash"
+
+
+def letter_var(letter: str) -> str:
+    """The propositional variable encoding a letter."""
+    if letter == HASH:
+        return HASH_VARIABLE
+    return f"ltr_{letter}"
+
+
+def exactly(letter: str, alphabet: Iterable[str]) -> pl.Formula:
+    """The current message encodes exactly ``letter``.
+
+    ``alphabet`` lists the non-delimiter letters in play; the delimiter is
+    always part of the encoding.
+    """
+    symbols = sorted(set(alphabet)) + [HASH]
+    parts: list[pl.Formula] = []
+    for other in symbols:
+        variable = pl.Var(letter_var(other))
+        parts.append(variable if other == letter else pl.Not(variable))
+    return pl.conjoin(parts)
+
+
+def encode_letters(word: Sequence[str]) -> list[frozenset[str]]:
+    """Encode a symbol sequence (letters and/or ``#``) as input messages."""
+    return [frozenset({letter_var(symbol)}) for symbol in word]
+
+
+def word_service(
+    word: Sequence[str],
+    alphabet: Iterable[str],
+    name: str | None = None,
+) -> SWS:
+    """A service accepting exactly the session ``word`` (ending in ``#``).
+
+    The service consumes precisely ``len(word)`` messages: a chain of
+    states checks the symbols one per step, and the final state's synthesis
+    reads the delimiter in place (so the execution tree's maximum timestamp
+    equals the session length — sequential composition aligns).
+    """
+    word = list(word)
+    if not word or word[-1] != HASH:
+        raise SWSDefinitionError("session words must end with the delimiter '#'")
+    # Interior delimiters are allowed: a goal describing a *sequence of
+    # component sessions* (e.g. "a#b#") carries one per session.
+    alphabet = sorted(set(alphabet))
+    body = word[:-1]
+    states = ["w0"] + [f"w{i}" for i in range(1, len(body))] + ["w_end"]
+    transitions: dict[str, TransitionRule] = {}
+    synthesis: dict[str, SynthesisRule] = {}
+    if not body:
+        # The bare-delimiter session "#": a single final start state whose
+        # synthesis checks the first message in place (max timestamp 1, so
+        # exactly one message is consumed).
+        return SWS(
+            ("w0",),
+            "w0",
+            {"w0": TransitionRule()},
+            {"w0": SynthesisRule(exactly(HASH, alphabet))},
+            kind=SWSKind.PL,
+            name=name or "session_#",
+        )
+    for i, state in enumerate(states[:-1]):
+        is_last_link = i == len(body) - 1
+        guard = exactly(body[i], alphabet)
+        condition = guard if i == 0 else (pl.Var(MSG) & guard)
+        target = "w_end" if is_last_link else states[i + 1]
+        transitions[state] = TransitionRule([(target, condition)])
+        synthesis[state] = SynthesisRule(pl.Var("A1"))
+    transitions["w_end"] = TransitionRule()
+    synthesis["w_end"] = SynthesisRule(
+        (pl.Var(MSG) & exactly(HASH, alphabet)).simplify()
+    )
+    return SWS(
+        states,
+        "w0",
+        transitions,
+        synthesis,
+        kind=SWSKind.PL,
+        name=name or f"session_{''.join(body)}",
+    )
+
+
+def star_word_service(
+    letter: str,
+    alphabet: Iterable[str],
+    name: str | None = None,
+) -> SWS:
+    """A *recursive* session service accepting ``letter^k #`` for k ≥ 1.
+
+    The loop state re-enters itself while the letter repeats; the exit
+    state's synthesis reads the delimiter in place.  The session core is
+    the infinite prefix-free language ``{a#, aa#, aaa#, ...}`` — a
+    recursive component in the sense of Table 2's SWS(PL, PL) component
+    columns.
+
+    Consumption note: unlike the nonrecursive :func:`word_service`, an
+    accepted run's execution tree probes one message past the delimiter
+    (the loop branch must die before the tree stops), so the paper's
+    ``l_i + 1`` timestamp rule makes a mediator resume one message late.
+    Language-level composition (Theorem 5.3's own setting) is unaffected;
+    run-level alignment holds for nonrecursive components only — see
+    ``mediator.synthesis.mediator_language_nfa``.
+    """
+    alphabet = sorted(set(alphabet))
+    guard = exactly(letter, alphabet)
+    end = exactly(HASH, alphabet)
+    keep_going = (pl.Var(MSG) & guard).simplify()
+    transitions = {
+        "s0": TransitionRule([("loop", guard), ("s_end", guard)]),
+        "loop": TransitionRule(
+            [("loop", keep_going), ("s_end", keep_going)]
+        ),
+        "s_end": TransitionRule(),
+    }
+    synthesis = {
+        "s0": SynthesisRule(pl.Var("A1") | pl.Var("A2")),
+        "loop": SynthesisRule(pl.Var("A1") | pl.Var("A2")),
+        "s_end": SynthesisRule((pl.Var(MSG) & end).simplify()),
+    }
+    return SWS(
+        ("s0", "loop", "s_end"),
+        "s0",
+        transitions,
+        synthesis,
+        kind=SWSKind.PL,
+        name=name or f"star_{letter}",
+    )
+
+
+def union_word_service(
+    words: Sequence[Sequence[str]],
+    alphabet: Iterable[str],
+    name: str = "menu",
+) -> SWS:
+    """A service accepting any one of several sessions (disjunctive root)."""
+    alphabet = sorted(set(alphabet))
+    states: list[str] = ["u0"]
+    transitions: dict[str, TransitionRule] = {}
+    synthesis: dict[str, SynthesisRule] = {}
+    root_targets: list[tuple[str, pl.Formula]] = []
+    for b, word in enumerate(words):
+        branch = word_service(word, alphabet, name=f"{name}_b{b}")
+        prefix = f"b{b}_"
+        first_rule = branch.transitions[branch.start]
+        for state in branch.states:
+            if state == branch.start:
+                continue
+            states.append(prefix + state)
+            rule = branch.transitions[state]
+            transitions[prefix + state] = TransitionRule(
+                [(prefix + t, q) for t, q in rule.targets]
+            )
+            synthesis[prefix + state] = branch.synthesis[state]
+        for target, query in first_rule.targets:
+            root_targets.append((prefix + target, query))
+    transitions["u0"] = TransitionRule(root_targets)
+    synthesis["u0"] = SynthesisRule(
+        pl.disjoin(pl.Var(f"A{i + 1}") for i in range(len(root_targets)))
+    )
+    return SWS(states, "u0", transitions, synthesis, kind=SWSKind.PL, name=name)

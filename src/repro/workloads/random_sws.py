@@ -1,0 +1,263 @@
+"""Seeded random SWS generators, one per class of Table 1.
+
+Property-based tests and benchmarks draw services from these generators.
+All generators are deterministic in their seed.  Structural guarantees:
+
+* the start state never appears on a right-hand side (Definition 2.1);
+* nonrecursive generators produce forward-edge DAGs over an ordered state
+  list; recursive generators additionally add back edges among non-start
+  states;
+* every relational query is safe (head variables bound by body atoms).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.sws import MSG, SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.logic import pl
+from repro.logic.cq import Atom, Comparison, ConjunctiveQuery, neq
+from repro.logic.terms import Variable, var
+from repro.logic.ucq import UnionQuery
+
+
+def random_formula(
+    rng: random.Random, variables: Sequence[str], depth: int = 2
+) -> pl.Formula:
+    """A random propositional formula over ``variables``."""
+    if depth == 0 or not variables or rng.random() < 0.3:
+        if not variables:
+            return pl.TRUE if rng.random() < 0.5 else pl.FALSE
+        leaf: pl.Formula = pl.Var(rng.choice(list(variables)))
+        if rng.random() < 0.3:
+            leaf = pl.Not(leaf)
+        return leaf
+    connective = rng.choice(("and", "or", "not"))
+    if connective == "not":
+        return pl.Not(random_formula(rng, variables, depth - 1))
+    parts = [
+        random_formula(rng, variables, depth - 1)
+        for _ in range(rng.randint(2, 3))
+    ]
+    return pl.And(parts) if connective == "and" else pl.Or(parts)
+
+
+def random_pl_sws(
+    seed: int,
+    n_states: int = 4,
+    n_variables: int = 2,
+    recursive: bool = False,
+    name: str | None = None,
+) -> SWS:
+    """A random PL service with ``n_states`` states over ``x0..x{v-1}``."""
+    rng = random.Random(seed)
+    if n_states < 2:
+        raise ValueError("need at least a start state and one final state")
+    states = [f"q{i}" for i in range(n_states)]
+    variables = [f"x{i}" for i in range(n_variables)]
+    msg_vars = variables + [MSG]
+    transitions: dict[str, TransitionRule] = {}
+    synthesis: dict[str, SynthesisRule] = {}
+    # The last state is always final so every service has a leaf.
+    for i, state in enumerate(states):
+        successors: list[str] = []
+        if i < n_states - 1:
+            forward = states[i + 1 :]
+            n_succ = rng.randint(1, min(3, len(forward)))
+            successors = rng.sample(forward, n_succ)
+            if recursive and i > 0 and rng.random() < 0.6:
+                successors.append(states[rng.randint(1, i)])
+        if successors and rng.random() < 0.85 or i == 0:
+            targets = [
+                (target, random_formula(rng, msg_vars)) for target in successors
+            ]
+            transitions[state] = TransitionRule(targets)
+            k = len(targets)
+            registers = [f"A{j + 1}" for j in range(k)]
+            synthesis[state] = SynthesisRule(random_formula(rng, registers))
+        else:
+            transitions[state] = TransitionRule()
+            synthesis[state] = SynthesisRule(random_formula(rng, msg_vars))
+    # States chosen final above need final-style synthesis; fix state 0 if
+    # it ended up with no successors (can't happen: i == 0 forces targets
+    # unless no forward states, excluded by n_states >= 2).
+    return SWS(
+        states,
+        states[0],
+        transitions,
+        synthesis,
+        kind=SWSKind.PL,
+        name=name or f"pl_{seed}",
+    )
+
+
+DEFAULT_CQ_SCHEMA = DatabaseSchema(
+    [
+        RelationSchema("R", ("a", "b")),
+        RelationSchema("S", ("a", "b")),
+    ]
+)
+
+DEFAULT_PAYLOAD = RelationSchema("Rin", ("p", "q"))
+
+
+def _random_transition_cq(rng: random.Random, payload_arity: int, label: str) -> ConjunctiveQuery:
+    """A safe transition CQ from {R, S, In, Msg} to the payload schema."""
+    pool = ["R", "S", "In", MSG]
+    n_atoms = rng.randint(1, 2)
+    atoms: list[Atom] = []
+    variables: list[Variable] = []
+    for i in range(n_atoms):
+        rel = rng.choice(pool)
+        x, y = var(f"{label}v{2 * i}"), var(f"{label}v{2 * i + 1}")
+        # Random joins: reuse an earlier variable sometimes.
+        if variables and rng.random() < 0.5:
+            x = rng.choice(variables)
+        atoms.append(Atom(rel, (x, y)))
+        variables.extend([x, y])
+    head = tuple(rng.choice(variables) for _ in range(payload_arity))
+    comparisons: list[Comparison] = []
+    if rng.random() < 0.3 and len(set(variables)) >= 2:
+        left, right = rng.sample(sorted(set(variables), key=lambda v: v.name), 2)
+        comparisons.append(neq(left, right))
+    return ConjunctiveQuery(head, atoms, comparisons, label)
+
+
+def _random_final_synthesis(
+    rng: random.Random, output_arity: int, label: str
+) -> UnionQuery:
+    """A safe final-state synthesis UCQ over {R, S, In, Msg}."""
+    disjuncts = []
+    for d in range(rng.randint(1, 2)):
+        query = _random_transition_cq(rng, output_arity, f"{label}d{d}")
+        disjuncts.append(query)
+    return UnionQuery(disjuncts, arity=output_arity, name=label)
+
+
+def _random_internal_synthesis(
+    rng: random.Random, k: int, output_arity: int, label: str
+) -> UnionQuery:
+    """A synthesis UCQ over the successor registers A1..Ak."""
+    disjuncts = []
+    for d in range(rng.randint(1, 2)):
+        n_atoms = rng.randint(1, min(2, k))
+        registers = rng.sample(range(k), n_atoms)
+        atoms = []
+        variables: list[Variable] = []
+        for i, reg in enumerate(registers):
+            terms = tuple(var(f"{label}d{d}v{i}_{j}") for j in range(output_arity))
+            atoms.append(Atom(f"A{reg + 1}", terms))
+            variables.extend(terms)
+        head = tuple(rng.choice(variables) for _ in range(output_arity))
+        disjuncts.append(ConjunctiveQuery(head, atoms, (), f"{label}d{d}"))
+    return UnionQuery(disjuncts, arity=output_arity, name=label)
+
+
+def _random_fo_synthesis(
+    rng: random.Random, output_arity: int, label: str
+):
+    """A final-state FO synthesis with a sprinkle of negation.
+
+    Takes a random CQ body and, with some probability, guards it with the
+    *absence* of an ``S``-fact — the minimal non-monotone feature that
+    pushes a service from SWS(CQ, UCQ) into SWS(FO, FO).
+    """
+    from repro.logic import fo
+
+    base = _random_transition_cq(rng, output_arity, label)
+    query = fo.cq_to_fo(base)
+    if rng.random() < 0.7:
+        u, v = Variable(f"{label}nu"), Variable(f"{label}nv")
+        guard = fo.NotF(fo.Exists((u, v), fo.atom("S", u, v)))
+        query = fo.FOQuery(
+            query.head, fo.AndF([query.formula, guard]), label
+        )
+    return query
+
+
+def random_fo_sws(
+    seed: int,
+    n_states: int = 3,
+    recursive: bool = False,
+    output_arity: int = 2,
+    name: str | None = None,
+) -> SWS:
+    """A random SWS(FO, FO) service: CQ transitions, FO synthesis.
+
+    Mirrors :func:`random_cq_sws` but with negation in the final synthesis
+    rules, so the result classifies into the FO row of Table 1.
+    """
+    rng = random.Random(seed)
+    base = random_cq_sws(
+        seed, n_states=n_states, recursive=recursive, output_arity=output_arity
+    )
+    synthesis = dict(base.synthesis)
+    flipped = False
+    for state in base.states:
+        if base.transitions[state].is_final and (not flipped or rng.random() < 0.5):
+            synthesis[state] = SynthesisRule(
+                _random_fo_synthesis(rng, output_arity, f"{state}fo")
+            )
+            flipped = True
+    return SWS(
+        base.states,
+        base.start,
+        base.transitions,
+        synthesis,
+        kind=SWSKind.RELATIONAL,
+        db_schema=base.db_schema,
+        input_schema=base.input_schema,
+        output_arity=output_arity,
+        name=name or f"fo_{seed}",
+    )
+
+
+def random_cq_sws(
+    seed: int,
+    n_states: int = 4,
+    recursive: bool = False,
+    output_arity: int = 2,
+    name: str | None = None,
+) -> SWS:
+    """A random SWS(CQ, UCQ) service over the default two-relation schema."""
+    rng = random.Random(seed)
+    if n_states < 2:
+        raise ValueError("need at least a start state and one final state")
+    states = [f"q{i}" for i in range(n_states)]
+    payload_arity = DEFAULT_PAYLOAD.arity
+    transitions: dict[str, TransitionRule] = {}
+    synthesis: dict[str, SynthesisRule] = {}
+    for i, state in enumerate(states):
+        make_final = i == n_states - 1 or (i > 0 and rng.random() < 0.3)
+        if make_final:
+            transitions[state] = TransitionRule()
+            synthesis[state] = SynthesisRule(
+                _random_final_synthesis(rng, output_arity, f"{state}s")
+            )
+            continue
+        forward = states[i + 1 :]
+        n_succ = rng.randint(1, min(2, len(forward)))
+        successors = rng.sample(forward, n_succ)
+        if recursive and i > 0 and rng.random() < 0.6:
+            successors.append(states[rng.randint(1, i)])
+        targets = [
+            (target, _random_transition_cq(rng, payload_arity, f"{state}t{j}"))
+            for j, target in enumerate(successors)
+        ]
+        transitions[state] = TransitionRule(targets)
+        synthesis[state] = SynthesisRule(
+            _random_internal_synthesis(rng, len(targets), output_arity, f"{state}s")
+        )
+    return SWS(
+        states,
+        states[0],
+        transitions,
+        synthesis,
+        kind=SWSKind.RELATIONAL,
+        db_schema=DEFAULT_CQ_SCHEMA,
+        input_schema=DEFAULT_PAYLOAD,
+        output_arity=output_arity,
+        name=name or f"cq_{seed}",
+    )

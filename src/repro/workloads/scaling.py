@@ -1,0 +1,242 @@
+"""Parameterized instance families for the Table 1 / Table 2 benchmarks.
+
+Each family targets one complexity bound: the cost of the matching decision
+procedure should grow with the family parameter in the shape the bound
+predicts (linear families stay cheap; families encoding hard structure grow
+exponentially).  EXPERIMENTS.md records the measured shapes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.automata.afa import AFA
+from repro.core.sws import MSG, SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.logic import pl
+from repro.logic.cq import Atom, ConjunctiveQuery
+from repro.logic.terms import var
+from repro.logic.ucq import UnionQuery
+from repro.workloads.random_sws import DEFAULT_CQ_SCHEMA, DEFAULT_PAYLOAD
+
+
+def _xor(left: pl.Formula, right: pl.Formula) -> pl.Formula:
+    return (left & pl.Not(right)) | (pl.Not(left) & right)
+
+
+def afa_counter(bits: int) -> AFA:
+    """An AFA whose shortest accepted word is ``a^(2^bits)``.
+
+    The classical succinct counter: state ``b_i`` holds bit ``i`` of the
+    remaining word length (LSB first), via the increment recurrence
+    ``b_i(a·w) = b_i(w) XOR (b_0(w) ∧ ... ∧ b_{i-1}(w))`` with
+    ``b_i(ε) = 0``.  The initial condition reads one symbol and requires
+    all bits of the remaining length to be 1, so the automaton accepts
+    ``a^m`` exactly for ``m ≡ 0 (mod 2^bits)``, ``m ≥ 1`` — any emptiness
+    search must traverse 2^bits valuation vectors before the first witness.
+    """
+    states = [f"b{i}" for i in range(bits)] + ["init"]
+    a = "a"
+    transitions: dict[tuple[str, str], pl.Formula] = {}
+    for i in range(bits):
+        flip = pl.conjoin([pl.Var(f"b{j}") for j in range(i)])
+        transitions[(f"b{i}", a)] = _xor(pl.Var(f"b{i}"), flip).simplify()
+    transitions[("init", a)] = pl.conjoin([pl.Var(f"b{i}") for i in range(bits)])
+    return AFA(states, {a}, transitions, pl.Var("init"), finals=set())
+
+
+def pl_counter_sws(bits: int) -> SWS:
+    """A recursive PL service whose shortest accepted word has length 2^bits.
+
+    The SWS form of :func:`afa_counter`: state ``b_i`` recurses into itself
+    and the lower bits, and its synthesis formula implements the increment
+    recurrence; the root conjoins all bits.  There are no final states and
+    no input variables — the alphabet is the single empty assignment, and
+    the service accepts exactly the input lengths ≡ 0 (mod 2^bits).  This
+    family drives the PSPACE shape of Table 1 row SWS(PL, PL).
+    """
+    states = ["root"] + [f"b{i}" for i in range(bits)]
+    transitions: dict[str, TransitionRule] = {}
+    synthesis: dict[str, SynthesisRule] = {}
+    for i in range(bits):
+        # Children: (b_i, then b_0 .. b_{i-1}), all unconditionally alive.
+        targets = [(f"b{i}", pl.TRUE)] + [(f"b{j}", pl.TRUE) for j in range(i)]
+        transitions[f"b{i}"] = TransitionRule(targets)
+        stay = pl.Var("A1")
+        flip = pl.conjoin([pl.Var(f"A{j + 2}") for j in range(i)])
+        synthesis[f"b{i}"] = SynthesisRule(_xor(stay, flip).simplify())
+    transitions["root"] = TransitionRule(
+        [(f"b{i}", pl.TRUE) for i in range(bits)]
+    )
+    synthesis["root"] = SynthesisRule(
+        pl.conjoin([pl.Var(f"A{i + 1}") for i in range(bits)])
+    )
+    return SWS(
+        states,
+        "root",
+        transitions,
+        synthesis,
+        kind=SWSKind.PL,
+        name=f"counter_{bits}",
+    )
+
+
+def cq_diamond_sws(depth: int) -> SWS:
+    """A nonrecursive CQ/UCQ service whose expansion has ~2^depth disjuncts.
+
+    A chain of ``depth`` internal states, each with two successors leading
+    to the same next state via different transition queries (one routes the
+    register through ``R``, the other through ``S``); the internal
+    synthesis unions the two branches.  The DAG has O(depth) states but the
+    tree unfolding — and hence the UCQ≠ expansion — doubles per level:
+    the PSPACE-hardness shape of Table 1 row SWS_nr(CQ, UCQ).
+    """
+    states = [f"d{i}" for i in range(depth + 1)]
+    payload_arity = DEFAULT_PAYLOAD.arity
+    x, y = var("x"), var("y")
+    via_r = ConjunctiveQuery((x, y), [Atom(MSG, (x, y)), Atom("R", (x, y))], (), "viaR")
+    via_s = ConjunctiveQuery((x, y), [Atom(MSG, (x, y)), Atom("S", (x, y))], (), "viaS")
+    first = ConjunctiveQuery((x, y), [Atom("In", (x, y))], (), "first")
+    transitions: dict[str, TransitionRule] = {}
+    synthesis: dict[str, SynthesisRule] = {}
+    for i in range(depth):
+        nxt = states[i + 1]
+        if i == 0:
+            transitions[states[i]] = TransitionRule([(nxt, first), (nxt, first)])
+        else:
+            transitions[states[i]] = TransitionRule([(nxt, via_r), (nxt, via_s)])
+        union = UnionQuery.of(
+            ConjunctiveQuery((x, y), [Atom("A1", (x, y))], (), "left"),
+            ConjunctiveQuery((x, y), [Atom("A2", (x, y))], (), "right"),
+        )
+        synthesis[states[i]] = SynthesisRule(union)
+    transitions[states[depth]] = TransitionRule()
+    synthesis[states[depth]] = SynthesisRule(
+        UnionQuery.of(ConjunctiveQuery((x, y), [Atom(MSG, (x, y))], (), "emit"))
+    )
+    return SWS(
+        states,
+        states[0],
+        transitions,
+        synthesis,
+        kind=SWSKind.RELATIONAL,
+        db_schema=DEFAULT_CQ_SCHEMA,
+        input_schema=DEFAULT_PAYLOAD,
+        output_arity=payload_arity,
+        name=f"diamond_{depth}",
+    )
+
+
+def cq_chain_sws(length: int) -> SWS:
+    """A recursive CQ/UCQ service tracing R-paths of unbounded length.
+
+    One recursive state forwards the register through ``R`` each step and a
+    final state emits it; on an ``n``-message session the service emits the
+    input keys connected by R-paths of each length up to ``n``.  The
+    non-emptiness unfolding of Table 1 row SWS(CQ, UCQ) grows with the
+    session-length bound on this family.
+    """
+    del length  # single shape; the bench varies the session-length bound
+    x, y, z = var("x"), var("y"), var("z")
+    first = ConjunctiveQuery((x, y), [Atom("In", (x, y))], (), "first")
+    step = ConjunctiveQuery(
+        (y, z), [Atom(MSG, (x, y)), Atom("R", (y, z))], (), "step"
+    )
+    emit = UnionQuery.of(
+        ConjunctiveQuery((x, y), [Atom(MSG, (x, y))], (), "emit")
+    )
+    union = UnionQuery.of(
+        ConjunctiveQuery((x, y), [Atom("A1", (x, y))], (), "deeper"),
+        ConjunctiveQuery((x, y), [Atom("A2", (x, y))], (), "here"),
+    )
+    transitions = {
+        "q0": TransitionRule([("loop", first)]),
+        "loop": TransitionRule([("loop", step), ("out", step)]),
+        "out": TransitionRule(),
+    }
+    synthesis = {
+        "q0": SynthesisRule(
+            UnionQuery.of(ConjunctiveQuery((x, y), [Atom("A1", (x, y))], (), "up"))
+        ),
+        "loop": SynthesisRule(union),
+        "out": SynthesisRule(emit),
+    }
+    return SWS(
+        ("q0", "loop", "out"),
+        "q0",
+        transitions,
+        synthesis,
+        kind=SWSKind.RELATIONAL,
+        db_schema=DEFAULT_CQ_SCHEMA,
+        input_schema=DEFAULT_PAYLOAD,
+        output_arity=DEFAULT_PAYLOAD.arity,
+        name="chain",
+    )
+
+
+def cq_recursive_diamond_sws() -> SWS:
+    """A recursive service whose unfolding doubles per session step.
+
+    The loop state has *two* recursive successors (through R and S), so
+    the tree at session length n has ~2^n leaves; with the emitting state
+    made unsatisfiable (x ≠ x), non-emptiness analysis can never answer
+    YES and must pay for the full exponential unfolding at every horizon —
+    the worst-case shape of the EXPTIME bound.
+    """
+    x, y, z = var("x"), var("y"), var("z")
+    first = ConjunctiveQuery((x, y), [Atom("In", (x, y))], (), "first")
+    step_r = ConjunctiveQuery(
+        (y, z), [Atom(MSG, (x, y)), Atom("R", (y, z))], (), "stepR"
+    )
+    step_s = ConjunctiveQuery(
+        (y, z), [Atom(MSG, (x, y)), Atom("S", (y, z))], (), "stepS"
+    )
+    from repro.logic.cq import neq
+
+    never = UnionQuery.of(
+        ConjunctiveQuery(
+            (x, y), [Atom(MSG, (x, y))], [neq(x, x)], "never"
+        )
+    )
+    union3 = UnionQuery.of(
+        ConjunctiveQuery((x, y), [Atom("A1", (x, y))], (), "left"),
+        ConjunctiveQuery((x, y), [Atom("A2", (x, y))], (), "right"),
+        ConjunctiveQuery((x, y), [Atom("A3", (x, y))], (), "emit"),
+    )
+    transitions = {
+        "q0": TransitionRule([("loop", first)]),
+        "loop": TransitionRule(
+            [("loop", step_r), ("loop", step_s), ("out", step_r)]
+        ),
+        "out": TransitionRule(),
+    }
+    synthesis = {
+        "q0": SynthesisRule(
+            UnionQuery.of(ConjunctiveQuery((x, y), [Atom("A1", (x, y))], (), "up"))
+        ),
+        "loop": SynthesisRule(union3),
+        "out": SynthesisRule(never),
+    }
+    return SWS(
+        ("q0", "loop", "out"),
+        "q0",
+        transitions,
+        synthesis,
+        kind=SWSKind.RELATIONAL,
+        db_schema=DEFAULT_CQ_SCHEMA,
+        input_schema=DEFAULT_PAYLOAD,
+        output_arity=DEFAULT_PAYLOAD.arity,
+        name="recursive_diamond",
+    )
+
+
+def random_3cnf(
+    seed: int, n_variables: int, n_clauses: int
+) -> list[tuple[tuple[str, bool], ...]]:
+    """A random 3-CNF instance: clauses of (variable, polarity) literals."""
+    rng = random.Random(seed)
+    variables = [f"v{i}" for i in range(n_variables)]
+    clauses = []
+    for _ in range(n_clauses):
+        chosen = rng.sample(variables, min(3, n_variables))
+        clauses.append(tuple((v, rng.random() < 0.5) for v in chosen))
+    return clauses

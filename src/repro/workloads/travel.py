@@ -1,0 +1,427 @@
+"""The travel-package scenario (Figure 1, Examples 1.1 / 2.1 / 2.2).
+
+A customer books a Disney World package and commits only when (1) an
+airfare, (2) a hotel room and (3) either park tickets or a discounted
+rental car are all available.  The paper contrasts:
+
+* the FSA specification (Figure 1(a)): airfare, hotel and the local
+  arrangement are checked *sequentially*;
+* the SWS specification (Figure 1(b) / Example 2.1): one input message
+  fans out to four states in parallel, and the root synthesis query ψ0
+  deterministically prefers tickets over a rental car.
+
+Data model (equality-only, as CQ/FO queries require):
+
+* database ``R``: ``Ra(key, flight)``, ``Rh(key, room)``, ``Rt(key,
+  ticket)``, ``Rc(key, car)`` — the catalog of offers per request key;
+* input payload ``Rin``: ``(tag, key)`` — ``tag ∈ {a, h, t, c}`` selects
+  the aspect, ``key`` identifies the customer's requirement (the paper's
+  "user requirements" x̄, collapsed to one attribute);
+* output ``Rout``: ``(flight, room, ticket, car)`` with the placeholder
+  value ``'-'`` in don't-care positions (the paper's underscores).
+
+τ1 and τ2 are in SWS(FO, FO) — the root synthesis ψ0 uses negation to
+prefer tickets — exactly as the paper notes for Example 2.1.
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import DFA
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.data.database import Database
+from repro.data.input_sequence import InputSequence
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.logic import fo
+from repro.logic.cq import Atom, ConjunctiveQuery, eq
+from repro.logic.terms import Constant, Variable, const, var
+
+#: Placeholder for don't-care output positions (the paper's "_").
+BLANK = "-"
+
+#: Aspect tags of input tuples (Example 2.1).
+TAGS = ("a", "h", "t", "c")
+
+INPUT_PAYLOAD = RelationSchema("Rin", ("tag", "key"))
+
+DB_SCHEMA = DatabaseSchema(
+    [
+        RelationSchema("Ra", ("key", "flight")),
+        RelationSchema("Rh", ("key", "room")),
+        RelationSchema("Rt", ("key", "ticket")),
+        RelationSchema("Rc", ("key", "car")),
+    ]
+)
+
+OUTPUT_ARITY = 4  # (flight, room, ticket, car)
+
+
+def _select_tag(tag: str) -> ConjunctiveQuery:
+    """φ_tag: copy input tuples carrying the given tag into the register."""
+    t, k = var("t"), var("k")
+    return ConjunctiveQuery(
+        (t, k), [Atom("In", (t, k))], [eq(t, const(tag))], f"phi_{tag}"
+    )
+
+
+def _offer_synthesis(catalog: str, position: int, name: str) -> ConjunctiveQuery:
+    """ψ at a final state: offers matching the registered requirement.
+
+    Produces (flight, room, ticket, car) rows with the offer at
+    ``position`` and ``'-'`` elsewhere, by joining ``Msg`` with the catalog
+    relation on the request key.
+    """
+    t, k, offer = var("t"), var("k"), var("o")
+    head = [const(BLANK)] * OUTPUT_ARITY
+    head[position] = offer
+    return ConjunctiveQuery(
+        tuple(head),
+        [Atom("Msg", (t, k)), Atom(catalog, (k, offer))],
+        (),
+        name,
+    )
+
+
+def _root_synthesis() -> fo.FOQuery:
+    """ψ0 of Example 2.1: conjunctive commit, tickets preferred over cars.
+
+    Output rows pair every available flight and room with either a ticket
+    (when any exists) or otherwise a rental car; the don't-care positions
+    carry ``'-'``.
+    """
+    f, r, tk, c, u = var("f"), var("r"), var("tk"), var("c"), var("u")
+    blank = Constant(BLANK)
+    flights = fo.atom("Act_qa", f, blank, blank, blank)
+    rooms = fo.atom("Act_qh", blank, r, blank, blank)
+    tickets = fo.atom("Act_qt", blank, blank, tk, blank)
+    any_ticket = fo.Exists((u,), fo.atom("Act_qt", blank, blank, u, blank))
+    cars = fo.atom("Act_qc", blank, blank, blank, c)
+    prefer_tickets = fo.AndF((tickets, fo.Equals(c, blank)))
+    fall_back_to_cars = fo.AndF((fo.NotF(any_ticket), cars, fo.Equals(tk, blank)))
+    body = fo.AndF((flights, rooms, fo.OrF((prefer_tickets, fall_back_to_cars))))
+    return fo.FOQuery((f, r, tk, c), body, "psi0")
+
+
+def travel_service(name: str = "tau1") -> SWS:
+    """τ1 of Example 2.1: the nonrecursive travel-package SWS."""
+    states = ("q0", "qa", "qh", "qt", "qc")
+    transitions = {
+        "q0": TransitionRule(
+            [
+                ("qa", _select_tag("a")),
+                ("qh", _select_tag("h")),
+                ("qt", _select_tag("t")),
+                ("qc", _select_tag("c")),
+            ]
+        ),
+        "qa": TransitionRule(),
+        "qh": TransitionRule(),
+        "qt": TransitionRule(),
+        "qc": TransitionRule(),
+    }
+    synthesis = {
+        "q0": SynthesisRule(_root_synthesis()),
+        "qa": SynthesisRule(_offer_synthesis("Ra", 0, "psi_a")),
+        "qh": SynthesisRule(_offer_synthesis("Rh", 1, "psi_h")),
+        "qt": SynthesisRule(_offer_synthesis("Rt", 2, "psi_t")),
+        "qc": SynthesisRule(_offer_synthesis("Rc", 3, "psi_c")),
+    }
+    return SWS(
+        states,
+        "q0",
+        transitions,
+        synthesis,
+        kind=SWSKind.RELATIONAL,
+        db_schema=DB_SCHEMA,
+        input_schema=INPUT_PAYLOAD,
+        output_arity=OUTPUT_ARITY,
+        name=name,
+    )
+
+
+def _latest_wins_synthesis() -> fo.FOQuery:
+    """ψ'a of Example 2.1: prefer the recursive register, else the fresh one.
+
+    ``Act_qa`` carries results for later inquiries; when it is empty the
+    current inquiry's result ``Act_qf`` is used — so the latest nonempty
+    inquiry wins.
+    """
+    f, r, tk, c = var("f"), var("r"), var("tk"), var("c")
+    w = tuple(var(n) for n in ("w1", "w2", "w3", "w4"))
+    recursive = fo.atom("Act_qa", f, r, tk, c)
+    any_recursive = fo.Exists(w, fo.atom("Act_qa", *w))
+    fresh = fo.atom("Act_qf", f, r, tk, c)
+    body = fo.OrF((recursive, fo.AndF((fo.NotF(any_recursive), fresh))))
+    return fo.FOQuery((f, r, tk, c), body, "psi_a_prime")
+
+
+def recursive_airfare_service(name: str = "tau2") -> SWS:
+    """τ2 of Example 2.1: repeated airfare inquiries, latest inquiry wins.
+
+    The airfare state recurses with the paper's rule
+    ``qa → (qa, φa), (qf, φa)``.  Below the root, the chain of (qa, qf)
+    node pairs processes the airfare inquiries of ``I2, ..., In``
+    (Example 2.2's nodes (vj, fj) for j ∈ [2, n]); ψ'a keeps the deepest —
+    i.e. latest — nonempty answer.  Hotel/ticket/car answer ``I1`` as in
+    τ1.  Note the chain stops at the first message without an airfare
+    request (the empty-register cutoff of rule (1)).
+    """
+    states = ("q0", "qa", "qf", "qh", "qt", "qc")
+    transitions = {
+        "q0": TransitionRule(
+            [
+                ("qa", _select_tag("a")),
+                ("qh", _select_tag("h")),
+                ("qt", _select_tag("t")),
+                ("qc", _select_tag("c")),
+            ]
+        ),
+        "qa": TransitionRule([("qa", _select_tag("a")), ("qf", _select_tag("a"))]),
+        "qf": TransitionRule(),
+        "qh": TransitionRule(),
+        "qt": TransitionRule(),
+        "qc": TransitionRule(),
+    }
+    synthesis = {
+        "q0": SynthesisRule(_root_synthesis()),
+        "qa": SynthesisRule(_latest_wins_synthesis()),
+        "qf": SynthesisRule(_offer_synthesis("Ra", 0, "psi_f")),
+        "qh": SynthesisRule(_offer_synthesis("Rh", 1, "psi_h")),
+        "qt": SynthesisRule(_offer_synthesis("Rt", 2, "psi_t")),
+        "qc": SynthesisRule(_offer_synthesis("Rc", 3, "psi_c")),
+    }
+    return SWS(
+        states,
+        "q0",
+        transitions,
+        synthesis,
+        kind=SWSKind.RELATIONAL,
+        db_schema=DB_SCHEMA,
+        input_schema=INPUT_PAYLOAD,
+        output_arity=OUTPUT_ARITY,
+        name=name,
+    )
+
+
+def _pair_synthesis(left_state: str, left_pos: int, right_state: str, right_pos: int) -> fo.FOQuery:
+    """Combine two single-aspect registers into one output row.
+
+    E.g. hotel (position 1) + car (position 3) rows merge into
+    ``('-', room, '-', car)`` — the shape τhc and τht of Example 5.1 emit.
+    """
+    blank = Constant(BLANK)
+    head = [var(f"y{i}") for i in range(OUTPUT_ARITY)]
+    left_terms: list = [blank] * OUTPUT_ARITY
+    right_terms: list = [blank] * OUTPUT_ARITY
+    left_terms[left_pos] = head[left_pos]
+    right_terms[right_pos] = head[right_pos]
+    constraints = [
+        fo.Equals(head[i], blank)
+        for i in range(OUTPUT_ARITY)
+        if i not in (left_pos, right_pos)
+    ]
+    body = fo.AndF(
+        [
+            fo.atom(f"Act_{left_state}", *left_terms),
+            fo.atom(f"Act_{right_state}", *right_terms),
+            *constraints,
+        ]
+    )
+    return fo.FOQuery(tuple(head), body, "psi_pair")
+
+
+def airfare_component(name: str = "tau_a") -> SWS:
+    """τa of Example 5.1: flight reservations only."""
+    states = ("q0", "qa")
+    transitions = {
+        "q0": TransitionRule([("qa", _select_tag("a"))]),
+        "qa": TransitionRule(),
+    }
+    synthesis = {
+        "q0": SynthesisRule(
+            fo.FOQuery(
+                tuple(var(f"y{i}") for i in range(OUTPUT_ARITY)),
+                fo.atom("Act_qa", *tuple(var(f"y{i}") for i in range(OUTPUT_ARITY))),
+                "forward",
+            )
+        ),
+        "qa": SynthesisRule(_offer_synthesis("Ra", 0, "psi_a")),
+    }
+    return SWS(
+        states,
+        "q0",
+        transitions,
+        synthesis,
+        kind=SWSKind.RELATIONAL,
+        db_schema=DB_SCHEMA,
+        input_schema=INPUT_PAYLOAD,
+        output_arity=OUTPUT_ARITY,
+        name=name,
+    )
+
+
+def _two_aspect_component(
+    name: str,
+    first_tag: str,
+    first_catalog: str,
+    first_pos: int,
+    second_tag: str,
+    second_catalog: str,
+    second_pos: int,
+) -> SWS:
+    first_state, second_state = f"q{first_tag}", f"q{second_tag}"
+    states = ("q0", first_state, second_state)
+    transitions = {
+        "q0": TransitionRule(
+            [
+                (first_state, _select_tag(first_tag)),
+                (second_state, _select_tag(second_tag)),
+            ]
+        ),
+        first_state: TransitionRule(),
+        second_state: TransitionRule(),
+    }
+    synthesis = {
+        "q0": SynthesisRule(
+            _pair_synthesis(first_state, first_pos, second_state, second_pos)
+        ),
+        first_state: SynthesisRule(
+            _offer_synthesis(first_catalog, first_pos, f"psi_{first_tag}")
+        ),
+        second_state: SynthesisRule(
+            _offer_synthesis(second_catalog, second_pos, f"psi_{second_tag}")
+        ),
+    }
+    return SWS(
+        states,
+        "q0",
+        transitions,
+        synthesis,
+        kind=SWSKind.RELATIONAL,
+        db_schema=DB_SCHEMA,
+        input_schema=INPUT_PAYLOAD,
+        output_arity=OUTPUT_ARITY,
+        name=name,
+    )
+
+
+def hotel_car_component(name: str = "tau_hc") -> SWS:
+    """τhc of Example 5.1: hotel rooms and rental cars together."""
+    return _two_aspect_component(name, "h", "Rh", 1, "c", "Rc", 3)
+
+
+def hotel_ticket_component(name: str = "tau_ht") -> SWS:
+    """τht of Example 5.1: hotel rooms and Disney tickets together."""
+    return _two_aspect_component(name, "h", "Rh", 1, "t", "Rt", 2)
+
+
+def travel_mediator():
+    """π1 of Example 5.1: the mediator over τa, τhc and τht.
+
+    The root invokes the three components in parallel and synthesizes
+    their outputs with ψ1, preferring the hotel+tickets package; each
+    child state forwards its component's output register.
+    """
+    from repro.core.sws import MSG
+    from repro.mediator.mediator import Mediator, MediatorTransitionRule
+
+    components = {
+        "tau_a": airfare_component(),
+        "tau_hc": hotel_car_component(),
+        "tau_ht": hotel_ticket_component(),
+    }
+    f, r, tk, c = var("f"), var("r"), var("tk"), var("c")
+    u = tuple(var(n) for n in ("u1", "u2", "u3", "u4"))
+    blank = Constant(BLANK)
+    flights = fo.atom("Act_s_a", f, blank, blank, blank)
+    ht = fo.atom("Act_s_ht", blank, r, tk, blank)
+    any_ht = fo.Exists(u, fo.atom("Act_s_ht", *u))
+    hc = fo.atom("Act_s_hc", blank, r, blank, c)
+    psi1 = fo.FOQuery(
+        (f, r, tk, c),
+        fo.AndF(
+            (
+                flights,
+                fo.OrF(
+                    (
+                        fo.AndF((ht, fo.Equals(c, blank))),
+                        fo.AndF((fo.NotF(any_ht), hc, fo.Equals(tk, blank))),
+                    )
+                ),
+            )
+        ),
+        "psi1",
+    )
+    head = tuple(var(f"x{i}") for i in range(OUTPUT_ARITY))
+    forward = fo.FOQuery(head, fo.atom(MSG, *head), "forward")
+    transitions = {
+        "q1": MediatorTransitionRule(
+            [("s_a", "tau_a"), ("s_hc", "tau_hc"), ("s_ht", "tau_ht")]
+        ),
+        "s_a": MediatorTransitionRule(),
+        "s_hc": MediatorTransitionRule(),
+        "s_ht": MediatorTransitionRule(),
+    }
+    synthesis = {
+        "q1": SynthesisRule(psi1),
+        "s_a": SynthesisRule(forward),
+        "s_hc": SynthesisRule(forward),
+        "s_ht": SynthesisRule(forward),
+    }
+    return Mediator(
+        ("q1", "s_a", "s_hc", "s_ht"),
+        "q1",
+        transitions,
+        synthesis,
+        components,
+        name="pi1",
+    )
+
+
+def travel_fsa() -> DFA:
+    """Figure 1(a): the sequential FSA specification.
+
+    The alphabet abstracts the sub-services as letters: ``a`` (airfare
+    found), ``h`` (hotel found), ``t`` (tickets found), ``c`` (car found).
+    The FSA accepts exactly the sequential orderings airfare → hotel →
+    (tickets | car): three *rounds* of interaction where the SWS needs one.
+    """
+    states = ("start", "afterA", "afterH", "done")
+    transitions = {
+        ("start", "a"): "afterA",
+        ("afterA", "h"): "afterH",
+        ("afterH", "t"): "done",
+        ("afterH", "c"): "done",
+    }
+    return DFA(states, ("a", "h", "t", "c"), transitions, "start", {"done"})
+
+
+def sample_database(
+    with_tickets: bool = True, with_cars: bool = True
+) -> Database:
+    """A small offer catalog for the running example."""
+    contents = {
+        "Ra": [("k1", "EDI-MCO-0800"), ("k1", "EDI-MCO-1230")],
+        "Rh": [("k1", "PolynesianResort")],
+        "Rt": [("k1", "4DayParkHopper")] if with_tickets else [],
+        "Rc": [("k1", "CompactCar")] if with_cars else [],
+    }
+    return Database(DB_SCHEMA, contents)
+
+
+def booking_request(key: str = "k1") -> InputSequence:
+    """One input message requesting all four aspects for ``key``."""
+    message = [(tag, key) for tag in TAGS]
+    return InputSequence(INPUT_PAYLOAD, [message])
+
+
+def repeated_airfare_inquiries(keys: list[str]) -> InputSequence:
+    """An input sequence of repeated airfare inquiries (for τ2).
+
+    The first message also carries the hotel/ticket/car requests for the
+    first key; later messages are airfare-only refinements.
+    """
+    if not keys:
+        return InputSequence(INPUT_PAYLOAD, [])
+    first = [(tag, keys[0]) for tag in TAGS]
+    rest = [[("a", key)] for key in keys[1:]]
+    return InputSequence(INPUT_PAYLOAD, [first] + rest)

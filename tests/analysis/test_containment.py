@@ -1,0 +1,83 @@
+"""Tests for service containment."""
+
+import pytest
+
+from repro.analysis.containment import (
+    contained,
+    contained_cq,
+    contained_cq_nr,
+    contained_pl,
+)
+from repro.core.run import run_pl
+from repro.workloads.pl_services import HASH, union_word_service, word_service
+from repro.workloads.random_sws import random_cq_sws, random_pl_sws
+from repro.workloads.scaling import cq_chain_sws, cq_diamond_sws, pl_counter_sws
+
+ALPHA = ["a", "b"]
+
+
+class TestPL:
+    def test_word_in_menu(self):
+        small = word_service(["a", HASH], ALPHA, "one")
+        menu = union_word_service([["a", HASH], ["b", HASH]], ALPHA, "menu")
+        assert contained_pl(small, menu).is_yes
+        answer = contained_pl(menu, small)
+        assert answer.is_no
+        # The separating word is accepted by the menu only.
+        assert run_pl(menu, answer.witness).output
+        assert not run_pl(small, answer.witness).output
+
+    def test_reflexive(self):
+        for seed in range(8):
+            sws = random_pl_sws(seed, n_states=4, n_variables=2)
+            assert contained_pl(sws, sws).is_yes
+
+    def test_counter_periods(self):
+        # Multiples of 4 are multiples of 2.
+        assert contained_pl(pl_counter_sws(2), pl_counter_sws(1)).is_yes
+        assert contained_pl(pl_counter_sws(1), pl_counter_sws(2)).is_no
+
+    def test_equivalence_is_mutual_containment(self):
+        from repro.analysis import equivalent_pl
+
+        for seed in range(6):
+            a = random_pl_sws(seed, n_states=4, n_variables=2, recursive=False)
+            b = random_pl_sws(seed + 50, n_states=4, n_variables=2, recursive=False)
+            both = contained_pl(a, b).is_yes and contained_pl(b, a).is_yes
+            assert both == equivalent_pl(a, b).is_yes
+
+
+class TestCQ:
+    def test_reflexive(self):
+        d = cq_diamond_sws(2)
+        assert contained_cq_nr(d, d).is_yes
+
+    def test_deeper_diamond_not_contained_in_shallower(self):
+        # diamond(2) consumes more input than diamond(1): on long inputs
+        # their outputs differ in both directions at some length.
+        a, b = cq_diamond_sws(1), cq_diamond_sws(2)
+        one_way = contained_cq_nr(a, b)
+        other_way = contained_cq_nr(b, a)
+        assert one_way.is_no or other_way.is_no
+
+    def test_recursive_budget(self):
+        chain = cq_chain_sws(0)
+        answer = contained_cq(chain, chain, max_session_length=3)
+        assert not answer.is_no
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_reflexive(self, seed):
+        sws = random_cq_sws(seed, n_states=3, recursive=False)
+        assert contained_cq_nr(sws, sws).is_yes
+
+
+class TestDispatch:
+    def test_kind_mismatch(self):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            contained(pl_counter_sws(1), cq_diamond_sws(1))
+
+    def test_routes_pl(self):
+        sws = random_pl_sws(0)
+        assert contained(sws, sws).is_yes

@@ -1,0 +1,79 @@
+"""Tests for k-prefix recognizability (Theorem 5.1(4,5) machinery)."""
+
+import pytest
+
+from repro.analysis.prefix import (
+    is_prefix_recognizable,
+    prefix_bound,
+    sws_prefix_bound,
+)
+from repro.automata.regex import parse_regex
+from repro.workloads.pl_services import HASH, union_word_service, word_service
+from repro.workloads.scaling import pl_counter_sws
+
+
+def _nfa(text, alphabet=("a", "b")):
+    return parse_regex(text).to_nfa(alphabet)
+
+
+class TestRegularLanguages:
+    def test_constant_languages(self):
+        assert prefix_bound(_nfa("(a|b)*")) == 0  # Σ*
+        from repro.automata.nfa import NFA
+
+        assert prefix_bound(NFA.empty_language({"a", "b"})) == 0  # ∅
+
+    def test_prefix_closed_word(self):
+        # a·Σ*: membership decided by the first symbol.
+        assert prefix_bound(_nfa("a (a|b)*")) == 1
+
+    def test_two_symbol_prefix(self):
+        assert prefix_bound(_nfa("a b (a|b)*")) == 2
+
+    def test_exact_word_bound(self):
+        # {ab}: words of length ≥ 3 sharing the prefix 'ab' are all
+        # rejected, but 'ab' itself is accepted — so k = 2 fails ('ab' vs
+        # 'aba') and k = 3 works (every finite language is k-prefix for
+        # k beyond its longest word).
+        assert prefix_bound(_nfa("a b")) == 3
+        assert not is_prefix_recognizable(_nfa("a b"), 2)
+
+    def test_parity_not_prefix_recognizable(self):
+        assert prefix_bound(_nfa("(a a)*")) is None
+
+    def test_is_prefix_recognizable_with_k(self):
+        nfa = _nfa("a b (a|b)*")
+        assert is_prefix_recognizable(nfa, 2)
+        assert not is_prefix_recognizable(nfa, 1)
+        assert is_prefix_recognizable(nfa)
+
+
+class TestSWSLanguages:
+    def test_word_service_is_prefix_recognizable(self):
+        sws = word_service(["a", HASH], ["a", "b"])
+        bound = sws_prefix_bound(sws)
+        assert bound == 2  # session word length
+
+    def test_union_service(self):
+        sws = union_word_service([["a", HASH], ["b", HASH, "a", HASH]], ["a", "b"])
+        bound = sws_prefix_bound(sws)
+        assert bound == 4
+
+    def test_nonrecursive_bound_dominated_by_depth(self):
+        from repro.workloads.random_sws import random_pl_sws
+
+        for seed in range(8):
+            sws = random_pl_sws(seed, n_states=4, n_variables=2, recursive=False)
+            bound = sws_prefix_bound(sws)
+            assert bound is not None
+            assert bound <= sws.depth() + 1
+
+    def test_counter_not_prefix_recognizable(self):
+        assert sws_prefix_bound(pl_counter_sws(1)) is None
+
+    def test_rejects_relational(self):
+        from repro.errors import AnalysisError
+        from repro.workloads.travel import travel_service
+
+        with pytest.raises(AnalysisError):
+            sws_prefix_bound(travel_service())

@@ -1,0 +1,136 @@
+"""Tests for the validation procedures (Table 1, column 2)."""
+
+import pytest
+
+from repro.analysis.validation import validate, validate_cq_nr, validate_pl
+from repro.core.run import run_pl, run_relational
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.data.generators import InstanceGenerator
+from repro.logic import pl
+from repro.workloads.random_sws import random_cq_sws, random_pl_sws
+from repro.workloads.scaling import cq_diamond_sws, pl_counter_sws
+
+
+class TestPL:
+    def test_validate_true_equals_nonemptiness(self):
+        from repro.analysis.nonemptiness import nonempty_pl
+
+        for seed in range(10):
+            sws = random_pl_sws(seed, n_states=4, n_variables=2)
+            assert validate_pl(sws, True).is_yes == nonempty_pl(sws).is_yes
+
+    def test_witness_replays_true(self):
+        sws = pl_counter_sws(2)
+        answer = validate_pl(sws, True)
+        assert answer.is_yes
+        assert run_pl(sws, answer.witness).output
+
+    def test_witness_replays_false(self):
+        sws = pl_counter_sws(2)
+        answer = validate_pl(sws, False)
+        assert answer.is_yes
+        assert not run_pl(sws, answer.witness).output
+
+    def test_accept_everything_service(self):
+        sws = SWS(
+            ("q0",),
+            "q0",
+            {"q0": TransitionRule()},
+            {"q0": SynthesisRule(pl.TRUE)},
+            kind=SWSKind.PL,
+        )
+        assert validate_pl(sws, True).is_yes
+        assert validate_pl(sws, False).is_no
+
+    def test_accept_nothing_service(self):
+        sws = SWS(
+            ("q0",),
+            "q0",
+            {"q0": TransitionRule()},
+            {"q0": SynthesisRule(pl.FALSE)},
+            kind=SWSKind.PL,
+        )
+        assert validate_pl(sws, True).is_no
+        assert validate_pl(sws, False).is_yes
+
+
+class TestCQ:
+    def test_actual_run_output_validates(self):
+        gen = InstanceGenerator(seed=17, domain_size=3)
+        sws = cq_diamond_sws(2)
+        found_nonempty = False
+        for trial in range(10):
+            db = gen.database(sws.db_schema, 4)
+            inputs = gen.input_sequence(sws.input_schema, 3, 2)
+            output = run_relational(sws, db, inputs).output.rows
+            if not output:
+                continue
+            found_nonempty = True
+            answer = validate_cq_nr(sws, output)
+            assert answer.is_yes
+            witness_db, witness_inputs = answer.witness
+            assert (
+                run_relational(sws, witness_db, witness_inputs).output.rows
+                == output
+            )
+            break
+        assert found_nonempty, "workload never produced output; fixture too weak"
+
+    def test_empty_output_always_validatable_for_diamond(self):
+        answer = validate_cq_nr(cq_diamond_sws(1), [])
+        assert answer.is_yes
+
+    def test_arity_mismatch_rejected(self):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError, match="arity"):
+            validate_cq_nr(cq_diamond_sws(1), [(1, 2, 3)])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_service_roundtrip(self, seed):
+        gen = InstanceGenerator(seed=seed, domain_size=3)
+        sws = random_cq_sws(seed, n_states=3, recursive=False)
+        db = gen.database(sws.db_schema, 3)
+        inputs = gen.input_sequence(sws.input_schema, sws.depth() + 1, 2)
+        output = run_relational(sws, db, inputs).output.rows
+        answer = validate_cq_nr(sws, output)
+        # Soundness: a YES witness must reproduce the output exactly.
+        if answer.is_yes:
+            witness_db, witness_inputs = answer.witness
+            assert (
+                run_relational(sws, witness_db, witness_inputs).output.rows
+                == output
+            )
+        # The output came from a real run, so NO would be wrong.
+        assert not answer.is_no
+
+
+class TestDispatch:
+    def test_pl_routing(self):
+        assert validate(pl_counter_sws(1), True).is_yes
+
+    def test_cq_routing(self):
+        assert validate(cq_diamond_sws(1), []).is_yes
+
+
+class TestPLNrSat:
+    """The NP validation procedure must agree with the AFA route."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_agreement_with_vector_search(self, seed):
+        from repro.analysis.validation import validate_pl_nr_sat
+
+        sws = random_pl_sws(seed, n_states=4, n_variables=2, recursive=False)
+        for output in (True, False):
+            via_sat = validate_pl_nr_sat(sws, output)
+            via_afa = validate_pl(sws, output)
+            assert via_sat.is_yes == via_afa.is_yes, (seed, output)
+            if via_sat.is_yes:
+                assert run_pl(sws, via_sat.witness).output == output
+
+    def test_rejects_recursive(self):
+        from repro.analysis.validation import validate_pl_nr_sat
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            validate_pl_nr_sat(pl_counter_sws(1), True)

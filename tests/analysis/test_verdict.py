@@ -1,0 +1,31 @@
+"""Tests for three-valued verdicts."""
+
+import pytest
+
+from repro.analysis.verdict import Answer, Verdict
+
+
+class TestVerdict:
+    def test_no_truthiness(self):
+        with pytest.raises(TypeError):
+            bool(Verdict.YES)
+
+    def test_explicit_comparison(self):
+        assert Verdict.YES is Verdict.YES
+        assert Verdict.NO is not Verdict.UNKNOWN
+
+
+class TestAnswer:
+    def test_constructors(self):
+        assert Answer.yes("w").is_yes
+        assert Answer.no().is_no
+        assert Answer.unknown("budget").is_unknown
+
+    def test_witness_carried(self):
+        answer = Answer.yes(witness=[1, 2], detail="via X")
+        assert answer.witness == [1, 2]
+        assert answer.detail == "via X"
+
+    def test_flags_mutually_exclusive(self):
+        for answer in (Answer.yes(), Answer.no(), Answer.unknown()):
+            assert [answer.is_yes, answer.is_no, answer.is_unknown].count(True) == 1

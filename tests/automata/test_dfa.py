@@ -1,0 +1,153 @@
+"""Tests for DFAs."""
+
+import pytest
+
+from repro.automata.dfa import DEAD, DFA
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def even_as() -> DFA:
+    """Accepts words with an even number of a's."""
+    return DFA(
+        {"e", "o"},
+        {"a", "b"},
+        {
+            ("e", "a"): "o",
+            ("o", "a"): "e",
+            ("e", "b"): "e",
+            ("o", "b"): "o",
+        },
+        "e",
+        {"e"},
+    )
+
+
+@pytest.fixture
+def contains_ab() -> DFA:
+    """Accepts words containing 'ab'."""
+    return DFA(
+        {0, 1, 2},
+        {"a", "b"},
+        {
+            (0, "a"): 1,
+            (0, "b"): 0,
+            (1, "a"): 1,
+            (1, "b"): 2,
+            (2, "a"): 2,
+            (2, "b"): 2,
+        },
+        0,
+        {2},
+    )
+
+
+class TestRunning:
+    def test_accepts(self, even_as):
+        assert even_as.accepts("")
+        assert even_as.accepts("aa")
+        assert even_as.accepts("bab" + "a")
+        assert not even_as.accepts("a")
+
+    def test_missing_transition_goes_dead(self):
+        dfa = DFA({0, 1}, {"a"}, {(0, "a"): 1}, 0, {1})
+        assert dfa.accepts("a")
+        assert not dfa.accepts("aa")
+        assert dfa.run("aa") == DEAD
+
+    def test_unknown_symbol_raises(self, even_as):
+        with pytest.raises(ReproError):
+            even_as.accepts("z")
+
+
+class TestValidation:
+    def test_bad_initial(self):
+        with pytest.raises(ReproError):
+            DFA({0}, {"a"}, {}, 99, set())
+
+    def test_bad_final(self):
+        with pytest.raises(ReproError):
+            DFA({0}, {"a"}, {}, 0, {99})
+
+    def test_bad_transition_symbol(self):
+        with pytest.raises(ReproError):
+            DFA({0}, {"a"}, {(0, "z"): 0}, 0, set())
+
+
+class TestConstructions:
+    def test_complement(self, even_as):
+        comp = even_as.complement()
+        for word in ["", "a", "ab", "aab", "bb"]:
+            assert comp.accepts(word) != even_as.accepts(word)
+
+    def test_product_and(self, even_as, contains_ab):
+        both = even_as.product(contains_ab, accept="and")
+        assert both.accepts("aba")  # even a's? a,b,a = 2 a's yes; contains ab
+        assert not both.accepts("ab")  # odd a's
+
+    def test_product_or(self, even_as, contains_ab):
+        either = even_as.product(contains_ab, accept="or")
+        assert either.accepts("ab")
+        assert either.accepts("bb")
+        assert not either.accepts("a")
+
+    def test_product_xor(self, even_as):
+        diff = even_as.product(even_as, accept="xor")
+        assert diff.is_empty()
+
+    def test_product_alphabet_mismatch(self, even_as):
+        other = DFA({0}, {"z"}, {}, 0, set())
+        with pytest.raises(ReproError):
+            even_as.product(other)
+
+
+class TestDecisionProcedures:
+    def test_is_empty(self):
+        empty = DFA({0}, {"a"}, {(0, "a"): 0}, 0, set())
+        assert empty.is_empty()
+
+    def test_nonempty(self, contains_ab):
+        assert not contains_ab.is_empty()
+
+    def test_shortest_accepted(self, contains_ab):
+        assert contains_ab.shortest_accepted() == ("a", "b")
+
+    def test_shortest_of_empty(self):
+        empty = DFA({0}, {"a"}, {(0, "a"): 0}, 0, set())
+        assert empty.shortest_accepted() is None
+
+    def test_equivalence_reflexive(self, even_as):
+        assert even_as.equivalent_to(even_as)
+
+    def test_equivalence_of_distinct(self, even_as, contains_ab):
+        assert not even_as.equivalent_to(contains_ab)
+
+    def test_containment(self, contains_ab):
+        anything = DFA({0}, {"a", "b"}, {(0, "a"): 0, (0, "b"): 0}, 0, {0})
+        assert contains_ab.contained_in(anything)
+        assert not anything.contained_in(contains_ab)
+
+
+class TestMinimization:
+    def test_minimized_equivalent(self, contains_ab):
+        minimized = contains_ab.minimized()
+        for word in ["", "a", "b", "ab", "ba", "aab", "abab"]:
+            assert minimized.accepts(word) == contains_ab.accepts(word)
+
+    def test_minimized_removes_redundancy(self):
+        # Two states that behave identically collapse.
+        dfa = DFA(
+            {0, 1, 2},
+            {"a"},
+            {(0, "a"): 1, (1, "a"): 2, (2, "a"): 1},
+            0,
+            {1, 2},
+        )
+        minimized = dfa.minimized()
+        # accepts a+ — two states suffice (modulo the dead state).
+        assert len(minimized.states - {DEAD}) <= 2 + 1
+
+    def test_to_nfa_roundtrip(self, even_as):
+        nfa = even_as.to_nfa()
+        for word in ["", "a", "aa", "ab", "bab"]:
+            assert nfa.accepts(word) == even_as.accepts(word)

@@ -1,0 +1,154 @@
+"""Tests for NFAs, including the paper-specific operations."""
+
+import pytest
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.automata.regex import parse_regex
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def a_then_any() -> NFA:
+    """Accepts a(a|b)*."""
+    return NFA(
+        {0, 1},
+        {"a", "b"},
+        {(0, "a"): {1}, (1, "a"): {1}, (1, "b"): {1}},
+        {0},
+        {1},
+    )
+
+
+class TestRunning:
+    def test_accepts(self, a_then_any):
+        assert a_then_any.accepts("a")
+        assert a_then_any.accepts("abba")
+        assert not a_then_any.accepts("b")
+        assert not a_then_any.accepts("")
+
+    def test_epsilon_closure(self):
+        nfa = NFA(
+            {0, 1, 2},
+            {"a"},
+            {(0, EPSILON): {1}, (1, EPSILON): {2}},
+            {0},
+            {2},
+        )
+        assert nfa.epsilon_closure({0}) == {0, 1, 2}
+        assert nfa.accepts("")
+
+    def test_word_automaton(self):
+        nfa = NFA.for_word("ab", {"a", "b"})
+        assert nfa.accepts("ab")
+        assert not nfa.accepts("a")
+        assert not nfa.accepts("aba")
+
+    def test_empty_language(self):
+        nfa = NFA.empty_language({"a"})
+        assert nfa.is_empty()
+
+
+class TestConstructions:
+    def test_determinize(self, a_then_any):
+        dfa = a_then_any.determinize()
+        for word in ["", "a", "b", "ab", "ba", "abb"]:
+            assert dfa.accepts(word) == a_then_any.accepts(word)
+
+    def test_union(self):
+        left = NFA.for_word("ab", {"a", "b"})
+        right = NFA.for_word("ba", {"a", "b"})
+        union = left.union(right)
+        assert union.accepts("ab") and union.accepts("ba")
+        assert not union.accepts("aa")
+
+    def test_concat(self):
+        left = NFA.for_word("a", {"a", "b"})
+        right = NFA.for_word("b", {"a", "b"})
+        cat = left.concat(right)
+        assert cat.accepts("ab")
+        assert not cat.accepts("a")
+
+    def test_star(self):
+        star = NFA.for_word("ab", {"a", "b"}).star()
+        assert star.accepts("")
+        assert star.accepts("ab")
+        assert star.accepts("abab")
+        assert not star.accepts("aba")
+
+    def test_alphabet_extension(self, a_then_any):
+        extended = a_then_any.with_alphabet({"a", "b", "c"})
+        assert extended.accepts("a")
+        assert not extended.accepts("c")
+
+    def test_alphabet_shrink_rejected(self, a_then_any):
+        with pytest.raises(ReproError):
+            a_then_any.with_alphabet({"a"})
+
+
+class TestDecisionProcedures:
+    def test_is_empty(self):
+        assert NFA.empty_language({"a"}).is_empty()
+        assert not NFA.for_word("a", {"a"}).is_empty()
+
+    def test_containment(self):
+        specific = parse_regex("a b").to_nfa()
+        general = parse_regex("a (a|b)*").to_nfa()
+        assert specific.contained_in(general)
+        assert not general.contained_in(specific)
+
+    def test_equivalence(self):
+        one = parse_regex("(a|b)* a").to_nfa()
+        two = parse_regex("(b* a)+").to_nfa()
+        assert one.equivalent_to(two)
+
+    def test_shortest_accepted(self):
+        nfa = parse_regex("a a a | a b").to_nfa()
+        assert nfa.shortest_accepted() == ("a", "b")
+
+
+class TestPrefixFreeRestriction:
+    def test_cuts_extensions(self):
+        nfa = parse_regex("a | a b").to_nfa()
+        core = nfa.prefix_free_restriction()
+        assert core.accepts("a")
+        assert not core.accepts("ab")
+
+    def test_prefix_free_language_unchanged(self):
+        nfa = parse_regex("a b | b a").to_nfa()
+        core = nfa.prefix_free_restriction()
+        assert core.equivalent_to(nfa)
+
+    def test_core_of_star(self):
+        # (ab)+ core is just ab.
+        nfa = parse_regex("a b (a b)*").to_nfa()
+        core = nfa.prefix_free_restriction()
+        assert core.equivalent_to(parse_regex("a b").to_nfa())
+
+
+class TestSubstitution:
+    def test_letter_substitution(self):
+        outer = parse_regex("X Y").to_nfa()
+        sub = outer.substitute(
+            {
+                "X": parse_regex("a a").to_nfa(["a", "b"]),
+                "Y": parse_regex("b | a b").to_nfa(["a", "b"]),
+            },
+            ["a", "b"],
+        )
+        assert sub.accepts("aab")
+        assert sub.accepts("aaab")
+        assert not sub.accepts("ab")
+
+    def test_substitution_with_star(self):
+        outer = parse_regex("X*").to_nfa()
+        sub = outer.substitute(
+            {"X": parse_regex("a b").to_nfa(["a", "b"])}, ["a", "b"]
+        )
+        assert sub.accepts("")
+        assert sub.accepts("abab")
+        assert not sub.accepts("aab")
+
+    def test_missing_language_raises(self):
+        outer = parse_regex("X").to_nfa()
+        with pytest.raises(ReproError):
+            outer.substitute({}, ["a"])

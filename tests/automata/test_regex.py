@@ -1,0 +1,98 @@
+"""Tests for regular expressions and Thompson's construction."""
+
+import pytest
+
+from repro.automata.regex import (
+    Concat,
+    EmptySet,
+    Epsilon,
+    Star,
+    Sym,
+    Union_,
+    parse_regex,
+)
+from repro.errors import QueryError
+
+
+class TestConstruction:
+    def test_symbol(self):
+        nfa = Sym("a").to_nfa()
+        assert nfa.accepts("a")
+        assert not nfa.accepts("")
+        assert not nfa.accepts("aa")
+
+    def test_epsilon(self):
+        nfa = Epsilon().to_nfa(["a"])
+        assert nfa.accepts("")
+        assert not nfa.accepts("a")
+
+    def test_empty_set(self):
+        assert EmptySet().to_nfa(["a"]).is_empty()
+
+    def test_concat(self):
+        nfa = Concat((Sym("a"), Sym("b"))).to_nfa()
+        assert nfa.accepts("ab")
+        assert not nfa.accepts("ba")
+
+    def test_union(self):
+        nfa = Union_((Sym("a"), Sym("b"))).to_nfa()
+        assert nfa.accepts("a") and nfa.accepts("b")
+        assert not nfa.accepts("ab")
+
+    def test_star(self):
+        nfa = Star(Sym("a")).to_nfa(["a", "b"])
+        for n in range(4):
+            assert nfa.accepts("a" * n)
+        assert not nfa.accepts("b")
+        assert not nfa.accepts("ab")
+
+    def test_operator_sugar(self):
+        regex = (Sym("a") | Sym("b")) + Sym("c").star()
+        nfa = regex.to_nfa()
+        assert nfa.accepts("a")
+        assert nfa.accepts("bcc")
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "text,accepted,rejected",
+        [
+            ("a b c", ["abc"], ["ab", "abcc"]),
+            ("a | b", ["a", "b"], ["", "ab"]),
+            ("a*", ["", "a", "aaa"], ["b"]),
+            ("a+", ["a", "aa"], [""]),
+            ("a?", ["", "a"], ["aa"]),
+            ("(a b)* c", ["c", "abc", "ababc"], ["ac", "abab"]),
+            ("a (b | c)* d", ["ad", "abcd", "accd"], ["abc", "d"]),
+            ("()", [""], ["a"]),
+        ],
+    )
+    def test_languages(self, text, accepted, rejected):
+        nfa = parse_regex(text).to_nfa(["a", "b", "c", "d"])
+        for word in accepted:
+            assert nfa.accepts(word), (text, word)
+        for word in rejected:
+            assert not nfa.accepts(word), (text, word)
+
+    def test_multichar_identifiers(self):
+        nfa = parse_regex("foo bar").to_nfa()
+        assert nfa.accepts(["foo", "bar"])
+        assert not nfa.accepts(["foobar"])
+
+    def test_inverse_label_syntax(self):
+        regex = parse_regex("a^ b")
+        assert "a^" in {str(s) for s in regex.symbols()}
+
+    @pytest.mark.parametrize("bad", ["(", ")", "*", "a @ b"])
+    def test_errors(self, bad):
+        with pytest.raises(QueryError):
+            parse_regex(bad)
+
+    def test_str_roundtrip(self):
+        texts = ["a (b | c)* d", "a | b c", "(a b)*"]
+        for text in texts:
+            regex = parse_regex(text)
+            again = parse_regex(str(regex))
+            left = regex.to_nfa(["a", "b", "c", "d"])
+            right = again.to_nfa(["a", "b", "c", "d"])
+            assert left.equivalent_to(right), text

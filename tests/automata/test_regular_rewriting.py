@@ -1,0 +1,123 @@
+"""Tests for the maximal rewriting of regular languages (CGLV02)."""
+
+import pytest
+
+from repro.automata.regex import parse_regex
+from repro.automata.regular_rewriting import (
+    component_relation,
+    exact_rewriting_exists,
+    maximal_rewriting,
+    rewrite,
+)
+
+
+def _nfa(text, alphabet=("a", "b")):
+    return parse_regex(text).to_nfa(alphabet)
+
+
+class TestComponentRelation:
+    def test_relation_pairs(self):
+        goal = _nfa("a b").determinize()
+        component = _nfa("a")
+        relation = component_relation(goal, component)
+        # From the initial state, reading L(component)={a} reaches the
+        # middle state.
+        initial = goal.initial
+        targets = {t for s, t in relation if s == initial}
+        assert len(targets) == 1
+
+    def test_star_component_reaches_many(self):
+        goal = _nfa("a a a a").determinize()
+        component = _nfa("a*")
+        relation = component_relation(goal, component)
+        initial = goal.initial
+        targets = {t for s, t in relation if s == initial}
+        assert len(targets) >= 5  # every chain position plus the dead state
+
+
+class TestMaximalRewriting:
+    def test_simple_decomposition(self):
+        goal = _nfa("a b")
+        maximal = maximal_rewriting(
+            goal, {"X": _nfa("a"), "Y": _nfa("b")}
+        )
+        assert maximal.accepts(["X", "Y"])
+        assert not maximal.accepts(["Y", "X"])
+        assert not maximal.accepts(["X"])
+
+    def test_star_decomposition(self):
+        goal = _nfa("(a b)*")
+        maximal = maximal_rewriting(goal, {"P": _nfa("a b")})
+        for n in range(4):
+            assert maximal.accepts(["P"] * n)
+
+    def test_sub_of_maximal_always_contained(self):
+        goal = _nfa("a (b a)* | b")
+        components = {"X": _nfa("a"), "Y": _nfa("b a"), "Z": _nfa("b")}
+        maximal = maximal_rewriting(goal, components)
+        padded = {
+            name: nfa.with_alphabet({"a", "b"})
+            for name, nfa in components.items()
+        }
+        substituted = maximal.substitute(padded, {"a", "b"})
+        assert substituted.contained_in(goal)
+
+
+class TestExactRewriting:
+    def test_exact_positive(self):
+        goal = _nfa("a b | b a")
+        assert exact_rewriting_exists(
+            goal,
+            {"X": _nfa("a"), "Y": _nfa("b")},
+            run_to_completion=False,
+        )
+
+    def test_exact_negative(self):
+        goal = _nfa("a b | a")
+        # Only the pair is available; the lone 'a' goal word has no cover.
+        result = rewrite(
+            goal, {"P": _nfa("a b")}, run_to_completion=False
+        )
+        assert not result.exact
+        assert result.witness == ("a",)
+
+    def test_kleene_exactness(self):
+        goal = _nfa("(a | b)*")
+        assert exact_rewriting_exists(
+            goal,
+            {"X": _nfa("a"), "Y": _nfa("b")},
+            run_to_completion=False,
+        )
+
+    def test_empty_goal_word_handled(self):
+        goal = _nfa("()")
+        result = rewrite(goal, {"X": _nfa("a")}, run_to_completion=False)
+        # ε is rewritten by the empty component word.
+        assert result.exact
+        assert result.maximal.accepts([])
+
+
+class TestRunToCompletion:
+    def test_prefix_free_core_used(self):
+        # Component accepts a and ab; run-to-completion stops at 'a', so
+        # the goal 'a b b' cannot use the 'ab' word of the component.
+        goal = _nfa("a b b")
+        stop_early = rewrite(
+            goal,
+            {"P": _nfa("a | a b"), "Q": _nfa("b")},
+            run_to_completion=True,
+        )
+        free_choice = rewrite(
+            goal,
+            {"P": _nfa("a | a b"), "Q": _nfa("b")},
+            run_to_completion=False,
+        )
+        # With run-to-completion P contributes only its core word 'a', so
+        # P·Q·Q spells exactly 'abb'.  Under free choice P may produce
+        # either 'a' or 'ab', so *no* component word reliably lands in the
+        # goal — there is no exact rewriting at all.
+        assert stop_early.exact
+        assert stop_early.maximal.accepts(["P", "Q", "Q"])
+        assert not stop_early.maximal.accepts(["P", "Q"])
+        assert not free_choice.exact
+        assert not free_choice.maximal.accepts(["P", "Q"])

@@ -1,0 +1,156 @@
+"""Tests for (2-way) regular path queries over graph databases."""
+
+import pytest
+
+from repro.automata.regex import parse_regex
+from repro.automata.rpq import (
+    C2RPQ,
+    GraphDatabase,
+    PathAtom,
+    RPQ,
+    UC2RPQ,
+    canonical_graph,
+    inverse,
+    is_inverse,
+    rpq_contained_in_bounded,
+)
+from repro.errors import QueryError
+from repro.logic.terms import var
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+@pytest.fixture
+def graph() -> GraphDatabase:
+    return GraphDatabase(
+        {
+            "a": [(1, 2), (2, 3)],
+            "b": [(3, 4), (2, 4)],
+        }
+    )
+
+
+class TestLabels:
+    def test_inverse_involution(self):
+        assert inverse("a") == "a^"
+        assert inverse("a^") == "a"
+        assert is_inverse("a^")
+        assert not is_inverse("a")
+
+    def test_inverse_edges_derived(self, graph):
+        assert graph.edges("a^") == {(2, 1), (3, 2)}
+
+    def test_supplying_inverse_labels_rejected(self):
+        with pytest.raises(QueryError):
+            GraphDatabase({"a^": [(1, 2)]})
+
+    def test_as_relations(self, graph):
+        rels = graph.as_relations()
+        assert set(rels) == {"a", "a^", "b", "b^"}
+        assert (2, 1) in rels["a^"]
+
+
+class TestRPQEvaluation:
+    def test_single_label(self, graph):
+        rpq = RPQ(parse_regex("a"))
+        assert rpq.evaluate(graph) == {(1, 2), (2, 3)}
+
+    def test_concatenation(self, graph):
+        rpq = RPQ(parse_regex("a b"))
+        assert rpq.evaluate(graph) == {(1, 4), (2, 4)}
+
+    def test_star(self, graph):
+        rpq = RPQ(parse_regex("a*"))
+        result = rpq.evaluate(graph)
+        assert (1, 1) in result  # ε path
+        assert (1, 3) in result
+
+    def test_two_way(self, graph):
+        # Siblings through b: x b y, then back via b^.
+        rpq = RPQ(parse_regex("b b^"))
+        result = rpq.evaluate(graph)
+        assert (3, 2) in result and (2, 3) in result
+
+    def test_union(self, graph):
+        rpq = RPQ(parse_regex("a | b"))
+        assert rpq.evaluate(graph) == {(1, 2), (2, 3), (3, 4), (2, 4)}
+
+
+class TestContainment:
+    def test_language_containment(self):
+        small = RPQ(parse_regex("a a"))
+        big = RPQ(parse_regex("a+"))
+        assert small.contained_in(big)
+        assert not big.contained_in(small)
+
+    def test_bounded_containment_positive(self):
+        small = RPQ(parse_regex("a a"))
+        big = RPQ(parse_regex("a a | a"))
+        assert rpq_contained_in_bounded(small, big, max_length=4)
+
+    def test_bounded_containment_negative(self):
+        big = RPQ(parse_regex("a | b"))
+        small = RPQ(parse_regex("a"))
+        assert not rpq_contained_in_bounded(big, small, max_length=3)
+
+
+class TestCanonicalGraph:
+    def test_forward_word(self):
+        graph = canonical_graph(["a", "b"])
+        assert graph.edges("a") == {("n0", "n1")}
+        assert graph.edges("b") == {("n1", "n2")}
+
+    def test_inverse_edge_reversed(self):
+        graph = canonical_graph(["a^"])
+        assert graph.edges("a") == {("n1", "n0")}
+
+    def test_query_answers_own_canonical_graph(self):
+        rpq = RPQ(parse_regex("a b^ a"))
+        word = ["a", "b^", "a"]
+        graph = canonical_graph(word)
+        assert ("n0", "n3") in rpq.evaluate(graph)
+
+
+class TestConjunctive:
+    def test_join_of_paths(self, graph):
+        q = C2RPQ(
+            (x, z),
+            [
+                PathAtom(x, RPQ(parse_regex("a")), y),
+                PathAtom(y, RPQ(parse_regex("b")), z),
+            ],
+        )
+        assert q.evaluate(graph) == {(1, 4), (2, 4)}
+
+    def test_shared_endpoint(self, graph):
+        # Nodes with both an outgoing a and an outgoing b.
+        q = C2RPQ(
+            (x,),
+            [
+                PathAtom(x, RPQ(parse_regex("a")), y),
+                PathAtom(x, RPQ(parse_regex("b")), z),
+            ],
+        )
+        assert q.evaluate(graph) == {(2,)}
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(QueryError, match="unsafe"):
+            C2RPQ((z,), [PathAtom(x, RPQ(parse_regex("a")), y)])
+
+    def test_union_of_conjunctive(self, graph):
+        q = UC2RPQ(
+            [
+                C2RPQ((x, y), [PathAtom(x, RPQ(parse_regex("a a")), y)]),
+                C2RPQ((x, y), [PathAtom(x, RPQ(parse_regex("b")), y)]),
+            ]
+        )
+        assert q.evaluate(graph) == {(1, 3), (3, 4), (2, 4)}
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(QueryError):
+            UC2RPQ(
+                [
+                    C2RPQ((x,), [PathAtom(x, RPQ(parse_regex("a")), y)]),
+                    C2RPQ((x, y), [PathAtom(x, RPQ(parse_regex("a")), y)]),
+                ]
+            )

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.generators import InstanceGenerator
+from repro.data.relation import Relation
+from repro.data.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def edge_schema() -> RelationSchema:
+    """A binary edge relation schema."""
+    return RelationSchema("E", ("src", "dst"))
+
+
+@pytest.fixture
+def two_relation_schema() -> DatabaseSchema:
+    """The R/S database schema the random CQ services use."""
+    return DatabaseSchema(
+        [RelationSchema("R", ("a", "b")), RelationSchema("S", ("a", "b"))]
+    )
+
+
+@pytest.fixture
+def small_database(two_relation_schema: DatabaseSchema) -> Database:
+    """A fixed small database over R and S."""
+    return Database(
+        two_relation_schema,
+        {"R": [(1, 2), (2, 3)], "S": [(2, 2), (3, 1)]},
+    )
+
+
+@pytest.fixture
+def generator() -> InstanceGenerator:
+    """A seeded instance generator."""
+    return InstanceGenerator(seed=42, domain_size=4)
+
+
+@pytest.fixture
+def edge_relation(edge_schema: RelationSchema) -> Relation:
+    """A small cyclic edge relation."""
+    return Relation(edge_schema, [(1, 2), (2, 3), (3, 1), (1, 3)])

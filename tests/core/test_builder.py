@@ -1,0 +1,120 @@
+"""Tests for the fluent SWS builder."""
+
+import pytest
+
+from repro.core.builder import pl_sws, relational_sws
+from repro.core.run import run_pl, run_relational
+from repro.data.database import Database
+from repro.data.input_sequence import InputSequence
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.errors import SWSDefinitionError
+
+DB = DatabaseSchema([RelationSchema("Ra", ("key", "flight"))])
+
+
+class TestPLBuilder:
+    def test_small_service(self):
+        service = (
+            pl_sws("demo")
+            .transition("q0", ("q1", "x"))
+            .synthesize("q0", "A1")
+            .final("q1")
+            .synthesize("q1", "Msg & y")
+            .build()
+        )
+        assert run_pl(service, [frozenset({"x"}), frozenset({"y"})]).output
+        assert not run_pl(service, [frozenset({"x"}), frozenset()]).output
+        assert not run_pl(service, [frozenset(), frozenset({"y"})]).output
+
+    def test_first_state_is_start(self):
+        service = (
+            pl_sws("demo")
+            .final("root")
+            .synthesize("root", "true")
+            .build()
+        )
+        assert service.start == "root"
+
+    def test_explicit_start(self):
+        service = (
+            pl_sws("demo")
+            .final("leaf")
+            .synthesize("leaf", "Msg")
+            .start("q0")
+            .transition("q0", ("leaf", "x"))
+            .synthesize("q0", "A1")
+            .build()
+        )
+        assert service.start == "q0"
+
+    def test_duplicate_rules_rejected(self):
+        builder = pl_sws("demo").final("q0").synthesize("q0", "true")
+        with pytest.raises(SWSDefinitionError, match="already"):
+            builder.final("q0")
+        with pytest.raises(SWSDefinitionError, match="already"):
+            builder.synthesize("q0", "false")
+
+
+class TestRelationalBuilder:
+    def test_cq_rules(self):
+        service = (
+            relational_sws("lookup", DB, payload=("tag", "key"), output_arity=1)
+            .transition("q0", ("qa", "M(t, k) :- In(t, k), t = 'a'"))
+            .synthesize("q0", "Up(f) :- Act_qa(f)")
+            .final("qa")
+            .synthesize("qa", "Out(f) :- Msg(t, k), Ra(k, f)")
+            .build()
+        )
+        db = Database(DB, {"Ra": [("k1", "F100")]})
+        inputs = InputSequence(service.input_schema, [[("a", "k1")]])
+        assert run_relational(service, db, inputs).output.rows == {("F100",)}
+
+    def test_ucq_synthesis(self):
+        service = (
+            relational_sws("either", DB, payload=("tag", "key"), output_arity=1)
+            .final("q0")
+            .synthesize(
+                "q0",
+                "Out(f) :- Ra(k, f), k = 'k1' ; Out(f) :- Ra(k, f), k = 'k2'",
+            )
+            .build()
+        )
+        db = Database(DB, {"Ra": [("k1", "F1"), ("k2", "F2"), ("k3", "F3")]})
+        inputs = InputSequence(service.input_schema, [])
+        assert run_relational(service, db, inputs).output.rows == {("F1",), ("F2",)}
+
+    def test_fo_synthesis(self):
+        service = (
+            relational_sws("negation", DB, payload=("tag", "key"), output_arity=1)
+            .final("q0")
+            .synthesize(
+                "q0",
+                "Out(f) := (exists k . Ra(k, f)) and not exists g . Ra('blocked', g)",
+            )
+            .build()
+        )
+        db = Database(DB, {"Ra": [("k1", "F1")]})
+        inputs = InputSequence(service.input_schema, [])
+        assert run_relational(service, db, inputs).output.rows == {("F1",)}
+        blocked = db.insert("Ra", [("blocked", "F9")])
+        assert run_relational(service, blocked, inputs).output.rows == frozenset()
+
+    def test_classification_matches_query_kinds(self):
+        from repro.core.classes import SWSClass, classify
+
+        cq_only = (
+            relational_sws("cq", DB, payload=("t", "k"), output_arity=1)
+            .final("q0")
+            .synthesize("q0", "Out(f) :- Ra(k, f)")
+            .build()
+        )
+        assert classify(cq_only) is SWSClass.CQ_UCQ_NR
+
+    def test_arity_validation_still_applies(self):
+        with pytest.raises(SWSDefinitionError, match="arity"):
+            (
+                relational_sws("bad", DB, payload=("t", "k"), output_arity=2)
+                .final("q0")
+                .synthesize("q0", "Out(f) :- Ra(k, f)")
+                .build()
+            )

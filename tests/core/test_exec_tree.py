@@ -1,0 +1,73 @@
+"""Tests for execution-tree structure and metrics."""
+
+from repro.core.exec_tree import ExecutionNode, RunResult
+
+
+def _tree() -> ExecutionNode:
+    root = ExecutionNode("q0", 1, True)
+    a = ExecutionNode("qa", 2, True, act=True)
+    b = ExecutionNode("qb", 2, False, act=False)
+    c = ExecutionNode("qc", 3, True, act=True)
+    a.children.append(c)
+    root.children.extend([a, b])
+    root.act = True
+    return root
+
+
+class TestMetrics:
+    def test_size(self):
+        assert _tree().size() == 4
+
+    def test_height(self):
+        assert _tree().height() == 2
+
+    def test_leaves(self):
+        leaves = list(_tree().leaves())
+        assert [leaf.state for leaf in leaves] == ["qc", "qb"]
+
+    def test_nodes_preorder(self):
+        states = [node.state for node in _tree().nodes()]
+        assert states == ["q0", "qa", "qc", "qb"]
+
+    def test_max_timestamp(self):
+        assert _tree().max_timestamp() == 3
+
+    def test_single_node(self):
+        node = ExecutionNode("q", 1, False, act=False)
+        assert node.size() == 1
+        assert node.height() == 0
+        assert list(node.leaves()) == [node]
+
+
+class TestRender:
+    def test_render_contains_states_and_registers(self):
+        text = _tree().render()
+        assert "q0@1" in text
+        assert "qc@3" in text
+        assert "true" in text and "false" in text
+
+    def test_render_undefined_register(self):
+        node = ExecutionNode("q", 1, False)
+        assert "⊥" in node.render()
+
+    def test_render_relation_registers(self):
+        from repro.data.relation import Relation
+        from repro.data.schema import RelationSchema
+
+        rel = Relation(RelationSchema("Msg", ("a",)), [(1,), (2,)])
+        node = ExecutionNode("q", 1, rel, act=rel)
+        assert "2 rows" in node.render()
+
+
+class TestRunResult:
+    def test_accepted_bool(self):
+        assert RunResult(True, _tree()).accepted
+        assert not RunResult(False, _tree()).accepted
+
+    def test_accepted_relation(self):
+        from repro.data.relation import Relation
+        from repro.data.schema import RelationSchema
+
+        schema = RelationSchema("Act", ("a",))
+        assert RunResult(Relation(schema, [(1,)]), _tree()).accepted
+        assert not RunResult(Relation.empty(schema), _tree()).accepted

@@ -1,0 +1,82 @@
+"""Tests for the PL language semantics: value recursion vs AFA vs runs."""
+
+import itertools
+
+import pytest
+
+from repro.core.pl_semantics import (
+    alphabet_for,
+    joint_variables,
+    language_value,
+    to_afa,
+)
+from repro.core.run import run_pl
+from repro.errors import AnalysisError
+from repro.workloads.random_sws import random_pl_sws
+from repro.workloads.scaling import pl_counter_sws
+from repro.workloads.travel import travel_service
+
+
+class TestAlphabet:
+    def test_alphabet_size(self):
+        sws = random_pl_sws(0, n_variables=2)
+        assert len(alphabet_for(sws)) == 4
+
+    def test_explicit_variables(self):
+        sws = random_pl_sws(0, n_variables=1)
+        assert len(alphabet_for(sws, ["a", "b", "c"])) == 8
+
+    def test_no_variables_single_symbol(self):
+        counter = pl_counter_sws(1)
+        assert alphabet_for(counter) == (frozenset(),)
+
+    def test_joint_variables(self):
+        a = random_pl_sws(0, n_variables=2)
+        b = random_pl_sws(1, n_variables=3)
+        assert joint_variables(a, b) == a.input_variables() | b.input_variables()
+
+    def test_joint_variables_rejects_relational(self):
+        with pytest.raises(AnalysisError):
+            joint_variables(travel_service())
+
+
+class TestThreeWayAgreement:
+    """run_pl, language_value and the AFA must agree on every word."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_services(self, seed):
+        sws = random_pl_sws(seed, n_states=4, n_variables=2, recursive=(seed % 2 == 0))
+        alphabet = alphabet_for(sws)
+        afa = to_afa(sws)
+        for n in range(0, 3):
+            for word in itertools.product(alphabet, repeat=n):
+                word = list(word)
+                via_run = run_pl(sws, word).output
+                via_value = language_value(sws, word)
+                via_afa = afa.accepts(word)
+                assert via_run == via_value == via_afa, (seed, word)
+
+    def test_counter(self):
+        sws = pl_counter_sws(2)
+        afa = to_afa(sws)
+        for m in range(0, 10):
+            word = [frozenset()] * m
+            expected = m > 0 and m % 4 == 0
+            assert run_pl(sws, word).output == expected
+            assert language_value(sws, word) == expected
+            assert afa.accepts(word) == expected
+
+
+class TestAfaStructure:
+    def test_state_pairs(self):
+        sws = random_pl_sws(3, n_states=3)
+        afa = to_afa(sws)
+        assert len(afa.states) == 2 * len(sws.states)
+
+    def test_pl_required(self):
+        with pytest.raises(AnalysisError):
+            to_afa(travel_service())
+
+    def test_language_value_requires_pl(self):
+        with pytest.raises(AnalysisError):
+            language_value(travel_service(), [])

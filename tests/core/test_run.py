@@ -1,0 +1,225 @@
+"""Tests for the execution-tree run semantics (Section 2 rules (1)-(4))."""
+
+import pytest
+
+from repro.core.run import run, run_pl, run_relational
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.data.database import Database
+from repro.data.input_sequence import InputSequence
+from repro.data.relation import Relation
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.errors import RunError
+from repro.logic import pl
+from repro.logic.cq import Atom, ConjunctiveQuery
+from repro.logic.terms import var
+from repro.logic.ucq import UnionQuery
+from repro.workloads import travel
+
+x, y = var("x"), var("y")
+
+PAYLOAD = RelationSchema("Rin", ("v",))
+DB = DatabaseSchema([RelationSchema("R", ("a", "b"))])
+
+
+def _final_service(sigma):
+    """A single final start state with the given synthesis."""
+    return SWS(
+        ("q0",),
+        "q0",
+        {"q0": TransitionRule()},
+        {"q0": SynthesisRule(sigma)},
+        kind=SWSKind.RELATIONAL,
+        db_schema=DB,
+        input_schema=PAYLOAD,
+        output_arity=1,
+        name="final_only",
+    )
+
+
+class TestRuleThree:
+    """Final states always synthesize (rule (3), including at j > n)."""
+
+    def test_final_state_reads_database_without_input(self):
+        sigma = UnionQuery.of(ConjunctiveQuery((x,), [Atom("R", (x, y))]))
+        sws = _final_service(sigma)
+        db = Database(DB, {"R": [(1, 2)]})
+        result = run_relational(sws, db, InputSequence(PAYLOAD, []))
+        assert result.output.rows == {(1,)}
+
+    def test_final_state_reads_current_input(self):
+        sigma = UnionQuery.of(ConjunctiveQuery((x,), [Atom("In", (x,))]))
+        sws = _final_service(sigma)
+        db = Database.empty(DB)
+        result = run_relational(sws, db, InputSequence(PAYLOAD, [[(7,)]]))
+        assert result.output.rows == {(7,)}
+
+    def test_input_beyond_sequence_is_empty(self):
+        # Example 2.2's situation: leaves at timestamp 2 with n = 1.
+        first = ConjunctiveQuery((x,), [Atom("In", (x,))])
+        sigma = UnionQuery.of(ConjunctiveQuery((x,), [Atom("In", (x,))]))
+        keep = UnionQuery.of(ConjunctiveQuery((x,), [Atom("A1", (x,))]))
+        sws = SWS(
+            ("q0", "q1"),
+            "q0",
+            {"q0": TransitionRule([("q1", first)]), "q1": TransitionRule()},
+            {"q0": SynthesisRule(keep), "q1": SynthesisRule(sigma)},
+            kind=SWSKind.RELATIONAL,
+            db_schema=DB,
+            input_schema=PAYLOAD,
+            output_arity=1,
+        )
+        result = run_relational(
+            sws, Database.empty(DB), InputSequence(PAYLOAD, [[(7,)]])
+        )
+        # q1's In is I2 = ∅, so nothing comes out — but the run completes.
+        assert result.output.rows == frozenset()
+        assert result.tree.size() == 2
+
+
+class TestRuleOne:
+    """Starvation and dead registers at internal states."""
+
+    def test_internal_starved_is_empty(self):
+        first = ConjunctiveQuery((x,), [Atom("In", (x,))])
+        emit = UnionQuery.of(ConjunctiveQuery((x,), [Atom("R", (x, y))]))
+        keep = UnionQuery.of(ConjunctiveQuery((x,), [Atom("A1", (x,))]))
+        sws = SWS(
+            ("q0", "q1"),
+            "q0",
+            {"q0": TransitionRule([("q1", first)]), "q1": TransitionRule()},
+            {"q0": SynthesisRule(keep), "q1": SynthesisRule(emit)},
+            kind=SWSKind.RELATIONAL,
+            db_schema=DB,
+            input_schema=PAYLOAD,
+            output_arity=1,
+        )
+        db = Database(DB, {"R": [(1, 2)]})
+        # Empty input: the root (internal) is starved -> no output even
+        # though q1's synthesis could produce rows from R alone.
+        result = run_relational(sws, db, InputSequence(PAYLOAD, []))
+        assert result.output.rows == frozenset()
+        assert result.tree.children == []
+
+    def test_dead_register_kills_subtree(self):
+        # Middle state's message selects In-rows equal to 42; without them
+        # the subtree is dead although the leaf could still produce.
+        select42 = ConjunctiveQuery(
+            (x,), [Atom("In", (x,))], [  # x = 42
+            ],
+        )
+        from repro.logic.cq import eq
+        from repro.logic.terms import const
+
+        select42 = ConjunctiveQuery(
+            (x,), [Atom("In", (x,))], [eq(x, const(42))]
+        )
+        anything = ConjunctiveQuery((x,), [Atom("In", (x,))])
+        emit_r = UnionQuery.of(ConjunctiveQuery((x,), [Atom("R", (x, y))]))
+        keep = UnionQuery.of(ConjunctiveQuery((x,), [Atom("A1", (x,))]))
+        sws = SWS(
+            ("q0", "mid", "leaf"),
+            "q0",
+            {
+                "q0": TransitionRule([("mid", select42)]),
+                "mid": TransitionRule([("leaf", anything)]),
+                "leaf": TransitionRule(),
+            },
+            {
+                "q0": SynthesisRule(keep),
+                "mid": SynthesisRule(keep),
+                "leaf": SynthesisRule(emit_r),
+            },
+            kind=SWSKind.RELATIONAL,
+            db_schema=DB,
+            input_schema=PAYLOAD,
+            output_arity=1,
+        )
+        db = Database(DB, {"R": [(1, 2)]})
+        dead = run_relational(
+            sws, db, InputSequence(PAYLOAD, [[(7,)], [(8,)], [(9,)]])
+        )
+        assert dead.output.rows == frozenset()
+        alive = run_relational(
+            sws, db, InputSequence(PAYLOAD, [[(42,)], [(8,)], [(9,)]])
+        )
+        assert alive.output.rows == {(1,)}
+
+    def test_root_exempt_from_dead_register(self):
+        # The root always has an empty register yet spawns when input
+        # exists (the paper's special case).
+        t1 = travel.travel_service()
+        result = run_relational(
+            t1, travel.sample_database(), travel.booking_request()
+        )
+        assert result.output
+
+
+class TestPLRuns:
+    def test_register_seeding(self):
+        sws = SWS(
+            ("q0",),
+            "q0",
+            {"q0": TransitionRule()},
+            {"q0": SynthesisRule(pl.Var("Msg"))},
+            kind=SWSKind.PL,
+        )
+        assert run_pl(sws, [], root_msg=True).output
+        assert not run_pl(sws, [], root_msg=False).output
+
+    def test_kind_mismatch(self):
+        sws = travel.travel_service()
+        with pytest.raises(RunError):
+            run_pl(sws, [])
+
+    def test_dispatch(self):
+        t1 = travel.travel_service()
+        result = run(t1, travel.sample_database(), travel.booking_request())
+        assert result.accepted
+
+
+class TestRootSeeding:
+    def test_relational_root_msg(self):
+        sigma = UnionQuery.of(ConjunctiveQuery((x,), [Atom("Msg", (x,))]))
+        sws = _final_service(sigma)
+        seed = Relation(PAYLOAD.renamed("Msg"), [(5,)])
+        result = run_relational(
+            sws, Database.empty(DB), InputSequence(PAYLOAD, []), root_msg=seed
+        )
+        assert result.output.rows == {(5,)}
+
+    def test_arity_mismatch_rejected(self):
+        sigma = UnionQuery.of(ConjunctiveQuery((x,), [Atom("Msg", (x,))]))
+        sws = _final_service(sigma)
+        bad = Relation(RelationSchema("Msg", ("a", "b")), [(1, 2)])
+        with pytest.raises(RunError, match="arity"):
+            run_relational(
+                sws, Database.empty(DB), InputSequence(PAYLOAD, []), root_msg=bad
+            )
+
+
+class TestTreeShape:
+    def test_travel_tree_is_flat(self):
+        t1 = travel.travel_service()
+        result = run_relational(
+            t1, travel.sample_database(), travel.booking_request()
+        )
+        assert result.tree.height() == 1
+        assert result.tree.size() == 5
+        assert {c.state for c in result.tree.children} == {"qa", "qh", "qt", "qc"}
+
+    def test_recursive_tree_grows_with_input(self):
+        t2 = travel.recursive_airfare_service()
+        db = travel.sample_database()
+        short = run_relational(t2, db, travel.repeated_airfare_inquiries(["k1"]))
+        long = run_relational(
+            t2, db, travel.repeated_airfare_inquiries(["k1", "k1", "k1"])
+        )
+        assert long.tree.size() > short.tree.size()
+
+    def test_timestamps_increase_down_the_tree(self):
+        t1 = travel.travel_service()
+        result = run_relational(
+            t1, travel.sample_database(), travel.booking_request()
+        )
+        for child in result.tree.children:
+            assert child.timestamp == result.tree.timestamp + 1

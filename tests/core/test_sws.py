@@ -1,0 +1,166 @@
+"""Tests for the SWS data type (Definition 2.1 well-formedness)."""
+
+import pytest
+
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.errors import SWSDefinitionError
+from repro.logic import pl
+from repro.workloads.random_sws import random_cq_sws, random_pl_sws
+from repro.workloads.travel import recursive_airfare_service, travel_service
+
+
+def _tiny_pl(**overrides):
+    """A well-formed 2-state PL service, with optional field overrides."""
+    spec = dict(
+        states=("q0", "q1"),
+        start="q0",
+        transitions={
+            "q0": TransitionRule([("q1", pl.Var("x"))]),
+            "q1": TransitionRule(),
+        },
+        synthesis={
+            "q0": SynthesisRule(pl.Var("A1")),
+            "q1": SynthesisRule(pl.Var("Msg")),
+        },
+    )
+    spec.update(overrides)
+    return SWS(
+        spec["states"],
+        spec["start"],
+        spec["transitions"],
+        spec["synthesis"],
+        kind=SWSKind.PL,
+    )
+
+
+class TestValidation:
+    def test_well_formed(self):
+        sws = _tiny_pl()
+        assert sws.states == ("q0", "q1")
+
+    def test_unknown_start(self):
+        with pytest.raises(SWSDefinitionError, match="start state"):
+            _tiny_pl(start="zzz")
+
+    def test_missing_transition_rule(self):
+        with pytest.raises(SWSDefinitionError, match="without a transition"):
+            _tiny_pl(transitions={"q0": TransitionRule()})
+
+    def test_missing_synthesis_rule(self):
+        with pytest.raises(SWSDefinitionError, match="without a synthesis"):
+            _tiny_pl(synthesis={"q0": SynthesisRule(pl.TRUE)})
+
+    def test_start_on_rhs_rejected(self):
+        with pytest.raises(SWSDefinitionError, match="must not appear"):
+            _tiny_pl(
+                transitions={
+                    "q0": TransitionRule([("q1", pl.TRUE)]),
+                    "q1": TransitionRule([("q0", pl.TRUE)]),
+                }
+            )
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SWSDefinitionError, match="unknown state"):
+            _tiny_pl(
+                transitions={
+                    "q0": TransitionRule([("zzz", pl.TRUE)]),
+                    "q1": TransitionRule(),
+                }
+            )
+
+    def test_internal_synthesis_over_registers_only(self):
+        with pytest.raises(SWSDefinitionError, match="A1"):
+            _tiny_pl(
+                synthesis={
+                    "q0": SynthesisRule(pl.Var("x")),  # not a register
+                    "q1": SynthesisRule(pl.Var("Msg")),
+                }
+            )
+
+    def test_relational_needs_schemas(self):
+        from repro.logic.cq import Atom, ConjunctiveQuery
+        from repro.logic.terms import var
+
+        q = ConjunctiveQuery((var("x"),), [Atom("In", (var("x"),))])
+        with pytest.raises(SWSDefinitionError, match="input payload"):
+            SWS(
+                ("q0",),
+                "q0",
+                {"q0": TransitionRule()},
+                {"q0": SynthesisRule(q)},
+                kind=SWSKind.RELATIONAL,
+            )
+
+
+class TestAliases:
+    def test_positional_and_state_aliases(self):
+        sws = _tiny_pl()
+        aliases = sws.successor_register_aliases("q0")
+        assert aliases == {"A1": 0, "Act1": 0, "Act_q1": 0}
+
+    def test_duplicate_successor_has_no_state_alias(self):
+        sws = _tiny_pl(
+            transitions={
+                "q0": TransitionRule([("q1", pl.TRUE), ("q1", pl.Var("x"))]),
+                "q1": TransitionRule(),
+            },
+            synthesis={
+                "q0": SynthesisRule(pl.Var("A1") | pl.Var("A2")),
+                "q1": SynthesisRule(pl.Var("Msg")),
+            },
+        )
+        aliases = sws.successor_register_aliases("q0")
+        assert "Act_q1" not in aliases
+        assert aliases["A2"] == 1
+
+
+class TestDependencyGraph:
+    def test_travel_service_nonrecursive(self):
+        sws = travel_service()
+        assert not sws.is_recursive()
+        assert sws.depth() == 1
+
+    def test_recursive_detection(self):
+        sws = recursive_airfare_service()
+        assert sws.is_recursive()
+        with pytest.raises(SWSDefinitionError):
+            sws.depth()
+
+    def test_dependency_edges(self):
+        sws = travel_service()
+        edges = sws.dependency_edges()
+        assert ("q0", "qa") in edges
+        assert len(edges) == 4
+
+    def test_reachable_states(self):
+        sws = travel_service()
+        assert sws.reachable_states() == set(sws.states)
+
+    def test_random_nonrecursive_really_nonrecursive(self):
+        for seed in range(20):
+            assert not random_pl_sws(seed, recursive=False).is_recursive()
+            assert not random_cq_sws(seed, recursive=False).is_recursive()
+
+
+class TestIntrospection:
+    def test_input_variables(self):
+        sws = _tiny_pl()
+        assert sws.input_variables() == {"x"}
+
+    def test_msg_not_an_input_variable(self):
+        sws = _tiny_pl(
+            transitions={
+                "q0": TransitionRule([("q1", pl.Var("Msg") | pl.Var("y"))]),
+                "q1": TransitionRule(),
+            }
+        )
+        assert sws.input_variables() == {"y", "Msg"} - {"Msg"}
+
+    def test_query_constants(self):
+        sws = travel_service()
+        assert "a" in sws.query_constants()
+        assert "-" in sws.query_constants()
+
+    def test_repr(self):
+        assert "nonrecursive" in repr(travel_service())
+        assert "recursive" in repr(recursive_airfare_service())

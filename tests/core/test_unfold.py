@@ -1,0 +1,129 @@
+"""Tests for the UCQ≠ expansion of CQ/UCQ services."""
+
+import pytest
+
+from repro.core.run import run_relational
+from repro.core.unfold import (
+    evaluate_expansion,
+    expand,
+    expansion_relations,
+    input_relation_name,
+    saturation_length,
+)
+from repro.data.generators import InstanceGenerator
+from repro.errors import AnalysisError
+from repro.workloads.random_sws import random_cq_sws
+from repro.workloads.scaling import cq_chain_sws, cq_diamond_sws
+from repro.workloads.travel import travel_service
+
+
+class TestBasics:
+    def test_input_relation_names(self):
+        assert input_relation_name(3) == "In_3"
+
+    def test_saturation_length(self):
+        assert saturation_length(cq_diamond_sws(3)) == 4
+
+    def test_saturation_rejects_recursive(self):
+        with pytest.raises(AnalysisError):
+            saturation_length(cq_chain_sws(0))
+
+    def test_expand_rejects_fo(self):
+        with pytest.raises(AnalysisError):
+            expand(travel_service(), 1)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(AnalysisError):
+            expand(cq_diamond_sws(1), -1)
+
+    def test_expansion_relations(self):
+        sws = cq_diamond_sws(1)
+        names = expansion_relations(sws, 2)
+        assert "R" in names and "In_1" in names and "In_2" in names
+
+
+class TestExponentialGrowth:
+    def test_diamond_doubles(self):
+        sizes = []
+        for depth in (1, 2, 3, 4):
+            sws = cq_diamond_sws(depth)
+            expansion = expand(sws, saturation_length(sws))
+            sizes.append(len(expansion.disjuncts))
+        assert sizes == [2, 4, 8, 16]
+
+    def test_chain_unfolding_grows_linearly(self):
+        chain = cq_chain_sws(0)
+        sizes = [len(expand(chain, n).disjuncts) for n in range(2, 6)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] >= 1
+
+
+class TestCorrectness:
+    """Q_n(D, I) must equal τ(D, I) for inputs of length n."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_nonrecursive(self, seed):
+        gen = InstanceGenerator(seed=seed + 100, domain_size=3)
+        sws = random_cq_sws(seed, n_states=4, recursive=False)
+        n = saturation_length(sws)
+        expansion = expand(sws, n)
+        for _trial in range(3):
+            db = gen.database(sws.db_schema, 3)
+            inputs = gen.input_sequence(sws.input_schema, n, 2)
+            direct = run_relational(sws, db, inputs).output.rows
+            if expansion.disjuncts:
+                via_q = evaluate_expansion(expansion, sws, db, inputs, n)
+            else:
+                via_q = frozenset()
+            assert direct == via_q
+
+    @pytest.mark.parametrize("n", range(0, 4))
+    def test_recursive_chain_per_length(self, n):
+        gen = InstanceGenerator(seed=n, domain_size=3)
+        chain = cq_chain_sws(0)
+        expansion = expand(chain, n)
+        for _trial in range(3):
+            db = gen.database(chain.db_schema, 4)
+            inputs = gen.input_sequence(chain.input_schema, n, 2)
+            direct = run_relational(chain, db, inputs).output.rows
+            if expansion.disjuncts:
+                via_q = evaluate_expansion(expansion, chain, db, inputs, n)
+            else:
+                via_q = frozenset()
+            assert direct == via_q
+
+    def test_truncated_sessions(self):
+        gen = InstanceGenerator(seed=9, domain_size=3)
+        sws = cq_diamond_sws(3)
+        for n in range(0, 3):  # below saturation
+            expansion = expand(sws, n)
+            db = gen.database(sws.db_schema, 4)
+            inputs = gen.input_sequence(sws.input_schema, n, 2)
+            direct = run_relational(sws, db, inputs).output.rows
+            via_q = (
+                evaluate_expansion(expansion, sws, db, inputs, n)
+                if expansion.disjuncts
+                else frozenset()
+            )
+            assert direct == via_q
+
+    def test_saturation_really_saturates(self):
+        sws = cq_diamond_sws(2)
+        n = saturation_length(sws)
+        q_at_saturation = expand(sws, n)
+        q_beyond = expand(sws, n + 2)
+        assert q_at_saturation.equivalent_to(q_beyond)
+
+
+class TestMonotonicity:
+    def test_output_monotone_in_session_length(self):
+        # Positivity: extending the input can only grow the output.
+        gen = InstanceGenerator(seed=4, domain_size=3)
+        chain = cq_chain_sws(0)
+        db = gen.database(chain.db_schema, 5)
+        inputs = gen.input_sequence(chain.input_schema, 4, 2)
+        previous = frozenset()
+        for n in range(1, 5):
+            out = run_relational(chain, db, inputs.prefix(n)).output.rows
+            assert previous <= out or not previous
+            previous = out

@@ -1,0 +1,88 @@
+"""Tests for action classification and commit."""
+
+import pytest
+
+from repro.data.actions import (
+    ActionKind,
+    classify_actions,
+    commit_actions,
+    tag_interpretation,
+)
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.errors import RunError
+
+
+@pytest.fixture
+def db() -> Database:
+    schema = DatabaseSchema([RelationSchema("Orders", ("id", "item"))])
+    return Database(schema, {"Orders": [(1, "book")]})
+
+
+@pytest.fixture
+def interpretation():
+    return tag_interpretation(
+        tag_position=0,
+        kind_by_tag={
+            "ins": ActionKind.INSERT,
+            "del": ActionKind.DELETE,
+            "msg": ActionKind.MESSAGE,
+        },
+        target_by_tag={"ins": "Orders", "del": "Orders", "msg": "customer"},
+    )
+
+
+def _output(rows):
+    schema = RelationSchema("Act", ("tag", "id", "item"))
+    return Relation(schema, rows)
+
+
+class TestClassify:
+    def test_partition_by_kind(self, interpretation):
+        output = _output(
+            [("ins", 2, "cd"), ("del", 1, "book"), ("msg", 0, "hello")]
+        )
+        log = classify_actions(output, interpretation)
+        assert log.inserts == {"Orders": {(2, "cd")}}
+        assert log.deletes == {"Orders": {(1, "book")}}
+        assert log.messages == {"customer": {(0, "hello")}}
+
+    def test_unknown_tag_raises(self, interpretation):
+        with pytest.raises(RunError, match="unknown action tag"):
+            classify_actions(_output([("boom", 1, "x")]), interpretation)
+
+    def test_empty_log(self, interpretation):
+        log = classify_actions(_output([]), interpretation)
+        assert log.is_empty()
+
+
+class TestCommit:
+    def test_commit_applies_deletes_then_inserts(self, db, interpretation):
+        output = _output([("ins", 2, "cd"), ("del", 1, "book")])
+        updated, log = commit_actions(db, output, interpretation)
+        assert set(updated["Orders"]) == {(2, "cd")}
+        assert not log.is_empty()
+
+    def test_insert_wins_over_delete_of_same_row(self, db, interpretation):
+        output = _output([("ins", 1, "book"), ("del", 1, "book")])
+        updated, _log = commit_actions(db, output, interpretation)
+        assert (1, "book") in updated["Orders"]
+
+    def test_original_database_untouched(self, db, interpretation):
+        commit_actions(db, _output([("del", 1, "book")]), interpretation)
+        assert (1, "book") in db["Orders"]
+
+    def test_unknown_target_relation(self, db):
+        bad = tag_interpretation(
+            0, {"ins": ActionKind.INSERT}, {"ins": "Nope"}
+        )
+        with pytest.raises(RunError, match="unknown relation"):
+            commit_actions(db, _output([("ins", 1, "x")]), bad)
+
+    def test_messages_do_not_touch_database(self, db, interpretation):
+        updated, log = commit_actions(
+            db, _output([("msg", 9, "ping")]), interpretation
+        )
+        assert updated == db
+        assert log.messages == {"customer": {(9, "ping")}}

@@ -1,0 +1,76 @@
+"""Tests for database instances."""
+
+import pytest
+
+from repro.data.database import Database, single_relation_database
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [RelationSchema("R", ("a", "b")), RelationSchema("S", ("x",))]
+    )
+
+
+class TestConstruction:
+    def test_missing_relations_default_empty(self, schema):
+        db = Database(schema, {"R": [(1, 2)]})
+        assert len(db["R"]) == 1
+        assert len(db["S"]) == 0
+
+    def test_unknown_relation_rejected(self, schema):
+        with pytest.raises(SchemaError, match="unknown relations"):
+            Database(schema, {"T": [(1,)]})
+
+    def test_empty(self, schema):
+        db = Database.empty(schema)
+        assert db.total_rows() == 0
+
+    def test_unknown_lookup(self, schema):
+        db = Database.empty(schema)
+        with pytest.raises(SchemaError):
+            db["T"]
+
+    def test_single_relation_database(self):
+        db = single_relation_database(RelationSchema("R", ("a",)), [(1,)])
+        assert set(db) == {"R"}
+
+
+class TestImmutableUpdates:
+    def test_insert_returns_copy(self, schema):
+        db = Database(schema, {"R": [(1, 2)]})
+        db2 = db.insert("R", [(3, 4)])
+        assert len(db["R"]) == 1
+        assert len(db2["R"]) == 2
+
+    def test_delete(self, schema):
+        db = Database(schema, {"R": [(1, 2), (3, 4)]})
+        db2 = db.delete("R", [(1, 2)])
+        assert set(db2["R"]) == {(3, 4)}
+
+    def test_delete_absent_row_is_noop(self, schema):
+        db = Database(schema, {"R": [(1, 2)]})
+        assert db.delete("R", [(9, 9)]) == db
+
+    def test_with_relation_replaces(self, schema):
+        db = Database(schema, {"R": [(1, 2)]})
+        db2 = db.with_relation("R", [(5, 6)])
+        assert set(db2["R"]) == {(5, 6)}
+
+
+class TestQueries:
+    def test_active_domain(self, schema):
+        db = Database(schema, {"R": [(1, 2)], "S": [(7,)]})
+        assert db.active_domain() == frozenset({1, 2, 7})
+
+    def test_total_rows(self, schema):
+        db = Database(schema, {"R": [(1, 2), (3, 4)], "S": [(7,)]})
+        assert db.total_rows() == 3
+
+    def test_equality(self, schema):
+        a = Database(schema, {"R": [(1, 2)]})
+        b = Database(schema, {"R": [(1, 2)]})
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,47 @@
+"""Tests for the seeded instance generators."""
+
+from repro.data.generators import InstanceGenerator
+from repro.data.schema import DatabaseSchema, RelationSchema
+
+
+class TestDeterminism:
+    def test_same_seed_same_database(self):
+        schema = DatabaseSchema([RelationSchema("R", ("a", "b"))])
+        a = InstanceGenerator(seed=7).database(schema, 5)
+        b = InstanceGenerator(seed=7).database(schema, 5)
+        assert a == b
+
+    def test_different_seeds_usually_differ(self):
+        schema = DatabaseSchema([RelationSchema("R", ("a", "b"))])
+        a = InstanceGenerator(seed=1).database(schema, 8)
+        b = InstanceGenerator(seed=2).database(schema, 8)
+        assert a != b
+
+
+class TestShapes:
+    def test_relation_size_bounded(self):
+        gen = InstanceGenerator(seed=0, domain_size=2)
+        rel = gen.relation(RelationSchema("R", ("a",)), 10)
+        assert len(rel) <= 10
+        assert rel.active_domain() <= {0, 1}
+
+    def test_input_sequence_shape(self):
+        gen = InstanceGenerator(seed=0)
+        payload = RelationSchema("Rin", ("x", "y"))
+        seq = gen.input_sequence(payload, 3, 2)
+        assert len(seq) == 3
+        assert all(len(m) <= 2 for m in seq)
+
+    def test_truth_assignment_subset(self):
+        gen = InstanceGenerator(seed=0)
+        assignment = gen.truth_assignment(["a", "b", "c"])
+        assert assignment <= {"a", "b", "c"}
+
+    def test_pl_word_length(self):
+        gen = InstanceGenerator(seed=0)
+        word = gen.pl_input_word(["a"], 5)
+        assert len(word) == 5
+
+    def test_domain_values(self):
+        gen = InstanceGenerator(seed=0, domain_size=3)
+        assert all(gen.value() in {0, 1, 2} for _ in range(20))

@@ -1,0 +1,100 @@
+"""Tests for input message sequences and the timestamped encoding."""
+
+import pytest
+
+from repro.data.input_sequence import InputSequence
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema, input_schema
+from repro.errors import RunError, SchemaError
+
+
+@pytest.fixture
+def payload() -> RelationSchema:
+    return RelationSchema("Rin", ("x", "y"))
+
+
+class TestConstruction:
+    def test_basic(self, payload):
+        seq = InputSequence(payload, [[(1, 2)], [(3, 4), (5, 6)]])
+        assert len(seq) == 2
+        assert len(seq.message(1)) == 1
+        assert len(seq.message(2)) == 2
+
+    def test_ts_schema_rejected(self):
+        with pytest.raises(SchemaError, match="payload schema"):
+            InputSequence(input_schema("Rin", ("x",)), [])
+
+    def test_empty_sequence(self, payload):
+        seq = InputSequence.empty(payload)
+        assert len(seq) == 0
+
+    def test_empty_message_positions(self, payload):
+        seq = InputSequence(payload, [[], [(1, 2)]])
+        assert len(seq.message(1)) == 0
+        assert len(seq.message(2)) == 1
+
+
+class TestMessageAccess:
+    def test_beyond_length_is_empty(self, payload):
+        seq = InputSequence(payload, [[(1, 2)]])
+        assert len(seq.message(99)) == 0
+
+    def test_zero_position_rejected(self, payload):
+        seq = InputSequence(payload, [[(1, 2)]])
+        with pytest.raises(RunError, match="1-based"):
+            seq.message(0)
+
+
+class TestTimestampedEncoding:
+    def test_roundtrip(self, payload):
+        seq = InputSequence(payload, [[(1, 2)], [], [(3, 4)]])
+        encoded = seq.to_timestamped()
+        assert encoded.schema.attributes == ("ts", "x", "y")
+        decoded = InputSequence.from_timestamped(encoded)
+        assert decoded == seq
+
+    def test_from_timestamped_orders_by_ts(self):
+        schema = input_schema("Rin", ("x",))
+        rel = Relation(schema, [(2, "b"), (1, "a")])
+        seq = InputSequence.from_timestamped(rel)
+        assert set(seq.message(1)) == {("a",)}
+        assert set(seq.message(2)) == {("b",)}
+
+    def test_bad_timestamp_rejected(self):
+        schema = input_schema("Rin", ("x",))
+        rel = Relation(schema, [(0, "a")])
+        with pytest.raises(RunError, match="positive integer"):
+            InputSequence.from_timestamped(rel)
+
+    def test_missing_ts_rejected(self, payload):
+        rel = Relation(payload, [(1, 2)])
+        with pytest.raises(SchemaError):
+            InputSequence.from_timestamped(rel)
+
+
+class TestSlicing:
+    def test_prefix(self, payload):
+        seq = InputSequence(payload, [[(1, 1)], [(2, 2)], [(3, 3)]])
+        assert len(seq.prefix(2)) == 2
+        assert set(seq.prefix(2).message(2)) == {(2, 2)}
+
+    def test_suffix(self, payload):
+        seq = InputSequence(payload, [[(1, 1)], [(2, 2)], [(3, 3)]])
+        suffix = seq.suffix(2)
+        assert len(suffix) == 2
+        assert set(suffix.message(1)) == {(2, 2)}
+
+    def test_suffix_from_one_is_identity(self, payload):
+        seq = InputSequence(payload, [[(1, 1)]])
+        assert seq.suffix(1) == seq
+
+    def test_concat(self, payload):
+        a = InputSequence(payload, [[(1, 1)]])
+        b = InputSequence(payload, [[(2, 2)]])
+        joined = a.concat(b)
+        assert len(joined) == 2
+        assert set(joined.message(2)) == {(2, 2)}
+
+    def test_active_domain(self, payload):
+        seq = InputSequence(payload, [[(1, 2)], [(3, 4)]])
+        assert seq.active_domain() == frozenset({1, 2, 3, 4})

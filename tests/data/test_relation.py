@@ -1,0 +1,107 @@
+"""Tests for relation instances and relational algebra."""
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def r() -> Relation:
+    return Relation(RelationSchema("R", ("a", "b")), [(1, 2), (2, 3), (3, 3)])
+
+
+class TestConstruction:
+    def test_rows_frozen_and_deduplicated(self):
+        rel = Relation(RelationSchema("R", ("a",)), [(1,), (1,), (2,)])
+        assert len(rel) == 2
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError, match="arity"):
+            Relation(RelationSchema("R", ("a",)), [(1, 2)])
+
+    def test_empty(self):
+        rel = Relation.empty(RelationSchema("R", ("a",)))
+        assert not rel
+        assert len(rel) == 0
+
+    def test_with_rows(self, r: Relation):
+        bigger = r.with_rows([(9, 9)])
+        assert len(bigger) == 4
+        assert len(r) == 3  # immutable
+
+    def test_contains(self, r: Relation):
+        assert (1, 2) in r
+        assert (9, 9) not in r
+
+
+class TestAlgebra:
+    def test_select_eq(self, r: Relation):
+        assert set(r.select_eq("b", 3)) == {(2, 3), (3, 3)}
+
+    def test_select_predicate(self, r: Relation):
+        result = r.select(lambda row: row["a"] == row["b"])
+        assert set(result) == {(3, 3)}
+
+    def test_project(self, r: Relation):
+        result = r.project(["b"])
+        assert set(result) == {(2,), (3,)}
+        assert result.schema.attributes == ("b",)
+
+    def test_project_reorders(self, r: Relation):
+        result = r.project(["b", "a"])
+        assert (2, 1) in result
+
+    def test_rename(self, r: Relation):
+        renamed = r.rename("S")
+        assert renamed.schema.name == "S"
+        assert renamed.rows == r.rows
+
+    def test_union(self, r: Relation):
+        other = Relation(r.schema, [(7, 7)])
+        assert len(r.union(other)) == 4
+
+    def test_union_schema_mismatch(self, r: Relation):
+        other = Relation(RelationSchema("S", ("x", "y")), [(1, 2)])
+        with pytest.raises(SchemaError):
+            r.union(other)
+
+    def test_difference(self, r: Relation):
+        other = Relation(r.schema, [(1, 2)])
+        assert set(r.difference(other)) == {(2, 3), (3, 3)}
+
+    def test_intersection(self, r: Relation):
+        other = Relation(r.schema, [(1, 2), (9, 9)])
+        assert set(r.intersection(other)) == {(1, 2)}
+
+    def test_natural_join_on_shared_attribute(self):
+        left = Relation(RelationSchema("L", ("a", "b")), [(1, 2), (2, 3)])
+        right = Relation(RelationSchema("R", ("b", "c")), [(2, 9), (3, 8)])
+        joined = left.natural_join(right)
+        assert set(joined) == {(1, 2, 9), (2, 3, 8)}
+        assert joined.schema.attributes == ("a", "b", "c")
+
+    def test_natural_join_no_shared_is_product(self):
+        left = Relation(RelationSchema("L", ("a",)), [(1,), (2,)])
+        right = Relation(RelationSchema("R", ("b",)), [(7,)])
+        joined = left.natural_join(right)
+        assert set(joined) == {(1, 7), (2, 7)}
+
+    def test_active_domain(self, r: Relation):
+        assert r.active_domain() == frozenset({1, 2, 3})
+
+
+class TestValueSemantics:
+    def test_equality_ignores_relation_name(self, r: Relation):
+        same = Relation(RelationSchema("Other", ("a", "b")), r.rows)
+        assert r == same
+        assert hash(r) == hash(same)
+
+    def test_equality_respects_attributes(self, r: Relation):
+        other = Relation(RelationSchema("R", ("x", "y")), r.rows)
+        assert r != other
+
+    def test_bool(self, r: Relation):
+        assert r
+        assert not Relation.empty(r.schema)

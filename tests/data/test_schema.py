@@ -1,0 +1,125 @@
+"""Tests for relation and database schemas."""
+
+import pytest
+
+from repro.data.schema import (
+    DatabaseSchema,
+    RelationSchema,
+    TS_ATTRIBUTE,
+    input_schema,
+    payload_schema,
+)
+from repro.errors import SchemaError
+
+
+class TestRelationSchema:
+    def test_basic_construction(self):
+        schema = RelationSchema("R", ("a", "b", "c"))
+        assert schema.name == "R"
+        assert schema.arity == 3
+        assert schema.attributes == ("a", "b", "c")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            RelationSchema("R", ("a", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            RelationSchema("", ("a",))
+
+    def test_zero_arity_allowed(self):
+        schema = RelationSchema("B", ())
+        assert schema.arity == 0
+
+    def test_position_lookup(self):
+        schema = RelationSchema("R", ("a", "b"))
+        assert schema.position("a") == 0
+        assert schema.position("b") == 1
+
+    def test_position_unknown_attribute(self):
+        schema = RelationSchema("R", ("a",))
+        with pytest.raises(SchemaError, match="no attribute"):
+            schema.position("zzz")
+
+    def test_has_attribute(self):
+        schema = RelationSchema("R", ("a", "b"))
+        assert schema.has_attribute("a")
+        assert not schema.has_attribute("z")
+
+    def test_drop(self):
+        schema = RelationSchema("R", ("a", "b", "c"))
+        dropped = schema.drop("b")
+        assert dropped.attributes == ("a", "c")
+        assert dropped.name == "R"
+
+    def test_drop_missing(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("a",)).drop("b")
+
+    def test_renamed(self):
+        schema = RelationSchema("R", ("a",)).renamed("S")
+        assert schema.name == "S"
+        assert schema.attributes == ("a",)
+
+    def test_equality_is_structural(self):
+        assert RelationSchema("R", ("a",)) == RelationSchema("R", ("a",))
+        assert RelationSchema("R", ("a",)) != RelationSchema("R", ("b",))
+
+    def test_str(self):
+        assert str(RelationSchema("R", ("a", "b"))) == "R(a, b)"
+
+
+class TestDatabaseSchema:
+    def test_lookup(self):
+        schema = DatabaseSchema([RelationSchema("R", ("a",))])
+        assert schema["R"].arity == 1
+
+    def test_unknown_relation(self):
+        schema = DatabaseSchema([])
+        with pytest.raises(SchemaError, match="no relation"):
+            schema["R"]
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            DatabaseSchema(
+                [RelationSchema("R", ("a",)), RelationSchema("R", ("b",))]
+            )
+
+    def test_mapping_protocol(self):
+        schema = DatabaseSchema(
+            [RelationSchema("R", ("a",)), RelationSchema("S", ("b",))]
+        )
+        assert set(schema) == {"R", "S"}
+        assert len(schema) == 2
+        assert schema.relation_names() == ("R", "S")
+
+    def test_extended(self):
+        schema = DatabaseSchema([RelationSchema("R", ("a",))])
+        extended = schema.extended(RelationSchema("S", ("b",)))
+        assert set(extended) == {"R", "S"}
+        assert set(schema) == {"R"}  # original untouched
+
+    def test_equality_and_hash(self):
+        a = DatabaseSchema([RelationSchema("R", ("a",))])
+        b = DatabaseSchema([RelationSchema("R", ("a",))])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestInputSchema:
+    def test_input_schema_prepends_ts(self):
+        schema = input_schema("Rin", ("x", "y"))
+        assert schema.attributes == (TS_ATTRIBUTE, "x", "y")
+
+    def test_reserved_ts_rejected(self):
+        with pytest.raises(SchemaError, match="reserved"):
+            input_schema("Rin", ("ts",))
+
+    def test_payload_schema_strips_ts(self):
+        schema = input_schema("Rin", ("x",))
+        payload = payload_schema(schema)
+        assert payload.attributes == ("x",)
+
+    def test_payload_schema_requires_ts(self):
+        with pytest.raises(SchemaError, match="not an input schema"):
+            payload_schema(RelationSchema("R", ("a",)))

@@ -1,0 +1,118 @@
+"""Tests for the aggregation/cost-model extension (Section 6 future work)."""
+
+import pytest
+
+from repro.core.run import run_relational
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.errors import QueryError
+from repro.extensions.aggregation import (
+    AggregateQuery,
+    CostModel,
+    min_cost_synthesis,
+    sum_per_group,
+)
+from repro.workloads import travel
+
+
+@pytest.fixture
+def cost_model() -> CostModel:
+    return CostModel(
+        prices=(
+            {"EDI-MCO-0800": 420.0, "EDI-MCO-1230": 380.0},
+            {"PolynesianResort": 260.0},
+            {"4DayParkHopper": 150.0},
+            {"CompactCar": 90.0},
+        ),
+        default=0.0,
+        free_values=frozenset({travel.BLANK}),
+    )
+
+
+class TestCostModel:
+    def test_row_cost(self, cost_model):
+        row = ("EDI-MCO-0800", "PolynesianResort", "4DayParkHopper", "-")
+        assert cost_model.row_cost(row) == pytest.approx(830.0)
+
+    def test_free_values(self, cost_model):
+        row = ("-", "-", "-", "-")
+        assert cost_model.row_cost(row) == 0.0
+
+    def test_unknown_value_uses_default(self):
+        model = CostModel(prices=({},), default=7.0)
+        assert model.row_cost(("anything",)) == 7.0
+
+    def test_arity_mismatch(self, cost_model):
+        with pytest.raises(QueryError, match="arity"):
+            cost_model.row_cost(("a", "b"))
+
+    def test_cheapest_with_ties(self):
+        model = CostModel(prices=({"x": 1.0, "y": 1.0, "z": 2.0},))
+        best = model.cheapest({("x",), ("y",), ("z",)})
+        assert best == {("x",), ("y",)}
+
+    def test_cheapest_of_nothing(self, cost_model):
+        assert cost_model.cheapest(frozenset()) == frozenset()
+
+
+class TestMinCostTravel:
+    def test_cheapest_package_selected(self, cost_model):
+        """The paper's motivating aggregate: minimum-total-cost package."""
+        base = travel.travel_service()
+        aggregated_synthesis = min_cost_synthesis(
+            base.synthesis["q0"].query, cost_model, "cheapest_package"
+        )
+        synthesis = dict(base.synthesis)
+        synthesis["q0"] = SynthesisRule(aggregated_synthesis)
+        service = SWS(
+            base.states,
+            base.start,
+            base.transitions,
+            synthesis,
+            kind=SWSKind.RELATIONAL,
+            db_schema=base.db_schema,
+            input_schema=base.input_schema,
+            output_arity=base.output_arity,
+            name="tau1_mincost",
+        )
+        result = run_relational(
+            service, travel.sample_database(), travel.booking_request()
+        )
+        # Of the two flights, only the cheaper 1230 departure survives.
+        assert result.output.rows == {
+            ("EDI-MCO-1230", "PolynesianResort", "4DayParkHopper", "-")
+        }
+
+    def test_aggregate_preserves_emptiness(self, cost_model):
+        base = travel.travel_service()
+        synthesis = dict(base.synthesis)
+        synthesis["q0"] = SynthesisRule(
+            min_cost_synthesis(base.synthesis["q0"].query, cost_model)
+        )
+        service = SWS(
+            base.states,
+            base.start,
+            base.transitions,
+            synthesis,
+            kind=SWSKind.RELATIONAL,
+            db_schema=base.db_schema,
+            input_schema=base.input_schema,
+            output_arity=base.output_arity,
+            name="tau1_mincost",
+        )
+        empty_db = travel.sample_database(with_tickets=False, with_cars=False)
+        result = run_relational(service, empty_db, travel.booking_request())
+        assert not result.output
+
+
+class TestAggregateQuery:
+    def test_interface(self, cost_model):
+        base = travel.travel_service()
+        agg = AggregateQuery(
+            base.synthesis["q0"].query, cost_model.cheapest, "m"
+        )
+        assert agg.arity == 4
+
+    def test_sum_per_group(self):
+        rows = frozenset({("a", 1), ("a", 2), ("b", 5)})
+        totals = sum_per_group(rows, (0,), lambda row: float(row[1]))
+        assert totals == {("a",): 3.0, ("b",): 5.0}

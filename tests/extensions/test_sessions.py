@@ -1,0 +1,127 @@
+"""Tests for delimiter-separated multi-session processing."""
+
+import pytest
+
+from repro.data.actions import ActionKind, tag_interpretation
+from repro.data.database import Database
+from repro.data.input_sequence import InputSequence
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.extensions.sessions import run_sessions, split_sessions, tag_delimiter
+from repro.logic.cq import Atom, ConjunctiveQuery
+from repro.logic.terms import const, var
+from repro.logic.ucq import UnionQuery
+
+PAYLOAD = RelationSchema("Rin", ("kind", "v"))
+# The commit interpretation strips the action tag, so Log rows are unary.
+DB = DatabaseSchema([RelationSchema("Log", ("v",))])
+
+x, k = var("x"), var("k")
+
+
+@pytest.fixture
+def logger_service() -> SWS:
+    """Echoes every data row of the first message as an insert action."""
+    emit = UnionQuery.of(
+        ConjunctiveQuery(
+            (const("ins"), x), [Atom("In", (k, x))], (), "echo"
+        )
+    )
+    return SWS(
+        ("q0",),
+        "q0",
+        {"q0": TransitionRule()},
+        {"q0": SynthesisRule(emit)},
+        kind=SWSKind.RELATIONAL,
+        db_schema=DB,
+        input_schema=PAYLOAD,
+        output_arity=2,
+        name="logger",
+    )
+
+
+@pytest.fixture
+def interpretation():
+    return tag_interpretation(
+        tag_position=0,
+        kind_by_tag={"ins": ActionKind.INSERT},
+        target_by_tag={"ins": "Log"},
+    )
+
+
+def _inputs(*messages):
+    return InputSequence(PAYLOAD, [list(m) for m in messages])
+
+
+DELIM = tag_delimiter(0, "#")
+
+
+class TestSplit:
+    def test_split_at_delimiters(self):
+        inputs = _inputs(
+            [("d", 1)], [("#", 0)], [("d", 2)], [("d", 3)], [("#", 0)]
+        )
+        segments = split_sessions(inputs, DELIM)
+        assert len(segments) == 2
+        assert len(segments[0]) == 1
+        assert len(segments[1]) == 2
+
+    def test_trailing_segment_kept(self):
+        inputs = _inputs([("d", 1)], [("#", 0)], [("d", 2)])
+        segments = split_sessions(inputs, DELIM)
+        assert len(segments) == 2
+        assert len(segments[1]) == 1
+
+    def test_consecutive_delimiters_give_empty_session(self):
+        inputs = _inputs([("#", 0)], [("#", 0)])
+        segments = split_sessions(inputs, DELIM)
+        assert len(segments) == 2
+        assert all(len(s) == 0 for s in segments)
+
+    def test_no_delimiter_single_session(self):
+        inputs = _inputs([("d", 1)])
+        assert len(split_sessions(inputs, DELIM)) == 1
+
+
+class TestRunSessions:
+    def test_commits_accumulate(self, logger_service, interpretation):
+        inputs = _inputs(
+            [("d", 1)], [("#", 0)], [("d", 2)], [("#", 0)]
+        )
+        outcomes = run_sessions(
+            logger_service,
+            Database.empty(DB),
+            inputs,
+            DELIM,
+            interpretation,
+        )
+        assert len(outcomes) == 2
+        assert set(outcomes[0].database_after["Log"]) == {(1,)}
+        assert set(outcomes[1].database_after["Log"]) == {(1,), (2,)}
+
+    def test_per_session_outputs(self, logger_service, interpretation):
+        inputs = _inputs([("d", 7)], [("#", 0)], [("d", 8)])
+        outcomes = run_sessions(
+            logger_service, Database.empty(DB), inputs, DELIM, interpretation
+        )
+        assert {row for row in outcomes[0].output} == {("ins", 7)}
+        assert {row for row in outcomes[1].output} == {("ins", 8)}
+
+    def test_empty_session_is_silent(self, logger_service, interpretation):
+        inputs = _inputs([("#", 0)], [("d", 1)])
+        outcomes = run_sessions(
+            logger_service, Database.empty(DB), inputs, DELIM, interpretation
+        )
+        assert len(outcomes) == 2
+        assert not outcomes[0].output
+        assert outcomes[0].log.is_empty()
+
+    def test_within_session_database_fixed(self, logger_service, interpretation):
+        # A session's own inserts are not visible to itself — commits
+        # happen at the delimiter, matching the paper's semantics.
+        inputs = _inputs([("d", 1)])
+        outcomes = run_sessions(
+            logger_service, Database.empty(DB), inputs, DELIM, interpretation
+        )
+        assert (1,) in outcomes[0].database_after["Log"]
+        assert outcomes[0].output.rows == {("ins", 1)}

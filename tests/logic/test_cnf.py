@@ -1,0 +1,114 @@
+"""Tests for CNF conversion: distributive and Tseitin."""
+
+import itertools
+
+import pytest
+
+from repro.logic import pl
+from repro.logic.cnf import Literal, tseitin, to_cnf
+
+
+def _cnf_evaluate(clauses, assignment):
+    return all(
+        any(
+            (lit.variable in assignment) == lit.positive
+            for lit in clause
+        )
+        for clause in clauses
+    )
+
+
+def _models(variables, formula):
+    out = set()
+    for mask in range(2 ** len(variables)):
+        env = frozenset(v for i, v in enumerate(variables) if mask >> i & 1)
+        if formula.evaluate(env):
+            out.add(env)
+    return out
+
+
+class TestLiteral:
+    def test_negated(self):
+        lit = Literal("x")
+        assert lit.negated() == Literal("x", positive=False)
+        assert lit.negated().negated() == lit
+
+    def test_str(self):
+        assert str(Literal("x")) == "x"
+        assert str(Literal("x", False)) == "!x"
+
+
+class TestDistributiveCNF:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x",
+            "!x",
+            "x & y",
+            "x | y",
+            "x & (y | z)",
+            "(x | y) & (!x | z)",
+            "!(x & y)",
+            "!(x | !y) & z",
+            "x -> (y -> z)",
+        ],
+    )
+    def test_equivalence(self, text):
+        formula = pl.parse(text)
+        clauses = to_cnf(formula)
+        variables = sorted(formula.variables())
+        for mask in range(2 ** len(variables)):
+            env = frozenset(
+                v for i, v in enumerate(variables) if mask >> i & 1
+            )
+            assert formula.evaluate(env) == _cnf_evaluate(clauses, env), env
+
+    def test_tautology_gives_no_clauses(self):
+        assert to_cnf(pl.parse("x | !x")) == []
+
+    def test_contradiction_is_unsat(self):
+        from repro.logic.sat import solve_cnf
+
+        clauses = to_cnf(pl.parse("x & !x"))
+        assert solve_cnf(clauses) is None
+
+
+class TestTseitin:
+    @pytest.mark.parametrize(
+        "text,satisfiable",
+        [
+            ("x", True),
+            ("x & !x", False),
+            ("(x | y) & (!x | y) & (x | !y) & (!x | !y)", False),
+            ("(x | y) & !x", True),
+            ("!(x & y) | z", True),
+            ("true", True),
+            ("false", False),
+        ],
+    )
+    def test_equisatisfiability(self, text, satisfiable):
+        from repro.logic.sat import solve_cnf
+
+        clauses, _root = tseitin(pl.parse(text))
+        assert (solve_cnf(clauses) is not None) == satisfiable
+
+    def test_models_project_correctly(self):
+        from repro.logic.sat import solve_cnf
+
+        formula = pl.parse("x & (y | z) & !y")
+        clauses, _root = tseitin(formula)
+        solution = solve_cnf(clauses)
+        assert solution is not None
+        env = frozenset(
+            v for v in formula.variables() if solution.get(v, False)
+        )
+        assert formula.evaluate(env)
+
+    def test_linear_size(self):
+        # A formula whose distributive CNF explodes stays small via Tseitin.
+        parts = [
+            pl.Var(f"a{i}") & pl.Var(f"b{i}") for i in range(12)
+        ]
+        formula = pl.Or(parts)
+        clauses, _root = tseitin(formula)
+        assert len(clauses) < 200

@@ -1,0 +1,230 @@
+"""Tests for conjunctive queries with equality and inequality."""
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+from repro.errors import QueryError
+from repro.logic.cq import Atom, ConjunctiveQuery, LabeledNull, eq, neq
+from repro.logic.terms import const, var
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+@pytest.fixture
+def edges():
+    return {
+        "E": Relation(
+            RelationSchema("E", ("a", "b")), [(1, 2), (2, 3), (3, 3), (3, 1)]
+        )
+    }
+
+
+class TestSafety:
+    def test_safe_query(self):
+        ConjunctiveQuery((x,), [Atom("E", (x, y))])
+
+    def test_unsafe_head_variable(self):
+        with pytest.raises(QueryError, match="unsafe"):
+            ConjunctiveQuery((z,), [Atom("E", (x, y))])
+
+    def test_unsafe_inequality_variable(self):
+        with pytest.raises(QueryError, match="unsafe"):
+            ConjunctiveQuery((x,), [Atom("E", (x, y))], [neq(z, x)])
+
+    def test_equality_to_constant_makes_safe(self):
+        # z is range-restricted by z = 'a'.
+        ConjunctiveQuery((x, z), [Atom("E", (x, y))], [eq(z, const("a"))])
+
+    def test_equality_to_atom_variable_makes_safe(self):
+        ConjunctiveQuery((z,), [Atom("E", (x, y))], [eq(z, y)])
+
+    def test_boolean_query(self):
+        q = ConjunctiveQuery((), [Atom("E", (x, y))])
+        assert q.arity == 0
+
+
+class TestEvaluation:
+    def test_projection(self, edges):
+        q = ConjunctiveQuery((x,), [Atom("E", (x, y))])
+        assert q.evaluate(edges) == {(1,), (2,), (3,)}
+
+    def test_join(self, edges):
+        q = ConjunctiveQuery(
+            (x, z), [Atom("E", (x, y)), Atom("E", (y, z))]
+        )
+        assert (1, 3) in q.evaluate(edges)
+        assert (2, 3) in q.evaluate(edges)
+
+    def test_constant_in_atom(self, edges):
+        q = ConjunctiveQuery((y,), [Atom("E", (const(1), y))])
+        assert q.evaluate(edges) == {(2,)}
+
+    def test_constant_in_head(self, edges):
+        q = ConjunctiveQuery((const("tag"), x), [Atom("E", (x, x))])
+        assert q.evaluate(edges) == {("tag", 3)}
+
+    def test_equality_atom(self, edges):
+        q = ConjunctiveQuery((x,), [Atom("E", (x, y))], [eq(x, y)])
+        assert q.evaluate(edges) == {(3,)}
+
+    def test_inequality_atom(self, edges):
+        q = ConjunctiveQuery((x, y), [Atom("E", (x, y))], [neq(x, y)])
+        assert q.evaluate(edges) == {(1, 2), (2, 3), (3, 1)}
+
+    def test_repeated_variable_in_atom(self, edges):
+        q = ConjunctiveQuery((x,), [Atom("E", (x, x))])
+        assert q.evaluate(edges) == {(3,)}
+
+    def test_unknown_relation_raises(self, edges):
+        q = ConjunctiveQuery((x,), [Atom("Nope", (x,))])
+        with pytest.raises(QueryError, match="absent"):
+            q.evaluate(edges)
+
+    def test_boolean_holds(self, edges):
+        q = ConjunctiveQuery((), [Atom("E", (const(1), const(2)))])
+        assert q.holds(edges)
+        q2 = ConjunctiveQuery((), [Atom("E", (const(2), const(1)))])
+        assert not q2.holds(edges)
+
+
+class TestSatisfiability:
+    def test_plain_query_satisfiable(self):
+        q = ConjunctiveQuery((x,), [Atom("E", (x, y))])
+        assert q.is_satisfiable()
+
+    def test_contradictory_equality(self):
+        q = ConjunctiveQuery(
+            (x,), [Atom("E", (x, y))], [eq(x, const(1)), eq(x, const(2))]
+        )
+        assert not q.is_satisfiable()
+
+    def test_inequality_on_same_variable(self):
+        q = ConjunctiveQuery((x,), [Atom("E", (x, y))], [neq(x, x)])
+        assert not q.is_satisfiable()
+
+    def test_equality_then_inequality_conflict(self):
+        q = ConjunctiveQuery(
+            (x,), [Atom("E", (x, y))], [eq(x, y), neq(x, y)]
+        )
+        assert not q.is_satisfiable()
+
+    def test_normalized_removes_equalities(self):
+        q = ConjunctiveQuery((x, y), [Atom("E", (x, z))], [eq(y, z)])
+        n = q.normalized()
+        assert n is not None
+        assert not n.equalities()
+
+
+class TestContainment:
+    def test_projection_containment(self):
+        q1 = ConjunctiveQuery((x,), [Atom("E", (x, y)), Atom("E", (y, z))])
+        q2 = ConjunctiveQuery((x,), [Atom("E", (x, y))])
+        assert q1.contained_in(q2)
+        assert not q2.contained_in(q1)
+
+    def test_equivalence_up_to_renaming(self):
+        q1 = ConjunctiveQuery((x,), [Atom("E", (x, y))])
+        q2 = ConjunctiveQuery((z,), [Atom("E", (z, x))])
+        assert q1.equivalent_to(q2)
+
+    def test_redundant_atom_equivalence(self):
+        q1 = ConjunctiveQuery((x,), [Atom("E", (x, y)), Atom("E", (x, z))])
+        q2 = ConjunctiveQuery((x,), [Atom("E", (x, y))])
+        assert q1.equivalent_to(q2)
+
+    def test_constant_containment(self):
+        q1 = ConjunctiveQuery((x,), [Atom("E", (x, const(1)))])
+        q2 = ConjunctiveQuery((x,), [Atom("E", (x, y))])
+        assert q1.contained_in(q2)
+        assert not q2.contained_in(q1)
+
+    def test_inequality_on_the_right_blocks_containment(self):
+        # Q1(x) :- E(x,x) produces x=x rows; Q2 requires distinct endpoints.
+        q1 = ConjunctiveQuery((x,), [Atom("E", (x, x))])
+        q2 = ConjunctiveQuery((x,), [Atom("E", (x, y))], [neq(x, y)])
+        assert not q1.contained_in(q2)
+        assert q2.contained_in(
+            ConjunctiveQuery((x,), [Atom("E", (x, y))])
+        )
+
+    def test_klug_constant_completeness(self):
+        # Q1(x) :- E(x); Q2(x) :- E(x), x != 'a'.  NOT contained: take
+        # E = {('a',)} — the variable can hit the other query's constant.
+        q1 = ConjunctiveQuery((x,), [Atom("E1", (x,))])
+        q2 = ConjunctiveQuery((x,), [Atom("E1", (x,))], [neq(x, const("a"))])
+        assert not q1.contained_in(q2)
+        assert q2.contained_in(q1)
+
+    def test_inequality_pattern_containment_positive(self):
+        # E(x,y), x≠y is contained in E(x,y) trivially, and also in the
+        # union of itself with anything.
+        q1 = ConjunctiveQuery((x, y), [Atom("E", (x, y))], [neq(x, y)])
+        q2 = ConjunctiveQuery((x, y), [Atom("E", (x, y))], [neq(x, y)])
+        assert q1.contained_in(q2)
+
+    def test_union_containment(self):
+        # E(x,y) ⊆ (E(x,y),x=y) ∪ (E(x,y),x≠y): every pattern lands in one.
+        q = ConjunctiveQuery((x, y), [Atom("E", (x, y))])
+        left = ConjunctiveQuery((x, y), [Atom("E", (x, y))], [eq(x, y)])
+        right = ConjunctiveQuery((x, y), [Atom("E", (x, y))], [neq(x, y)])
+        assert q.contained_in_union([left, right])
+        assert not q.contained_in(left)
+        assert not q.contained_in(right)
+
+    def test_arity_mismatch(self):
+        q1 = ConjunctiveQuery((x,), [Atom("E", (x, y))])
+        q2 = ConjunctiveQuery((x, y), [Atom("E", (x, y))])
+        with pytest.raises(QueryError, match="arities"):
+            q1.contained_in(q2)
+
+
+class TestCanonical:
+    def test_canonical_instance_shape(self):
+        q = ConjunctiveQuery((x,), [Atom("E", (x, y))], [neq(x, y)])
+        facts, head = q.canonical_instance()
+        assert set(facts) == {"E"}
+        (row,) = facts["E"]
+        assert all(isinstance(v, LabeledNull) for v in row)
+        assert head[0] in row
+
+    def test_unsatisfiable_has_no_canonical(self):
+        q = ConjunctiveQuery((x,), [Atom("E", (x, x))], [neq(x, x)])
+        assert q.canonical_instance() is None
+
+    def test_equality_patterns_respect_inequalities(self):
+        q = ConjunctiveQuery((x, y), [Atom("E", (x, y))], [neq(x, y)])
+        for facts, head in q.equality_patterns():
+            assert head[0] != head[1]
+
+
+class TestMinimization:
+    def test_removes_redundant_atom(self):
+        q = ConjunctiveQuery((x,), [Atom("E", (x, y)), Atom("E", (x, z))])
+        minimized = q.minimized()
+        assert len(minimized.atoms) == 1
+        assert minimized.equivalent_to(q)
+
+    def test_keeps_core(self):
+        q = ConjunctiveQuery((x, z), [Atom("E", (x, y)), Atom("E", (y, z))])
+        assert len(q.minimized().atoms) == 2
+
+    def test_inequality_queries_left_alone(self):
+        q = ConjunctiveQuery(
+            (x,), [Atom("E", (x, y)), Atom("E", (x, z))], [neq(x, y)]
+        )
+        assert q.minimized() == q
+
+
+class TestRenaming:
+    def test_rename_preserves_semantics(self, edges):
+        q = ConjunctiveQuery((x,), [Atom("E", (x, y))], [neq(x, y)])
+        renamed = q.rename({x: var("u"), y: var("v")})
+        assert renamed.evaluate(edges) == q.evaluate(edges)
+
+    def test_rename_apart_disjoint(self):
+        from repro.logic.terms import FreshVariableFactory
+
+        q = ConjunctiveQuery((x,), [Atom("E", (x, y))])
+        fresh = q.rename_apart(FreshVariableFactory(q.variables()))
+        assert not (fresh.variables() & q.variables())

@@ -1,0 +1,117 @@
+"""Tests for datalog evaluation and sirups."""
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+from repro.errors import QueryError
+from repro.logic.cq import Atom, neq
+from repro.logic.datalog import Program, Rule, Sirup
+from repro.logic.terms import const, var
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+def _edges(pairs):
+    return {"E": Relation(RelationSchema("E", ("a", "b")), pairs)}
+
+
+class TestRule:
+    def test_safety(self):
+        with pytest.raises(QueryError, match="unsafe"):
+            Rule(Atom("T", (x, z)), [Atom("E", (x, y))])
+
+    def test_as_query(self):
+        rule = Rule(Atom("T", (x, y)), [Atom("E", (x, y))])
+        assert rule.as_query().arity == 2
+
+    def test_str(self):
+        rule = Rule(Atom("T", (x, y)), [Atom("E", (x, y))])
+        assert "T(x, y)" in str(rule)
+
+
+class TestTransitiveClosure:
+    @pytest.fixture
+    def tc_program(self):
+        return Program(
+            [
+                Rule(Atom("T", (x, y)), [Atom("E", (x, y))]),
+                Rule(Atom("T", (x, z)), [Atom("E", (x, y)), Atom("T", (y, z))]),
+            ]
+        )
+
+    def test_idb_edb_partition(self, tc_program):
+        assert tc_program.idb_predicates() == {"T"}
+        assert tc_program.edb_predicates() == {"E"}
+
+    def test_chain(self, tc_program):
+        result = tc_program.evaluate(_edges([(1, 2), (2, 3), (3, 4)]))
+        assert result["T"] == {
+            (1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4),
+        }
+
+    def test_cycle(self, tc_program):
+        result = tc_program.evaluate(_edges([(1, 2), (2, 1)]))
+        assert result["T"] == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_empty_edb(self, tc_program):
+        result = tc_program.evaluate(_edges([]))
+        assert result["T"] == frozenset()
+
+    def test_max_iterations_truncates(self, tc_program):
+        result = tc_program.evaluate(
+            _edges([(1, 2), (2, 3), (3, 4)]), max_iterations=1
+        )
+        assert result["T"] == {(1, 2), (2, 3), (3, 4)}
+
+
+class TestComparisonsInRules:
+    def test_inequality_body(self):
+        program = Program(
+            [
+                Rule(
+                    Atom("T", (x, y)),
+                    [Atom("E", (x, y))],
+                    [neq(x, y)],
+                )
+            ]
+        )
+        result = program.evaluate(_edges([(1, 1), (1, 2)]))
+        assert result["T"] == {(1, 2)}
+
+
+class TestSirup:
+    def test_transitive_goal_reachable(self):
+        rule = Rule(
+            Atom("T", (x, z)), [Atom("T", (x, y)), Atom("E", (y, z))]
+        )
+        sirup = Sirup(
+            rule,
+            [("T", (1, 1)), ("E", (1, 2)), ("E", (2, 3))],
+            ("T", (1, 3)),
+        )
+        assert sirup.accepts()
+
+    def test_unreachable_goal(self):
+        rule = Rule(
+            Atom("T", (x, z)), [Atom("T", (x, y)), Atom("E", (y, z))]
+        )
+        sirup = Sirup(
+            rule,
+            [("T", (1, 1)), ("E", (2, 3))],
+            ("T", (1, 3)),
+        )
+        assert not sirup.accepts()
+
+    def test_edb_goal(self):
+        rule = Rule(Atom("T", (x, y)), [Atom("E", (x, y))])
+        sirup = Sirup(rule, [("E", (5, 6))], ("E", (5, 6)))
+        assert sirup.accepts()
+        assert not Sirup(rule, [("E", (5, 6))], ("E", (6, 5))).accepts()
+
+    def test_double_recursion(self):
+        # T(x,z) :- T(x,y), T(y,z): squaring reachability.
+        rule = Rule(Atom("T", (x, z)), [Atom("T", (x, y)), Atom("T", (y, z))])
+        facts = [("T", (1, 2)), ("T", (2, 3)), ("T", (3, 4))]
+        assert Sirup(rule, facts, ("T", (1, 4))).accepts()
+        assert not Sirup(rule, facts, ("T", (4, 1))).accepts()

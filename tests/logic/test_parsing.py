@@ -1,0 +1,140 @@
+"""Tests for the textual query syntax."""
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+from repro.errors import QueryError
+from repro.logic.parsing import (
+    parse_cq,
+    parse_fo,
+    parse_fo_query,
+    parse_program,
+    parse_rule,
+    parse_ucq,
+)
+from repro.logic.terms import Constant, Variable
+
+
+@pytest.fixture
+def db():
+    return {
+        "E": Relation(RelationSchema("E", ("a", "b")), [(1, 2), (2, 3), (3, 3)]),
+        "F": Relation(RelationSchema("F", ("a",)), [("tag",)]),
+    }
+
+
+class TestCQParsing:
+    def test_basic(self, db):
+        q = parse_cq("Q(x, y) :- E(x, y)")
+        assert q.name == "Q"
+        assert q.evaluate(db) == {(1, 2), (2, 3), (3, 3)}
+
+    def test_join_and_inequality(self, db):
+        q = parse_cq("Q(x, z) :- E(x, y), E(y, z), x != z")
+        assert q.evaluate(db) == {(1, 3), (2, 3)}
+
+    def test_string_constant(self, db):
+        q = parse_cq("Q(x) :- F(x), x = 'tag'")
+        assert q.evaluate(db) == {("tag",)}
+
+    def test_numeric_constant_in_atom(self, db):
+        q = parse_cq("Q(y) :- E(1, y)")
+        assert q.evaluate(db) == {(2,)}
+
+    def test_head_constants(self, db):
+        q = parse_cq("Q('lbl', x) :- E(x, x)")
+        assert q.evaluate(db) == {("lbl", 3)}
+
+    def test_equality_binding(self, db):
+        q = parse_cq("Q(x, w) :- E(x, y), w = y")
+        assert (1, 2) in q.evaluate(db)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "Q(x)",  # no body
+            "Q(x) :- E(x",  # unbalanced
+            "Q(x) :- x",  # bare term
+            ":- E(x, y)",  # no head
+            "Q(x) :- E(x, y), x < y",  # unsupported operator
+        ],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(QueryError):
+            parse_cq(bad)
+
+
+class TestUCQParsing:
+    def test_two_disjuncts(self, db):
+        q = parse_ucq("Q(x) :- E(x, y) ; Q(x) :- F(x)")
+        assert q.evaluate(db) == {(1,), (2,), (3,), ("tag",)}
+
+    def test_head_mismatch_rejected(self):
+        with pytest.raises(QueryError, match="different head"):
+            parse_ucq("Q(x) :- E(x, y) ; P(x) :- E(x, y)")
+
+
+class TestDatalogParsing:
+    def test_rule(self):
+        rule = parse_rule("T(x, z) :- T(x, y), E(y, z)")
+        assert rule.head.relation == "T"
+        assert len(rule.body) == 2
+
+    def test_program(self, db):
+        program = parse_program(
+            """
+            T(x, y) :- E(x, y)
+            T(x, z) :- E(x, y), T(y, z)
+            """
+        )
+        result = program.evaluate({"E": db["E"]})
+        assert (1, 3) in result["T"]
+
+    def test_comment_lines_skipped(self):
+        program = parse_program("% closure\nT(x, y) :- E(x, y)")
+        assert len(program) == 1
+
+
+class TestFOParsing:
+    def test_evaluation_matches_ast(self, db):
+        q = parse_fo_query(
+            "Q(x) := exists y . (E(x, y) and not x = y)"
+        )
+        assert q.evaluate(db) == {(1,), (2,)}
+
+    def test_quantifier_list(self, db):
+        sentence = parse_fo("exists x, y . (E(x, y) and x != y)")
+        from repro.logic.fo import FOQuery
+
+        assert FOQuery((), sentence).holds(db)
+
+    def test_forall(self, db):
+        # Every node with an out-edge to 3... only 2 and 3 point at 3.
+        q = parse_fo_query(
+            "Q(x) := exists y . E(x, y) and forall y . (not E(x, y) or y = 3)"
+        )
+        assert q.evaluate(db) == {(2,), (3,)}
+
+    def test_precedence_and_before_or(self, db):
+        f = parse_fo("E(1, 2) and E(9, 9) or E(2, 3)")
+        from repro.logic.fo import FOQuery
+
+        assert FOQuery((), f).holds(db)  # (false) or true
+
+    def test_parentheses(self, db):
+        f = parse_fo("E(1, 2) and (E(9, 9) or E(2, 3))")
+        from repro.logic.fo import FOQuery
+
+        assert FOQuery((), f).holds(db)
+
+    def test_head_must_be_variables(self):
+        with pytest.raises(QueryError, match="variables"):
+            parse_fo_query("Q('c') := E(x, y)")
+
+    def test_travel_style_synthesis(self, db):
+        # The ψ0 preference pattern, parsed from text.
+        q = parse_fo_query(
+            "Psi(x) := E(x, x) or (not exists u . E(u, u)) and F(x)"
+        )
+        assert q.evaluate(db) == {(3,)}

@@ -1,0 +1,127 @@
+"""Tests for propositional formulas: AST, parser, evaluation, substitution."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.logic import pl
+
+
+class TestEvaluation:
+    def test_variable(self):
+        assert pl.Var("x").evaluate({"x"})
+        assert not pl.Var("x").evaluate(set())
+
+    def test_constants(self):
+        assert pl.TRUE.evaluate(set())
+        assert not pl.FALSE.evaluate(set())
+
+    def test_connectives(self):
+        x, y = pl.Var("x"), pl.Var("y")
+        assert (x & y).evaluate({"x", "y"})
+        assert not (x & y).evaluate({"x"})
+        assert (x | y).evaluate({"y"})
+        assert (~x).evaluate(set())
+        assert (x >> y).evaluate(set())  # false implies anything
+        assert not (x >> y).evaluate({"x"})
+
+    def test_nary_identities(self):
+        assert pl.And(()).evaluate(set())  # empty conjunction is true
+        assert not pl.Or(()).evaluate(set())  # empty disjunction is false
+
+    def test_iff(self):
+        f = pl.iff(pl.Var("x"), pl.Var("y"))
+        assert f.evaluate(set())
+        assert f.evaluate({"x", "y"})
+        assert not f.evaluate({"x"})
+
+
+class TestVariables:
+    def test_collection(self):
+        f = pl.parse("x & (y | !z)")
+        assert f.variables() == {"x", "y", "z"}
+
+    def test_constants_have_no_variables(self):
+        assert pl.TRUE.variables() == frozenset()
+
+
+class TestSubstitution:
+    def test_variable_replacement(self):
+        f = pl.Var("x") & pl.Var("y")
+        g = f.substitute({"x": pl.TRUE})
+        assert g.evaluate({"y"})
+        assert not g.evaluate(set())
+
+    def test_simultaneous(self):
+        # x→y and y→x must swap, not chain.
+        f = pl.Var("x") & pl.Not(pl.Var("y"))
+        g = f.substitute({"x": pl.Var("y"), "y": pl.Var("x")})
+        assert g.evaluate({"y"})
+        assert not g.evaluate({"x"})
+
+    def test_formula_replacement(self):
+        f = pl.Var("x")
+        g = f.substitute({"x": pl.Var("a") | pl.Var("b")})
+        assert g.evaluate({"b"})
+
+
+class TestSimplify:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("x & true", "x"),
+            ("x & false", "false"),
+            ("x | true", "true"),
+            ("x | false", "x"),
+            ("!!x", "x"),
+            ("!true", "false"),
+        ],
+    )
+    def test_identities(self, text, expected):
+        assert str(pl.parse(text).simplify()) == expected
+
+    def test_flattening(self):
+        f = pl.And((pl.And((pl.Var("a"), pl.Var("b"))), pl.Var("c")))
+        assert str(f.simplify()) == "a & b & c"
+
+    def test_simplify_preserves_semantics(self):
+        f = pl.parse("(x | false) & (true -> y) & !!z")
+        g = f.simplify()
+        for mask in range(8):
+            env = {v for i, v in enumerate("xyz") if mask >> i & 1}
+            assert f.evaluate(env) == g.evaluate(env)
+
+
+class TestParser:
+    def test_precedence(self):
+        f = pl.parse("x | y & z")
+        assert f.evaluate({"x"})
+        assert not f.evaluate({"y"})
+        assert f.evaluate({"y", "z"})
+
+    def test_implication_right_associative(self):
+        f = pl.parse("x -> y -> z")
+        assert f.evaluate({"x"})  # x -> (y -> z) with y false
+
+    def test_parentheses(self):
+        f = pl.parse("(x | y) & z")
+        assert not f.evaluate({"x"})
+        assert f.evaluate({"x", "z"})
+
+    def test_roundtrip_through_str(self):
+        f = pl.parse("!x & (y | z)")
+        g = pl.parse(str(f))
+        for mask in range(8):
+            env = {v for i, v in enumerate("xyz") if mask >> i & 1}
+            assert f.evaluate(env) == g.evaluate(env)
+
+    @pytest.mark.parametrize("bad", ["", "x &", "(x", "x y", "& x", "x @ y"])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QueryError):
+            pl.parse(bad)
+
+
+class TestHelpers:
+    def test_conjoin_disjoin(self):
+        assert str(pl.conjoin([])) == "true"
+        assert str(pl.disjoin([])) == "false"
+        assert pl.conjoin([pl.Var("x")]) == pl.Var("x")

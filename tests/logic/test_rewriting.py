@@ -1,0 +1,191 @@
+"""Tests for answering queries using views."""
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+from repro.errors import QueryError
+from repro.logic.cq import Atom, ConjunctiveQuery, neq
+from repro.logic.rewriting import (
+    View,
+    certain_answers,
+    equivalent_rewriting,
+    expansion,
+    inverse_rules,
+    maximally_contained_rewriting,
+)
+from repro.logic.terms import var
+from repro.logic.ucq import UnionQuery
+
+x, y, z, u = var("x"), var("y"), var("z"), var("u")
+
+
+def _view(name, head, atoms):
+    return View(ConjunctiveQuery(head, atoms, (), name))
+
+
+@pytest.fixture
+def join_views():
+    # V1(x,y) = E(x,y);  V2(x,z) = E(x,y),E(y,z)
+    return [
+        _view("V1", (x, y), [Atom("E", (x, y))]),
+        _view("V2", (x, z), [Atom("E", (x, y)), Atom("E", (y, z))]),
+    ]
+
+
+class TestExpansion:
+    def test_expand_replaces_view_atoms(self, join_views):
+        rewriting = UnionQuery.of(
+            ConjunctiveQuery((x, y), [Atom("V1", (x, y))])
+        )
+        exp = expansion(rewriting, join_views)
+        assert exp.relations() == {"E"}
+
+    def test_expansion_semantics(self, join_views):
+        db = {"E": Relation(RelationSchema("E", ("a", "b")), [(1, 2), (2, 3)])}
+        rewriting = UnionQuery.of(
+            ConjunctiveQuery((x, z), [Atom("V2", (x, z))])
+        )
+        exp = expansion(rewriting, join_views)
+        assert exp.evaluate(db) == {(1, 3)}
+
+
+class TestEquivalentRewriting:
+    def test_identity_rewriting(self, join_views):
+        query = UnionQuery.of(ConjunctiveQuery((x, y), [Atom("E", (x, y))]))
+        rewriting = equivalent_rewriting(query, join_views)
+        assert rewriting is not None
+        assert expansion(rewriting, join_views).equivalent_to(query)
+
+    def test_two_hop_via_either_view(self, join_views):
+        query = UnionQuery.of(
+            ConjunctiveQuery((x, z), [Atom("E", (x, y)), Atom("E", (y, z))])
+        )
+        rewriting = equivalent_rewriting(query, join_views)
+        assert rewriting is not None
+        assert expansion(rewriting, join_views).equivalent_to(query)
+
+    def test_three_hops_from_views(self, join_views):
+        query = UnionQuery.of(
+            ConjunctiveQuery(
+                (x, u),
+                [Atom("E", (x, y)), Atom("E", (y, z)), Atom("E", (z, u))],
+            )
+        )
+        rewriting = equivalent_rewriting(query, join_views)
+        assert rewriting is not None
+        assert expansion(rewriting, join_views).equivalent_to(query)
+
+    def test_impossible_rewriting(self):
+        # The only view projects away the join variable; the exact binary
+        # query cannot be recovered.
+        views = [_view("P", (x,), [Atom("E", (x, y))])]
+        query = UnionQuery.of(ConjunctiveQuery((x, y), [Atom("E", (x, y))]))
+        assert equivalent_rewriting(query, views) is None
+
+    def test_rewriting_of_union_query(self, join_views):
+        views = join_views + [_view("W", (x, y), [Atom("F", (x, y))])]
+        query = UnionQuery.of(
+            ConjunctiveQuery((x, y), [Atom("E", (x, y))]),
+            ConjunctiveQuery((x, y), [Atom("F", (x, y))]),
+        )
+        rewriting = equivalent_rewriting(query, views)
+        assert rewriting is not None
+        assert expansion(rewriting, views).equivalent_to(query)
+
+    def test_minimized_rewriting_is_small(self, join_views):
+        query = UnionQuery.of(ConjunctiveQuery((x, y), [Atom("E", (x, y))]))
+        rewriting = equivalent_rewriting(query, join_views)
+        assert rewriting is not None
+        assert len(rewriting) == 1
+        assert len(rewriting.disjuncts[0].atoms) == 1
+
+
+class TestMaximallyContained:
+    def test_all_candidates_contained(self, join_views):
+        query = UnionQuery.of(
+            ConjunctiveQuery((x, z), [Atom("E", (x, y)), Atom("E", (y, z))])
+        )
+        mcr = maximally_contained_rewriting(query, join_views)
+        for disjunct in mcr.disjuncts:
+            exp = expansion(UnionQuery.of(disjunct), join_views)
+            assert exp.contained_in(query)
+
+    def test_empty_when_views_useless(self):
+        views = [_view("W", (x, y), [Atom("F", (x, y))])]
+        query = UnionQuery.of(ConjunctiveQuery((x, y), [Atom("E", (x, y))]))
+        mcr = maximally_contained_rewriting(query, views)
+        assert len(mcr) == 0
+
+
+class TestInverseRules:
+    def test_rule_shape(self):
+        views = [_view("V2", (x, z), [Atom("E", (x, y)), Atom("E", (y, z))])]
+        rules = inverse_rules(views)
+        assert len(rules) == 2
+        assert {r.head_relation for r in rules} == {"E"}
+
+    def test_comparison_views_rejected(self):
+        view = View(
+            ConjunctiveQuery((x, y), [Atom("E", (x, y))], [neq(x, y)], "V")
+        )
+        with pytest.raises(QueryError, match="comparison-free"):
+            inverse_rules([view])
+
+    def test_union_views_rejected(self):
+        view = View(
+            UnionQuery.of(
+                ConjunctiveQuery((x, y), [Atom("E", (x, y))], (), "V"),
+                ConjunctiveQuery((x, y), [Atom("F", (x, y))], (), "V"),
+            )
+        )
+        with pytest.raises(QueryError, match="single-CQ"):
+            inverse_rules([view])
+
+
+class TestCertainAnswers:
+    def test_identity_view(self):
+        views = [_view("V1", (x, y), [Atom("E", (x, y))])]
+        ext = {"V1": Relation(RelationSchema("V1", ("a", "b")), [(1, 2), (2, 3)])}
+        query = UnionQuery.of(
+            ConjunctiveQuery((x, z), [Atom("E", (x, y)), Atom("E", (y, z))])
+        )
+        assert certain_answers(query, views, ext) == {(1, 3)}
+
+    def test_skolems_filtered(self):
+        # V(x) = E(x,y): the y is unknown, so no certain binary answers.
+        views = [_view("P", (x,), [Atom("E", (x, y))])]
+        ext = {"P": Relation(RelationSchema("P", ("a",)), [(1,)])}
+        query = UnionQuery.of(ConjunctiveQuery((x, y), [Atom("E", (x, y))]))
+        assert certain_answers(query, views, ext) == frozenset()
+
+    def test_skolem_join_still_works(self):
+        # Boolean certainty through a skolem: ∃y E(1,y) is certain.
+        views = [_view("P", (x,), [Atom("E", (x, y))])]
+        ext = {"P": Relation(RelationSchema("P", ("a",)), [(1,)])}
+        query = UnionQuery.of(ConjunctiveQuery((x,), [Atom("E", (x, y))]))
+        assert certain_answers(query, views, ext) == {(1,)}
+
+    def test_certain_answers_sound(self):
+        # Certain answers must hold in the materialized instance itself.
+        views = [
+            _view("V1", (x, y), [Atom("E", (x, y))]),
+            _view("V2", (x, z), [Atom("E", (x, y)), Atom("E", (y, z))]),
+        ]
+        db = {"E": Relation(RelationSchema("E", ("a", "b")), [(1, 2), (2, 3)])}
+        ext = {
+            "V1": Relation(
+                RelationSchema("V1", ("a", "b")),
+                views[0].definition.evaluate(db),
+            ),
+            "V2": Relation(
+                RelationSchema("V2", ("a", "b")),
+                views[1].definition.evaluate(db),
+            ),
+        }
+        query = UnionQuery.of(
+            ConjunctiveQuery((x, z), [Atom("E", (x, y)), Atom("E", (y, z))])
+        )
+        certain = certain_answers(query, views, ext)
+        assert certain <= query.evaluate(db)
+        assert (1, 3) in certain

@@ -1,0 +1,119 @@
+"""Tests for the DPLL SAT solver."""
+
+import pytest
+
+from repro.logic import pl
+from repro.logic.cnf import Literal
+from repro.logic.sat import (
+    all_models,
+    count_models,
+    equivalent,
+    model,
+    satisfiable,
+    solve_cnf,
+    valid,
+)
+
+
+def _clause(*literals):
+    return frozenset(
+        Literal(name.lstrip("!"), not name.startswith("!")) for name in literals
+    )
+
+
+class TestSolveCNF:
+    def test_empty_cnf_is_satisfiable(self):
+        assert solve_cnf([]) == {}
+
+    def test_empty_clause_is_unsat(self):
+        assert solve_cnf([frozenset()]) is None
+
+    def test_unit_propagation(self):
+        clauses = [_clause("x"), _clause("!x", "y")]
+        solution = solve_cnf(clauses)
+        assert solution is not None
+        assert solution["x"] and solution["y"]
+
+    def test_unsat_core(self):
+        clauses = [
+            _clause("x", "y"),
+            _clause("!x", "y"),
+            _clause("x", "!y"),
+            _clause("!x", "!y"),
+        ]
+        assert solve_cnf(clauses) is None
+
+    def test_solution_satisfies(self):
+        clauses = [
+            _clause("a", "b", "c"),
+            _clause("!a", "!b"),
+            _clause("!b", "!c"),
+            _clause("b"),
+        ]
+        solution = solve_cnf(clauses)
+        assert solution is not None
+        for clause in clauses:
+            assert any(
+                solution.get(lit.variable, False) == lit.positive
+                for lit in clause
+            )
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # Pigeons p in {1,2,3}, holes h in {1,2}: p_h says pigeon p in hole h.
+        clauses = []
+        for p in range(3):
+            clauses.append(_clause(f"p{p}h0", f"p{p}h1"))
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    clauses.append(_clause(f"!p{p1}h{h}", f"!p{p2}h{h}"))
+        assert solve_cnf(clauses) is None
+
+
+class TestFormulaLevel:
+    def test_satisfiable(self):
+        assert satisfiable(pl.parse("x & !y"))
+        assert not satisfiable(pl.parse("x & !x"))
+
+    def test_model_is_a_model(self):
+        formula = pl.parse("(x | y) & !x & (z -> y)")
+        m = model(formula)
+        assert m is not None
+        assert formula.evaluate(m)
+
+    def test_model_of_unsat(self):
+        assert model(pl.parse("x & !x")) is None
+
+    def test_valid(self):
+        assert valid(pl.parse("x | !x"))
+        assert not valid(pl.parse("x"))
+
+    def test_equivalent(self):
+        assert equivalent(pl.parse("x -> y"), pl.parse("!x | y"))
+        assert equivalent(pl.parse("!(x & y)"), pl.parse("!x | !y"))
+        assert not equivalent(pl.parse("x"), pl.parse("y"))
+
+
+class TestModelEnumeration:
+    def test_all_models(self):
+        models = set(all_models(pl.parse("x | y")))
+        assert models == {
+            frozenset({"x"}),
+            frozenset({"y"}),
+            frozenset({"x", "y"}),
+        }
+
+    def test_count_models(self):
+        assert count_models(pl.parse("x & y")) == 1
+        assert count_models(pl.parse("x | y | z")) == 7
+        assert count_models(pl.parse("x & !x")) == 0
+
+    def test_agreement_with_dpll(self):
+        import random
+
+        from repro.workloads.random_sws import random_formula
+
+        rng = random.Random(5)
+        for _ in range(30):
+            formula = random_formula(rng, ["a", "b", "c"], depth=3)
+            assert satisfiable(formula) == (count_models(formula) > 0)

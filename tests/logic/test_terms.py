@@ -1,0 +1,79 @@
+"""Tests for terms, substitutions and the partition enumerator."""
+
+import pytest
+
+from repro.logic.terms import (
+    Constant,
+    FreshVariableFactory,
+    Variable,
+    const,
+    is_ground,
+    partitions,
+    term_value,
+    var,
+    vars_,
+)
+
+
+class TestTerms:
+    def test_shorthands(self):
+        assert var("x") == Variable("x")
+        assert const(3) == Constant(3)
+        assert vars_("x", "y") == (Variable("x"), Variable("y"))
+
+    def test_term_value_constant(self):
+        assert term_value(const("a"), {}) == "a"
+
+    def test_term_value_variable(self):
+        assert term_value(var("x"), {var("x"): 7}) == 7
+
+    def test_term_value_unbound_raises(self):
+        with pytest.raises(KeyError):
+            term_value(var("x"), {})
+
+    def test_is_ground(self):
+        assert is_ground([const(1), const(2)])
+        assert not is_ground([const(1), var("x")])
+
+
+class TestFreshVariableFactory:
+    def test_avoids_reserved(self):
+        factory = FreshVariableFactory([var("_v0"), var("_v1")])
+        fresh = factory.fresh()
+        assert fresh.name not in {"_v0", "_v1"}
+
+    def test_never_repeats(self):
+        factory = FreshVariableFactory()
+        names = {factory.fresh().name for _ in range(50)}
+        assert len(names) == 50
+
+    def test_rename_apart(self):
+        factory = FreshVariableFactory([var("x")])
+        mapping = factory.rename_apart([var("x"), var("y"), var("x")])
+        assert set(mapping) == {var("x"), var("y")}
+        assert len(set(mapping.values())) == 2
+
+    def test_reserve(self):
+        factory = FreshVariableFactory(prefix="z")
+        factory.reserve([var("z0")])
+        assert factory.fresh().name != "z0"
+
+
+class TestPartitions:
+    def test_counts_are_bell_numbers(self):
+        bell = {0: 1, 1: 1, 2: 2, 3: 5, 4: 15}
+        for n, expected in bell.items():
+            assert len(list(partitions(list(range(n))))) == expected
+
+    def test_partition_blocks_cover_items(self):
+        items = ["a", "b", "c"]
+        for partition in partitions(items):
+            flattened = [x for block in partition for x in block]
+            assert sorted(flattened) == sorted(items)
+
+    def test_blocks_are_disjoint(self):
+        for partition in partitions([1, 2, 3, 4]):
+            seen = set()
+            for block in partition:
+                assert not (seen & set(block))
+                seen |= set(block)

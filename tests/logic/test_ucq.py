@@ -1,0 +1,180 @@
+"""Tests for unions of conjunctive queries and composition."""
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+from repro.errors import QueryError
+from repro.logic.cq import Atom, ConjunctiveQuery, eq, neq
+from repro.logic.terms import const, var
+from repro.logic.ucq import UnionQuery, compose, compose_union
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+@pytest.fixture
+def db():
+    return {
+        "E": Relation(RelationSchema("E", ("a", "b")), [(1, 2), (2, 3)]),
+        "F": Relation(RelationSchema("F", ("a", "b")), [(2, 9)]),
+    }
+
+
+def _cq(relation):
+    return ConjunctiveQuery((x, y), [Atom(relation, (x, y))])
+
+
+class TestConstruction:
+    def test_arity_inference(self):
+        q = UnionQuery.of(_cq("E"), _cq("F"))
+        assert q.arity == 2
+
+    def test_mixed_arity_rejected(self):
+        one = ConjunctiveQuery((x,), [Atom("E", (x, y))])
+        with pytest.raises(QueryError, match="mixed"):
+            UnionQuery.of(one, _cq("F"))
+
+    def test_empty_union_needs_arity(self):
+        with pytest.raises(QueryError):
+            UnionQuery(())
+        q = UnionQuery.empty(3)
+        assert q.arity == 3
+
+    def test_union_operation(self):
+        q = UnionQuery.of(_cq("E")).union(UnionQuery.of(_cq("F")))
+        assert len(q) == 2
+
+
+class TestEvaluation:
+    def test_union_of_answers(self, db):
+        q = UnionQuery.of(_cq("E"), _cq("F"))
+        assert q.evaluate(db) == {(1, 2), (2, 3), (2, 9)}
+
+    def test_empty_union_evaluates_empty(self, db):
+        assert UnionQuery.empty(2).evaluate(db) == frozenset()
+
+
+class TestSatisfiability:
+    def test_any_disjunct(self):
+        bad = ConjunctiveQuery((x,), [Atom("E", (x, x))], [neq(x, x)])
+        good = ConjunctiveQuery((x,), [Atom("E", (x, y))])
+        assert UnionQuery.of(bad, good).is_satisfiable()
+        assert not UnionQuery.of(bad).is_satisfiable()
+
+    def test_satisfiable_disjuncts_drops_bad(self):
+        bad = ConjunctiveQuery((x,), [Atom("E", (x, x))], [neq(x, x)])
+        good = ConjunctiveQuery((x,), [Atom("E", (x, y))])
+        slim = UnionQuery.of(bad, good).satisfiable_disjuncts()
+        assert len(slim) == 1
+
+
+class TestContainment:
+    def test_union_containment(self):
+        sub = UnionQuery.of(_cq("E"))
+        sup = UnionQuery.of(_cq("E"), _cq("F"))
+        assert sub.contained_in(sup)
+        assert not sup.contained_in(sub)
+
+    def test_case_split_equivalence(self):
+        # E(x,y) ≡ (E,x=y) ∪ (E,x≠y)
+        whole = UnionQuery.of(_cq("E"))
+        split = UnionQuery.of(
+            ConjunctiveQuery((x, y), [Atom("E", (x, y))], [eq(x, y)]),
+            ConjunctiveQuery((x, y), [Atom("E", (x, y))], [neq(x, y)]),
+        )
+        assert whole.equivalent_to(split)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(QueryError):
+            UnionQuery.empty(1).contained_in(UnionQuery.empty(2))
+
+
+class TestMinimization:
+    def test_drops_contained_disjunct(self):
+        specific = ConjunctiveQuery(
+            (x, y), [Atom("E", (x, y)), Atom("F", (x, z))]
+        )
+        q = UnionQuery.of(_cq("E"), specific)
+        assert len(q.minimized()) == 1
+
+    def test_drops_unsatisfiable_disjunct(self):
+        bad = ConjunctiveQuery((x, y), [Atom("E", (x, y))], [neq(x, x)])
+        q = UnionQuery.of(bad, _cq("E"))
+        assert len(q.minimized()) == 1
+
+    def test_minimized_is_equivalent(self):
+        q = UnionQuery.of(
+            _cq("E"),
+            ConjunctiveQuery((x, y), [Atom("E", (x, y)), Atom("E", (x, z))]),
+        )
+        assert q.minimized().equivalent_to(q)
+
+
+class TestComposition:
+    def test_compose_inlines_definition(self, db):
+        # Derived relation D(x,y) := E(x,z), F(z,y); query Q(x,y) :- D(x,y).
+        definition = UnionQuery.of(
+            ConjunctiveQuery((x, y), [Atom("E", (x, z)), Atom("F", (z, y))], (), "D")
+        )
+        query = ConjunctiveQuery((x, y), [Atom("D", (x, y))])
+        composed = compose(query, {"D": definition})
+        assert composed.evaluate(db) == {(1, 9)}
+
+    def test_compose_distributes_over_disjuncts(self, db):
+        definition = UnionQuery.of(_cq("E"), _cq("F"))
+        query = ConjunctiveQuery((x, y), [Atom("D", (x, y))])
+        composed = compose(query, {"D": definition})
+        assert len(composed) == 2
+        assert composed.evaluate(db) == definition.evaluate(db)
+
+    def test_compose_multiplies_choices(self, db):
+        definition = UnionQuery.of(_cq("E"), _cq("F"))
+        query = ConjunctiveQuery(
+            (x, z), [Atom("D", (x, y)), Atom("D", (y, z))]
+        )
+        composed = compose(query, {"D": definition})
+        # 2 x 2 disjunct choices, minus unsatisfiable ones (none here).
+        assert len(composed) == 4
+        # Semantics: D-join-D where D = E ∪ F.
+        assert composed.evaluate(db) == {(1, 3), (1, 9)}
+
+    def test_compose_keeps_base_atoms(self, db):
+        definition = UnionQuery.of(_cq("E"))
+        query = ConjunctiveQuery(
+            (x, y), [Atom("D", (x, y)), Atom("F", (x, z))]
+        )
+        composed = compose(query, {"D": definition})
+        assert composed.evaluate(db) == {(2, 3)}
+
+    def test_compose_semantics_matches_materialization(self, db):
+        # compose(Q, defs) == Q evaluated on db extended with D's answers.
+        definition = UnionQuery.of(
+            ConjunctiveQuery((x, y), [Atom("E", (x, z)), Atom("E", (z, y))], (), "D")
+        )
+        query = ConjunctiveQuery((x,), [Atom("D", (x, y)), Atom("E", (x, z))])
+        composed = compose(query, {"D": definition})
+        materialized = dict(db)
+        materialized["D"] = Relation(
+            RelationSchema("D", ("a", "b")), definition.evaluate(db)
+        )
+        assert composed.evaluate(db) == query.evaluate(materialized)
+
+    def test_compose_union(self, db):
+        definition = UnionQuery.of(_cq("E"))
+        query = UnionQuery.of(
+            ConjunctiveQuery((x, y), [Atom("D", (x, y))]),
+            _cq("F"),
+        )
+        composed = compose_union(query, {"D": definition})
+        assert composed.evaluate(db) == {(1, 2), (2, 3), (2, 9)}
+
+    def test_compose_arity_mismatch(self):
+        definition = UnionQuery.of(ConjunctiveQuery((x,), [Atom("E", (x, y))]))
+        query = ConjunctiveQuery((x, y), [Atom("D", (x, y))])
+        with pytest.raises(QueryError, match="arity"):
+            compose(query, {"D": definition})
+
+    def test_compose_empty_definition_erases_disjunct(self, db):
+        query = ConjunctiveQuery((x, y), [Atom("D", (x, y))])
+        composed = compose(query, {"D": UnionQuery.empty(2)})
+        assert len(composed) == 0

@@ -1,0 +1,135 @@
+"""Tests for the language-level mediator semantics (the Section 5 view)."""
+
+import pytest
+
+from repro.core.pl_semantics import joint_variables
+from repro.core.sws import MSG, SynthesisRule
+from repro.logic import pl
+from repro.mediator.mediator import (
+    Mediator,
+    MediatorTransitionRule,
+    mediator_equivalent_to_sws_pl,
+    run_mediator_pl,
+)
+from repro.mediator.synthesis import (
+    boolean_language_combination,
+    mediator_language_equivalent,
+    mediator_language_nfa,
+)
+from repro.workloads.pl_services import (
+    HASH,
+    encode_letters,
+    union_word_service,
+    word_service,
+)
+
+ALPHA = ["a", "b"]
+
+
+@pytest.fixture
+def components():
+    return {
+        "X": word_service(["a", HASH], ALPHA, "X"),
+        "Y": word_service(["b", HASH], ALPHA, "Y"),
+    }
+
+
+def _chain(components, order):
+    states = [f"s{i}" for i in range(len(order) + 1)]
+    transitions = {}
+    synthesis = {}
+    for i, name in enumerate(order):
+        transitions[states[i]] = MediatorTransitionRule([(states[i + 1], name)])
+        synthesis[states[i]] = SynthesisRule(pl.Var("A1"))
+    transitions[states[-1]] = MediatorTransitionRule()
+    synthesis[states[-1]] = SynthesisRule(pl.Var(MSG))
+    return Mediator(states, states[0], transitions, synthesis, components)
+
+
+class TestMediatorLanguageNFA:
+    def test_language_matches_runs(self, components):
+        mediator = _chain(components, ["X", "Y"])
+        variables = joint_variables(*components.values())
+        nfa = mediator_language_nfa(mediator, variables)
+        for word in (
+            ["a", HASH, "b", HASH],
+            ["b", HASH, "a", HASH],
+            ["a", HASH],
+        ):
+            encoded = encode_letters(word)
+            # The NFA describes the session core: run-level acceptance is
+            # its prefix-determined closure.
+            run_value = run_mediator_pl(mediator, encoded).output
+            core_hit = any(
+                nfa.accepts(encoded[:i]) for i in range(len(encoded) + 1)
+            )
+            assert run_value == core_hit, word
+
+    def test_branching_mediator(self, components):
+        transitions = {
+            "r": MediatorTransitionRule([("e1", "X"), ("e2", "Y")]),
+            "e1": MediatorTransitionRule(),
+            "e2": MediatorTransitionRule(),
+        }
+        synthesis = {
+            "r": SynthesisRule(pl.Var("A1") | pl.Var("A2")),
+            "e1": SynthesisRule(pl.Var(MSG)),
+            "e2": SynthesisRule(pl.Var(MSG)),
+        }
+        mediator = Mediator(("r", "e1", "e2"), "r", transitions, synthesis, components)
+        variables = joint_variables(*components.values())
+        nfa = mediator_language_nfa(mediator, variables)
+        assert nfa.accepts(encode_letters(["a", HASH]))
+        assert nfa.accepts(encode_letters(["b", HASH]))
+        assert not nfa.accepts(encode_letters(["a", "b"]))
+
+
+class TestLanguageEquivalence:
+    def test_agrees_with_exhaustive_check(self, components):
+        goal = union_word_service([["a", HASH, "b", HASH]], ALPHA, "goal")
+        mediator = _chain(components, ["X", "Y"])
+        wrong = _chain(components, ["Y", "X"])
+        variables = sorted(joint_variables(goal, *components.values()))
+        assert mediator_language_equivalent(mediator, goal, variables)
+        assert not mediator_language_equivalent(wrong, goal, variables)
+        # Cross-check against the run-level oracle on short words.
+        ok, _ = mediator_equivalent_to_sws_pl(mediator, goal, 4, variables)
+        assert ok
+        bad, _ = mediator_equivalent_to_sws_pl(wrong, goal, 4, variables)
+        assert not bad
+
+
+class TestBooleanCombination:
+    def test_conjunction_is_intersection(self):
+        from repro.automata.regex import parse_regex
+
+        left = parse_regex("a (a|b)*").to_nfa(ALPHA)  # starts with a
+        right = parse_regex("(a|b)* b").to_nfa(ALPHA)  # ends with b
+        both = boolean_language_combination(
+            [left, right], pl.parse("A1 & A2"), ALPHA
+        )
+        assert both.accepts("ab")
+        assert both.accepts("aab")
+        assert not both.accepts("a")
+        assert not both.accepts("ba")
+
+    def test_negation_supported(self):
+        from repro.automata.regex import parse_regex
+
+        inner = parse_regex("a*").to_nfa(ALPHA)
+        complement = boolean_language_combination(
+            [inner], pl.parse("!A1"), ALPHA
+        )
+        assert not complement.accepts("aa")
+        assert complement.accepts("ab")
+
+    def test_disjunction_is_union(self):
+        from repro.automata.regex import parse_regex
+
+        left = parse_regex("a").to_nfa(ALPHA)
+        right = parse_regex("b").to_nfa(ALPHA)
+        either = boolean_language_combination(
+            [left, right], pl.parse("A1 | A2"), ALPHA
+        )
+        assert either.accepts("a") and either.accepts("b")
+        assert not either.accepts("ab")

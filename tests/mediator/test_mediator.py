@@ -1,0 +1,148 @@
+"""Tests for mediator structure and run semantics (Definition 5.1)."""
+
+import pytest
+
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.errors import SWSDefinitionError
+from repro.logic import pl
+from repro.mediator.mediator import (
+    Mediator,
+    MediatorTransitionRule,
+    run_mediator,
+    run_mediator_pl,
+)
+from repro.workloads import travel
+from repro.workloads.pl_services import HASH, encode_letters, word_service
+
+
+@pytest.fixture
+def components():
+    alpha = ["a", "b"]
+    return {
+        "X": word_service(["a", HASH], alpha, "X"),
+        "Y": word_service(["b", HASH], alpha, "Y"),
+    }
+
+
+def _chain_mediator(components, order):
+    states = [f"s{i}" for i in range(len(order) + 1)]
+    transitions = {}
+    synthesis = {}
+    for i, name in enumerate(order):
+        transitions[states[i]] = MediatorTransitionRule([(states[i + 1], name)])
+        synthesis[states[i]] = SynthesisRule(pl.Var("A1"))
+    transitions[states[-1]] = MediatorTransitionRule()
+    synthesis[states[-1]] = SynthesisRule(pl.Var("Msg"))
+    return Mediator(states, states[0], transitions, synthesis, components)
+
+
+class TestValidation:
+    def test_unknown_component(self, components):
+        with pytest.raises(SWSDefinitionError, match="unknown component"):
+            Mediator(
+                ("m0", "m1"),
+                "m0",
+                {
+                    "m0": MediatorTransitionRule([("m1", "ZZZ")]),
+                    "m1": MediatorTransitionRule(),
+                },
+                {
+                    "m0": SynthesisRule(pl.Var("A1")),
+                    "m1": SynthesisRule(pl.Var("Msg")),
+                },
+                components,
+            )
+
+    def test_start_on_rhs_rejected(self, components):
+        with pytest.raises(SWSDefinitionError, match="must not appear"):
+            Mediator(
+                ("m0",),
+                "m0",
+                {"m0": MediatorTransitionRule([("m0", "X")])},
+                {"m0": SynthesisRule(pl.Var("A1"))},
+                components,
+            )
+
+    def test_invocation_counts(self, components):
+        mediator = _chain_mediator(components, ["X", "Y", "X"])
+        assert mediator.component_invocation_counts() == {"X": 2, "Y": 1}
+
+    def test_recursion_detection(self, components):
+        mediator = _chain_mediator(components, ["X"])
+        assert not mediator.is_recursive()
+        recursive = Mediator(
+            ("m0", "m1"),
+            "m0",
+            {
+                "m0": MediatorTransitionRule([("m1", "X")]),
+                "m1": MediatorTransitionRule([("m1", "Y")]),
+            },
+            {
+                "m0": SynthesisRule(pl.Var("A1")),
+                "m1": SynthesisRule(pl.Var("A1")),
+            },
+            components,
+        )
+        assert recursive.is_recursive()
+
+
+class TestPLRuns:
+    def test_sequential_sessions(self, components):
+        mediator = _chain_mediator(components, ["X", "Y"])
+        assert run_mediator_pl(mediator, encode_letters(["a", HASH, "b", HASH])).output
+        assert not run_mediator_pl(
+            mediator, encode_letters(["b", HASH, "a", HASH])
+        ).output
+        assert not run_mediator_pl(mediator, encode_letters(["a", HASH])).output
+
+    def test_component_failure_kills_chain(self, components):
+        mediator = _chain_mediator(components, ["X", "X"])
+        assert not run_mediator_pl(
+            mediator, encode_letters(["a", HASH, "b", HASH])
+        ).output
+        assert run_mediator_pl(
+            mediator, encode_letters(["a", HASH, "a", HASH])
+        ).output
+
+    def test_timestamp_advances_past_session(self, components):
+        mediator = _chain_mediator(components, ["X", "Y"])
+        result = run_mediator_pl(mediator, encode_letters(["a", HASH, "b", HASH]))
+        child = result.tree.children[0]
+        assert child.timestamp == 3  # X consumed the two-message session
+
+    def test_trailing_input_ignored(self, components):
+        mediator = _chain_mediator(components, ["X"])
+        word = encode_letters(["a", HASH, "b", HASH])
+        assert run_mediator_pl(mediator, word).output
+
+
+class TestRelationalRuns:
+    def test_travel_mediator_equals_goal(self):
+        pi1 = travel.travel_mediator()
+        goal = travel.travel_service()
+        for kwargs in (
+            {},
+            {"with_tickets": False},
+            {"with_cars": False},
+            {"with_tickets": False, "with_cars": False},
+        ):
+            db = travel.sample_database(**kwargs)
+            req = travel.booking_request()
+            a = goal.run(db, req).output.rows
+            b = run_mediator(pi1, db, req).output.rows
+            assert a == b, kwargs
+
+    def test_mediator_tree_shape(self):
+        pi1 = travel.travel_mediator()
+        result = run_mediator(
+            pi1, travel.sample_database(), travel.booking_request()
+        )
+        assert len(result.tree.children) == 3
+
+    def test_empty_input_silences_mediator(self):
+        from repro.data.input_sequence import InputSequence
+
+        pi1 = travel.travel_mediator()
+        empty = InputSequence(travel.INPUT_PAYLOAD, [])
+        result = run_mediator(pi1, travel.sample_database(), empty)
+        assert not result.output

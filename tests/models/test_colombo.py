@@ -1,0 +1,122 @@
+"""Tests for the Colombo-style model and its peer/SWS embedding."""
+
+import pytest
+
+from repro.core.run import run_relational
+from repro.data.database import Database
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.errors import SWSDefinitionError
+from repro.logic import fo
+from repro.logic.terms import var
+from repro.models.colombo import (
+    ColomboService,
+    ColomboTransition,
+    colombo_to_peer,
+    decode_colombo_outputs,
+    encode_colombo_inputs,
+)
+from repro.models.peer import encode_peer_prefix, peer_to_sws
+
+x, y = var("x"), var("y")
+SCHEMA = DatabaseSchema([RelationSchema("E", ("a", "b"))])
+
+
+@pytest.fixture
+def walker_service() -> ColomboService:
+    """q0 --[input nonempty / world := input]--> q1 (accepting);
+    q1 --[world has an E-successor / world := E-successors]--> q1."""
+    some_input = fo.Exists((x,), fo.atom("InP", x))
+    load = fo.FOQuery((x,), fo.atom("InP", x), "load")
+    can_step = fo.Exists(
+        (x, y), fo.AndF([fo.atom("World", x), fo.atom("E", x, y)])
+    )
+    step = fo.FOQuery(
+        (y,),
+        fo.Exists((x,), fo.AndF([fo.atom("World", x), fo.atom("E", x, y)])),
+        "step",
+    )
+    return ColomboService(
+        states=("q0", "q1"),
+        initial="q0",
+        accepting=frozenset({"q1"}),
+        transitions=(
+            ColomboTransition("q0", "q1", some_input, load),
+            ColomboTransition("q1", "q1", can_step, step),
+        ),
+        db_schema=SCHEMA,
+        arity=1,
+    )
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database(SCHEMA, {"E": [(1, 2), (2, 3), (3, 1)]})
+
+
+class TestDirectSemantics:
+    def test_load_then_walk(self, walker_service, db):
+        inputs = [frozenset({(1,)}), frozenset(), frozenset()]
+        outputs = walker_service.run(db, inputs)
+        assert outputs == [
+            frozenset({(1,)}),
+            frozenset({(2,)}),
+            frozenset({(3,)}),
+        ]
+
+    def test_no_input_no_start(self, walker_service, db):
+        outputs = walker_service.run(db, [frozenset()])
+        assert outputs == [frozenset()]
+
+    def test_stuck_world_stays(self, walker_service):
+        empty_db = Database.empty(SCHEMA)
+        inputs = [frozenset({(7,)}), frozenset()]
+        outputs = walker_service.run(empty_db, inputs)
+        # Loaded 7, but no E-edge: the self-transition is disabled and the
+        # world is copied unchanged.
+        assert outputs == [frozenset({(7,)}), frozenset({(7,)})]
+
+    def test_validation(self):
+        with pytest.raises(SWSDefinitionError):
+            ColomboService(
+                states=("q0",),
+                initial="zzz",
+                accepting=frozenset(),
+                transitions=(),
+                db_schema=SCHEMA,
+                arity=1,
+            )
+
+
+class TestPeerEmbedding:
+    def test_peer_matches_direct_run(self, walker_service, db):
+        peer = colombo_to_peer(walker_service)
+        inputs = [frozenset({(1,)}), frozenset(), frozenset()]
+        expected = walker_service.run(db, inputs)
+        peer_outputs = peer.run(db, encode_colombo_inputs(inputs, 1))
+        decoded = [decode_colombo_outputs(o) for o in peer_outputs]
+        assert decoded == expected
+
+    def test_peer_matches_on_empty_database(self, walker_service):
+        empty_db = Database.empty(SCHEMA)
+        peer = colombo_to_peer(walker_service)
+        inputs = [frozenset({(7,)}), frozenset()]
+        expected = walker_service.run(empty_db, inputs)
+        decoded = [
+            decode_colombo_outputs(o)
+            for o in peer.run(empty_db, encode_colombo_inputs(inputs, 1))
+        ]
+        assert decoded == expected
+
+
+class TestFullChainToSWS:
+    def test_colombo_to_peer_to_sws(self, walker_service, db):
+        """The paper's 'Other models' chain: Colombo → peer → SWS(FO, FO)."""
+        peer = colombo_to_peer(walker_service)
+        sws = peer_to_sws(peer)
+        inputs = [frozenset({(1,)}), frozenset(), frozenset()]
+        expected = walker_service.run(db, inputs)
+        encoded_inputs = encode_colombo_inputs(inputs, 1)
+        for step in range(1, len(inputs) + 1):
+            session = encode_peer_prefix(encoded_inputs, step, peer.arity)
+            got = run_relational(sws, db, session).output.rows
+            assert decode_colombo_outputs(got) == expected[step - 1], step

@@ -1,0 +1,91 @@
+"""Tests for guarded automata and their SWS translation."""
+
+import itertools
+
+import pytest
+
+from repro.core.run import run_pl
+from repro.errors import SWSDefinitionError
+from repro.logic import pl
+from repro.models.guarded import (
+    GuardedAutomaton,
+    encode_conversation,
+    guarded_to_sws,
+)
+
+
+@pytest.fixture
+def automaton() -> GuardedAutomaton:
+    return GuardedAutomaton(
+        states=("s0", "s1", "s2"),
+        variables=("p", "q"),
+        transitions={
+            "s0": ((pl.parse("p"), "s1"), (pl.parse("!p & q"), "s2")),
+            "s1": ((pl.parse("q"), "s2"), (pl.parse("!q"), "s1")),
+        },
+        initial="s0",
+        finals=frozenset({"s2"}),
+    )
+
+
+MESSAGES = [frozenset(), frozenset({"p"}), frozenset({"q"}), frozenset({"p", "q"})]
+
+
+class TestAutomaton:
+    def test_accepts(self, automaton):
+        assert automaton.accepts([frozenset({"p"}), frozenset({"q"})])
+        assert automaton.accepts([frozenset({"q"})])
+        assert not automaton.accepts([frozenset({"p"})])
+        assert not automaton.accepts([])
+
+    def test_nondeterminism(self):
+        ga = GuardedAutomaton(
+            states=("s0", "s1", "s2"),
+            variables=("p",),
+            transitions={
+                "s0": ((pl.parse("p"), "s1"), (pl.parse("p"), "s2")),
+                "s1": (),
+            },
+            initial="s0",
+            finals=frozenset({"s2"}),
+        )
+        assert ga.accepts([frozenset({"p"})])
+
+    def test_validation(self):
+        with pytest.raises(SWSDefinitionError):
+            GuardedAutomaton(
+                states=("s0",),
+                variables=("p",),
+                transitions={"s0": ((pl.parse("zzz"), "s0"),)},
+                initial="s0",
+                finals=frozenset(),
+            )
+
+    def test_reserved_variable(self):
+        with pytest.raises(SWSDefinitionError, match="reserved"):
+            GuardedAutomaton(
+                states=("s0",),
+                variables=("hash",),
+                transitions={},
+                initial="s0",
+                finals=frozenset(),
+            )
+
+
+class TestTranslation:
+    def test_language_preserved(self, automaton):
+        sws = guarded_to_sws(automaton)
+        for n in range(0, 4):
+            for conv in itertools.product(MESSAGES, repeat=n):
+                expected = automaton.accepts(list(conv))
+                actual = run_pl(sws, encode_conversation(conv)).output
+                assert expected == actual, conv
+
+    def test_self_loop_translates_to_recursion(self, automaton):
+        sws = guarded_to_sws(automaton)
+        assert sws.is_recursive()  # s1 loops on !q
+
+    def test_missing_delimiter_rejects(self, automaton):
+        sws = guarded_to_sws(automaton)
+        conversation = encode_conversation([frozenset({"q"})])[:-1]
+        assert not run_pl(sws, conversation).output

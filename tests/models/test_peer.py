@@ -1,0 +1,103 @@
+"""Tests for the peer model and its SWS(FO, FO) translation."""
+
+import pytest
+
+from repro.core.classes import SWSClass, classify
+from repro.core.run import run_relational
+from repro.data.database import Database
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.logic import fo
+from repro.logic.terms import var
+from repro.models.peer import (
+    Peer,
+    encode_peer_prefix,
+    peer_to_sws,
+)
+
+x, y = var("x"), var("y")
+
+
+@pytest.fixture
+def walker() -> Peer:
+    """A peer whose state walks along edges and absorbs inputs."""
+    state_rule = fo.FOQuery(
+        (y,),
+        fo.OrF(
+            [
+                fo.Exists((x,), fo.AndF([fo.atom("State", x), fo.atom("E", x, y)])),
+                fo.atom("InP", y),
+            ]
+        ),
+        "step",
+    )
+    output_rule = fo.FOQuery((y,), fo.atom("State", y), "out")
+    schema = DatabaseSchema([RelationSchema("E", ("a", "b"))])
+    return Peer(schema, 1, state_rule, output_rule, "walker")
+
+
+@pytest.fixture
+def db(walker) -> Database:
+    return Database(walker.db_schema, {"E": [(1, 2), (2, 3), (3, 1)]})
+
+
+class TestPeerSemantics:
+    def test_step_outputs(self, walker, db):
+        inputs = [frozenset({(1,)}), frozenset(), frozenset({(2,)})]
+        outputs = walker.run(db, inputs)
+        assert outputs[0] == {(1,)}
+        assert outputs[1] == {(2,)}
+        assert outputs[2] == {(2,), (3,)}
+
+    def test_empty_run(self, walker, db):
+        assert walker.run(db, []) == []
+
+    def test_state_resets_between_runs(self, walker, db):
+        first = walker.run(db, [frozenset({(1,)})])
+        second = walker.run(db, [frozenset({(1,)})])
+        assert first == second
+
+
+class TestTranslation:
+    def test_translated_class(self, walker):
+        sws = peer_to_sws(walker)
+        assert classify(sws) is SWSClass.FO_FO
+        assert sws.is_recursive()
+
+    def test_per_step_outputs_match(self, walker, db):
+        sws = peer_to_sws(walker)
+        inputs = [frozenset({(1,)}), frozenset(), frozenset({(2,)}), frozenset({(3,)})]
+        expected = walker.run(db, inputs)
+        for step in range(1, len(inputs) + 1):
+            encoded = encode_peer_prefix(inputs, step, walker.arity)
+            got = run_relational(sws, db, encoded).output.rows
+            assert got == expected[step - 1], step
+
+    def test_no_delimiter_no_output(self, walker, db):
+        from repro.data.input_sequence import InputSequence
+
+        sws = peer_to_sws(walker)
+        encoded = encode_peer_prefix([frozenset({(1,)})], 1, 1)
+        # Strip the delimiter message.
+        bare = InputSequence(
+            encoded.schema, [list(encoded.message(1).rows)]
+        )
+        assert not run_relational(sws, db, bare).output
+
+    def test_empty_state_does_not_kill_chain(self, walker, db):
+        # First message empty: the peer state stays empty, but the
+        # sentinel keeps the SWS chain alive for later steps.
+        sws = peer_to_sws(walker)
+        inputs = [frozenset(), frozenset({(1,)})]
+        expected = walker.run(db, inputs)
+        encoded = encode_peer_prefix(inputs, 2, walker.arity)
+        assert run_relational(sws, db, encoded).output.rows == expected[1]
+
+    def test_arity_validation(self):
+        bad_rule = fo.FOQuery((x, y), fo.atom("E", x, y), "two")
+        with pytest.raises(Exception):
+            Peer(
+                DatabaseSchema([RelationSchema("E", ("a", "b"))]),
+                1,
+                bad_rule,
+                bad_rule,
+            )

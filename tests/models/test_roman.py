@@ -1,0 +1,109 @@
+"""Tests for the Roman-model translation (Section 3)."""
+
+import itertools
+
+import pytest
+
+from repro.automata import parse_regex
+from repro.core.run import run_pl
+from repro.models.roman import (
+    RomanService,
+    encode_roman_word,
+    roman_to_sws,
+)
+from repro.workloads.travel import travel_fsa
+
+
+@pytest.fixture
+def travel_roman() -> RomanService:
+    return RomanService(travel_fsa(), "travel")
+
+
+class TestRomanService:
+    def test_alphabet(self, travel_roman):
+        assert travel_roman.alphabet == {"a", "h", "t", "c"}
+
+    def test_accepts(self, travel_roman):
+        assert travel_roman.accepts(["a", "h", "t"])
+        assert travel_roman.accepts(["a", "h", "c"])
+        assert not travel_roman.accepts(["a", "h"])
+        assert not travel_roman.accepts(["h", "a", "t"])
+
+
+class TestTranslation:
+    def test_language_preserved_dfa(self, travel_roman):
+        sws = roman_to_sws(travel_roman)
+        for n in range(0, 5):
+            for word in itertools.product("ahtc", repeat=n):
+                expected = travel_roman.accepts(list(word))
+                actual = run_pl(sws, encode_roman_word(list(word))).output
+                assert expected == actual, word
+
+    def test_language_preserved_nfa(self):
+        nfa = parse_regex("a (b | c)* a").to_nfa().determinize().to_nfa()
+        service = RomanService(nfa, "nfa_service")
+        sws = roman_to_sws(service)
+        for n in range(0, 5):
+            for word in itertools.product("abc", repeat=n):
+                assert service.accepts(list(word)) == run_pl(
+                    sws, encode_roman_word(list(word))
+                ).output, word
+
+    def test_truly_nondeterministic_nfa(self):
+        # (a|aa): genuinely nondeterministic without determinizing.
+        from repro.automata.nfa import NFA
+
+        nfa = NFA(
+            {0, 1, 2},
+            {"a"},
+            {(0, "a"): {1, 2}, (2, "a"): {1}},
+            {0},
+            {1},
+        )
+        service = RomanService(nfa, "nd")
+        sws = roman_to_sws(service)
+        for n in range(0, 4):
+            word = ["a"] * n
+            assert service.accepts(word) == run_pl(
+                sws, encode_roman_word(word)
+            ).output
+
+    def test_translation_is_nonrecursive_for_acyclic_dfa(self, travel_roman):
+        sws = roman_to_sws(travel_roman)
+        assert not sws.is_recursive()
+
+    def test_cyclic_dfa_gives_recursive_sws(self):
+        nfa = parse_regex("(a b)*").to_nfa().determinize().to_nfa()
+        sws = roman_to_sws(RomanService(nfa, "loop"))
+        assert sws.is_recursive()
+
+    def test_without_delimiter_nothing_accepted(self, travel_roman):
+        sws = roman_to_sws(travel_roman)
+        word = encode_roman_word(["a", "h", "t"])[:-1]  # drop the '#'
+        assert not run_pl(sws, word).output
+
+    def test_garbage_assignment_rejected(self, travel_roman):
+        sws = roman_to_sws(travel_roman)
+        # Two letters true at once is not a letter encoding.
+        garbage = [frozenset({"ltr_a", "ltr_h"})] + encode_roman_word(["h", "t"])[0:]
+        assert not run_pl(sws, garbage).output
+
+
+class TestAnalysisOnTranslations:
+    def test_nonemptiness_matches_automaton(self, travel_roman):
+        from repro.analysis import nonempty_pl
+
+        sws = roman_to_sws(travel_roman)
+        answer = nonempty_pl(sws)
+        assert answer.is_yes
+        # The witness decodes to an accepted action string plus delimiter.
+        assert run_pl(sws, answer.witness).output
+
+    def test_equivalent_roman_services(self):
+        from repro.analysis import equivalent_pl
+
+        one = parse_regex("a b | a c").to_nfa().determinize().to_nfa()
+        two = parse_regex("a (b | c)").to_nfa().determinize().to_nfa()
+        sws1 = roman_to_sws(RomanService(one, "one"))
+        sws2 = roman_to_sws(RomanService(two, "two"))
+        assert equivalent_pl(sws1, sws2).is_yes

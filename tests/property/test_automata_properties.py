@@ -1,0 +1,95 @@
+"""Hypothesis property tests for the automata stack."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.regex import Concat, Epsilon, Regex, Star, Sym, Union_
+
+ALPHABET = ["a", "b"]
+
+
+@st.composite
+def regexes(draw, depth=3) -> Regex:
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.integers(0, 4)) == 0:
+            return Epsilon()
+        return Sym(draw(st.sampled_from(ALPHABET)))
+    kind = draw(st.sampled_from(["concat", "union", "star"]))
+    if kind == "star":
+        return Star(draw(regexes(depth=depth - 1)))
+    parts = draw(st.lists(regexes(depth=depth - 1), min_size=2, max_size=3))
+    return Concat(parts) if kind == "concat" else Union_(parts)
+
+
+def words(max_size=5):
+    return st.lists(st.sampled_from(ALPHABET), max_size=max_size)
+
+
+class TestDeterminization:
+    @given(regexes(), words())
+    @settings(max_examples=80, deadline=None)
+    def test_dfa_equals_nfa(self, regex, word):
+        nfa = regex.to_nfa(ALPHABET)
+        dfa = nfa.determinize()
+        assert dfa.accepts(word) == nfa.accepts(word)
+
+    @given(regexes(), words())
+    @settings(max_examples=60, deadline=None)
+    def test_minimization_preserves_language(self, regex, word):
+        dfa = regex.to_nfa(ALPHABET).determinize()
+        assert dfa.minimized().accepts(word) == dfa.accepts(word)
+
+    @given(regexes(), words())
+    @settings(max_examples=60, deadline=None)
+    def test_complement(self, regex, word):
+        dfa = regex.to_nfa(ALPHABET).determinize()
+        assert dfa.complement().accepts(word) != dfa.accepts(word)
+
+
+class TestBooleanOperations:
+    @given(regexes(), regexes(), words())
+    @settings(max_examples=60, deadline=None)
+    def test_union(self, r1, r2, word):
+        n1, n2 = r1.to_nfa(ALPHABET), r2.to_nfa(ALPHABET)
+        assert n1.union(n2).accepts(word) == (n1.accepts(word) or n2.accepts(word))
+
+    @given(regexes(), regexes(), words(max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_concat_soundness(self, r1, r2, word):
+        n1, n2 = r1.to_nfa(ALPHABET), r2.to_nfa(ALPHABET)
+        cat = n1.concat(n2)
+        expected = any(
+            n1.accepts(word[:i]) and n2.accepts(word[i:])
+            for i in range(len(word) + 1)
+        )
+        assert cat.accepts(word) == expected
+
+
+class TestPrefixFree:
+    @given(regexes(), words())
+    @settings(max_examples=60, deadline=None)
+    def test_core_subset_of_language(self, regex, word):
+        nfa = regex.to_nfa(ALPHABET)
+        core = nfa.prefix_free_restriction()
+        if core.accepts(word):
+            assert nfa.accepts(word)
+
+    @given(regexes(), words(max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_core_is_prefix_free(self, regex, word):
+        core = regex.to_nfa(ALPHABET).prefix_free_restriction()
+        if core.accepts(word):
+            for i in range(len(word)):
+                assert not core.accepts(word[:i])
+
+
+class TestAfaRoundtrip:
+    @given(regexes(), words(max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_nfa_afa_nfa(self, regex, word):
+        from repro.automata.afa import AFA
+
+        nfa = regex.to_nfa(ALPHABET).determinize().to_nfa()
+        afa = AFA.from_nfa(nfa)
+        assert afa.accepts(word) == nfa.accepts(word)
+        back = afa.to_nfa()
+        assert back.accepts(word) == nfa.accepts(word)

@@ -1,0 +1,103 @@
+"""Hypothesis property tests for CQ/UCQ: containment is a preorder,
+evaluation respects containment, composition is sound."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+from repro.logic.cq import Atom, ConjunctiveQuery, neq
+from repro.logic.terms import Variable
+from repro.logic.ucq import UnionQuery
+
+RELATIONS = ["E", "F"]
+VARIABLES = [Variable(n) for n in ("x", "y", "z")]
+
+
+@st.composite
+def conjunctive_queries(draw):
+    n_atoms = draw(st.integers(1, 3))
+    atoms = []
+    for _ in range(n_atoms):
+        rel = draw(st.sampled_from(RELATIONS))
+        terms = (
+            draw(st.sampled_from(VARIABLES)),
+            draw(st.sampled_from(VARIABLES)),
+        )
+        atoms.append(Atom(rel, terms))
+    used = sorted({v for a in atoms for v in a.variables()}, key=lambda v: v.name)
+    head = tuple(
+        draw(st.sampled_from(used)) for _ in range(draw(st.integers(1, 2)))
+    )
+    comparisons = []
+    if draw(st.booleans()) and len(used) >= 2:
+        comparisons.append(neq(used[0], used[-1]))
+    return ConjunctiveQuery(head, atoms, comparisons)
+
+
+@st.composite
+def databases(draw):
+    values = st.integers(0, 2)
+    rows = st.lists(st.tuples(values, values), max_size=5)
+    return {
+        name: Relation(RelationSchema(name, ("a", "b")), draw(rows))
+        for name in RELATIONS
+    }
+
+
+def _pad(query, arity):
+    """Unify head arity for containment comparisons."""
+    if query.arity == arity:
+        return query
+    head = query.head + (query.head[-1],) * (arity - query.arity)
+    return ConjunctiveQuery(head, query.atoms, query.comparisons)
+
+
+class TestContainmentProperties:
+    @given(conjunctive_queries())
+    @settings(max_examples=50, deadline=None)
+    def test_reflexive(self, query):
+        assert query.contained_in(query)
+
+    @given(conjunctive_queries(), conjunctive_queries(), databases())
+    @settings(max_examples=50, deadline=None)
+    def test_containment_implies_answer_inclusion(self, q1, q2, db):
+        arity = max(q1.arity, q2.arity)
+        q1, q2 = _pad(q1, arity), _pad(q2, arity)
+        if q1.contained_in(q2):
+            assert q1.evaluate(db) <= q2.evaluate(db)
+
+    @given(conjunctive_queries(), databases())
+    @settings(max_examples=50, deadline=None)
+    def test_unsatisfiable_evaluates_empty(self, query, db):
+        if not query.is_satisfiable():
+            assert query.evaluate(db) == frozenset()
+
+    @given(conjunctive_queries(), databases())
+    @settings(max_examples=40, deadline=None)
+    def test_minimization_preserves_answers(self, query, db):
+        assert query.minimized().evaluate(db) == query.evaluate(db)
+
+
+class TestUnionProperties:
+    @given(conjunctive_queries(), conjunctive_queries(), databases())
+    @settings(max_examples=40, deadline=None)
+    def test_union_evaluation(self, q1, q2, db):
+        arity = max(q1.arity, q2.arity)
+        q1, q2 = _pad(q1, arity), _pad(q2, arity)
+        union = UnionQuery.of(q1, q2)
+        assert union.evaluate(db) == q1.evaluate(db) | q2.evaluate(db)
+
+    @given(conjunctive_queries(), conjunctive_queries())
+    @settings(max_examples=30, deadline=None)
+    def test_disjuncts_contained_in_union(self, q1, q2):
+        arity = max(q1.arity, q2.arity)
+        q1, q2 = _pad(q1, arity), _pad(q2, arity)
+        union = UnionQuery.of(q1, q2)
+        assert UnionQuery.of(q1).contained_in(union)
+        assert UnionQuery.of(q2).contained_in(union)
+
+    @given(conjunctive_queries(), databases())
+    @settings(max_examples=30, deadline=None)
+    def test_union_minimization_preserves_answers(self, query, db):
+        doubled = UnionQuery.of(query, query)
+        assert doubled.minimized().evaluate(db) == query.evaluate(db)

@@ -1,0 +1,83 @@
+"""Hypothesis property tests for the PL stack."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import pl
+from repro.logic.cnf import to_cnf, tseitin
+from repro.logic.sat import count_models, satisfiable, solve_cnf
+
+VARIABLES = ["p", "q", "r"]
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        choice = draw(st.integers(0, len(VARIABLES)))
+        if choice == len(VARIABLES):
+            return pl.TRUE if draw(st.booleans()) else pl.FALSE
+        leaf = pl.Var(VARIABLES[choice])
+        return pl.Not(leaf) if draw(st.booleans()) else leaf
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return pl.Not(draw(formulas(depth=depth - 1)))
+    parts = draw(st.lists(formulas(depth=depth - 1), min_size=2, max_size=3))
+    return pl.And(parts) if kind == "and" else pl.Or(parts)
+
+
+def _assignments():
+    return st.sets(st.sampled_from(VARIABLES)).map(frozenset)
+
+
+class TestFormulaProperties:
+    @given(formulas(), _assignments())
+    @settings(max_examples=100, deadline=None)
+    def test_simplify_preserves_semantics(self, formula, env):
+        assert formula.evaluate(env) == formula.simplify().evaluate(env)
+
+    @given(formulas(), _assignments())
+    @settings(max_examples=100, deadline=None)
+    def test_parse_str_roundtrip(self, formula, env):
+        again = pl.parse(str(formula.simplify()))
+        assert again.evaluate(env) == formula.evaluate(env)
+
+    @given(formulas(), _assignments())
+    @settings(max_examples=50, deadline=None)
+    def test_double_negation(self, formula, env):
+        assert pl.Not(pl.Not(formula)).evaluate(env) == formula.evaluate(env)
+
+    @given(formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_substitute_identity(self, formula):
+        identity = {v: pl.Var(v) for v in formula.variables()}
+        for env in [frozenset(), frozenset(VARIABLES)]:
+            assert formula.substitute(identity).evaluate(env) == formula.evaluate(env)
+
+
+class TestCnfProperties:
+    @given(formulas(), _assignments())
+    @settings(max_examples=60, deadline=None)
+    def test_distributive_cnf_equivalent(self, formula, env):
+        clauses = to_cnf(formula)
+        value = all(
+            any((lit.variable in env) == lit.positive for lit in clause)
+            for clause in clauses
+        )
+        assert value == formula.evaluate(env)
+
+    @given(formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_tseitin_equisatisfiable(self, formula):
+        clauses, _root = tseitin(formula)
+        assert (solve_cnf(clauses) is not None) == (count_models(formula) > 0)
+
+
+class TestSatProperties:
+    @given(formulas())
+    @settings(max_examples=80, deadline=None)
+    def test_dpll_agrees_with_enumeration(self, formula):
+        assert satisfiable(formula) == (count_models(formula) > 0)
+
+    @given(formulas())
+    @settings(max_examples=50, deadline=None)
+    def test_formula_or_negation_satisfiable(self, formula):
+        assert satisfiable(formula) or satisfiable(pl.Not(formula))

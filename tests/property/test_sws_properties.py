@@ -1,0 +1,103 @@
+"""Hypothesis property tests for SWS semantics and analyses."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pl_semantics import language_value, to_afa
+from repro.core.run import run_pl, run_relational
+from repro.core.unfold import evaluate_expansion, expand, saturation_length
+from repro.data.generators import InstanceGenerator
+from repro.workloads.random_sws import random_cq_sws, random_pl_sws
+
+VARIABLES = ["x0", "x1"]
+
+
+def pl_words(max_size=3):
+    symbol = st.sets(st.sampled_from(VARIABLES)).map(frozenset)
+    return st.lists(symbol, max_size=max_size)
+
+
+class TestPLSemanticsProperties:
+    @given(st.integers(0, 30), pl_words(), st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_three_semantics_agree(self, seed, word, recursive):
+        sws = random_pl_sws(seed, n_states=4, n_variables=2, recursive=recursive)
+        via_run = run_pl(sws, word).output
+        via_value = language_value(sws, word)
+        via_afa = to_afa(sws).accepts(word)
+        assert via_run == via_value == via_afa
+
+    @given(st.integers(0, 30), pl_words())
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_dependence_of_nonrecursive(self, seed, word):
+        """A nonrecursive service never looks past depth+1 messages."""
+        sws = random_pl_sws(seed, n_states=4, n_variables=2, recursive=False)
+        k = sws.depth() + 1
+        padded = list(word) + [frozenset({"x0"})] * 2
+        if len(word) >= k:
+            assert run_pl(sws, word).output == run_pl(sws, padded).output
+
+
+class TestExpansionProperties:
+    @given(st.integers(0, 15), st.integers(0, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_expansion_equals_run(self, seed, extra):
+        sws = random_cq_sws(seed, n_states=3, recursive=False)
+        n = min(saturation_length(sws), 1 + extra)
+        expansion = expand(sws, n)
+        gen = InstanceGenerator(seed=seed, domain_size=3)
+        database = gen.database(sws.db_schema, 3)
+        inputs = gen.input_sequence(sws.input_schema, n, 2)
+        direct = run_relational(sws, database, inputs).output.rows
+        via_q = (
+            evaluate_expansion(expansion, sws, database, inputs, n)
+            if expansion.disjuncts
+            else frozenset()
+        )
+        assert direct == via_q
+
+    @given(st.integers(0, 15))
+    @settings(max_examples=20, deadline=None)
+    def test_output_monotone_in_database(self, seed):
+        """Positivity: adding database tuples never removes output."""
+        sws = random_cq_sws(seed, n_states=3, recursive=False)
+        gen = InstanceGenerator(seed=seed + 1, domain_size=3)
+        small = gen.database(sws.db_schema, 2)
+        inputs = gen.input_sequence(sws.input_schema, sws.depth() + 1, 2)
+        extra = gen.database(sws.db_schema, 2)
+        big = small
+        for name in extra:
+            big = big.insert(name, extra[name].rows)
+        out_small = run_relational(sws, small, inputs).output.rows
+        out_big = run_relational(sws, big, inputs).output.rows
+        assert out_small <= out_big
+
+
+class TestAnalysisSoundness:
+    @given(st.integers(0, 25))
+    @settings(max_examples=25, deadline=None)
+    def test_nonemptiness_witness_is_real(self, seed):
+        from repro.analysis import nonempty_pl
+
+        sws = random_pl_sws(seed, n_states=4, n_variables=2)
+        answer = nonempty_pl(sws)
+        if answer.is_yes:
+            assert run_pl(sws, answer.witness).output
+
+    @given(st.integers(0, 15))
+    @settings(max_examples=15, deadline=None)
+    def test_equivalence_reflexive(self, seed):
+        from repro.analysis import equivalent_pl
+
+        sws = random_pl_sws(seed, n_states=4, n_variables=2)
+        assert equivalent_pl(sws, sws).is_yes
+
+    @given(st.integers(0, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_cq_nonemptiness_witness_is_real(self, seed):
+        from repro.analysis import nonempty_cq_nr
+
+        sws = random_cq_sws(seed, n_states=3, recursive=False)
+        answer = nonempty_cq_nr(sws)
+        if answer.is_yes:
+            database, inputs = answer.witness
+            assert run_relational(sws, database, inputs).output

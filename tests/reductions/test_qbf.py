@@ -1,0 +1,70 @@
+"""Tests for the QBF evaluator (Q3SAT substrate)."""
+
+import pytest
+
+from repro.logic import pl
+from repro.logic.sat import satisfiable
+from repro.reductions.qbf import QBF, evaluate_qbf, random_qbf
+
+
+class TestConstruction:
+    def test_unquantified_variable_rejected(self):
+        with pytest.raises(ValueError, match="unquantified"):
+            QBF((("E", "x"),), pl.parse("x & y"))
+
+    def test_bad_quantifier_rejected(self):
+        with pytest.raises(ValueError, match="quantifiers"):
+            QBF((("Z", "x"),), pl.parse("x"))
+
+
+class TestEvaluation:
+    def test_exists_forall_asymmetry(self):
+        matrix = pl.parse("(x & y) | (!x & !y)")  # x <-> y
+        assert evaluate_qbf(QBF((("A", "x"), ("E", "y")), matrix))
+        assert not evaluate_qbf(QBF((("E", "x"), ("A", "y")), matrix))
+
+    def test_all_existential_matches_sat(self):
+        import random
+
+        from repro.workloads.random_sws import random_formula
+
+        rng = random.Random(3)
+        for _ in range(20):
+            matrix = random_formula(rng, ["a", "b", "c"], depth=3)
+            prefix = tuple(("E", v) for v in sorted(matrix.variables()))
+            assert evaluate_qbf(QBF(prefix, matrix)) == satisfiable(matrix)
+
+    def test_all_universal_matches_validity(self):
+        from repro.logic.sat import valid
+
+        matrix = pl.parse("x | !x")
+        assert evaluate_qbf(QBF((("A", "x"),), matrix)) == valid(matrix)
+        matrix2 = pl.parse("x | y")
+        prefix2 = (("A", "x"), ("A", "y"))
+        assert evaluate_qbf(QBF(prefix2, matrix2)) == valid(matrix2)
+
+    def test_closed_constant(self):
+        assert evaluate_qbf(QBF((), pl.TRUE))
+        assert not evaluate_qbf(QBF((), pl.FALSE))
+
+    def test_quantifier_order_matters(self):
+        # ∃x∀y (x ∨ y) is false; ∀y∃x (x ∨ y) is true.
+        matrix = pl.parse("x | y")
+        assert not evaluate_qbf(QBF((("E", "x"), ("A", "y")), matrix)) or True
+        # careful: ∃x∀y (x|y) IS true with x=true.
+        assert evaluate_qbf(QBF((("E", "x"), ("A", "y")), matrix))
+        matrix2 = pl.parse("(x & !y) | (!x & y)")  # x xor y
+        assert not evaluate_qbf(QBF((("E", "x"), ("A", "y")), matrix2))
+        assert evaluate_qbf(QBF((("A", "y"), ("E", "x")), matrix2))
+
+
+class TestRandomQBF:
+    def test_deterministic_in_seed(self):
+        a, b = random_qbf(4, 4, 6), random_qbf(4, 4, 6)
+        assert a == b
+        assert evaluate_qbf(a) == evaluate_qbf(b)
+
+    def test_prefix_alternates(self):
+        qbf = random_qbf(0, 4, 4)
+        quantifiers = [q for q, _v in qbf.prefix]
+        assert quantifiers == ["E", "A", "E", "A"]

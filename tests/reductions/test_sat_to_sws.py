@@ -1,0 +1,66 @@
+"""Tests for the SAT → SWS_nr(PL, PL) reduction."""
+
+import pytest
+
+from repro.analysis import nonempty_pl, nonempty_pl_nr_sat
+from repro.core.classes import SWSClass, classify
+from repro.logic import pl
+from repro.logic.sat import satisfiable, solve_cnf
+from repro.reductions.sat_to_sws import (
+    clauses_from_tuples,
+    cnf_to_sws,
+    sat_instance_to_sws,
+)
+from repro.workloads.scaling import random_3cnf
+
+
+class TestFormulaReduction:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("x & y", True),
+            ("x & !x", False),
+            ("(x | y) & (!x | !y)", True),
+            ("false", False),
+            ("true", True),
+        ],
+    )
+    def test_nonemptiness_iff_satisfiable(self, text, expected):
+        sws = sat_instance_to_sws(pl.parse(text))
+        assert nonempty_pl_nr_sat(sws).is_yes == expected
+        assert nonempty_pl(sws).is_yes == expected
+
+    def test_target_class(self):
+        sws = sat_instance_to_sws(pl.parse("x | y"))
+        assert classify(sws) is SWSClass.PL_PL_NR
+
+
+class TestCnfReduction:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_agreement_with_dpll(self, seed):
+        clauses = clauses_from_tuples(random_3cnf(seed, 4, 8))
+        sws = cnf_to_sws(clauses)
+        direct = solve_cnf(clauses) is not None
+        assert nonempty_pl_nr_sat(sws).is_yes == direct
+        assert nonempty_pl(sws).is_yes == direct
+
+    def test_parallel_shape(self):
+        clauses = clauses_from_tuples(random_3cnf(0, 3, 5))
+        sws = cnf_to_sws(clauses)
+        # One state per clause, all checked in one parallel round.
+        assert len(sws.transitions["q0"]) == 5
+        assert not sws.is_recursive()
+        assert sws.depth() == 1
+
+    def test_empty_cnf_nonempty(self):
+        sws = cnf_to_sws([])
+        assert nonempty_pl(sws).is_yes
+
+    def test_polynomial_size(self):
+        # |τ| linear in the clause count.
+        sizes = []
+        for n_clauses in (5, 10, 20):
+            clauses = clauses_from_tuples(random_3cnf(1, 6, n_clauses))
+            sws = cnf_to_sws(clauses)
+            sizes.append(len(sws.states))
+        assert sizes == [7, 12, 22]

@@ -1,0 +1,73 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    BudgetExceededError,
+    QueryError,
+    ReproError,
+    RunError,
+    SchemaError,
+    SWSDefinitionError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            SchemaError,
+            QueryError,
+            SWSDefinitionError,
+            RunError,
+            AnalysisError,
+            BudgetExceededError,
+        ],
+    )
+    def test_single_base(self, subclass):
+        assert issubclass(subclass, ReproError)
+
+    def test_budget_attribute(self):
+        error = BudgetExceededError("out of gas", budget=100)
+        assert error.budget == 100
+        assert "out of gas" in str(error)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise SchemaError("boom")
+
+
+class TestPublicSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.analysis",
+            "repro.automata",
+            "repro.core",
+            "repro.data",
+            "repro.extensions",
+            "repro.logic",
+            "repro.mediator",
+            "repro.models",
+            "repro.reductions",
+            "repro.workloads",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        import importlib
+
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert getattr(mod, name, None) is not None, (module, name)

@@ -1,0 +1,103 @@
+"""Tests for the letter-encoded PL session services."""
+
+import pytest
+
+from repro.core.run import run_pl
+from repro.errors import SWSDefinitionError
+from repro.workloads.pl_services import (
+    HASH,
+    encode_letters,
+    exactly,
+    letter_var,
+    union_word_service,
+    word_service,
+)
+
+ALPHA = ["a", "b"]
+
+
+class TestEncoding:
+    def test_letter_var(self):
+        assert letter_var("a") == "ltr_a"
+        assert letter_var(HASH) == "hash"
+
+    def test_exactly(self):
+        f = exactly("a", ALPHA)
+        assert f.evaluate({"ltr_a"})
+        assert not f.evaluate({"ltr_a", "ltr_b"})
+        assert not f.evaluate({"ltr_a", "hash"})
+        assert not f.evaluate(set())
+
+    def test_encode(self):
+        word = encode_letters(["a", HASH])
+        assert word == [frozenset({"ltr_a"}), frozenset({"hash"})]
+
+
+class TestWordService:
+    def test_exact_session(self):
+        sws = word_service(["a", "b", HASH], ALPHA)
+        assert run_pl(sws, encode_letters(["a", "b", HASH])).output
+        assert not run_pl(sws, encode_letters(["a", "a", HASH])).output
+        assert not run_pl(sws, encode_letters(["a", "b"])).output
+        assert not run_pl(sws, encode_letters(["a", HASH])).output
+
+    def test_prefix_determined(self):
+        sws = word_service(["a", HASH], ALPHA)
+        assert run_pl(sws, encode_letters(["a", HASH, "b", "b"])).output
+
+    def test_bare_delimiter(self):
+        sws = word_service([HASH], ALPHA)
+        assert run_pl(sws, encode_letters([HASH])).output
+        assert not run_pl(sws, encode_letters(["a", HASH])).output
+
+    def test_interior_delimiters(self):
+        sws = word_service(["a", HASH, "b", HASH], ALPHA)
+        assert run_pl(sws, encode_letters(["a", HASH, "b", HASH])).output
+        assert not run_pl(sws, encode_letters(["a", "b", HASH, HASH])).output
+
+    def test_must_end_with_delimiter(self):
+        with pytest.raises(SWSDefinitionError):
+            word_service(["a", "b"], ALPHA)
+
+    def test_consumption_equals_session_length(self):
+        sws = word_service(["a", "b", HASH], ALPHA)
+        result = run_pl(sws, encode_letters(["a", "b", HASH, "a"]))
+        assert result.tree.max_timestamp() == 3
+
+    def test_nonrecursive(self):
+        assert not word_service(["a", HASH], ALPHA).is_recursive()
+
+
+class TestUnionService:
+    def test_accepts_each_branch(self):
+        sws = union_word_service([["a", HASH], ["b", HASH]], ALPHA)
+        assert run_pl(sws, encode_letters(["a", HASH])).output
+        assert run_pl(sws, encode_letters(["b", HASH])).output
+        assert not run_pl(sws, encode_letters([HASH])).output
+
+    def test_longer_menu(self):
+        sws = union_word_service(
+            [["a", HASH, "b", HASH], ["b", HASH]], ALPHA
+        )
+        assert run_pl(sws, encode_letters(["a", HASH, "b", HASH])).output
+        assert run_pl(sws, encode_letters(["b", HASH])).output
+        assert not run_pl(sws, encode_letters(["a", HASH])).output
+
+
+class TestStarWordService:
+    def test_language(self):
+        from repro.workloads.pl_services import star_word_service
+
+        sws = star_word_service("a", ALPHA)
+        assert sws.is_recursive()
+        assert run_pl(sws, encode_letters(["a", HASH])).output
+        assert run_pl(sws, encode_letters(["a", "a", "a", HASH])).output
+        assert not run_pl(sws, encode_letters([HASH])).output
+        assert not run_pl(sws, encode_letters(["b", HASH])).output
+
+    def test_prefix_free_core_is_infinite_family(self):
+        from repro.analysis.prefix import sws_prefix_bound
+        from repro.workloads.pl_services import star_word_service
+
+        # The star language is not k-prefix recognizable for any k.
+        assert sws_prefix_bound(star_word_service("a", ALPHA)) is None

@@ -1,0 +1,104 @@
+"""Tests for random SWS generators and the scaling families."""
+
+import pytest
+
+from repro.core.classes import SWSClass, classify
+from repro.core.run import run_pl, run_relational
+from repro.data.generators import InstanceGenerator
+from repro.workloads.random_sws import random_cq_sws, random_pl_sws
+from repro.workloads.scaling import (
+    afa_counter,
+    cq_chain_sws,
+    cq_diamond_sws,
+    pl_counter_sws,
+    random_3cnf,
+)
+
+
+class TestRandomPL:
+    def test_deterministic(self):
+        a = random_pl_sws(5)
+        b = random_pl_sws(5)
+        assert a.states == b.states
+        assert a.dependency_edges() == b.dependency_edges()
+
+    def test_runnable(self):
+        gen = InstanceGenerator(seed=0)
+        for seed in range(10):
+            sws = random_pl_sws(seed, recursive=(seed % 2 == 0))
+            variables = sorted(sws.input_variables())
+            word = gen.pl_input_word(variables, 3)
+            run_pl(sws, word)  # must not raise
+
+    def test_class(self):
+        assert classify(random_pl_sws(0, recursive=False)) is SWSClass.PL_PL_NR
+
+    def test_minimum_states(self):
+        with pytest.raises(ValueError):
+            random_pl_sws(0, n_states=1)
+
+
+class TestRandomCQ:
+    def test_runnable(self):
+        gen = InstanceGenerator(seed=1, domain_size=3)
+        for seed in range(10):
+            sws = random_cq_sws(seed, recursive=(seed % 2 == 0))
+            db = gen.database(sws.db_schema, 3)
+            inputs = gen.input_sequence(sws.input_schema, 2, 2)
+            run_relational(sws, db, inputs)  # must not raise
+
+    def test_class(self):
+        sws = random_cq_sws(3, recursive=False)
+        assert classify(sws) in (SWSClass.CQ_UCQ_NR, SWSClass.CQ_UCQ)
+
+
+class TestCounters:
+    def test_pl_counter_period(self):
+        sws = pl_counter_sws(2)
+        accepted = [m for m in range(0, 13) if run_pl(sws, [frozenset()] * m).output]
+        assert accepted == [4, 8, 12]
+
+    def test_afa_counter_period(self):
+        afa = afa_counter(2)
+        accepted = [m for m in range(0, 13) if afa.accepts(["a"] * m)]
+        assert accepted == [4, 8, 12]
+
+    def test_counter_is_recursive(self):
+        assert pl_counter_sws(2).is_recursive()
+
+
+class TestDiamondAndChain:
+    def test_diamond_depth(self):
+        assert cq_diamond_sws(3).depth() == 3
+
+    def test_diamond_traces_r_or_s_paths(self):
+        from repro.data.database import Database
+
+        sws = cq_diamond_sws(2)
+        db = Database(sws.db_schema, {"R": [(1, 2)], "S": [(1, 3)]})
+        from repro.data.input_sequence import InputSequence
+
+        inputs = InputSequence(sws.input_schema, [[(1, 1)], [], []])
+        # Register starts at (1,1); after two steps via R or S... the
+        # diamond forwards pairs only when matching edges exist.
+        run_relational(sws, db, inputs)  # shape check only
+
+    def test_chain_emits_paths(self):
+        from repro.data.database import Database
+        from repro.data.input_sequence import InputSequence
+
+        chain = cq_chain_sws(0)
+        db = Database(chain.db_schema, {"R": [(1, 2), (2, 3)], "S": []})
+        inputs = InputSequence(chain.input_schema, [[(0, 1)], [], []])
+        rows = run_relational(chain, db, inputs).output.rows
+        assert (1, 2) in rows
+
+
+class TestRandom3CNF:
+    def test_shape(self):
+        clauses = random_3cnf(0, 5, 7)
+        assert len(clauses) == 7
+        assert all(len(c) == 3 for c in clauses)
+
+    def test_deterministic(self):
+        assert random_3cnf(2, 4, 4) == random_3cnf(2, 4, 4)

@@ -1,0 +1,143 @@
+"""Tests for the travel-package workload (Figure 1, Examples 2.1/2.2/5.1)."""
+
+import pytest
+
+from repro.core.classes import SWSClass, classify
+from repro.core.run import run_relational
+from repro.data.database import Database
+from repro.workloads import travel
+
+
+class TestTau1:
+    def test_example_2_2_behaviour(self):
+        t1 = travel.travel_service()
+        db = travel.sample_database()
+        result = run_relational(t1, db, travel.booking_request())
+        rows = result.output.rows
+        assert rows
+        # Tickets preferred: every row carries a ticket, no car.
+        assert all(row[2] != travel.BLANK and row[3] == travel.BLANK for row in rows)
+
+    def test_car_fallback(self):
+        t1 = travel.travel_service()
+        db = travel.sample_database(with_tickets=False)
+        rows = run_relational(t1, db, travel.booking_request()).output.rows
+        assert rows
+        assert all(row[2] == travel.BLANK and row[3] != travel.BLANK for row in rows)
+
+    def test_conjunctive_commit(self):
+        """No flight, no hotel, or no local arrangement → no output."""
+        t1 = travel.travel_service()
+        req = travel.booking_request()
+        no_local = travel.sample_database(with_tickets=False, with_cars=False)
+        assert not run_relational(t1, no_local, req).output
+        no_hotel = Database(
+            travel.DB_SCHEMA,
+            {"Ra": [("k1", "F")], "Rt": [("k1", "T")], "Rc": [("k1", "C")]},
+        )
+        assert not run_relational(t1, no_hotel, req).output
+        no_flight = Database(
+            travel.DB_SCHEMA,
+            {"Rh": [("k1", "H")], "Rt": [("k1", "T")], "Rc": [("k1", "C")]},
+        )
+        assert not run_relational(t1, no_flight, req).output
+
+    def test_single_message_suffices(self):
+        """Example 2.2: I2..In are not consumed by τ1."""
+        t1 = travel.travel_service()
+        db = travel.sample_database()
+        one = run_relational(t1, db, travel.booking_request()).output.rows
+        longer = travel.booking_request().concat(travel.booking_request())
+        two = run_relational(t1, db, longer).output.rows
+        assert one == two
+
+    def test_classification(self):
+        assert classify(travel.travel_service()) is SWSClass.FO_FO_NR
+
+
+class TestTau2:
+    def test_latest_inquiry_wins(self):
+        t2 = travel.recursive_airfare_service()
+        db = travel.sample_database().with_relation(
+            "Ra", [("k1", "F1"), ("k2", "F2"), ("k3", "F3")]
+        )
+        seq = travel.repeated_airfare_inquiries(["k1", "k2", "k3"])
+        rows = run_relational(t2, db, seq).output.rows
+        assert rows
+        assert all(row[0] == "F3" for row in rows)
+
+    def test_chain_stops_at_missing_inquiry(self):
+        t2 = travel.recursive_airfare_service()
+        db = travel.sample_database().with_relation(
+            "Ra", [("k1", "F1"), ("k2", "F2"), ("k3", "F3")]
+        )
+        # Second message has no airfare request: the chain dies there, so
+        # the k3 inquiry in message 3 is never answered.
+        seq = travel.repeated_airfare_inquiries(["k1", "k2", "k3"])
+        from repro.data.input_sequence import InputSequence
+
+        broken = InputSequence(
+            travel.INPUT_PAYLOAD,
+            [
+                list(seq.message(1).rows),
+                [("h", "k1")],  # no airfare tag
+                list(seq.message(3).rows),
+            ],
+        )
+        rows = run_relational(t2, db, broken).output.rows
+        assert not rows
+
+    def test_classification(self):
+        assert classify(travel.recursive_airfare_service()) is SWSClass.FO_FO
+
+
+class TestFigure1Comparison:
+    def test_fsa_is_sequential_sws_is_parallel(self):
+        fsa = travel.travel_fsa()
+        assert fsa.accepts(["a", "h", "t"])
+        # Three sequential interactions for the FSA...
+        assert len(["a", "h", "t"]) == 3
+        # ... one parallel round for the SWS.
+        t1 = travel.travel_service()
+        result = run_relational(
+            t1, travel.sample_database(), travel.booking_request()
+        )
+        assert result.tree.height() == 1
+
+    def test_fsa_orderings(self):
+        fsa = travel.travel_fsa()
+        assert fsa.accepts(["a", "h", "c"])
+        assert not fsa.accepts(["h", "a", "t"])
+        assert not fsa.accepts(["a", "h"])
+
+
+class TestMediatorPi1:
+    def test_components_individually(self):
+        db = travel.sample_database()
+        req = travel.booking_request()
+        ta = travel.airfare_component()
+        rows = run_relational(ta, db, req).output.rows
+        assert rows and all(r[0] != travel.BLANK for r in rows)
+        tht = travel.hotel_ticket_component()
+        rows = run_relational(tht, db, req).output.rows
+        assert rows and all(
+            r[1] != travel.BLANK and r[2] != travel.BLANK for r in rows
+        )
+
+    def test_pi1_equivalent_on_scenarios(self):
+        from repro.mediator import run_mediator
+
+        pi1 = travel.travel_mediator()
+        goal = travel.travel_service()
+        req = travel.booking_request()
+        for kwargs in (
+            {},
+            {"with_tickets": False},
+            {"with_cars": False},
+            {"with_tickets": False, "with_cars": False},
+        ):
+            db = travel.sample_database(**kwargs)
+            assert (
+                run_mediator(pi1, db, req).output.rows
+                == goal.run(db, req).output.rows
+            )
