@@ -1,0 +1,57 @@
+"""Shared timing/emission helpers for the BENCH_*.json exports.
+
+The pytest-benchmark runs measure scaling shape interactively; the
+``main()`` entry points in ``bench_table1_pl_recursive.py`` and
+``bench_table1_pl_nr.py`` use these helpers to record *before/after*
+numbers for the compiled PL/AFA engine — the interpreted AST path (the
+seed behaviour) against the compiled bitmask path — into a single
+``BENCH_table1_pl.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable
+
+BENCH_TABLE1_PL = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "BENCH_table1_pl.json")
+)
+
+
+def timed(func: Callable[[], Any], repeats: int = 3) -> tuple[float, Any]:
+    """Best-of-``repeats`` wall-clock for ``func``; returns (seconds, result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def merge_section(path: str, section: str, payload: dict) -> dict:
+    """Write ``payload`` under ``section`` in the JSON file at ``path``.
+
+    Other sections are preserved, so the two bench files can each emit
+    their half independently and in either order.
+    """
+    data: dict = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            data = json.load(handle)
+    data[section] = payload
+    data["_meta"] = {
+        "file": "BENCH_table1_pl.json",
+        "regenerate": [
+            "PYTHONPATH=src python benchmarks/bench_table1_pl_recursive.py",
+            "PYTHONPATH=src python benchmarks/bench_table1_pl_nr.py",
+        ],
+        "before": "interpreted AST evaluation (seed engine)",
+        "after": "compiled bitmask evaluation with symbol-class dedup",
+    }
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return data

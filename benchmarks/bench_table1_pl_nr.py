@@ -121,3 +121,82 @@ def test_t1_5_equivalence(benchmark, n_states, one_shot):
 
     one_shot(analyze)
     benchmark.extra_info["n_states"] = n_states
+
+
+# -- BENCH_table1_pl.json emission ------------------------------------------
+
+
+def collect_before_after() -> dict:
+    """Nonrecursive row: SAT work counters plus AFA-route before/after."""
+    from _bench_io import timed
+    from repro.analysis.stats import STATS
+    from repro.automata import afa as afa_mod
+
+    sat_rows = []
+    for n_variables, n_clauses in ((4, 8), (6, 14), (8, 20)):
+        instances = [
+            cnf_to_sws(
+                clauses_from_tuples(random_3cnf(seed, n_variables, n_clauses))
+            )
+            for seed in range(5)
+        ]
+        STATS.reset()
+        seconds, outcomes = timed(
+            lambda: [nonempty_pl_nr_sat(sws).is_yes for sws in instances]
+        )
+        work = STATS.snapshot()
+        sat_rows.append(
+            {
+                "n_variables": n_variables,
+                "n_clauses": n_clauses,
+                "satisfiable": sum(outcomes),
+                "seconds": round(seconds, 6),
+                "sat_calls": work["sat_calls"],
+                "dpll_decisions": work["dpll_decisions"],
+            }
+        )
+    eq_rows = []
+    for n_states in (3, 4, 5):
+        services = [
+            random_pl_sws(seed, n_states=n_states, n_variables=2, recursive=False)
+            for seed in range(4)
+        ]
+
+        def pairwise():
+            return [
+                equivalent_pl(a, b).verdict for a in services for b in services
+            ]
+
+        t_compiled, verdicts = timed(pairwise)
+        with afa_mod.ast_fallback():
+            t_ast, verdicts_ast = timed(pairwise)
+        assert verdicts == verdicts_ast
+        eq_rows.append(
+            {
+                "n_states": n_states,
+                "seconds_before_ast": round(t_ast, 6),
+                "seconds_after_compiled": round(t_compiled, 6),
+                "speedup": round(t_ast / t_compiled, 2),
+            }
+        )
+    return {
+        "experiment": "T1.5 SWS_nr(PL, PL) — SAT procedure, NP/coNP row",
+        "nonemptiness_sat": sat_rows,
+        "equivalence": eq_rows,
+    }
+
+
+def main() -> None:
+    import os
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from _bench_io import BENCH_TABLE1_PL, merge_section
+
+    payload = collect_before_after()
+    merge_section(BENCH_TABLE1_PL, "nonrecursive_pl", payload)
+    print(f"wrote {BENCH_TABLE1_PL}")
+
+
+if __name__ == "__main__":
+    main()

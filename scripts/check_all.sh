@@ -1,22 +1,38 @@
 #!/usr/bin/env bash
-# Full verification sweep: install, tests, benchmarks, examples.
+# Verification sweep: install, tests, benchmarks, examples.
 # Mirrors what EXPERIMENTS.md and test_output.txt/bench_output.txt record.
+#
+# By default runs the fast tier only (tests not marked `slow`, no
+# benchmarks); pass --all for the full sweep the release records use.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RUN_ALL=0
+for arg in "$@"; do
+    case "${arg}" in
+        --all) RUN_ALL=1 ;;
+        *) echo "usage: $0 [--all]" >&2; exit 2 ;;
+    esac
+done
 
 echo "== install =="
 pip install -e . 2>/dev/null || python setup.py develop
 
-echo "== tests =="
-python -m pytest tests/
+if [[ "${RUN_ALL}" -eq 1 ]]; then
+    echo "== tests (full) =="
+    python -m pytest tests/
 
-echo "== benchmarks =="
-python -m pytest benchmarks/ --benchmark-only
+    echo "== benchmarks =="
+    python -m pytest benchmarks/ --benchmark-only
 
-echo "== examples =="
-for example in examples/*.py; do
-    echo "-- ${example}"
-    python "${example}" > /dev/null
-done
+    echo "== examples =="
+    for example in examples/*.py; do
+        echo "-- ${example}"
+        python "${example}" > /dev/null
+    done
+else
+    echo "== tests (fast tier; use --all for the full sweep) =="
+    python -m pytest tests/ -m "not slow"
+fi
 
 echo "all green"

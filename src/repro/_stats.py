@@ -1,0 +1,78 @@
+"""Process-wide work counters for the decision procedures.
+
+This is a dependency-free leaf module so that the lowest layers (the PL
+formula engine, the AFA engine, the SAT solver, the UCQ expander) can
+count work without import cycles.  The public face is
+:mod:`repro.analysis.stats`, which re-exports everything here; benchmarks
+and analyses read counters through that module.
+
+The counters report *work done* rather than wall-clock: vectors explored
+and pre-steps taken by the AFA searches, DPLL calls and decisions, UCQ
+expansion disjuncts, interning/compilation cache behaviour, and mediator
+candidate counts.  ``STATS`` is a singleton; ``STATS.reset()`` zeroes it
+(cache-size gauges included) and returns it for chaining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class Stats:
+    """Mutable counter block; attributes are plain ints."""
+
+    # AFA vector searches.
+    vectors_explored: int = 0
+    pre_steps: int = 0
+    afa_compilations: int = 0
+    alphabet_symbols: int = 0
+    symbol_classes: int = 0
+
+    # PL formula engine.
+    intern_hits: int = 0
+    intern_misses: int = 0
+    simplify_memo_hits: int = 0
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
+
+    # SAT solver.
+    sat_calls: int = 0
+    dpll_decisions: int = 0
+
+    # UCQ expansion / relational engines.
+    expansion_disjuncts: int = 0
+    runs_executed: int = 0
+
+    # Mediator procedures.
+    component_runs: int = 0
+    mediator_candidates: int = 0
+
+    def reset(self) -> "Stats":
+        """Zero every counter; returns self for chaining."""
+        for field in fields(self):
+            setattr(self, field.name, 0)
+        return self
+
+    def snapshot(self) -> dict[str, int]:
+        """The counters as a plain dict (for JSON export)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    def intern_hit_rate(self) -> float:
+        """Fraction of formula constructions served from the intern table."""
+        total = self.intern_hits + self.intern_misses
+        return self.intern_hits / total if total else 0.0
+
+    def compile_hit_rate(self) -> float:
+        """Fraction of compile_mask calls served from the compile cache."""
+        total = self.compile_cache_hits + self.compile_cache_misses
+        return self.compile_cache_hits / total if total else 0.0
+
+    def symbol_dedup_ratio(self) -> float:
+        """Alphabet compression achieved by transition-row dedup (≤ 1.0)."""
+        if not self.alphabet_symbols:
+            return 1.0
+        return self.symbol_classes / self.alphabet_symbols
+
+
+STATS = Stats()

@@ -16,6 +16,7 @@ SWS(FO, FO) (+nr)        bounded search      bounded search        bounded searc
 =======================  ==================  ====================  ====================
 """
 
+from repro.analysis.stats import STATS, Stats
 from repro.analysis.verdict import Verdict, Answer
 from repro.analysis.nonemptiness import (
     nonempty,
@@ -47,6 +48,8 @@ from repro.analysis.equivalence import (
 
 __all__ = [
     "Answer",
+    "STATS",
+    "Stats",
     "Verdict",
     "contained",
     "contained_cq",

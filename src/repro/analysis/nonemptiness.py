@@ -219,17 +219,25 @@ def _small_databases(sws: SWS, domain: Sequence[Any], max_rows: int):
     Yields the empty database, the full database (all tuples over the
     domain, capped), and every database whose relations hold at most
     ``max_rows`` tuples drawn in a fixed order — feasible only for tiny
-    domains, which is what undecidability leaves us.
+    domains, which is what undecidability leaves us.  Each database is
+    yielded exactly once: the subset product below regenerates the empty
+    database (all-empty choice) and, when every relation fits in
+    ``max_rows``, the full one, and re-running those would silently burn
+    the caller's budget on duplicates.
     """
     schema = sws.db_schema
+    names = list(schema)
     yield Database.empty(schema)
+    empty_key = tuple(frozenset() for _ in names)
     full = {
         name: list(itertools.product(domain, repeat=schema[name].arity))
         for name in schema
     }
-    yield Database(schema, full)
+    full_key = tuple(frozenset(full[name]) for name in names)
+    if full_key != empty_key:
+        yield Database(schema, full)
+    already_yielded = {empty_key, full_key}
     per_relation: list[list[tuple]] = []
-    names = list(schema)
     for name in names:
         tuples = list(itertools.product(domain, repeat=schema[name].arity))
         subsets: list[tuple] = []
@@ -237,6 +245,9 @@ def _small_databases(sws: SWS, domain: Sequence[Any], max_rows: int):
             subsets.extend(itertools.combinations(tuples, r))
         per_relation.append(subsets)
     for combo in itertools.product(*per_relation):
+        key = tuple(frozenset(c) for c in combo)
+        if key in already_yielded:
+            continue
         yield Database(schema, dict(zip(names, [list(c) for c in combo])))
 
 

@@ -1,0 +1,20 @@
+"""Work counters for benchmarks and analyses (public face).
+
+The implementation lives in :mod:`repro._stats` — a dependency-free leaf
+module, so the formula/automata/SAT layers can import it without cycling
+back through :mod:`repro.analysis`.  Use it as::
+
+    from repro.analysis.stats import STATS
+
+    STATS.reset()
+    nonempty_pl(service)
+    print(STATS.vectors_explored, STATS.pre_steps, STATS.compile_hit_rate())
+
+Every counter measures *work done* (vectors explored, SAT calls, expansion
+disjuncts, cache hits), so benchmark reports can show what an optimization
+actually removed rather than just wall-clock deltas.
+"""
+
+from repro._stats import STATS, Stats
+
+__all__ = ["STATS", "Stats"]

@@ -89,26 +89,10 @@ def validate_pl(sws: SWS, output: bool) -> Answer:
             return Answer.no(detail="service accepts nothing")
         return Answer.yes(witness=list(witness))
     # Search for a rejected word: same reachability, inverted acceptance.
-    start = afa.empty_word_vector()
-    if not afa.initial_condition.evaluate(start):
-        return Answer.yes(witness=[])
-    from collections import deque
-
-    seen = {start: ()}
-    queue = deque([start])
-    order = sorted(afa.alphabet, key=repr)
-    while queue:
-        vector = queue.popleft()
-        for symbol in order:
-            nxt = afa.pre_step(vector, symbol)
-            if nxt in seen:
-                continue
-            word = (symbol,) + seen[vector]
-            if not afa.initial_condition.evaluate(nxt):
-                return Answer.yes(witness=list(word))
-            seen[nxt] = word
-            queue.append(nxt)
-    return Answer.no(detail="service accepts every word")
+    witness = afa.rejecting_witness()
+    if witness is None:
+        return Answer.no(detail="service accepts every word")
+    return Answer.yes(witness=list(witness))
 
 
 def _freeze_disjunct_for_tuple(

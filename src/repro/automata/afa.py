@@ -14,13 +14,30 @@ final-state indicator; ``V_{a·w}(q) = δ(q, a)`` evaluated on ``V_w``.  The
 automaton accepts ``w`` iff the initial condition evaluates to true on
 ``V_w``.  Reachability over the (finitely many) vectors decides emptiness
 in exponential time / polynomial space — the classical AFA bound.
+
+**Compiled hot path.**  The searches run on a compiled engine
+(:class:`_CompiledAFA`): states map to bit positions, valuation vectors are
+int bitsets, every transition formula is compiled once into a
+bitmask-evaluating closure (:func:`repro.logic.pl.compile_mask`), and
+alphabet symbols inducing *identical* transition rows are collapsed to one
+representative per class — for SWS-derived AFAs this shrinks the
+2^|vars| assignment alphabet to its effective quotient.  Public results
+(vectors, witnesses) are unchanged; ``use_compiled(False)`` restores the
+interpreted AST path for cross-validation and before/after benchmarks.
+
+**Determinism.**  Symbols are always explored in a canonical order
+(:func:`symbol_sort_key`) that does not depend on ``PYTHONHASHSEED`` —
+``repr`` of a frozenset does, so sorting by ``repr`` (the old behaviour)
+made witness words differ across interpreter runs.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable, Iterable, Mapping, Sequence
+from contextlib import contextmanager
+from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
 
+from repro._stats import STATS
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
 from repro.errors import ReproError
@@ -31,6 +48,365 @@ Symbol = Hashable
 
 Vector = frozenset[State]
 """A valuation vector, represented as the set of states valued true."""
+
+_USE_COMPILED = True
+
+
+def use_compiled(enabled: bool) -> None:
+    """Globally enable/disable the compiled engine (on by default)."""
+    global _USE_COMPILED
+    _USE_COMPILED = bool(enabled)
+
+
+@contextmanager
+def ast_fallback() -> Iterator[None]:
+    """Temporarily run all AFA procedures on the interpreted AST path.
+
+    Used by cross-validation tests and the before/after benchmarks; the
+    compiled and interpreted paths must agree on every result.
+    """
+    global _USE_COMPILED
+    previous = _USE_COMPILED
+    _USE_COMPILED = False
+    try:
+        yield
+    finally:
+        _USE_COMPILED = previous
+
+
+def symbol_sort_key(symbol: Symbol) -> tuple:
+    """A canonical, hash-seed-independent sort key for alphabet symbols.
+
+    ``repr`` of a ``frozenset`` enumerates elements in hash order, which
+    varies with ``PYTHONHASHSEED`` — any search ordered by it returns
+    different (equally valid) witnesses on different runs.  This key orders
+    sets by their sorted element keys instead, recursively.
+    """
+    if isinstance(symbol, (frozenset, set)):
+        return (1, tuple(sorted(symbol_sort_key(e) for e in symbol)))
+    if isinstance(symbol, tuple):
+        return (2, tuple(symbol_sort_key(e) for e in symbol))
+    return (0, (type(symbol).__name__, repr(symbol)))
+
+
+def _canonical_state_name(state) -> str:
+    """A deterministic string name for (possibly subset-valued) states.
+
+    ``str(frozenset)`` follows hash-table iteration order, so two *equal*
+    frozensets built in different orders can stringify differently — the
+    same determinized subset state would then get two distinct names, and
+    a transition condition could mention a "state" that is not in the
+    state set.  Sets are named by their sorted element names instead.
+    """
+    if isinstance(state, (frozenset, set)):
+        inner = ", ".join(sorted(_canonical_state_name(e) for e in state))
+        return "{" + inner + "}"
+    if isinstance(state, tuple):
+        return "(" + ", ".join(_canonical_state_name(e) for e in state) + ")"
+    return str(state)
+
+
+def _reconstruct(parents: Mapping, node) -> tuple:
+    """Rebuild a witness word from BFS parent links.
+
+    ``parents[n]`` is ``(symbol, predecessor)`` or ``None`` at the start
+    node; since ``witness(next) = (symbol,) + witness(prev)``, walking the
+    chain emits the word front-to-back — O(length), where the old
+    tuple-prepend scheme cost O(length²) per BFS branch.
+    """
+    word: list = []
+    link = parents[node]
+    while link is not None:
+        symbol, node = link
+        word.append(symbol)
+        link = parents[node]
+    return tuple(word)
+
+
+def _reconstruct_classes(parents: Mapping, node, reps: Sequence[Symbol]) -> tuple:
+    """Like :func:`_reconstruct`, for links holding symbol-class indices."""
+    word: list = []
+    link = parents[node]
+    while link is not None:
+        idx, node = link
+        word.append(reps[idx])
+        link = parents[node]
+    return tuple(word)
+
+
+def _class_exprs(gen: "pl._MaskCodegen", keys: Sequence[tuple]) -> list[str]:
+    """One fused mask→mask expression per transition-row class.
+
+    ``keys`` are row tuples (one formula per state bit); the expressions
+    share hoisted temps through the common ``gen``, so subformulas shared
+    across classes evaluate once per BFS iteration.
+    """
+    for key in keys:
+        for formula in key:
+            if formula is not pl.FALSE:
+                gen.count_refs(formula)
+    exprs = []
+    for key in keys:
+        terms = [
+            f"({gen.expr(formula)} << {i})" if i else gen.expr(formula)
+            for i, formula in enumerate(key)
+            if formula is not pl.FALSE
+        ]
+        exprs.append(" | ".join(terms) if terms else "0")
+    return exprs
+
+
+def _exec_source(name: str, lines: list[str]) -> Callable:
+    source = "\n".join(lines) + "\n"
+    namespace: dict = {"_deque": deque}
+    exec(compile(source, f"<afa.{name}>", "exec"), namespace)
+    return namespace[name]
+
+
+_SEARCHER_CACHE: dict[tuple, tuple[Callable, Callable]] = {}
+_DIFF_SEARCHER_CACHE: dict[tuple, Callable] = {}
+
+
+def _compile_searchers(engine: "_CompiledAFA") -> tuple[Callable, Callable]:
+    """Generate the whole witness-search / sweep BFS as single functions.
+
+    Inlining every transition row into the loop body removes all per-step
+    Python function calls — the search runs as one compiled code object
+    over int bitsets.  Parent links store the symbol-*class index*;
+    :func:`_reconstruct_classes` maps them back to representative symbols.
+
+    Generated functions depend only on the state order and the interned
+    row formulas, so they are cached globally — rebuilding the same AFA
+    (e.g. one ``to_afa`` per analysis call) reuses the compiled search.
+    """
+    cache_key = (
+        engine.order,
+        tuple(engine.row_keys[rep] for rep in engine.reps),
+    )
+    cached = _SEARCHER_CACHE.get(cache_key)
+    if cached is not None:
+        STATS.compile_cache_hits += 1
+        return cached
+    STATS.compile_cache_misses += 1
+    gen = pl._MaskCodegen(engine.index)
+    exprs = _class_exprs(gen, [engine.row_keys[rep] for rep in engine.reps])
+    temps = ["    " + line for line in gen.lines]
+
+    search = [
+        "def _search(start, accepting, initial):",
+        "    parents = {start: None}",
+        "    queue = _deque((start,))",
+        "    append = queue.append",
+        "    popleft = queue.popleft",
+        "    n = 0",
+        "    while queue:",
+        "        v = popleft()",
+        "        n += 1",
+        *temps,
+    ]
+    sweep = [
+        "def _sweep(start):",
+        "    parents = {start: None}",
+        "    queue = _deque((start,))",
+        "    append = queue.append",
+        "    popleft = queue.popleft",
+        "    n = 0",
+        "    while queue:",
+        "        v = popleft()",
+        "        n += 1",
+        *temps,
+    ]
+    for idx, expr in enumerate(exprs):
+        search += [
+            f"        nxt = {expr}",
+            "        if nxt not in parents:",
+            f"            parents[nxt] = ({idx}, v)",
+            "            if initial(nxt) == accepting:",
+            "                return parents, nxt, n",
+            "            append(nxt)",
+        ]
+        sweep += [
+            f"        nxt = {expr}",
+            "        if nxt not in parents:",
+            f"            parents[nxt] = ({idx}, v)",
+            "            append(nxt)",
+        ]
+    search.append("    return parents, None, n")
+    sweep.append("    return parents, n")
+    built = _exec_source("_search", search), _exec_source("_sweep", sweep)
+    _SEARCHER_CACHE[cache_key] = built
+    return built
+
+
+def _compile_diff_search(
+    mine: "_CompiledAFA", theirs: "_CompiledAFA"
+) -> tuple[Callable, tuple[Symbol, ...]]:
+    """Generate the joint difference-witness BFS over mask *pairs*.
+
+    Symbol dedup here is joint: two symbols collapse only when they induce
+    identical rows in *both* automata.  Both automata's rows inline into
+    one loop body (argument ``v`` / temps ``a*`` for ``mine``, ``w`` /
+    ``b*`` for ``theirs``).
+    """
+    seen: set[tuple] = set()
+    reps: list[Symbol] = []
+    keys_mine: list[tuple] = []
+    keys_theirs: list[tuple] = []
+    for symbol in mine.symbols:
+        key = (mine.row_keys[symbol], theirs.row_keys[symbol])
+        if key in seen:
+            continue
+        seen.add(key)
+        reps.append(symbol)
+        keys_mine.append(key[0])
+        keys_theirs.append(key[1])
+    cache_key = (
+        mine.order,
+        theirs.order,
+        tuple(zip(keys_mine, keys_theirs)),
+    )
+    cached = _DIFF_SEARCHER_CACHE.get(cache_key)
+    if cached is not None:
+        STATS.compile_cache_hits += 1
+        return cached, tuple(reps)
+    STATS.compile_cache_misses += 1
+    gen_a = pl._MaskCodegen(mine.index, arg="v", prefix="a")
+    gen_b = pl._MaskCodegen(theirs.index, arg="w", prefix="b")
+    exprs_a = _class_exprs(gen_a, keys_mine)
+    exprs_b = _class_exprs(gen_b, keys_theirs)
+    lines = [
+        "def _dsearch(start, ia, ib):",
+        "    parents = {start: None}",
+        "    queue = _deque((start,))",
+        "    append = queue.append",
+        "    popleft = queue.popleft",
+        "    n = 0",
+        "    while queue:",
+        "        pair = popleft()",
+        "        n += 1",
+        "        v, w = pair",
+        "        if ia(v) != ib(w):",
+        "            return parents, pair, n",
+        *("    " + line for line in gen_a.lines),
+        *("    " + line for line in gen_b.lines),
+    ]
+    for idx, (ea, eb) in enumerate(zip(exprs_a, exprs_b)):
+        lines += [
+            f"        nxt = ({ea}, {eb})",
+            "        if nxt not in parents:",
+            f"            parents[nxt] = ({idx}, pair)",
+            "            append(nxt)",
+        ]
+    lines.append("    return parents, None, n")
+    fn = _exec_source("_dsearch", lines)
+    _DIFF_SEARCHER_CACHE[cache_key] = fn
+    return fn, tuple(reps)
+
+
+class _CompiledAFA:
+    """The compiled evaluation engine behind an :class:`AFA`.
+
+    Built once per automaton and cached; holds the state→bit mapping, the
+    per-symbol compiled transition rows, and the symbol quotient (one
+    representative per class of symbols with identical rows).
+    """
+
+    __slots__ = (
+        "order",
+        "index",
+        "final_mask",
+        "initial_fn",
+        "symbols",
+        "row_keys",
+        "rep_of",
+        "reps",
+        "rows",
+        "rep_rows",
+        "_search_fn",
+        "_sweep_fn",
+        "_diff_cache",
+    )
+
+    def __init__(self, afa: "AFA") -> None:
+        self.order: tuple[State, ...] = tuple(sorted(afa.states))
+        self.index: dict[State, int] = {s: i for i, s in enumerate(self.order)}
+        self.final_mask = 0
+        for state in afa.finals:
+            self.final_mask |= 1 << self.index[state]
+        self.initial_fn = pl.compile_mask(afa.initial_condition, self.index)
+        self.symbols: tuple[Symbol, ...] = tuple(
+            sorted(afa.alphabet, key=symbol_sort_key)
+        )
+        # Group symbols by transition row (tuple of interned formulas, one
+        # per state): identical rows induce identical pre_step functions,
+        # so only one representative per class needs exploring.
+        self.row_keys: dict[Symbol, tuple] = {}
+        classes: dict[tuple, Symbol] = {}
+        self.rep_of: dict[Symbol, Symbol] = {}
+        for symbol in self.symbols:
+            key = tuple(
+                afa.transitions.get((state, symbol), pl.FALSE)
+                for state in self.order
+            )
+            self.row_keys[symbol] = key
+            rep = classes.setdefault(key, symbol)
+            self.rep_of[symbol] = rep
+        self.reps: tuple[Symbol, ...] = tuple(classes.values())
+        self.rows: dict[Symbol, Callable[[int], int]] = {}
+        for key, rep in classes.items():
+            self.rows[rep] = pl.compile_row(
+                (
+                    (1 << i, formula)
+                    for i, formula in enumerate(key)
+                    if formula is not pl.FALSE
+                ),
+                self.index,
+            )
+        self.rep_rows: tuple[tuple[Symbol, Callable[[int], int]], ...] = tuple(
+            (rep, self.rows[rep]) for rep in self.reps
+        )
+        self._search_fn: Callable | None = None
+        self._sweep_fn: Callable | None = None
+        self._diff_cache: dict["_CompiledAFA", tuple[Callable, tuple]] = {}
+        STATS.afa_compilations += 1
+        STATS.alphabet_symbols += len(self.symbols)
+        STATS.symbol_classes += len(self.reps)
+
+    def searcher(self) -> Callable:
+        """The generated witness-search BFS (built on first use)."""
+        if self._search_fn is None:
+            self._search_fn, self._sweep_fn = _compile_searchers(self)
+        return self._search_fn
+
+    def sweeper(self) -> Callable:
+        """The generated full-sweep BFS (built on first use)."""
+        if self._sweep_fn is None:
+            self._search_fn, self._sweep_fn = _compile_searchers(self)
+        return self._sweep_fn
+
+    def diff_searcher(
+        self, theirs: "_CompiledAFA"
+    ) -> tuple[Callable, tuple[Symbol, ...]]:
+        """The generated pair-BFS against ``theirs`` (cached per partner)."""
+        cached = self._diff_cache.get(theirs)
+        if cached is None:
+            cached = _compile_diff_search(self, theirs)
+            self._diff_cache[theirs] = cached
+        return cached
+
+    def pre_step(self, mask: int, symbol: Symbol) -> int:
+        """``V_{a·w}`` from ``V_w``, both as int bitsets."""
+        STATS.pre_steps += 1
+        return self.rows[self.rep_of[symbol]](mask)
+
+    def to_vector(self, mask: int) -> Vector:
+        return frozenset(s for i, s in enumerate(self.order) if mask >> i & 1)
+
+    def to_mask(self, vector: Iterable[State]) -> int:
+        mask = 0
+        for state in vector:
+            mask |= 1 << self.index[state]
+        return mask
 
 
 class AFA:
@@ -55,6 +431,7 @@ class AFA:
         self.transitions = dict(transitions)
         self.initial_condition = initial_condition
         self.finals = frozenset(finals)
+        self._engine_cache: _CompiledAFA | None = None
         if not self.finals <= self.states:
             raise ReproError("final states must be states")
         for (state, symbol), formula in self.transitions.items():
@@ -71,6 +448,18 @@ class AFA:
         if stray:
             raise ReproError(f"initial condition mentions non-states {sorted(stray)}")
 
+    def _engine(self) -> _CompiledAFA:
+        """The compiled engine, built on first use."""
+        engine = self._engine_cache
+        if engine is None:
+            engine = _CompiledAFA(self)
+            self._engine_cache = engine
+        return engine
+
+    def _symbol_order(self) -> list[Symbol]:
+        """The full alphabet in canonical (hash-seed-independent) order."""
+        return sorted(self.alphabet, key=symbol_sort_key)
+
     # -- backward semantics -----------------------------------------------------------
 
     def empty_word_vector(self) -> Vector:
@@ -79,6 +468,14 @@ class AFA:
 
     def pre_step(self, vector: Vector, symbol: Symbol) -> Vector:
         """``V_{a·w}`` from ``V_w``: evaluate every transition condition."""
+        if _USE_COMPILED:
+            engine = self._engine()
+            return engine.to_vector(engine.pre_step(engine.to_mask(vector), symbol))
+        return self._pre_step_ast(vector, symbol)
+
+    def _pre_step_ast(self, vector: Vector, symbol: Symbol) -> Vector:
+        """Interpreted reference implementation (per-state AST recursion)."""
+        STATS.pre_steps += 1
         return frozenset(
             state
             for state in self.states
@@ -87,13 +484,25 @@ class AFA:
 
     def vector_for(self, word: Sequence[Symbol]) -> Vector:
         """The valuation vector of a word (computed suffix-first)."""
+        if _USE_COMPILED:
+            engine = self._engine()
+            mask = engine.to_mask(self.finals)
+            for symbol in reversed(word):
+                mask = engine.pre_step(mask, symbol)
+            return engine.to_vector(mask)
         vector = self.empty_word_vector()
         for symbol in reversed(word):
-            vector = self.pre_step(vector, symbol)
+            vector = self._pre_step_ast(vector, symbol)
         return vector
 
     def accepts(self, word: Sequence[Symbol]) -> bool:
         """Language membership."""
+        if _USE_COMPILED:
+            engine = self._engine()
+            mask = engine.to_mask(self.finals)
+            for symbol in reversed(word):
+                mask = engine.pre_step(mask, symbol)
+            return engine.initial_fn(mask)
         return self.initial_condition.evaluate(self.vector_for(word))
 
     # -- decision procedures -------------------------------------------------------------
@@ -102,20 +511,33 @@ class AFA:
         """All vectors reachable from ``V_ε``, with a witness suffix each.
 
         The witness of vector ``V`` is a word ``w`` with ``V_w = V``.  The
-        search is breadth-first, so witnesses are shortest.
+        search is breadth-first, so witnesses are shortest; only one symbol
+        per transition-row class is explored (identical rows cannot reach
+        new vectors), so witnesses use class representatives.
         """
+        if _USE_COMPILED:
+            engine = self._engine()
+            parents, popped = engine.sweeper()(engine.to_mask(self.finals))
+            STATS.vectors_explored += popped
+            STATS.pre_steps += popped * len(engine.reps)
+            reps = engine.reps
+            return {
+                engine.to_vector(m): _reconstruct_classes(parents, m, reps)
+                for m in parents
+            }
         start = self.empty_word_vector()
-        witnesses: dict[Vector, tuple[Symbol, ...]] = {start: ()}
-        queue: deque[Vector] = deque([start])
-        order = sorted(self.alphabet, key=repr)
-        while queue:
-            vector = queue.popleft()
+        parents_v: dict[Vector, tuple[Symbol, Vector] | None] = {start: None}
+        queue_v: deque[Vector] = deque([start])
+        order = self._symbol_order()
+        while queue_v:
+            vector = queue_v.popleft()
+            STATS.vectors_explored += 1
             for symbol in order:
-                nxt = self.pre_step(vector, symbol)
-                if nxt not in witnesses:
-                    witnesses[nxt] = (symbol,) + witnesses[vector]
-                    queue.append(nxt)
-        return witnesses
+                nxt = self._pre_step_ast(vector, symbol)
+                if nxt not in parents_v:
+                    parents_v[nxt] = (symbol, vector)
+                    queue_v.append(nxt)
+        return {v: _reconstruct(parents_v, v) for v in parents_v}
 
     def is_empty(self) -> bool:
         """Emptiness via vector reachability."""
@@ -128,23 +550,47 @@ class AFA:
         satisfies the initial condition, so the witness is of minimal
         length among the BFS layers explored.
         """
+        return self._search_witness(accepting=True)
+
+    def rejecting_witness(self) -> tuple[Symbol, ...] | None:
+        """A word *not* in the language, or ``None`` when L = Σ*.
+
+        The dual of :meth:`accepting_witness` over the same vector space;
+        used by PL validation with output ``false``.
+        """
+        return self._search_witness(accepting=False)
+
+    def _search_witness(self, accepting: bool) -> tuple[Symbol, ...] | None:
+        if _USE_COMPILED:
+            engine = self._engine()
+            start = engine.to_mask(self.finals)
+            if engine.initial_fn(start) == accepting:
+                return ()
+            parents, hit, popped = engine.searcher()(
+                start, accepting, engine.initial_fn
+            )
+            STATS.vectors_explored += popped
+            STATS.pre_steps += popped * len(engine.reps)
+            if hit is None:
+                return None
+            return _reconstruct_classes(parents, hit, engine.reps)
         start = self.empty_word_vector()
-        if self.initial_condition.evaluate(start):
+        if self.initial_condition.evaluate(start) == accepting:
             return ()
-        witnesses: dict[Vector, tuple[Symbol, ...]] = {start: ()}
-        queue: deque[Vector] = deque([start])
-        order = sorted(self.alphabet, key=repr)
-        while queue:
-            vector = queue.popleft()
+        parents_v: dict[Vector, tuple[Symbol, Vector] | None] = {start: None}
+        queue_v: deque[Vector] = deque([start])
+        order = self._symbol_order()
+        while queue_v:
+            vector = queue_v.popleft()
+            STATS.vectors_explored += 1
             for symbol in order:
-                nxt = self.pre_step(vector, symbol)
-                if nxt in witnesses:
+                nxt = self._pre_step_ast(vector, symbol)
+                if nxt in parents_v:
                     continue
-                word = (symbol,) + witnesses[vector]
-                if self.initial_condition.evaluate(nxt):
-                    return word
-                witnesses[nxt] = word
-                queue.append(nxt)
+                parents_v[nxt] = (symbol, vector)
+                if self.initial_condition.evaluate(nxt) == accepting:
+                    return _reconstruct(parents_v, nxt)
+                queue_v.append(nxt)
         return None
 
     def to_dfa(self) -> DFA:
@@ -153,6 +599,8 @@ class AFA:
         Vectors are states; reading symbol ``a`` maps ``V_w`` to ``V_{a·w}``
         — i.e. this DFA reads words **reversed**.  It accepts reverse(L):
         a word ``w`` is in L(self) iff ``reversed(w)`` is accepted here.
+        The DFA stays over the *full* alphabet (every symbol of a collapsed
+        class gets its representative's transitions).
         """
         witnesses = self.reachable_vectors()
         vectors = set(witnesses)
@@ -192,26 +640,45 @@ class AFA:
         return self.difference_witness(other) is None
 
     def difference_witness(self, other: "AFA") -> tuple[Symbol, ...] | None:
-        """A word accepted by exactly one of the two automata, or ``None``."""
+        """A word accepted by exactly one of the two automata, or ``None``.
+
+        Symbol dedup is *joint*: two symbols collapse only when they induce
+        identical transition rows in both automata.
+        """
         if self.alphabet != other.alphabet:
             raise ReproError("comparison requires identical alphabets")
-        start = (self.empty_word_vector(), other.empty_word_vector())
-        seen: dict[tuple[Vector, Vector], tuple[Symbol, ...]] = {start: ()}
-        queue: deque[tuple[Vector, Vector]] = deque([start])
-        order = sorted(self.alphabet, key=repr)
-        while queue:
-            pair = queue.popleft()
-            mine, theirs = pair
-            word = seen[pair]
-            if self.initial_condition.evaluate(mine) != other.initial_condition.evaluate(
-                theirs
+        if _USE_COMPILED:
+            mine_e, theirs_e = self._engine(), other._engine()
+            dsearch, reps = mine_e.diff_searcher(theirs_e)
+            start = (mine_e.to_mask(self.finals), theirs_e.to_mask(other.finals))
+            parents, hit, popped = dsearch(
+                start, mine_e.initial_fn, theirs_e.initial_fn
+            )
+            STATS.vectors_explored += popped
+            STATS.pre_steps += popped * 2 * len(reps)
+            if hit is None:
+                return None
+            return _reconstruct_classes(parents, hit, reps)
+        start_v = (self.empty_word_vector(), other.empty_word_vector())
+        parents_v: dict[tuple[Vector, Vector], tuple | None] = {start_v: None}
+        queue_v: deque[tuple[Vector, Vector]] = deque([start_v])
+        order = self._symbol_order()
+        while queue_v:
+            pair_v = queue_v.popleft()
+            mine_v, theirs_v = pair_v
+            STATS.vectors_explored += 1
+            if self.initial_condition.evaluate(mine_v) != other.initial_condition.evaluate(
+                theirs_v
             ):
-                return word
+                return _reconstruct(parents_v, pair_v)
             for symbol in order:
-                nxt = (self.pre_step(mine, symbol), other.pre_step(theirs, symbol))
-                if nxt not in seen:
-                    seen[nxt] = (symbol,) + word
-                    queue.append(nxt)
+                nxt_v = (
+                    self._pre_step_ast(mine_v, symbol),
+                    other._pre_step_ast(theirs_v, symbol),
+                )
+                if nxt_v not in parents_v:
+                    parents_v[nxt_v] = (symbol, pair_v)
+                    queue_v.append(nxt_v)
         return None
 
     @classmethod
@@ -224,16 +691,17 @@ class AFA:
         for (_state, symbol) in nfa.transitions:
             if symbol is None:
                 raise ReproError("from_nfa requires an ε-free NFA")
-        states = {str(s) for s in nfa.states}
+        name = _canonical_state_name
+        states = {name(s) for s in nfa.states}
         if len(states) != len(nfa.states):
             raise ReproError("NFA state names collide after str()")
         transitions: dict[tuple[State, Symbol], pl.Formula] = {}
         for (source, symbol), targets in nfa.transitions.items():
-            transitions[(str(source), symbol)] = pl.disjoin(
-                pl.Var(str(t)) for t in sorted(targets, key=repr)
+            transitions[(name(source), symbol)] = pl.disjoin(
+                pl.Var(t) for t in sorted(name(t) for t in targets)
             )
-        initial = pl.disjoin(pl.Var(str(s)) for s in sorted(nfa.initials, key=repr))
-        return cls(states, nfa.alphabet, transitions, initial, {str(s) for s in nfa.finals})
+        initial = pl.disjoin(pl.Var(s) for s in sorted(name(s) for s in nfa.initials))
+        return cls(states, nfa.alphabet, transitions, initial, {name(s) for s in nfa.finals})
 
     def __repr__(self) -> str:
         return (

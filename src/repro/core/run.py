@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro._stats import STATS
 from repro.core.exec_tree import ExecutionNode, RunResult
 from repro.core.sws import IN, MSG, SWS, SWSKind
 from repro.data.database import Database
@@ -50,6 +51,7 @@ def run(sws: SWS, *args, **kwargs) -> RunResult:
     PL services: ``run(sws, word)`` with ``word`` a sequence of truth
     assignments.  Relational services: ``run(sws, database, inputs)``.
     """
+    STATS.runs_executed += 1
     if sws.kind is SWSKind.PL:
         return run_pl(sws, *args, **kwargs)
     return run_relational(sws, *args, **kwargs)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro._stats import STATS
 from repro.core.classes import SWSClass, is_in_class, require_class
 from repro.core.sws import IN, MSG, SWS, SWSKind
 from repro.data.database import Database
@@ -136,9 +137,11 @@ def expand(sws: SWS, session_length: int) -> UnionQuery:
 
     root_msg = UnionQuery.empty(payload_arity, name=MSG)
     expansion = act_query(sws.start, 1, root_msg)
-    return UnionQuery(
+    result = UnionQuery(
         expansion.disjuncts, arity=sws.output_arity, name=sws.name
     ).satisfiable_disjuncts()
+    STATS.expansion_disjuncts += len(result.disjuncts)
+    return result
 
 
 def saturation_length(sws: SWS) -> int:

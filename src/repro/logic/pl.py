@@ -9,40 +9,95 @@ This module provides the formula AST, a small recursive-descent parser, and
 the operations the SWS machinery needs: evaluation, substitution of formulas
 for variables (used when synthesis formulas are instantiated with successor
 action values), variable collection, and structural simplification.
+
+Formulas are **hash-consed**: constructing a formula returns the unique
+interned node for that structure, so structurally equal formulas are
+reference-identical, ``variables()`` is computed once per node, and
+``simplify()`` is memoized.  Interning is what makes the compiled AFA
+engine cheap — transition rows compare and hash in O(#states) regardless
+of formula size, and :func:`compile_mask` caches compiled evaluators per
+interned node.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import AbstractSet, Iterable, Mapping
+from typing import AbstractSet, Callable, Iterable, Mapping
 
+from repro._stats import STATS
 from repro.errors import QueryError
 
 Assignment = AbstractSet[str]
+
+# Interning tables.  One per constructor shape; keys are the constructor
+# arguments (already-interned children hash in O(1) via their cached hash).
+_VAR_CACHE: dict[str, "Var"] = {}
+_CONST_CACHE: dict[bool, "Const"] = {}
+_NOT_CACHE: dict["Formula", "Not"] = {}
+_AND_CACHE: dict[tuple["Formula", ...], "And"] = {}
+_OR_CACHE: dict[tuple["Formula", ...], "Or"] = {}
 
 
 class Formula:
     """Base class for propositional formulas.
 
-    Formulas are immutable value objects; ``&``, ``|``, ``~`` and ``>>``
-    build conjunctions, disjunctions, negations and implications.
+    Formulas are immutable, interned value objects; ``&``, ``|``, ``~`` and
+    ``>>`` build conjunctions, disjunctions, negations and implications.
     """
+
+    __slots__ = ("_hash", "_vars", "_simplified")
 
     def evaluate(self, assignment: Assignment) -> bool:
         """Truth value under ``assignment`` (the set of true variables)."""
         raise NotImplementedError
 
     def variables(self) -> frozenset[str]:
-        """All variables occurring in the formula."""
+        """All variables occurring in the formula (cached per node)."""
+        vars_ = self._vars
+        if vars_ is None:
+            vars_ = self._compute_variables()
+            object.__setattr__(self, "_vars", vars_)
+        return vars_
+
+    def _compute_variables(self) -> frozenset[str]:
         raise NotImplementedError
 
     def substitute(self, mapping: Mapping[str, "Formula"]) -> "Formula":
-        """Replace variables by formulas, simultaneously."""
-        raise NotImplementedError
+        """Replace variables by formulas, simultaneously.
+
+        Shared subformulas (common under hash-consing) are rewritten once
+        per call via an internal memo table.
+        """
+        return _substitute(self, mapping, {})
 
     def simplify(self) -> "Formula":
-        """Bottom-up constant propagation and trivial-identity removal."""
+        """Bottom-up constant propagation, flattening and deduplication.
+
+        Memoized: each interned node simplifies at most once per process.
+        """
+        simplified = self._simplified
+        if simplified is None:
+            simplified = self._compute_simplify()
+            object.__setattr__(self, "_simplified", simplified)
+            # A simplified formula is its own fixpoint.
+            object.__setattr__(simplified, "_simplified", simplified)
+        else:
+            STATS.simplify_memo_hits += 1
+        return simplified
+
+    def _compute_simplify(self) -> "Formula":
         raise NotImplementedError
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __copy__(self) -> "Formula":
+        return self
+
+    def __deepcopy__(self, memo) -> "Formula":
+        return self
 
     # -- operator sugar -------------------------------------------------------
 
@@ -59,16 +114,35 @@ class Formula:
         return Or((Not(self), other))
 
 
-@dataclass(frozen=True)
+def _fresh(cls, hash_value: int) -> Formula:
+    """Allocate an un-cached node with empty lazy-cache slots."""
+    self = object.__new__(cls)
+    object.__setattr__(self, "_hash", hash_value)
+    object.__setattr__(self, "_vars", None)
+    object.__setattr__(self, "_simplified", None)
+    return self
+
+
 class Var(Formula):
     """A propositional variable."""
 
-    name: str
+    __slots__ = ("name",)
+
+    def __new__(cls, name: str) -> "Var":
+        cached = _VAR_CACHE.get(name)
+        if cached is not None:
+            STATS.intern_hits += 1
+            return cached
+        STATS.intern_misses += 1
+        self = _fresh(cls, hash(("pl.Var", name)))
+        object.__setattr__(self, "name", name)
+        _VAR_CACHE[name] = self
+        return self
 
     def evaluate(self, assignment: Assignment) -> bool:
         return self.name in assignment
 
-    def variables(self) -> frozenset[str]:
+    def _compute_variables(self) -> frozenset[str]:
         return frozenset({self.name})
 
     def substitute(self, mapping: Mapping[str, Formula]) -> Formula:
@@ -77,20 +151,40 @@ class Var(Formula):
     def simplify(self) -> Formula:
         return self
 
+    def __eq__(self, other) -> bool:
+        return self is other or (isinstance(other, Var) and self.name == other.name)
+
+    __hash__ = Formula.__hash__
+
+    def __reduce__(self):
+        return (Var, (self.name,))
+
+    def __repr__(self) -> str:
+        return f"Var(name={self.name!r})"
+
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class Const(Formula):
     """A propositional constant (true or false)."""
 
-    value: bool
+    __slots__ = ("value",)
+
+    def __new__(cls, value: bool) -> "Const":
+        value = bool(value)
+        cached = _CONST_CACHE.get(value)
+        if cached is not None:
+            return cached
+        self = _fresh(cls, hash(("pl.Const", value)))
+        object.__setattr__(self, "value", value)
+        _CONST_CACHE[value] = self
+        return self
 
     def evaluate(self, assignment: Assignment) -> bool:
         return self.value
 
-    def variables(self) -> frozenset[str]:
+    def _compute_variables(self) -> frozenset[str]:
         return frozenset()
 
     def substitute(self, mapping: Mapping[str, Formula]) -> Formula:
@@ -98,6 +192,17 @@ class Const(Formula):
 
     def simplify(self) -> Formula:
         return self
+
+    def __eq__(self, other) -> bool:
+        return self is other or (isinstance(other, Const) and self.value == other.value)
+
+    __hash__ = Formula.__hash__
+
+    def __reduce__(self):
+        return (Const, (self.value,))
+
+    def __repr__(self) -> str:
+        return f"Const(value={self.value!r})"
 
     def __str__(self) -> str:
         return "true" if self.value else "false"
@@ -107,22 +212,29 @@ TRUE = Const(True)
 FALSE = Const(False)
 
 
-@dataclass(frozen=True)
 class Not(Formula):
     """Negation."""
 
-    operand: Formula
+    __slots__ = ("operand",)
+
+    def __new__(cls, operand: Formula) -> "Not":
+        cached = _NOT_CACHE.get(operand)
+        if cached is not None:
+            STATS.intern_hits += 1
+            return cached
+        STATS.intern_misses += 1
+        self = _fresh(cls, hash(("pl.Not", operand)))
+        object.__setattr__(self, "operand", operand)
+        _NOT_CACHE[operand] = self
+        return self
 
     def evaluate(self, assignment: Assignment) -> bool:
         return not self.operand.evaluate(assignment)
 
-    def variables(self) -> frozenset[str]:
+    def _compute_variables(self) -> frozenset[str]:
         return self.operand.variables()
 
-    def substitute(self, mapping: Mapping[str, Formula]) -> Formula:
-        return Not(self.operand.substitute(mapping))
-
-    def simplify(self) -> Formula:
+    def _compute_simplify(self) -> Formula:
         inner = self.operand.simplify()
         if isinstance(inner, Const):
             return Const(not inner.value)
@@ -130,29 +242,51 @@ class Not(Formula):
             return inner.operand
         return Not(inner)
 
+    def __eq__(self, other) -> bool:
+        return self is other or (isinstance(other, Not) and self.operand == other.operand)
+
+    __hash__ = Formula.__hash__
+
+    def __reduce__(self):
+        return (Not, (self.operand,))
+
+    def __repr__(self) -> str:
+        return f"Not(operand={self.operand!r})"
+
     def __str__(self) -> str:
         return f"!{_wrap(self.operand)}"
 
 
-@dataclass(frozen=True)
 class And(Formula):
     """N-ary conjunction.  ``And(())`` is true."""
 
-    operands: tuple[Formula, ...]
+    __slots__ = ("operands",)
 
-    def __init__(self, operands: Iterable[Formula]) -> None:
-        object.__setattr__(self, "operands", tuple(operands))
+    def __new__(cls, operands: Iterable[Formula]) -> "And":
+        operands = tuple(operands)
+        cached = _AND_CACHE.get(operands)
+        if cached is not None:
+            STATS.intern_hits += 1
+            return cached
+        STATS.intern_misses += 1
+        self = _fresh(cls, hash(("pl.And", operands)))
+        object.__setattr__(self, "operands", operands)
+        _AND_CACHE[operands] = self
+        return self
 
     def evaluate(self, assignment: Assignment) -> bool:
-        return all(op.evaluate(assignment) for op in self.operands)
+        for op in self.operands:
+            if not op.evaluate(assignment):
+                return False
+        return True
 
-    def variables(self) -> frozenset[str]:
+    def _compute_variables(self) -> frozenset[str]:
         return frozenset().union(*(op.variables() for op in self.operands))
 
     def substitute(self, mapping: Mapping[str, Formula]) -> Formula:
-        return And(op.substitute(mapping) for op in self.operands)
+        return _substitute(self, mapping, {})
 
-    def simplify(self) -> Formula:
+    def _compute_simplify(self) -> Formula:
         flat: list[Formula] = []
         for op in self.operands:
             s = op.simplify()
@@ -164,11 +298,27 @@ class And(Formula):
                 flat.extend(s.operands)
             else:
                 flat.append(s)
+        # Order-preserving dedup: substitution chains replicate operands,
+        # and keeping the copies blows formulas up exponentially.
+        flat = list(dict.fromkeys(flat))
         if not flat:
             return TRUE
         if len(flat) == 1:
             return flat[0]
         return And(flat)
+
+    def __eq__(self, other) -> bool:
+        return self is other or (
+            isinstance(other, And) and self.operands == other.operands
+        )
+
+    __hash__ = Formula.__hash__
+
+    def __reduce__(self):
+        return (And, (self.operands,))
+
+    def __repr__(self) -> str:
+        return f"And(operands={self.operands!r})"
 
     def __str__(self) -> str:
         if not self.operands:
@@ -176,25 +326,36 @@ class And(Formula):
         return " & ".join(_wrap(op) for op in self.operands)
 
 
-@dataclass(frozen=True)
 class Or(Formula):
     """N-ary disjunction.  ``Or(())`` is false."""
 
-    operands: tuple[Formula, ...]
+    __slots__ = ("operands",)
 
-    def __init__(self, operands: Iterable[Formula]) -> None:
-        object.__setattr__(self, "operands", tuple(operands))
+    def __new__(cls, operands: Iterable[Formula]) -> "Or":
+        operands = tuple(operands)
+        cached = _OR_CACHE.get(operands)
+        if cached is not None:
+            STATS.intern_hits += 1
+            return cached
+        STATS.intern_misses += 1
+        self = _fresh(cls, hash(("pl.Or", operands)))
+        object.__setattr__(self, "operands", operands)
+        _OR_CACHE[operands] = self
+        return self
 
     def evaluate(self, assignment: Assignment) -> bool:
-        return any(op.evaluate(assignment) for op in self.operands)
+        for op in self.operands:
+            if op.evaluate(assignment):
+                return True
+        return False
 
-    def variables(self) -> frozenset[str]:
+    def _compute_variables(self) -> frozenset[str]:
         return frozenset().union(*(op.variables() for op in self.operands))
 
     def substitute(self, mapping: Mapping[str, Formula]) -> Formula:
-        return Or(op.substitute(mapping) for op in self.operands)
+        return _substitute(self, mapping, {})
 
-    def simplify(self) -> Formula:
+    def _compute_simplify(self) -> Formula:
         flat: list[Formula] = []
         for op in self.operands:
             s = op.simplify()
@@ -206,16 +367,53 @@ class Or(Formula):
                 flat.extend(s.operands)
             else:
                 flat.append(s)
+        flat = list(dict.fromkeys(flat))
         if not flat:
             return FALSE
         if len(flat) == 1:
             return flat[0]
         return Or(flat)
 
+    def __eq__(self, other) -> bool:
+        return self is other or (
+            isinstance(other, Or) and self.operands == other.operands
+        )
+
+    __hash__ = Formula.__hash__
+
+    def __reduce__(self):
+        return (Or, (self.operands,))
+
+    def __repr__(self) -> str:
+        return f"Or(operands={self.operands!r})"
+
     def __str__(self) -> str:
         if not self.operands:
             return "false"
         return " | ".join(_wrap(op) for op in self.operands)
+
+
+def _substitute(
+    formula: Formula, mapping: Mapping[str, Formula], memo: dict[Formula, Formula]
+) -> Formula:
+    """Simultaneous substitution with per-call sharing of rewritten nodes."""
+    done = memo.get(formula)
+    if done is not None:
+        return done
+    if isinstance(formula, Var):
+        result = mapping.get(formula.name, formula)
+    elif isinstance(formula, Const):
+        result = formula
+    elif isinstance(formula, Not):
+        result = Not(_substitute(formula.operand, mapping, memo))
+    elif isinstance(formula, And):
+        result = And(_substitute(op, mapping, memo) for op in formula.operands)
+    elif isinstance(formula, Or):
+        result = Or(_substitute(op, mapping, memo) for op in formula.operands)
+    else:  # pragma: no cover - closed AST
+        raise QueryError(f"cannot substitute into {type(formula).__name__}")
+    memo[formula] = result
+    return result
 
 
 def _wrap(formula: Formula) -> str:
@@ -237,6 +435,146 @@ def disjoin(formulas: Iterable[Formula]) -> Formula:
 def iff(left: Formula, right: Formula) -> Formula:
     """Biconditional, expressed through the core connectives."""
     return (left & right) | (~left & ~right)
+
+
+# -- compiled evaluation ------------------------------------------------------
+#
+# The AFA hot path evaluates the same transition formulas over millions of
+# valuation vectors.  compile_mask() turns a formula into a closure over an
+# *int bitset* (bit i = variable index[i] is true), and compile_row() fuses
+# a whole transition row — one formula per target bit — into a single
+# mask → mask function.  Every distinct subformula is hoisted into a local,
+# so shared nodes (ubiquitous under hash-consing) evaluate exactly once per
+# call, and the generated code runs on plain int shifts instead of AST
+# recursion over frozensets.
+
+_COMPILE_CACHE: dict[tuple, Callable] = {}
+
+
+class _MaskCodegen:
+    """Shared-subexpression codegen over an int bitset argument ``v``.
+
+    Every subformula evaluates to a 0/1 int (``Var`` extracts a bit;
+    ``and``/``or`` on 0/1 operands return 0/1 and short-circuit, which
+    matters on conjunction-heavy rows).  Only subformulas referenced more
+    than once across the compilation unit are hoisted into locals —
+    singly-referenced nodes inline into one big expression, which CPython
+    evaluates far faster than a store/load per node.
+    """
+
+    def __init__(
+        self, index: Mapping[str, int], arg: str = "v", prefix: str = "t"
+    ) -> None:
+        self._index = index
+        self._arg = arg
+        self._prefix = prefix
+        self._names: dict[Formula, str] = {}
+        self._refs: dict[Formula, int] = {}
+        self.lines: list[str] = []
+
+    def count_refs(self, node: Formula) -> None:
+        """First pass: count DAG parent edges per internal node."""
+        seen = self._refs.get(node, 0)
+        self._refs[node] = seen + 1
+        if seen:
+            return
+        if isinstance(node, Not):
+            self.count_refs(node.operand)
+        elif isinstance(node, (And, Or)):
+            for op in node.operands:
+                self.count_refs(op)
+
+    def expr(self, node: Formula) -> str:
+        known = self._names.get(node)
+        if known is not None:
+            return known
+        if isinstance(node, Var):
+            e = f"({self._arg} >> {self._index[node.name]} & 1)"
+        elif isinstance(node, Const):
+            e = "1" if node.value else "0"
+        elif isinstance(node, Not):
+            e = f"(not {self.expr(node.operand)})"
+        elif isinstance(node, And):
+            e = (
+                "(" + " and ".join(self.expr(op) for op in node.operands) + ")"
+                if node.operands
+                else "1"
+            )
+        elif isinstance(node, Or):
+            e = (
+                "(" + " or ".join(self.expr(op) for op in node.operands) + ")"
+                if node.operands
+                else "0"
+            )
+        else:  # pragma: no cover - closed AST
+            raise QueryError(f"cannot compile {type(node).__name__}")
+        if isinstance(node, (Not, And, Or)) and self._refs.get(node, 0) > 1:
+            temp = f"{self._prefix}{len(self.lines)}"
+            self.lines.append(f"    {temp} = {e}")
+            self._names[node] = temp
+            return temp
+        self._names[node] = e
+        return e
+
+
+def _assemble(name: str, header: str, lines: list[str], footer: str) -> Callable:
+    source = f"def {name}(v):\n{header}" + "\n".join(lines) + f"\n{footer}\n"
+    namespace: dict = {}
+    exec(compile(source, f"<pl.{name}>", "exec"), namespace)
+    return namespace[name]
+
+
+def compile_mask(
+    formula: Formula, index: Mapping[str, int]
+) -> Callable[[int], bool]:
+    """Compile ``formula`` into ``fn(mask) -> bool`` over an int bitset.
+
+    ``index`` maps each variable to its bit position.  Compiled functions
+    are cached per (interned formula, index signature).
+    """
+    key = ("mask", formula, frozenset(index.items()))
+    cached = _COMPILE_CACHE.get(key)
+    if cached is not None:
+        STATS.compile_cache_hits += 1
+        return cached
+    STATS.compile_cache_misses += 1
+    gen = _MaskCodegen(index)
+    gen.count_refs(formula)
+    root = gen.expr(formula)
+    fn = _assemble("_compiled", "", gen.lines, f"    return bool({root})")
+    _COMPILE_CACHE[key] = fn
+    return fn
+
+
+def compile_row(
+    entries: Iterable[tuple[int, Formula]], index: Mapping[str, int]
+) -> Callable[[int], int]:
+    """Compile transition-row ``entries`` into one ``fn(mask) -> mask``.
+
+    ``entries`` pairs an output bit with the formula that sets it; the
+    generated function evaluates every formula on the input bitset and ORs
+    the bits whose formulas hold — a whole AFA ``pre_step`` on one symbol
+    in a single call.  Shared subformulas across the row evaluate once.
+    """
+    entries = tuple(entries)
+    key = ("row", entries, frozenset(index.items()))
+    cached = _COMPILE_CACHE.get(key)
+    if cached is not None:
+        STATS.compile_cache_hits += 1
+        return cached
+    STATS.compile_cache_misses += 1
+    gen = _MaskCodegen(index)
+    for _, formula in entries:
+        gen.count_refs(formula)
+    terms: list[str] = []
+    for bit, formula in entries:
+        e = gen.expr(formula)
+        shift = bit.bit_length() - 1
+        terms.append(f"({e} << {shift})" if shift else e)
+    result = " | ".join(terms) if terms else "0"
+    fn = _assemble("_row", "", gen.lines, f"    return {result}")
+    _COMPILE_CACHE[key] = fn
+    return fn
 
 
 # -- parser -----------------------------------------------------------------

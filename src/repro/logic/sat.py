@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable, Iterator
 
+from repro._stats import STATS
 from repro.logic import pl
 from repro.logic.cnf import CNF, Clause, Literal, to_cnf, tseitin
 
@@ -27,6 +28,7 @@ def solve_cnf(clauses: Iterable[Clause]) -> dict[str, bool] | None:
     The returned assignment covers every variable the search fixed; callers
     may extend it arbitrarily on untouched variables.
     """
+    STATS.sat_calls += 1
     return _dpll([frozenset(c) for c in clauses], {})
 
 
@@ -39,6 +41,7 @@ def _dpll(clauses: list[Clause], assignment: dict[str, bool]) -> dict[str, bool]
     if not clauses:
         return assignment
     variable = _choose_variable(clauses)
+    STATS.dpll_decisions += 1
     for value in (True, False):
         trial = dict(assignment)
         trial[variable] = value

@@ -16,6 +16,7 @@ services.
 
 from __future__ import annotations
 
+from repro._stats import STATS
 from repro.core.run import PLWord, run_pl, run_relational
 from repro.core.sws import MSG, SWS
 from repro.data.database import Database
@@ -43,6 +44,7 @@ def run_component_relational(
             f"cannot seed component {component.name!r}: register arity "
             f"{seed.schema.arity} vs input payload arity {payload.arity}"
         )
+    STATS.component_runs += 1
     root_msg = Relation(payload.renamed(MSG), seed.rows if seed else ())
     result = run_relational(component, database, suffix, root_msg=root_msg)
     return result.output, result.tree.max_timestamp()
@@ -52,5 +54,6 @@ def run_component_pl(
     component: SWS, suffix: PLWord, seed: bool
 ) -> tuple[bool, int]:
     """Run a PL component; returns (output value, consumed messages)."""
+    STATS.component_runs += 1
     result = run_pl(component, list(suffix), root_msg=seed)
     return result.output, result.tree.max_timestamp()

@@ -25,6 +25,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from repro._stats import STATS
 from repro.automata.nfa import NFA
 from repro.core.classes import SWSClass, require_class
 from repro.core.pl_semantics import joint_variables
@@ -174,6 +175,7 @@ def compose_mdtb_pl(
         branch_nfas = [language_of(chain) for chain in chains]
         for root_formula in _synthesis_pool(len(chains), max_synthesis_size):
             tried += 1
+            STATS.mediator_candidates += 1
             combined = boolean_language_combination(
                 branch_nfas, root_formula, alphabet
             )

@@ -132,6 +132,7 @@ class TestFO:
         )
         assert not answer.is_no
 
+    @pytest.mark.slow
     def test_travel_vs_recursive_variant(self):
         # τ1 and τ2 behave differently (τ2 needs the inquiry chain).
         answer = equivalent_fo_bounded(

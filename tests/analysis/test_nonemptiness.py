@@ -154,3 +154,33 @@ class TestDispatch:
         assert nonempty(pl_counter_sws(1)).is_yes
         assert nonempty(cq_diamond_sws(1)).is_yes
         assert nonempty(cq_chain_sws(0), max_session_length=4).is_yes
+
+
+class TestSmallDatabases:
+    def _keys(self, sws, domain=("a", "b"), max_rows=1):
+        from repro.analysis.nonemptiness import _small_databases
+
+        keys = []
+        for db in _small_databases(sws, domain, max_rows):
+            keys.append(
+                tuple(sorted((name, frozenset(db[name].rows)) for name in db))
+            )
+        return keys
+
+    def test_enumeration_has_no_duplicates(self):
+        sws = travel_service()
+        keys = self._keys(sws)
+        assert len(keys) == len(set(keys))
+
+    def test_no_duplicates_when_full_database_is_small(self):
+        # With max_rows covering every tuple, the subset product regenerates
+        # both the empty and the full database; neither may repeat.
+        sws = random_cq_sws(3, n_states=3, recursive=False)
+        keys = self._keys(sws, domain=("a",), max_rows=4)
+        assert len(keys) == len(set(keys))
+
+    def test_empty_and_full_still_come_first(self):
+        sws = random_cq_sws(3, n_states=3, recursive=False)
+        keys = self._keys(sws, domain=("a", "b"), max_rows=1)
+        assert all(not rows for _name, rows in keys[0])
+        assert any(rows for _name, rows in keys[1])

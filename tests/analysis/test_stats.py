@@ -1,0 +1,59 @@
+"""The work counters threaded through the decision procedures."""
+
+from repro.analysis import STATS, nonempty_pl, nonempty_pl_nr_sat
+from repro.analysis.equivalence import equivalent_pl
+from repro.workloads.random_sws import random_pl_sws
+from repro.workloads.scaling import pl_counter_sws
+
+
+class TestStatsCounters:
+    def test_reset_zeroes_everything(self):
+        STATS.vectors_explored = 17
+        STATS.sat_calls = 3
+        STATS.reset()
+        assert all(v == 0 for v in STATS.snapshot().values())
+
+    def test_afa_search_counts_vectors_and_steps(self):
+        STATS.reset()
+        answer = nonempty_pl(pl_counter_sws(3))
+        assert answer.is_yes
+        assert STATS.vectors_explored > 0
+        assert STATS.pre_steps > 0
+        assert STATS.afa_compilations >= 1
+
+    def test_symbol_dedup_is_visible(self):
+        STATS.reset()
+        nonempty_pl(random_pl_sws(3, n_states=4, n_variables=2))
+        assert STATS.alphabet_symbols >= STATS.symbol_classes > 0
+        assert 0 < STATS.symbol_dedup_ratio() <= 1.0
+
+    def test_sat_path_counts_calls(self):
+        STATS.reset()
+        sws = random_pl_sws(3, n_states=4, n_variables=2, recursive=False)
+        nonempty_pl_nr_sat(sws)
+        assert STATS.sat_calls > 0
+
+    def test_runs_are_counted(self):
+        from repro.core.run import run
+
+        STATS.reset()
+        sws = random_pl_sws(3, n_states=4, n_variables=2)
+        run(sws, [frozenset()])
+        assert STATS.runs_executed == 1
+
+    def test_intern_hit_rate_bounds(self):
+        STATS.reset()
+        equivalent_pl(
+            random_pl_sws(3, n_states=3, n_variables=2),
+            random_pl_sws(4, n_states=3, n_variables=2),
+        )
+        assert 0.0 <= STATS.intern_hit_rate() <= 1.0
+        assert 0.0 <= STATS.compile_hit_rate() <= 1.0
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        STATS.reset()
+        nonempty_pl(pl_counter_sws(2))
+        snapshot = STATS.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot

@@ -15,6 +15,7 @@ from repro.workloads.scaling import afa_counter
 
 
 class TestWordLevelAgreement:
+    @pytest.mark.slow
     def test_counter_family(self):
         for bits in (1, 2, 3):
             afa = afa_counter(bits)
