@@ -129,7 +129,7 @@ def test_t1_5_equivalence(benchmark, n_states, one_shot):
 def collect_before_after() -> dict:
     """Nonrecursive row: SAT work counters plus AFA-route before/after."""
     from _bench_io import timed
-    from repro.analysis.stats import STATS
+    from repro.analysis.stats import stats_delta
     from repro.automata import afa as afa_mod
 
     sat_rows = []
@@ -140,11 +140,11 @@ def collect_before_after() -> dict:
             )
             for seed in range(5)
         ]
-        STATS.reset()
-        seconds, outcomes = timed(
-            lambda: [nonempty_pl_nr_sat(sws).is_yes for sws in instances]
-        )
-        work = STATS.snapshot()
+        # Snapshot-diff rather than STATS.reset() — see stats_delta().
+        with stats_delta() as work:
+            seconds, outcomes = timed(
+                lambda: [nonempty_pl_nr_sat(sws).is_yes for sws in instances]
+            )
         sat_rows.append(
             {
                 "n_variables": n_variables,
@@ -181,9 +181,24 @@ def collect_before_after() -> dict:
         )
     return {
         "experiment": "T1.5 SWS_nr(PL, PL) — SAT procedure, NP/coNP row",
+        "before": "interpreted AST evaluation (seed engine)",
+        "after": "compiled bitmask evaluation with symbol-class dedup",
         "nonemptiness_sat": sat_rows,
         "equivalence": eq_rows,
     }
+
+
+def emit_trace_artifact(path: str) -> None:
+    """A traced representative SAT-route sweep (see the recursive emitter)."""
+    from repro import obs
+
+    obs.configure(path=path, mode="w")
+    try:
+        for seed in range(3):
+            sws = cnf_to_sws(clauses_from_tuples(random_3cnf(seed, 5, 10)))
+            assert nonempty_pl_nr_sat(sws).provenance is not None
+    finally:
+        obs.configure(enabled=False)
 
 
 def main() -> None:
@@ -191,11 +206,19 @@ def main() -> None:
     import sys
 
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-    from _bench_io import BENCH_TABLE1_PL, merge_section
+    from _bench_io import BENCH_TABLE1_PL, merge_section, trace_artifact_path
 
     payload = collect_before_after()
-    merge_section(BENCH_TABLE1_PL, "nonrecursive_pl", payload)
+    merge_section(
+        BENCH_TABLE1_PL,
+        "nonrecursive_pl",
+        payload,
+        regenerate="PYTHONPATH=src python benchmarks/bench_table1_pl_nr.py",
+    )
+    trace_path = trace_artifact_path(__file__)
+    emit_trace_artifact(trace_path)
     print(f"wrote {BENCH_TABLE1_PL}")
+    print(f"wrote {trace_path} (inspect: python -m repro.obs report)")
 
 
 if __name__ == "__main__":

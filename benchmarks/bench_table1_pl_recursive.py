@@ -96,16 +96,17 @@ def _seed_reference_witness(afa):
 def collect_before_after() -> dict:
     """Before/after rows: seed algorithm vs compiled bitmask path."""
     from _bench_io import timed
-    from repro.analysis.stats import STATS
+    from repro.analysis.stats import stats_delta
     from repro.automata import afa as afa_mod
     from repro.core.pl_semantics import to_afa
 
     rows = []
     for bits in (4, 6, 8, 10, 12):
         service = pl_counter_sws(bits)
-        STATS.reset()
-        t_compiled, answer = timed(lambda: nonempty_pl(service))
-        work = STATS.snapshot()
+        # Snapshot-diff rather than STATS.reset(): scoped to this sweep,
+        # so nothing enclosing (a trace span, another section) is clobbered.
+        with stats_delta() as work:
+            t_compiled, answer = timed(lambda: nonempty_pl(service))
         with afa_mod.ast_fallback():
             t_ast, answer_ast = timed(lambda: nonempty_pl(service))
         t_seed, seed_witness = timed(
@@ -148,6 +149,8 @@ def collect_before_after() -> dict:
         )
     return {
         "experiment": "T1.4 SWS(PL, PL) — counter family, PSPACE row",
+        "before": "interpreted AST evaluation (seed engine)",
+        "after": "compiled bitmask evaluation with symbol-class dedup",
         "nonemptiness": rows,
         "equivalence": eq_rows,
         "headline_speedup_vs_seed": max(r["speedup_vs_seed"] for r in rows),
@@ -161,19 +164,44 @@ def collect_before_after() -> dict:
     }
 
 
+def emit_trace_artifact(path: str) -> None:
+    """Re-run a representative sweep with tracing on, into ``path``.
+
+    Separate from the timed sweep so trace emission never pollutes the
+    recorded before/after numbers.
+    """
+    from repro import obs
+
+    obs.configure(path=path, mode="w")
+    try:
+        for bits in (4, 6, 8):
+            assert nonempty_pl(pl_counter_sws(bits)).provenance is not None
+        assert equivalent_pl(pl_counter_sws(4), pl_counter_sws(5)).is_no
+    finally:
+        obs.configure(enabled=False)
+
+
 def main() -> None:
     import os
     import sys
 
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-    from _bench_io import BENCH_TABLE1_PL, merge_section
+    from _bench_io import BENCH_TABLE1_PL, merge_section, trace_artifact_path
 
     payload = collect_before_after()
-    merge_section(BENCH_TABLE1_PL, "recursive_pl", payload)
+    merge_section(
+        BENCH_TABLE1_PL,
+        "recursive_pl",
+        payload,
+        regenerate="PYTHONPATH=src python benchmarks/bench_table1_pl_recursive.py",
+    )
     worst = min(
         r["speedup_vs_seed"] for r in payload["nonemptiness"] if r["bits"] >= 8
     )
+    trace_path = trace_artifact_path(__file__)
+    emit_trace_artifact(trace_path)
     print(f"wrote {BENCH_TABLE1_PL}")
+    print(f"wrote {trace_path} (inspect: python -m repro.obs report)")
     print(
         f"headline speedup vs seed {payload['headline_speedup_vs_seed']}x "
         f"(worst large-input {worst}x)"

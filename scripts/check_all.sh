@@ -35,4 +35,18 @@ else
     python -m pytest tests/ -m "not slow"
 fi
 
+echo "== obs smoke (traced analysis + report CLI) =="
+OBS_TRACE="$(mktemp /tmp/repro_obs_smoke.XXXXXX.jsonl)"
+trap 'rm -f "${OBS_TRACE}"' EXIT
+REPRO_TRACE="${OBS_TRACE}" python - <<'PY'
+from repro.analysis import nonempty_pl
+from repro.workloads.scaling import pl_counter_sws
+
+answer = nonempty_pl(pl_counter_sws(4))
+assert answer.is_yes
+assert answer.provenance is not None, "tracing enabled but no provenance"
+assert answer.provenance.counters["vectors_explored"] > 0
+PY
+python -m repro.obs report "${OBS_TRACE}"
+
 echo "all green"

@@ -11,6 +11,14 @@ and pre-steps taken by the AFA searches, DPLL calls and decisions, UCQ
 expansion disjuncts, interning/compilation cache behaviour, and mediator
 candidate counts.  ``STATS`` is a singleton; ``STATS.reset()`` zeroes it
 (cache-size gauges included) and returns it for chaining.
+
+``STATS.reset()`` is a *global* operation: nested or back-to-back
+measurements that each reset the singleton clobber one another.  Scoped
+measurement goes through :func:`stats_delta` instead — a snapshot-diff
+context manager that never mutates the counters, so deltas compose under
+nesting (an outer delta includes its inner deltas, and siblings do not
+interfere).  :mod:`repro.obs` builds its per-span counter attribution on
+the same snapshot-diff primitive.
 """
 
 from __future__ import annotations
@@ -76,3 +84,65 @@ class Stats:
 
 
 STATS = Stats()
+
+
+class StatsDelta:
+    """Counter deltas across a ``with`` block, without touching ``STATS``.
+
+    Usage::
+
+        with stats_delta() as work:
+            nonempty_pl(service)
+        print(work["vectors_explored"], work.nonzero())
+
+    The delta is the element-wise difference between the counters at exit
+    and at enter; reading it *inside* the block diffs against the live
+    counters instead, so progress can be inspected mid-measurement.
+    Because nothing is reset, deltas nest and run back-to-back without
+    clobbering each other or the global singleton.
+    """
+
+    def __init__(self, stats: Stats | None = None) -> None:
+        self._stats = stats if stats is not None else STATS
+        self._before: dict[str, int] | None = None
+        self._after: dict[str, int] | None = None
+
+    def __enter__(self) -> "StatsDelta":
+        self._before = self._stats.snapshot()
+        self._after = None
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Record the delta even when the block raises: partial work done
+        # before an exception is still work done.
+        self._after = self._stats.snapshot()
+
+    def as_dict(self) -> dict[str, int]:
+        """The full delta (every counter, zeros included)."""
+        if self._before is None:
+            raise RuntimeError("stats_delta() read before entering the block")
+        after = self._after if self._after is not None else self._stats.snapshot()
+        return {name: after[name] - self._before[name] for name in after}
+
+    def nonzero(self) -> dict[str, int]:
+        """Only the counters that moved during the block."""
+        return {name: value for name, value in self.as_dict().items() if value}
+
+    def __getitem__(self, name: str) -> int:
+        return self.as_dict()[name]
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self.as_dict().get(name, default)
+
+    def items(self):
+        return self.as_dict().items()
+
+    def __repr__(self) -> str:
+        if self._before is None:
+            return "StatsDelta(unentered)"
+        return f"StatsDelta({self.nonzero()!r})"
+
+
+def stats_delta(stats: Stats | None = None) -> StatsDelta:
+    """A scoped snapshot-diff over ``STATS`` (or an explicit ``Stats``)."""
+    return StatsDelta(stats)

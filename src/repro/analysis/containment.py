@@ -21,12 +21,14 @@ from collections import deque
 
 from repro.analysis.verdict import Answer
 from repro.core.classes import SWSClass, classify, require_class
+from repro.obs import traced
 from repro.core.pl_semantics import joint_variables, to_afa
 from repro.core.sws import SWS
 from repro.core.unfold import expand, saturation_length
 from repro.errors import AnalysisError
 
 
+@traced("contained_pl", kind="analysis")
 def contained_pl(tau1: SWS, tau2: SWS) -> Answer:
     """Exact containment for SWS(PL, PL): L(τ1) ⊆ L(τ2).
 
@@ -57,6 +59,7 @@ def contained_pl(tau1: SWS, tau2: SWS) -> Answer:
     return Answer.yes(detail="product vector space exhausted")
 
 
+@traced("contained_cq_nr", kind="analysis")
 def contained_cq_nr(tau1: SWS, tau2: SWS) -> Answer:
     """Exact containment for SWS_nr(CQ, UCQ) via expansion containment."""
     require_class(tau1, SWSClass.CQ_UCQ_NR, "contained_cq_nr")
@@ -68,6 +71,7 @@ def contained_cq_nr(tau1: SWS, tau2: SWS) -> Answer:
     return Answer.yes(detail=f"expansions contained up to saturation ({horizon})")
 
 
+@traced("contained_cq", kind="analysis")
 def contained_cq(tau1: SWS, tau2: SWS, max_session_length: int = 5) -> Answer:
     """Bounded containment for SWS(CQ, UCQ): NO is exact, else UNKNOWN."""
     require_class(tau1, SWSClass.CQ_UCQ, "contained_cq")

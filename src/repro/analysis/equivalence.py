@@ -27,6 +27,7 @@ from typing import Any
 
 from repro.analysis.verdict import Answer
 from repro.core.classes import SWSClass, classify, require_class
+from repro.obs import traced
 from repro.core.pl_semantics import joint_variables, to_afa
 from repro.core.run import run_relational
 from repro.core.sws import SWS, SWSKind
@@ -48,6 +49,7 @@ def _check_comparable(tau1: SWS, tau2: SWS) -> None:
             raise AnalysisError("equivalence requires identical output arities")
 
 
+@traced("equivalent_pl", kind="analysis")
 def equivalent_pl(tau1: SWS, tau2: SWS) -> Answer:
     """Exact equivalence for SWS(PL, PL) via the AFA product search.
 
@@ -65,6 +67,7 @@ def equivalent_pl(tau1: SWS, tau2: SWS) -> Answer:
     return Answer.no(witness=list(witness), detail="distinguishing word")
 
 
+@traced("equivalent_cq_nr", kind="analysis")
 def equivalent_cq_nr(tau1: SWS, tau2: SWS) -> Answer:
     """Exact equivalence for SWS_nr(CQ, UCQ) via expansion containment.
 
@@ -86,6 +89,7 @@ def equivalent_cq_nr(tau1: SWS, tau2: SWS) -> Answer:
     return Answer.yes(detail=f"expansions agree up to saturation ({horizon})")
 
 
+@traced("equivalent_cq", kind="analysis")
 def equivalent_cq(tau1: SWS, tau2: SWS, max_session_length: int = 5) -> Answer:
     """Bounded equivalence for SWS(CQ, UCQ): NO with witness, or UNKNOWN.
 
@@ -110,6 +114,7 @@ def equivalent_cq(tau1: SWS, tau2: SWS, max_session_length: int = 5) -> Answer:
     )
 
 
+@traced("equivalent_fo_bounded", kind="analysis")
 def equivalent_fo_bounded(
     tau1: SWS,
     tau2: SWS,

@@ -28,6 +28,7 @@ from typing import Any, Sequence
 
 from repro.analysis.verdict import Answer, Verdict
 from repro.core.classes import SWSClass, classify, is_in_class, require_class
+from repro.obs import traced
 from repro.core.pl_semantics import to_afa
 from repro.core.run import run, run_pl, run_relational
 from repro.core.sws import MSG, SWS, SWSKind
@@ -44,6 +45,7 @@ from repro.logic.terms import Variable
 # -- PL ------------------------------------------------------------------------
 
 
+@traced("nonempty_pl", kind="analysis")
 def nonempty_pl(sws: SWS) -> Answer:
     """Exact non-emptiness for SWS(PL, PL) via the AFA vector search."""
     require_class(sws, SWSClass.PL_PL, "nonempty_pl")
@@ -100,6 +102,7 @@ def pl_nr_value_formula(sws: SWS, session_length: int) -> pl.Formula:
     return value(sws.start, 1, pl.FALSE)
 
 
+@traced("nonempty_pl_nr_sat", kind="analysis")
 def nonempty_pl_nr_sat(sws: SWS) -> Answer:
     """Exact non-emptiness for SWS_nr(PL, PL) via SAT (the NP procedure).
 
@@ -163,6 +166,7 @@ def witness_from_disjunct(
     return database, inputs
 
 
+@traced("nonempty_cq_nr", kind="analysis")
 def nonempty_cq_nr(sws: SWS) -> Answer:
     """Exact non-emptiness for SWS_nr(CQ, UCQ) via the UCQ≠ expansion.
 
@@ -184,6 +188,7 @@ def nonempty_cq_nr(sws: SWS) -> Answer:
     return Answer.no(detail=f"expansion at saturation length {n} unsatisfiable")
 
 
+@traced("nonempty_cq", kind="analysis")
 def nonempty_cq(sws: SWS, max_session_length: int = 6) -> Answer:
     """Non-emptiness for SWS(CQ, UCQ) by iterated unfolding.
 
@@ -251,6 +256,7 @@ def _small_databases(sws: SWS, domain: Sequence[Any], max_rows: int):
         yield Database(schema, dict(zip(names, [list(c) for c in combo])))
 
 
+@traced("nonempty_fo_bounded", kind="analysis")
 def nonempty_fo_bounded(
     sws: SWS,
     max_domain: int = 2,

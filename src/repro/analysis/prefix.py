@@ -30,6 +30,7 @@ from typing import Iterable
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
 from repro.core.classes import SWSClass, require_class
+from repro.obs import traced
 from repro.core.pl_semantics import sws_language_nfa_variables
 from repro.core.sws import SWS
 
@@ -58,6 +59,7 @@ def _constant_states(dfa: DFA) -> frozenset:
     return frozenset(s for s, constant in reach.items() if constant)
 
 
+@traced("prefix_bound", kind="analysis")
 def prefix_bound(nfa: NFA) -> int | None:
     """The least k such that L(nfa) is k-prefix recognizable, else ``None``.
 
@@ -105,6 +107,7 @@ def is_prefix_recognizable(nfa: NFA, k: int | None = None) -> bool:
     return True if k is None else bound <= k
 
 
+@traced("sws_prefix_bound", kind="analysis")
 def sws_prefix_bound(sws: SWS, variables: Iterable[str] | None = None) -> int | None:
     """The prefix bound of a PL service's language.
 

@@ -4,17 +4,22 @@ The implementation lives in :mod:`repro._stats` — a dependency-free leaf
 module, so the formula/automata/SAT layers can import it without cycling
 back through :mod:`repro.analysis`.  Use it as::
 
-    from repro.analysis.stats import STATS
+    from repro.analysis.stats import STATS, stats_delta
 
-    STATS.reset()
-    nonempty_pl(service)
-    print(STATS.vectors_explored, STATS.pre_steps, STATS.compile_hit_rate())
+    with stats_delta() as work:
+        nonempty_pl(service)
+    print(work["vectors_explored"], work["pre_steps"], work.nonzero())
 
 Every counter measures *work done* (vectors explored, SAT calls, expansion
 disjuncts, cache hits), so benchmark reports can show what an optimization
 actually removed rather than just wall-clock deltas.
+
+Prefer :func:`stats_delta` over ``STATS.reset()``: the singleton is
+process-wide, so a bare reset clobbers any enclosing measurement (another
+benchmark section, an open :mod:`repro.obs` span).  The snapshot-diff
+context manager composes under nesting and concurrency between procedures.
 """
 
-from repro._stats import STATS, Stats
+from repro._stats import STATS, Stats, StatsDelta, stats_delta
 
-__all__ = ["STATS", "Stats"]
+__all__ = ["STATS", "Stats", "StatsDelta", "stats_delta"]

@@ -28,6 +28,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.analysis.verdict import Answer, Verdict
 from repro.core.classes import SWSClass, classify, require_class
+from repro.obs import traced
 from repro.core.pl_semantics import to_afa
 from repro.core.run import run_relational
 from repro.core.sws import SWS, SWSKind
@@ -40,6 +41,7 @@ from repro.logic.cq import ConjunctiveQuery, LabeledNull
 from repro.logic.terms import Constant
 
 
+@traced("validate_pl_nr_sat", kind="analysis")
 def validate_pl_nr_sat(sws: SWS, output: bool) -> Answer:
     """Exact validation for SWS_nr(PL, PL) via SAT (the NP procedure).
 
@@ -75,6 +77,7 @@ def validate_pl_nr_sat(sws: SWS, output: bool) -> Answer:
     )
 
 
+@traced("validate_pl", kind="analysis")
 def validate_pl(sws: SWS, output: bool) -> Answer:
     """Exact validation for SWS(PL, PL).
 
@@ -216,6 +219,7 @@ def _facts_to_instance(
     return database, inputs
 
 
+@traced("validate_cq_nr", kind="analysis")
 def validate_cq_nr(
     sws: SWS,
     output_rows: Iterable[Row],
@@ -278,6 +282,7 @@ def validate(sws: SWS, output, **kwargs) -> Answer:
     return _validate_bounded(sws, output, **kwargs)
 
 
+@traced("validate_fo_bounded", kind="analysis")
 def _validate_bounded(
     sws: SWS,
     output_rows: Iterable[Row],

@@ -8,7 +8,7 @@ procedures always return YES or NO.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Generic, TypeVar
 
@@ -38,11 +38,17 @@ class Answer(Generic[WitnessT]):
     ``witness`` is, for non-emptiness, a pair ``(D, I)`` (or an input word
     for PL services); for equivalence a distinguishing input; ``detail``
     names the budget or procedure that produced the verdict.
+
+    ``provenance`` is a :class:`repro.obs.Provenance` (span id, elapsed
+    seconds, ``STATS`` counter deltas) attached by the tracing layer when
+    tracing is enabled, and ``None`` otherwise.  It is excluded from
+    equality/repr so traced and untraced runs compare identical.
     """
 
     verdict: Verdict
     witness: WitnessT | None = None
     detail: str = ""
+    provenance: Any = field(default=None, compare=False, repr=False)
 
     @classmethod
     def yes(cls, witness: Any = None, detail: str = "") -> "Answer":

@@ -42,6 +42,7 @@ from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
 from repro.errors import ReproError
 from repro.logic import pl
+from repro.obs import span
 
 State = str
 Symbol = Hashable
@@ -452,7 +453,13 @@ class AFA:
         """The compiled engine, built on first use."""
         engine = self._engine_cache
         if engine is None:
-            engine = _CompiledAFA(self)
+            with span(
+                "afa.compile",
+                states=len(self.states),
+                alphabet=len(self.alphabet),
+            ) as sp:
+                engine = _CompiledAFA(self)
+                sp.set(symbol_classes=len(engine.reps))
             self._engine_cache = engine
         return engine
 
@@ -515,6 +522,16 @@ class AFA:
         per transition-row class is explored (identical rows cannot reach
         new vectors), so witnesses use class representatives.
         """
+        with span(
+            "afa.reachable_vectors",
+            compiled=_USE_COMPILED,
+            states=len(self.states),
+        ) as sp:
+            vectors = self._reachable_vectors_impl()
+            sp.set(vectors=len(vectors))
+            return vectors
+
+    def _reachable_vectors_impl(self) -> dict[Vector, tuple[Symbol, ...]]:
         if _USE_COMPILED:
             engine = self._engine()
             parents, popped = engine.sweeper()(engine.to_mask(self.finals))
@@ -561,6 +578,20 @@ class AFA:
         return self._search_witness(accepting=False)
 
     def _search_witness(self, accepting: bool) -> tuple[Symbol, ...] | None:
+        with span(
+            "afa.search_witness",
+            accepting=accepting,
+            compiled=_USE_COMPILED,
+            states=len(self.states),
+        ) as sp:
+            witness = self._search_witness_impl(accepting)
+            sp.set(
+                found=witness is not None,
+                witness_length=None if witness is None else len(witness),
+            )
+            return witness
+
+    def _search_witness_impl(self, accepting: bool) -> tuple[Symbol, ...] | None:
         if _USE_COMPILED:
             engine = self._engine()
             start = engine.to_mask(self.finals)
@@ -647,6 +678,19 @@ class AFA:
         """
         if self.alphabet != other.alphabet:
             raise ReproError("comparison requires identical alphabets")
+        with span(
+            "afa.difference_witness",
+            compiled=_USE_COMPILED,
+            states=len(self.states) + len(other.states),
+        ) as sp:
+            witness = self._difference_witness_impl(other)
+            sp.set(
+                found=witness is not None,
+                witness_length=None if witness is None else len(witness),
+            )
+            return witness
+
+    def _difference_witness_impl(self, other: "AFA") -> tuple[Symbol, ...] | None:
         if _USE_COMPILED:
             mine_e, theirs_e = self._engine(), other._engine()
             dsearch, reps = mine_e.diff_searcher(theirs_e)
@@ -688,6 +732,15 @@ class AFA:
         The NFA must be ε-free; eliminate ε-transitions by determinizing
         first if needed.
         """
+        with span(
+            "afa.from_nfa",
+            nfa_states=len(nfa.states),
+            alphabet=len(nfa.alphabet),
+        ):
+            return cls._from_nfa_impl(nfa)
+
+    @classmethod
+    def _from_nfa_impl(cls, nfa: NFA) -> "AFA":
         for (_state, symbol) in nfa.transitions:
             if symbol is None:
                 raise ReproError("from_nfa requires an ε-free NFA")

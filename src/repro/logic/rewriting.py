@@ -40,6 +40,7 @@ from repro.logic.cq import (
 )
 from repro.logic.terms import Constant, Term, Variable
 from repro.logic.ucq import UnionQuery, compose_union
+from repro.obs import traced
 
 
 class View:
@@ -160,6 +161,7 @@ def _candidate_disjuncts(
     return candidates
 
 
+@traced("rewriting.maximally_contained", kind="logic")
 def maximally_contained_rewriting(
     query: UnionQuery, views: Sequence[View]
 ) -> UnionQuery:
@@ -180,6 +182,7 @@ def maximally_contained_rewriting(
     return UnionQuery(kept, arity=query.arity, name=query.name)
 
 
+@traced("rewriting.equivalent", kind="logic")
 def equivalent_rewriting(
     query: UnionQuery, views: Sequence[View], minimize: bool = True
 ) -> UnionQuery | None:
@@ -370,6 +373,7 @@ def _contains_skolem(row: Row) -> bool:
     return any(isinstance(v, SkolemValue) for v in row)
 
 
+@traced("rewriting.certain_answers", kind="logic")
 def certain_answers(
     query: UnionQuery,
     views: Sequence[View],

@@ -19,9 +19,11 @@ from typing import Iterable, Iterator
 
 from repro._stats import STATS
 from repro.logic import pl
+from repro.obs import traced
 from repro.logic.cnf import CNF, Clause, Literal, to_cnf, tseitin
 
 
+@traced("sat.solve_cnf", kind="logic")
 def solve_cnf(clauses: Iterable[Clause]) -> dict[str, bool] | None:
     """Return a satisfying assignment for a CNF, or ``None`` if UNSAT.
 

@@ -32,6 +32,7 @@ from repro.core.pl_semantics import joint_variables
 from repro.core.sws import MSG, SWS, SynthesisRule
 from repro.logic import pl
 from repro.mediator.mediator import Mediator, MediatorTransitionRule
+from repro.obs import traced
 from repro.mediator.synthesis import (
     boolean_language_combination,
     sws_language_nfa,
@@ -132,6 +133,7 @@ def _build_mediator(
     )
 
 
+@traced("compose_mdtb_pl", kind="mediator")
 def compose_mdtb_pl(
     goal: SWS,
     components: Mapping[str, SWS],

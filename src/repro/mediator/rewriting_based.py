@@ -37,6 +37,7 @@ from repro.logic.rewriting import View, equivalent_rewriting
 from repro.logic.terms import Variable
 from repro.logic.ucq import UnionQuery, compose_union
 from repro.mediator.mediator import Mediator, MediatorTransitionRule
+from repro.obs import traced
 
 
 def component_view(name: str, component: SWS, session_length: int) -> View:
@@ -114,6 +115,7 @@ def mediator_from_ucq_rewriting(
     )
 
 
+@traced("verify_cq_mediator", kind="mediator")
 def verify_cq_mediator(
     goal: SWS,
     rewriting: UnionQuery,
@@ -148,6 +150,7 @@ def verify_cq_mediator(
     return True
 
 
+@traced("compose_cq_nr", kind="mediator")
 def compose_cq_nr(
     goal: SWS, components: Mapping[str, SWS]
 ) -> CQCompositionResult:

@@ -37,6 +37,7 @@ from repro.automata.rpq import GraphDatabase, Label, RPQ, inverse, is_inverse
 from repro.errors import AnalysisError
 from repro.logic.cq import Atom, ConjunctiveQuery
 from repro.logic.terms import Variable
+from repro.obs import traced
 
 
 def chain_view(name: str, word: Sequence[Label]) -> ConjunctiveQuery:
@@ -67,6 +68,7 @@ class RPQCompositionResult:
     detail: str = ""
 
 
+@traced("compose_uc2rpq", kind="mediator")
 def compose_uc2rpq(
     goal: RPQ, views: Mapping[str, Sequence[Label]]
 ) -> RPQCompositionResult:

@@ -34,6 +34,7 @@ from repro.core.pl_semantics import joint_variables, to_afa
 from repro.core.sws import MSG, SWS, SynthesisRule
 from repro.errors import AnalysisError
 from repro.logic import pl
+from repro.obs import traced
 from repro.mediator.mediator import (
     Mediator,
     MediatorTransitionRule,
@@ -163,6 +164,7 @@ def boolean_language_combination(
     return DFA(states, alphabet, transitions, initial, finals)
 
 
+@traced("mediator_language_equivalent", kind="mediator")
 def mediator_language_equivalent(
     mediator: Mediator, goal: SWS, variables: Iterable[str] | None = None
 ) -> bool:
@@ -197,6 +199,7 @@ class PLCompositionResult:
     detail: str = ""
 
 
+@traced("compose_pl_regular", kind="mediator")
 def compose_pl_regular(
     goal: SWS, components: Mapping[str, SWS]
 ) -> PLCompositionResult:
@@ -413,6 +416,7 @@ def _enumerate_union_mediators(
             )
 
 
+@traced("compose_pl_prefix", kind="mediator")
 def compose_pl_prefix(
     goal: SWS,
     components: Mapping[str, SWS],

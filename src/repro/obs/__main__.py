@@ -1,0 +1,5 @@
+"""``python -m repro.obs`` — trace inspection CLI (see report.py)."""
+
+from repro.obs.report import main
+
+raise SystemExit(main())

@@ -1,0 +1,162 @@
+"""Aggregate a JSONL trace into a per-procedure report.
+
+CLI::
+
+    python -m repro.obs report trace.jsonl [--sort total|count|max] [--limit N]
+
+For every span name the report shows how often it ran, total/mean/max
+wall-clock, error count, the dominant counters (largest summed deltas),
+and the slowest single span with its attributes — enough to see where an
+exponential blowup actually landed without opening the raw trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.obs._tracer import iter_events
+
+#: How many counters count as "dominant" in the table.
+DOMINANT_COUNTERS = 3
+
+
+@dataclass
+class SpanAggregate:
+    """Accumulated statistics for one span name."""
+
+    name: str
+    count: int = 0
+    errors: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+    counters: dict[str, int] = field(default_factory=dict)
+    slowest: dict[str, Any] | None = None
+
+    def add(self, event: dict[str, Any]) -> None:
+        elapsed = float(event.get("elapsed_s", 0.0))
+        self.count += 1
+        self.total_s += elapsed
+        if event.get("status") == "error":
+            self.errors += 1
+        for counter, delta in (event.get("counters") or {}).items():
+            self.counters[counter] = self.counters.get(counter, 0) + delta
+        if elapsed >= self.max_s:
+            self.max_s = elapsed
+            self.slowest = event
+
+    def dominant_counters(self, limit: int = DOMINANT_COUNTERS) -> list[tuple[str, int]]:
+        """The ``limit`` counters with the largest summed deltas."""
+        ranked = sorted(self.counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:limit]
+
+
+def aggregate(events: Iterable[dict[str, Any]]) -> dict[str, SpanAggregate]:
+    """Fold span events into per-name aggregates (non-span events skipped)."""
+    out: dict[str, SpanAggregate] = {}
+    for event in events:
+        if event.get("event") != "span":
+            continue
+        name = str(event.get("name", "<unnamed>"))
+        out.setdefault(name, SpanAggregate(name)).add(event)
+    return out
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:7.2f}ms"
+    return f"{seconds * 1e6:7.1f}µs"
+
+
+def _format_counters(pairs: Sequence[tuple[str, int]]) -> str:
+    return ", ".join(f"{name}={value}" for name, value in pairs) or "-"
+
+
+def render(
+    aggregates: dict[str, SpanAggregate],
+    sort: str = "total",
+    limit: int | None = None,
+) -> str:
+    """The report as printable text."""
+    key = {
+        "total": lambda a: -a.total_s,
+        "count": lambda a: -a.count,
+        "max": lambda a: -a.max_s,
+        "name": lambda a: a.name,
+    }[sort]
+    rows = sorted(aggregates.values(), key=key)
+    if limit is not None:
+        rows = rows[:limit]
+    if not rows:
+        return "trace contains no span events\n"
+    name_width = max(len(r.name) for r in rows)
+    name_width = max(name_width, len("span"))
+    lines = [
+        f"{'span':<{name_width}}  {'count':>5}  {'err':>3}  {'total':>9}  "
+        f"{'mean':>9}  {'max':>9}  dominant counters"
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        mean = row.total_s / row.count if row.count else 0.0
+        lines.append(
+            f"{row.name:<{name_width}}  {row.count:>5}  {row.errors:>3}  "
+            f"{_format_seconds(row.total_s):>9}  {_format_seconds(mean):>9}  "
+            f"{_format_seconds(row.max_s):>9}  "
+            f"{_format_counters(row.dominant_counters())}"
+        )
+    lines.append("")
+    lines.append("slowest spans:")
+    for row in rows:
+        slowest = row.slowest or {}
+        attrs = slowest.get("attrs") or {}
+        attr_text = (
+            " ".join(f"{k}={v}" for k, v in sorted(attrs.items())) or "-"
+        )
+        lines.append(
+            f"  {row.name:<{name_width}}  span_id={slowest.get('span_id', '?')}  "
+            f"{_format_seconds(row.max_s).strip():>9}  {attr_text}"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def report(path: str, sort: str = "total", limit: int | None = None) -> str:
+    """Aggregate the trace file at ``path`` and return the rendered table."""
+    return render(aggregate(iter_events(path)), sort=sort, limit=limit)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro.obs JSONL traces.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    report_parser = subparsers.add_parser(
+        "report", help="aggregate a trace into a per-procedure table"
+    )
+    report_parser.add_argument("trace", help="path to a JSONL trace file")
+    report_parser.add_argument(
+        "--sort",
+        choices=("total", "count", "max", "name"),
+        default="total",
+        help="row ordering (default: total time, descending)",
+    )
+    report_parser.add_argument(
+        "--limit", type=int, default=None, help="show at most N rows"
+    )
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        try:
+            text = report(args.trace, sort=args.sort, limit=args.limit)
+        except (OSError, ValueError) as error:
+            parser.exit(1, f"error: {error}\n")
+        print(text, end="")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the subcommand
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""Tracer tests must never leak an enabled sink into other tests."""
+
+import pytest
+
+from repro import obs
+from repro.obs import _tracer
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Force tracing off before and after every test in this package."""
+    if _tracer.ENABLED:
+        obs.configure(enabled=False)
+    yield
+    if _tracer.ENABLED:
+        obs.configure(enabled=False)
+    # A test that crashed inside a span would leave the thread-local
+    # stack populated; clear it so later tests see a clean tracer.
+    stack = getattr(_tracer._local, "stack", None)
+    if stack:
+        stack.clear()

@@ -1,0 +1,373 @@
+"""The span tracer: disabled no-op, JSONL emission, nesting, provenance."""
+
+import io
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import obs
+from repro.analysis import STATS, nonempty_pl, nonempty_pl_nr_sat
+from repro.analysis.equivalence import equivalent_pl
+from repro.obs import _tracer
+from repro.reductions.sat_to_sws import clauses_from_tuples, cnf_to_sws
+from repro.workloads.random_sws import random_pl_sws
+from repro.workloads.scaling import pl_counter_sws, random_3cnf
+
+
+def _events(buf: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buf.getvalue().splitlines() if line]
+
+
+def _sample_services():
+    return [random_pl_sws(seed, n_states=3, n_variables=2) for seed in range(4)]
+
+
+class TestDisabledIsNoop:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+
+    def test_span_returns_shared_noop(self):
+        assert obs.span("x") is obs.NOOP_SPAN
+        assert obs.span("y", attr=1) is obs.NOOP_SPAN
+
+    def test_noop_span_supports_the_span_api(self):
+        with obs.span("x", a=1) as sp:
+            assert sp.set(b=2) is sp
+        assert obs.current_span() is None
+
+    def test_answers_identical_with_and_without_tracing(self):
+        """Tracing (on or off) never changes a decision procedure's answer."""
+        services = _sample_services()
+        plain = [nonempty_pl(sws) for sws in services]
+        assert all(answer.provenance is None for answer in plain)
+
+        obs.configure(stream=io.StringIO())
+        try:
+            traced_answers = [nonempty_pl(sws) for sws in services]
+        finally:
+            obs.configure(enabled=False)
+
+        for untraced, traced in zip(plain, traced_answers):
+            # provenance is compare=False, so Answer equality still holds.
+            assert untraced == traced
+            assert untraced.witness == traced.witness
+            assert traced.provenance is not None
+
+    def test_disabled_overhead_is_negligible(self):
+        """The wrapper costs one flag check next to the real work."""
+        services = _sample_services()
+        inner = nonempty_pl.__wrapped__
+
+        def best_of(func, repeats=3):
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                for sws in services:
+                    func(sws)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        best_of(inner)  # warm caches before timing either side
+        t_plain = best_of(inner)
+        t_wrapped = best_of(nonempty_pl)
+        # Very generous bound — the analyses are ms-scale, the flag check
+        # is ns-scale; this only fails if the wrapper does real work.
+        assert t_wrapped <= t_plain * 2 + 0.05
+
+    def test_traced_preserves_function_metadata(self):
+        assert nonempty_pl.__name__ == "nonempty_pl"
+        assert nonempty_pl.__wrapped__ is not nonempty_pl
+        assert "PL" in (nonempty_pl.__doc__ or "")
+
+
+class TestEnabledEmission:
+    def test_jsonl_well_formed_for_real_procedures(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        obs.configure(path=str(trace), mode="w")
+        try:
+            assert nonempty_pl(pl_counter_sws(3)).is_yes
+            equivalent_pl(pl_counter_sws(2), pl_counter_sws(3))
+            sws = cnf_to_sws(clauses_from_tuples(random_3cnf(0, 4, 8)))
+            nonempty_pl_nr_sat(sws)
+        finally:
+            obs.configure(enabled=False)
+
+        events = list(obs.iter_events(str(trace)))
+        assert events, "trace is empty"
+        required = {
+            "event", "v", "span_id", "parent_id", "depth",
+            "name", "t_wall", "elapsed_s", "status",
+        }
+        by_id = {}
+        for event in events:
+            assert required <= event.keys()
+            assert event["event"] == "span"
+            assert event["v"] == obs.TRACE_SCHEMA_VERSION
+            assert event["span_id"] not in by_id, "span ids must be unique"
+            by_id[event["span_id"]] = event
+
+        roots = [e for e in events if e["parent_id"] is None]
+        assert {e["name"] for e in roots} >= {
+            "nonempty_pl", "equivalent_pl", "nonempty_pl_nr_sat",
+        }
+        for event in events:
+            if event["parent_id"] is not None:
+                parent = by_id[event["parent_id"]]
+                assert event["depth"] == parent["depth"] + 1
+            else:
+                assert event["depth"] == 0
+
+        # Each procedure's root span carries non-zero counter deltas.
+        for root in roots:
+            assert root["counters"], root["name"]
+        afa_root = next(e for e in roots if e["name"] == "nonempty_pl")
+        assert afa_root["counters"]["vectors_explored"] > 0
+        sat_root = next(e for e in roots if e["name"] == "nonempty_pl_nr_sat")
+        assert sat_root["counters"]["sat_calls"] > 0
+
+    def test_subject_and_verdict_attrs(self):
+        buf = io.StringIO()
+        obs.configure(stream=buf)
+        try:
+            answer = nonempty_pl(pl_counter_sws(2))
+        finally:
+            obs.configure(enabled=False)
+        root = next(e for e in _events(buf) if e["name"] == "nonempty_pl")
+        assert root["attrs"]["subject"] == pl_counter_sws(2).name
+        assert root["attrs"]["verdict"] == answer.verdict.value
+        assert root["attrs"]["kind"] == "analysis"
+
+    def test_children_search_spans_nest_under_the_procedure(self):
+        buf = io.StringIO()
+        obs.configure(stream=buf)
+        try:
+            nonempty_pl(pl_counter_sws(3))
+        finally:
+            obs.configure(enabled=False)
+        events = _events(buf)
+        root = next(e for e in events if e["name"] == "nonempty_pl")
+        children = [e for e in events if e["parent_id"] == root["span_id"]]
+        assert any(e["name"] == "afa.search_witness" for e in children)
+
+
+class TestProvenance:
+    def test_answer_carries_provenance_when_enabled(self):
+        obs.configure(stream=io.StringIO())
+        try:
+            answer = nonempty_pl(pl_counter_sws(3))
+        finally:
+            obs.configure(enabled=False)
+        prov = answer.provenance
+        assert prov is not None
+        assert prov.name == "nonempty_pl"
+        assert prov.elapsed_s > 0
+        assert prov.counters["vectors_explored"] > 0
+        as_dict = prov.as_dict()
+        assert json.loads(json.dumps(as_dict)) == as_dict
+
+    def test_provenance_counters_match_the_emitted_span(self):
+        buf = io.StringIO()
+        obs.configure(stream=buf)
+        try:
+            answer = nonempty_pl(pl_counter_sws(2))
+        finally:
+            obs.configure(enabled=False)
+        root = next(e for e in _events(buf) if e["name"] == "nonempty_pl")
+        assert answer.provenance.span_id == root["span_id"]
+        assert dict(answer.provenance.counters) == root["counters"]
+
+
+class TestNestingAndCounters:
+    def test_nested_spans_scope_counter_deltas(self):
+        buf = io.StringIO()
+        obs.configure(stream=buf)
+        try:
+            with obs.span("outer") as outer:
+                STATS.sat_calls += 3
+                with obs.span("inner") as inner:
+                    STATS.dpll_decisions += 2
+        finally:
+            obs.configure(enabled=False)
+        events = _events(buf)
+        # Children emit before parents.
+        assert [e["name"] for e in events] == ["inner", "outer"]
+        inner_ev, outer_ev = events
+        assert inner_ev["parent_id"] == outer.span_id
+        assert inner_ev["depth"] == 1 and outer_ev["depth"] == 0
+        assert inner_ev["counters"] == {"dpll_decisions": 2}
+        # The outer delta includes the inner's work — nothing was reset.
+        assert outer_ev["counters"] == {"sat_calls": 3, "dpll_decisions": 2}
+        assert inner.counters == {"dpll_decisions": 2}
+
+    def test_sibling_spans_do_not_interfere(self):
+        buf = io.StringIO()
+        obs.configure(stream=buf)
+        try:
+            with obs.span("a"):
+                STATS.sat_calls += 1
+            with obs.span("b"):
+                STATS.dpll_decisions += 5
+        finally:
+            obs.configure(enabled=False)
+        a_ev, b_ev = _events(buf)
+        assert a_ev["counters"] == {"sat_calls": 1}
+        assert b_ev["counters"] == {"dpll_decisions": 5}
+
+    def test_current_span_tracks_the_stack(self):
+        obs.configure(stream=io.StringIO())
+        try:
+            assert obs.current_span() is None
+            with obs.span("outer") as outer:
+                assert obs.current_span() is outer
+                with obs.span("inner") as inner:
+                    assert obs.current_span() is inner
+                assert obs.current_span() is outer
+            assert obs.current_span() is None
+        finally:
+            obs.configure(enabled=False)
+
+    def test_span_attrs_via_set(self):
+        buf = io.StringIO()
+        obs.configure(stream=buf)
+        try:
+            with obs.span("s", static=1) as sp:
+                sp.set(dynamic="two")
+        finally:
+            obs.configure(enabled=False)
+        (event,) = _events(buf)
+        assert event["attrs"] == {"static": 1, "dynamic": "two"}
+
+
+class TestExceptions:
+    def test_raising_span_emits_error_event_and_unwinds(self):
+        buf = io.StringIO()
+        obs.configure(stream=buf)
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                with obs.span("doomed"):
+                    STATS.sat_calls += 7
+                    raise RuntimeError("boom")
+            assert obs.current_span() is None
+        finally:
+            obs.configure(enabled=False)
+        (event,) = _events(buf)
+        assert event["status"] == "error"
+        assert event["error"] == "RuntimeError: boom"
+        # Partial work before the raise is still attributed.
+        assert event["counters"] == {"sat_calls": 7}
+
+    def test_inner_error_does_not_corrupt_outer_span(self):
+        buf = io.StringIO()
+        obs.configure(stream=buf)
+        try:
+            with obs.span("outer") as outer:
+                try:
+                    with obs.span("inner"):
+                        raise ValueError("inner failure")
+                except ValueError:
+                    pass
+                assert obs.current_span() is outer
+        finally:
+            obs.configure(enabled=False)
+        inner_ev, outer_ev = _events(buf)
+        assert inner_ev["status"] == "error"
+        assert outer_ev["status"] == "ok"
+        assert inner_ev["parent_id"] == outer_ev["span_id"]
+
+    def test_traced_function_that_raises_still_emits(self):
+        @obs.traced("exploder", kind="test")
+        def exploder():
+            raise KeyError("missing")
+
+        buf = io.StringIO()
+        obs.configure(stream=buf)
+        try:
+            with pytest.raises(KeyError):
+                exploder()
+        finally:
+            obs.configure(enabled=False)
+        (event,) = _events(buf)
+        assert event["name"] == "exploder"
+        assert event["status"] == "error"
+        assert event["error"].startswith("KeyError")
+
+
+class TestConfigure:
+    def test_path_and_stream_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            obs.configure(path="x.jsonl", stream=io.StringIO())
+
+    def test_enable_without_sink_raises(self, monkeypatch):
+        monkeypatch.delenv(obs.TRACE_ENV_VAR, raising=False)
+        with pytest.raises(ValueError, match="needs a sink"):
+            obs.configure(enabled=True)
+
+    def test_disable_then_reconfigure(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        obs.configure(path=str(trace), mode="w")
+        assert obs.is_enabled()
+        obs.configure(enabled=False)
+        assert not obs.is_enabled()
+        with obs.span("ignored"):
+            pass
+        assert trace.read_text() == ""
+
+    def test_mode_w_truncates(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text('{"stale": true}\n')
+        obs.configure(path=str(trace), mode="w")
+        try:
+            with obs.span("fresh"):
+                pass
+        finally:
+            obs.configure(enabled=False)
+        events = list(obs.iter_events(str(trace)))
+        assert [e["name"] for e in events] == ["fresh"]
+
+    def test_iter_events_reports_malformed_line(self, tmp_path):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"event": "span"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            list(obs.iter_events(str(trace)))
+
+
+class TestEnvVarActivation:
+    def test_repro_trace_env_enables_at_import(self, tmp_path):
+        """REPRO_TRACE=path is the zero-code acceptance path."""
+        trace = tmp_path / "env.jsonl"
+        code = (
+            "from repro.analysis import nonempty_pl\n"
+            "from repro.workloads.scaling import pl_counter_sws\n"
+            "answer = nonempty_pl(pl_counter_sws(2))\n"
+            "assert answer.provenance is not None\n"
+            "assert answer.provenance.counters['vectors_explored'] > 0\n"
+        )
+        env = dict(os.environ)
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = os.path.join(repo_root, "src")
+        env[obs.TRACE_ENV_VAR] = str(trace)
+        subprocess.run(
+            [sys.executable, "-c", code], env=env, check=True, timeout=120
+        )
+        events = list(obs.iter_events(str(trace)))
+        assert any(e["name"] == "nonempty_pl" for e in events)
+
+
+class TestStatsDeltaIntegration:
+    def test_tracer_and_stats_delta_agree(self):
+        from repro.analysis.stats import stats_delta
+
+        obs.configure(stream=io.StringIO())
+        try:
+            with stats_delta() as outer:
+                answer = nonempty_pl(pl_counter_sws(3))
+        finally:
+            obs.configure(enabled=False)
+        assert (
+            outer["vectors_explored"]
+            == answer.provenance.counters["vectors_explored"]
+        )
