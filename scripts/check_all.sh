@@ -49,4 +49,20 @@ assert answer.provenance.counters["vectors_explored"] > 0
 PY
 python -m repro.obs report "${OBS_TRACE}"
 
+echo "== guard smoke (fault injection + guard map CLI) =="
+python - <<'PY'
+from repro.analysis import nonempty_pl
+from repro.guard.inject import injected
+from repro.workloads.scaling import pl_counter_sws
+
+sws = pl_counter_sws(4)
+assert nonempty_pl(sws).is_yes
+with injected("afa.search_witness", limit="deadline") as plan:
+    answer = nonempty_pl(sws)
+assert plan.fired, "injection never reached the search checkpoint"
+assert answer.is_unknown, answer
+assert answer.trip.limit == "deadline"
+PY
+python -m repro.obs guard > /dev/null
+
 echo "all green"

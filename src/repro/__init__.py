@@ -13,6 +13,9 @@ The package implements the paper's model and results as runnable code:
 * :mod:`repro.automata` — DFA/NFA/AFA, regular-language rewriting, RPQs.
 * :mod:`repro.analysis` — the decision procedures of Table 1
   (non-emptiness, validation, equivalence per class).
+* :mod:`repro.guard` — the resource governor (deadlines, step budgets,
+  memory ceilings, cancellation) every bounded procedure checkpoints
+  against, plus deterministic fault injection and the batch front-end.
 * :mod:`repro.mediator` — SWS mediators (Definition 5.1) and the
   composition-synthesis procedures of Table 2.
 * :mod:`repro.models` — the Roman and peer models and the Section 3
@@ -32,11 +35,15 @@ Quickstart::
 
 from repro.core import SWS, SWSClass, SWSKind, SynthesisRule, TransitionRule, classify
 from repro.data import Database, InputSequence, Relation, RelationSchema
+from repro.guard import Budget, CancelToken, Guard, batch_run
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Budget",
+    "CancelToken",
     "Database",
+    "Guard",
     "InputSequence",
     "Relation",
     "RelationSchema",
@@ -45,6 +52,7 @@ __all__ = [
     "SWSKind",
     "SynthesisRule",
     "TransitionRule",
+    "batch_run",
     "classify",
     "__version__",
 ]

@@ -21,6 +21,7 @@ from collections import deque
 
 from repro.analysis.verdict import Answer
 from repro.core.classes import SWSClass, classify, require_class
+from repro.guard import checkpoint, checkpoint_callable, guarded, register_span
 from repro.obs import traced
 from repro.core.pl_semantics import joint_variables, to_afa
 from repro.core.sws import SWS
@@ -29,6 +30,7 @@ from repro.errors import AnalysisError
 
 
 @traced("contained_pl", kind="analysis")
+@guarded()
 def contained_pl(tau1: SWS, tau2: SWS) -> Answer:
     """Exact containment for SWS(PL, PL): L(τ1) ⊆ L(τ2).
 
@@ -43,8 +45,13 @@ def contained_pl(tau1: SWS, tau2: SWS) -> Answer:
     seen: dict = {start: ()}
     queue = deque([start])
     order = sorted(left.alphabet, key=repr)
+    ckpt = checkpoint_callable("contained_pl")
+    n_popped = 0
+    ckpt(0, queue)
     while queue:
         pair = queue.popleft()
+        n_popped += 1
+        ckpt(n_popped, queue)
         mine, theirs = pair
         word = seen[pair]
         if left.initial_condition.evaluate(mine) and not (
@@ -60,18 +67,21 @@ def contained_pl(tau1: SWS, tau2: SWS) -> Answer:
 
 
 @traced("contained_cq_nr", kind="analysis")
+@guarded()
 def contained_cq_nr(tau1: SWS, tau2: SWS) -> Answer:
     """Exact containment for SWS_nr(CQ, UCQ) via expansion containment."""
     require_class(tau1, SWSClass.CQ_UCQ_NR, "contained_cq_nr")
     require_class(tau2, SWSClass.CQ_UCQ_NR, "contained_cq_nr")
     horizon = max(saturation_length(tau1), saturation_length(tau2))
     for n in range(0, horizon + 1):
+        checkpoint("contained_cq_nr")
         if not expand(tau1, n).contained_in(expand(tau2, n)):
             return Answer.no(detail=f"τ1 ⊄ τ2 at session length {n}")
     return Answer.yes(detail=f"expansions contained up to saturation ({horizon})")
 
 
 @traced("contained_cq", kind="analysis")
+@guarded()
 def contained_cq(tau1: SWS, tau2: SWS, max_session_length: int = 5) -> Answer:
     """Bounded containment for SWS(CQ, UCQ): NO is exact, else UNKNOWN."""
     require_class(tau1, SWSClass.CQ_UCQ, "contained_cq")
@@ -79,6 +89,7 @@ def contained_cq(tau1: SWS, tau2: SWS, max_session_length: int = 5) -> Answer:
     if not tau1.is_recursive() and not tau2.is_recursive():
         return contained_cq_nr(tau1, tau2)
     for n in range(0, max_session_length + 1):
+        checkpoint("contained_cq")
         if not expand(tau1, n).contained_in(expand(tau2, n)):
             return Answer.no(detail=f"τ1 ⊄ τ2 at session length {n}")
     return Answer.unknown(
@@ -87,19 +98,24 @@ def contained_cq(tau1: SWS, tau2: SWS, max_session_length: int = 5) -> Answer:
 
 
 def contained(tau1: SWS, tau2: SWS, **kwargs) -> Answer:
-    """Class-dispatching containment analysis."""
+    """Class-dispatching containment analysis.
+
+    ``guard=`` (a :class:`repro.guard.Guard`, :class:`~repro.guard.Budget`
+    or legacy ``int`` step budget) is forwarded to every branch.
+    """
+    guard = kwargs.pop("guard", None)
     if tau1.kind is not tau2.kind:
         raise AnalysisError("containment requires services of the same kind")
     classes = {classify(tau1), classify(tau2)}
     if classes <= {SWSClass.PL_PL, SWSClass.PL_PL_NR}:
-        return contained_pl(tau1, tau2)
+        return contained_pl(tau1, tau2, guard=guard)
     if classes <= {SWSClass.CQ_UCQ, SWSClass.CQ_UCQ_NR}:
-        return contained_cq(tau1, tau2, **kwargs)
+        return contained_cq(tau1, tau2, guard=guard, **kwargs)
     # FO classes: containment inherits undecidability; reuse the bounded
     # disagreement search, weakened to one-sided checking.
     from repro.analysis.equivalence import equivalent_fo_bounded
 
-    answer = equivalent_fo_bounded(tau1, tau2, **kwargs)
+    answer = equivalent_fo_bounded(tau1, tau2, guard=guard, **kwargs)
     if answer.is_no:
         database, inputs = answer.witness
         from repro.core.run import run_relational
@@ -110,3 +126,20 @@ def contained(tau1: SWS, tau2: SWS, **kwargs) -> Answer:
             return Answer.no(witness=(database, inputs))
         return Answer.unknown(detail="difference found but not a ⊆-violation")
     return answer
+
+
+register_span(
+    "contained_pl",
+    "product pair-BFS over both AFA vector spaces",
+    "Section 4: PSPACE containment for SWS(PL, PL)",
+)
+register_span(
+    "contained_cq_nr",
+    "per-session-length expansion-containment loop",
+    "Theorem 4.1(2): coNEXPTIME containment for SWS_nr(CQ, UCQ)",
+)
+register_span(
+    "contained_cq",
+    "bounded expansion-containment loop",
+    "Theorem 4.1(2): undecidable SWS(CQ, UCQ) containment, bounded",
+)

@@ -27,6 +27,7 @@ from typing import Any
 
 from repro.analysis.verdict import Answer
 from repro.core.classes import SWSClass, classify, require_class
+from repro.guard import checkpoint, ensure_guard, guarded, register_span
 from repro.obs import traced
 from repro.core.pl_semantics import joint_variables, to_afa
 from repro.core.run import run_relational
@@ -50,6 +51,7 @@ def _check_comparable(tau1: SWS, tau2: SWS) -> None:
 
 
 @traced("equivalent_pl", kind="analysis")
+@guarded()
 def equivalent_pl(tau1: SWS, tau2: SWS) -> Answer:
     """Exact equivalence for SWS(PL, PL) via the AFA product search.
 
@@ -68,6 +70,7 @@ def equivalent_pl(tau1: SWS, tau2: SWS) -> Answer:
 
 
 @traced("equivalent_cq_nr", kind="analysis")
+@guarded()
 def equivalent_cq_nr(tau1: SWS, tau2: SWS) -> Answer:
     """Exact equivalence for SWS_nr(CQ, UCQ) via expansion containment.
 
@@ -80,6 +83,7 @@ def equivalent_cq_nr(tau1: SWS, tau2: SWS) -> Answer:
     _check_comparable(tau1, tau2)
     horizon = max(saturation_length(tau1), saturation_length(tau2))
     for n in range(0, horizon + 1):
+        checkpoint("equivalent_cq_nr")
         q1 = expand(tau1, n)
         q2 = expand(tau2, n)
         if not q1.contained_in(q2):
@@ -90,6 +94,7 @@ def equivalent_cq_nr(tau1: SWS, tau2: SWS) -> Answer:
 
 
 @traced("equivalent_cq", kind="analysis")
+@guarded()
 def equivalent_cq(tau1: SWS, tau2: SWS, max_session_length: int = 5) -> Answer:
     """Bounded equivalence for SWS(CQ, UCQ): NO with witness, or UNKNOWN.
 
@@ -103,6 +108,7 @@ def equivalent_cq(tau1: SWS, tau2: SWS, max_session_length: int = 5) -> Answer:
     if not tau1.is_recursive() and not tau2.is_recursive():
         return equivalent_cq_nr(tau1, tau2)
     for n in range(0, max_session_length + 1):
+        checkpoint("equivalent_cq")
         q1 = expand(tau1, n)
         q2 = expand(tau2, n)
         if not q1.contained_in(q2):
@@ -115,18 +121,22 @@ def equivalent_cq(tau1: SWS, tau2: SWS, max_session_length: int = 5) -> Answer:
 
 
 @traced("equivalent_fo_bounded", kind="analysis")
+@guarded()
 def equivalent_fo_bounded(
     tau1: SWS,
     tau2: SWS,
     max_domain: int = 2,
     max_rows: int = 1,
     max_session_length: int = 2,
-    budget: int = 20000,
+    budget=20000,
 ) -> Answer:
     """Bounded equivalence for FO services: NO with witness, or UNKNOWN.
 
     Runs both services over every instance within the bounds and compares
     outputs; a disagreement is a definitive NO (with the witness instance).
+    ``budget`` caps the search: a legacy ``int`` counts runs, a
+    :class:`repro.guard.Budget`/:class:`~repro.guard.Guard` adds deadline
+    and memory ceilings.
     """
     from repro.analysis.nonemptiness import _small_databases
 
@@ -140,30 +150,54 @@ def equivalent_fo_bounded(
     arity = tau1.input_schema.arity
     message_pool = list(itertools.product(domain, repeat=arity))
     runs = 0
-    for database in _small_databases(tau1, domain, max_rows):
-        for n in range(0, max_session_length + 1):
-            for combo in itertools.product(
-                [()] + [(m,) for m in message_pool], repeat=n
-            ):
-                inputs = InputSequence(tau1.input_schema, [list(c) for c in combo])
-                runs += 1
-                if runs > budget:
-                    return Answer.unknown(detail=f"budget of {budget} runs spent")
-                out1 = run_relational(tau1, database, inputs).output.rows
-                out2 = run_relational(tau2, database, inputs).output.rows
-                if out1 != out2:
-                    return Answer.no(witness=(database, inputs))
+    with ensure_guard(budget).activate():
+        for database in _small_databases(tau1, domain, max_rows):
+            for n in range(0, max_session_length + 1):
+                for combo in itertools.product(
+                    [()] + [(m,) for m in message_pool], repeat=n
+                ):
+                    inputs = InputSequence(
+                        tau1.input_schema, [list(c) for c in combo]
+                    )
+                    runs += 1
+                    checkpoint("equivalent_fo_bounded")
+                    out1 = run_relational(tau1, database, inputs).output.rows
+                    out2 = run_relational(tau2, database, inputs).output.rows
+                    if out1 != out2:
+                        return Answer.no(witness=(database, inputs))
     return Answer.unknown(detail=f"no disagreement within bounds ({runs} runs)")
 
 
 def equivalent(tau1: SWS, tau2: SWS, **kwargs) -> Answer:
-    """Class-dispatching equivalence analysis."""
+    """Class-dispatching equivalence analysis.
+
+    ``guard=`` (a :class:`repro.guard.Guard`, :class:`~repro.guard.Budget`
+    or legacy ``int`` step budget) is forwarded to every branch.
+    """
+    guard = kwargs.pop("guard", None)
     _check_comparable(tau1, tau2)
     cls = {classify(tau1), classify(tau2)}
     if cls <= {SWSClass.PL_PL, SWSClass.PL_PL_NR}:
-        return equivalent_pl(tau1, tau2)
+        return equivalent_pl(tau1, tau2, guard=guard)
     if cls <= {SWSClass.CQ_UCQ_NR}:
-        return equivalent_cq_nr(tau1, tau2)
+        return equivalent_cq_nr(tau1, tau2, guard=guard)
     if cls <= {SWSClass.CQ_UCQ, SWSClass.CQ_UCQ_NR}:
-        return equivalent_cq(tau1, tau2, **kwargs)
-    return equivalent_fo_bounded(tau1, tau2, **kwargs)
+        return equivalent_cq(tau1, tau2, guard=guard, **kwargs)
+    return equivalent_fo_bounded(tau1, tau2, guard=guard, **kwargs)
+
+
+register_span(
+    "equivalent_cq_nr",
+    "per-session-length expansion-containment loop",
+    "Theorem 4.1(2): coNEXPTIME equivalence for SWS_nr(CQ, UCQ)",
+)
+register_span(
+    "equivalent_cq",
+    "bounded expansion-comparison loop",
+    "Theorem 4.1(2): undecidable SWS(CQ, UCQ) equivalence, bounded",
+)
+register_span(
+    "equivalent_fo_bounded",
+    "bounded (D, I) disagreement search (one step per run)",
+    "Theorem 4.1(1): undecidable FO equivalence, sound NO/UNKNOWN search",
+)

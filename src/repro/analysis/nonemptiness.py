@@ -28,6 +28,7 @@ from typing import Any, Sequence
 
 from repro.analysis.verdict import Answer, Verdict
 from repro.core.classes import SWSClass, classify, is_in_class, require_class
+from repro.guard import checkpoint, ensure_guard, guarded, register_span
 from repro.obs import traced
 from repro.core.pl_semantics import to_afa
 from repro.core.run import run, run_pl, run_relational
@@ -46,6 +47,7 @@ from repro.logic.terms import Variable
 
 
 @traced("nonempty_pl", kind="analysis")
+@guarded()
 def nonempty_pl(sws: SWS) -> Answer:
     """Exact non-emptiness for SWS(PL, PL) via the AFA vector search."""
     require_class(sws, SWSClass.PL_PL, "nonempty_pl")
@@ -103,6 +105,7 @@ def pl_nr_value_formula(sws: SWS, session_length: int) -> pl.Formula:
 
 
 @traced("nonempty_pl_nr_sat", kind="analysis")
+@guarded()
 def nonempty_pl_nr_sat(sws: SWS) -> Answer:
     """Exact non-emptiness for SWS_nr(PL, PL) via SAT (the NP procedure).
 
@@ -112,6 +115,7 @@ def nonempty_pl_nr_sat(sws: SWS) -> Answer:
     require_class(sws, SWSClass.PL_PL_NR, "nonempty_pl_nr_sat")
     variables = sorted(sws.input_variables())
     for n in range(0, sws.depth() + 2):
+        checkpoint("nonempty_pl_nr_sat")
         formula = pl_nr_value_formula(sws, n)
         assignment = sat_model(formula)
         if assignment is None:
@@ -167,6 +171,7 @@ def witness_from_disjunct(
 
 
 @traced("nonempty_cq_nr", kind="analysis")
+@guarded()
 def nonempty_cq_nr(sws: SWS) -> Answer:
     """Exact non-emptiness for SWS_nr(CQ, UCQ) via the UCQ≠ expansion.
 
@@ -178,6 +183,7 @@ def nonempty_cq_nr(sws: SWS) -> Answer:
     n = saturation_length(sws)
     expansion = expand(sws, n)
     for disjunct in expansion.disjuncts:
+        checkpoint("nonempty_cq_nr")
         if not disjunct.is_satisfiable():
             continue
         database, inputs = witness_from_disjunct(sws, disjunct, n)
@@ -189,6 +195,7 @@ def nonempty_cq_nr(sws: SWS) -> Answer:
 
 
 @traced("nonempty_cq", kind="analysis")
+@guarded()
 def nonempty_cq(sws: SWS, max_session_length: int = 6) -> Answer:
     """Non-emptiness for SWS(CQ, UCQ) by iterated unfolding.
 
@@ -201,8 +208,10 @@ def nonempty_cq(sws: SWS, max_session_length: int = 6) -> Answer:
     if not sws.is_recursive():
         return nonempty_cq_nr(sws)
     for n in range(0, max_session_length + 1):
+        checkpoint("nonempty_cq")
         expansion = expand(sws, n)
         for disjunct in expansion.disjuncts:
+            checkpoint("nonempty_cq")
             if not disjunct.is_satisfiable():
                 continue
             database, inputs = witness_from_disjunct(sws, disjunct, n)
@@ -257,21 +266,24 @@ def _small_databases(sws: SWS, domain: Sequence[Any], max_rows: int):
 
 
 @traced("nonempty_fo_bounded", kind="analysis")
+@guarded()
 def nonempty_fo_bounded(
     sws: SWS,
     max_domain: int = 2,
     max_rows: int = 1,
     max_session_length: int = 2,
-    budget: int = 20000,
+    budget=20000,
     hints: Sequence[tuple[Database, InputSequence]] = (),
 ) -> Answer:
     """Bounded non-emptiness search for SWS(FO, FO) — sound YES / UNKNOWN.
 
     Exhaustively runs the service over all databases and input sequences
     within the given size bounds (undecidability rules out completeness;
-    Theorem 4.1(1)).  ``budget`` caps the number of runs.  ``hints`` are
-    candidate instances tried first: verifying a supplied certificate is
-    decidable even though finding one is not, so a caller who knows a
+    Theorem 4.1(1)).  ``budget`` caps the search — a legacy ``int`` counts
+    runs (one guard step each), and a :class:`repro.guard.Budget` or
+    :class:`~repro.guard.Guard` adds deadline/memory ceilings.  ``hints``
+    are candidate instances tried first: verifying a supplied certificate
+    is decidable even though finding one is not, so a caller who knows a
     plausible witness gets an exact YES cheaply.
     """
     if sws.kind is not SWSKind.RELATIONAL:
@@ -284,20 +296,23 @@ def nonempty_fo_bounded(
     arity = sws.input_schema.arity
     message_pool = list(itertools.product(domain, repeat=arity))
     runs = 0
-    for database in _small_databases(sws, domain, max_rows):
-        for n in range(0, max_session_length + 1):
-            for combo in itertools.product(
-                [()] + [(m,) for m in message_pool], repeat=n
-            ):
-                inputs = InputSequence(sws.input_schema, [list(c) for c in combo])
-                runs += 1
-                if runs > budget:
-                    return Answer.unknown(detail=f"budget of {budget} runs spent")
-                result = run_relational(sws, database, inputs)
-                if result.output:
-                    return Answer.yes(
-                        witness=(database, inputs), detail=f"found after {runs} runs"
+    with ensure_guard(budget).activate():
+        for database in _small_databases(sws, domain, max_rows):
+            for n in range(0, max_session_length + 1):
+                for combo in itertools.product(
+                    [()] + [(m,) for m in message_pool], repeat=n
+                ):
+                    inputs = InputSequence(
+                        sws.input_schema, [list(c) for c in combo]
                     )
+                    runs += 1
+                    checkpoint("nonempty_fo_bounded")
+                    result = run_relational(sws, database, inputs)
+                    if result.output:
+                        return Answer.yes(
+                            witness=(database, inputs),
+                            detail=f"found after {runs} runs",
+                        )
     return Answer.unknown(detail=f"exhausted bounds after {runs} runs")
 
 
@@ -305,12 +320,39 @@ def nonempty_fo_bounded(
 
 
 def nonempty(sws: SWS, **kwargs) -> Answer:
-    """Class-dispatching non-emptiness analysis."""
+    """Class-dispatching non-emptiness analysis.
+
+    ``guard=`` (a :class:`repro.guard.Guard`, :class:`~repro.guard.Budget`
+    or legacy ``int`` step budget) is forwarded to every branch.
+    """
+    guard = kwargs.pop("guard", None)
     cls = classify(sws)
     if cls in (SWSClass.PL_PL, SWSClass.PL_PL_NR):
-        return nonempty_pl(sws)
+        return nonempty_pl(sws, guard=guard)
     if cls is SWSClass.CQ_UCQ_NR:
-        return nonempty_cq_nr(sws)
+        return nonempty_cq_nr(sws, guard=guard)
     if cls is SWSClass.CQ_UCQ:
-        return nonempty_cq(sws, **kwargs)
-    return nonempty_fo_bounded(sws, **kwargs)
+        return nonempty_cq(sws, guard=guard, **kwargs)
+    return nonempty_fo_bounded(sws, guard=guard, **kwargs)
+
+
+register_span(
+    "nonempty_pl_nr_sat",
+    "per-session-length SAT loop",
+    "Theorem 4.1(3): NP non-emptiness for SWS_nr(PL, PL)",
+)
+register_span(
+    "nonempty_cq_nr",
+    "expansion-disjunct satisfiability loop",
+    "Theorem 4.1(2): NEXPTIME non-emptiness for SWS_nr(CQ, UCQ)",
+)
+register_span(
+    "nonempty_cq",
+    "iterated-unfolding session-length loop",
+    "Theorem 4.1(2): EXPTIME non-emptiness for SWS(CQ, UCQ)",
+)
+register_span(
+    "nonempty_fo_bounded",
+    "bounded (D, I) instance enumeration (one step per run)",
+    "Theorem 4.1(1): undecidable FO cell, sound YES/UNKNOWN search",
+)

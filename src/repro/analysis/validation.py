@@ -28,6 +28,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.analysis.verdict import Answer, Verdict
 from repro.core.classes import SWSClass, classify, require_class
+from repro.guard import checkpoint, ensure_guard, guarded, register_span
 from repro.obs import traced
 from repro.core.pl_semantics import to_afa
 from repro.core.run import run_relational
@@ -42,6 +43,7 @@ from repro.logic.terms import Constant
 
 
 @traced("validate_pl_nr_sat", kind="analysis")
+@guarded()
 def validate_pl_nr_sat(sws: SWS, output: bool) -> Answer:
     """Exact validation for SWS_nr(PL, PL) via SAT (the NP procedure).
 
@@ -60,6 +62,7 @@ def validate_pl_nr_sat(sws: SWS, output: bool) -> Answer:
     require_class(sws, SWSClass.PL_PL_NR, "validate_pl_nr_sat")
     variables = sorted(sws.input_variables())
     for n in range(0, sws.depth() + 2):
+        checkpoint("validate_pl_nr_sat")
         formula = pl_nr_value_formula(sws, n)
         target = formula if output else pl.Not(formula)
         assignment = sat_model(target)
@@ -78,6 +81,7 @@ def validate_pl_nr_sat(sws: SWS, output: bool) -> Answer:
 
 
 @traced("validate_pl", kind="analysis")
+@guarded()
 def validate_pl(sws: SWS, output: bool) -> Answer:
     """Exact validation for SWS(PL, PL).
 
@@ -220,6 +224,7 @@ def _facts_to_instance(
 
 
 @traced("validate_cq_nr", kind="analysis")
+@guarded()
 def validate_cq_nr(
     sws: SWS,
     output_rows: Iterable[Row],
@@ -261,6 +266,7 @@ def validate_cq_nr(
         for database, inputs in _candidate_instances(
             sws, disjuncts, rows, n, merge_budget
         ):
+            checkpoint("validate_cq_nr")
             if run_relational(sws, database, inputs).output.rows == target:
                 return Answer.yes(witness=(database, inputs), detail=f"n={n}")
     return Answer.unknown(detail="candidate space exhausted")
@@ -270,28 +276,37 @@ def validate(sws: SWS, output, **kwargs) -> Answer:
     """Class-dispatching validation analysis.
 
     ``output`` is a boolean for PL services and an iterable of output rows
-    for relational ones.
+    for relational ones.  ``guard=`` (a :class:`repro.guard.Guard`,
+    :class:`~repro.guard.Budget` or legacy ``int`` step budget) is
+    forwarded to every branch.
     """
+    guard = kwargs.pop("guard", None)
     cls = classify(sws)
     if cls in (SWSClass.PL_PL, SWSClass.PL_PL_NR):
-        return validate_pl(sws, bool(output))
+        return validate_pl(sws, bool(output), guard=guard)
     if cls is SWSClass.CQ_UCQ_NR:
-        return validate_cq_nr(sws, output, **kwargs)
+        return validate_cq_nr(sws, output, guard=guard, **kwargs)
     # Recursive CQ and FO validation are undecidable (Theorem 4.1(1)-(2));
     # fall back to a bounded search through candidate session lengths.
-    return _validate_bounded(sws, output, **kwargs)
+    return _validate_bounded(sws, output, guard=guard, **kwargs)
 
 
 @traced("validate_fo_bounded", kind="analysis")
+@guarded()
 def _validate_bounded(
     sws: SWS,
     output_rows: Iterable[Row],
     max_session_length: int = 3,
     max_domain: int = 2,
     max_rows: int = 1,
-    budget: int = 20000,
+    budget=20000,
 ) -> Answer:
-    """Bounded validation for undecidable classes: sound YES / UNKNOWN."""
+    """Bounded validation for undecidable classes: sound YES / UNKNOWN.
+
+    ``budget`` caps the search: a legacy ``int`` counts runs, a
+    :class:`repro.guard.Budget`/:class:`~repro.guard.Guard` adds deadline
+    and memory ceilings.
+    """
     from repro.analysis.nonemptiness import _small_databases
 
     if sws.kind is not SWSKind.RELATIONAL:
@@ -308,15 +323,34 @@ def _validate_bounded(
     arity = sws.input_schema.arity
     message_pool = list(itertools.product(domain_values, repeat=arity))
     runs = 0
-    for database in _small_databases(sws, domain_values, max_rows):
-        for n in range(0, max_session_length + 1):
-            for combo in itertools.product(
-                [()] + [(m,) for m in message_pool], repeat=n
-            ):
-                inputs = InputSequence(sws.input_schema, [list(c) for c in combo])
-                runs += 1
-                if runs > budget:
-                    return Answer.unknown(detail=f"budget of {budget} runs spent")
-                if run_relational(sws, database, inputs).output.rows == target:
-                    return Answer.yes(witness=(database, inputs))
+    with ensure_guard(budget).activate():
+        for database in _small_databases(sws, domain_values, max_rows):
+            for n in range(0, max_session_length + 1):
+                for combo in itertools.product(
+                    [()] + [(m,) for m in message_pool], repeat=n
+                ):
+                    inputs = InputSequence(
+                        sws.input_schema, [list(c) for c in combo]
+                    )
+                    runs += 1
+                    checkpoint("validate_fo_bounded")
+                    if run_relational(sws, database, inputs).output.rows == target:
+                        return Answer.yes(witness=(database, inputs))
     return Answer.unknown(detail=f"exhausted bounds after {runs} runs")
+
+
+register_span(
+    "validate_pl_nr_sat",
+    "per-session-length SAT loop (both output polarities)",
+    "Theorem 4.1(3): NP validation for SWS_nr(PL, PL)",
+)
+register_span(
+    "validate_cq_nr",
+    "guided candidate-instance loop",
+    "Theorem 4.1(2): NEXPTIME validation for SWS_nr(CQ, UCQ)",
+)
+register_span(
+    "validate_fo_bounded",
+    "bounded (D, I) instance enumeration (one step per run)",
+    "Theorem 4.1(1): undecidable validation cells, sound YES/UNKNOWN",
+)

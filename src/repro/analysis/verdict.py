@@ -43,12 +43,18 @@ class Answer(Generic[WitnessT]):
     seconds, ``STATS`` counter deltas) attached by the tracing layer when
     tracing is enabled, and ``None`` otherwise.  It is excluded from
     equality/repr so traced and untraced runs compare identical.
+
+    ``trip`` is a :class:`repro.guard.Trip` carrying partial progress
+    (steps taken, frontier size, which limit tripped) when the verdict
+    is a guard-produced UNKNOWN, and ``None`` otherwise; like
+    provenance, it never affects equality.
     """
 
     verdict: Verdict
     witness: WitnessT | None = None
     detail: str = ""
     provenance: Any = field(default=None, compare=False, repr=False)
+    trip: Any = field(default=None, compare=False, repr=False)
 
     @classmethod
     def yes(cls, witness: Any = None, detail: str = "") -> "Answer":
@@ -61,9 +67,9 @@ class Answer(Generic[WitnessT]):
         return cls(Verdict.NO, witness, detail)
 
     @classmethod
-    def unknown(cls, detail: str = "") -> "Answer":
+    def unknown(cls, detail: str = "", trip: Any = None) -> "Answer":
         """Budget exhausted without a verdict."""
-        return cls(Verdict.UNKNOWN, None, detail)
+        return cls(Verdict.UNKNOWN, None, detail, trip=trip)
 
     @property
     def is_yes(self) -> bool:

@@ -41,6 +41,7 @@ from repro._stats import STATS
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
 from repro.errors import ReproError
+from repro.guard import checkpoint_callable, register_span
 from repro.logic import pl
 from repro.obs import span
 
@@ -193,28 +194,37 @@ def _compile_searchers(engine: "_CompiledAFA") -> tuple[Callable, Callable]:
     exprs = _class_exprs(gen, [engine.row_keys[rep] for rep in engine.reps])
     temps = ["    " + line for line in gen.lines]
 
+    # The guard checkpoint is batched: one callback per 256 pops (plus one
+    # on entry, so tiny searches still hit a checkpoint) — the masked test
+    # is the only per-iteration overhead, preserving the compiled speedup.
     search = [
-        "def _search(start, accepting, initial):",
+        "def _search(start, accepting, initial, ckpt):",
         "    parents = {start: None}",
         "    queue = _deque((start,))",
         "    append = queue.append",
         "    popleft = queue.popleft",
         "    n = 0",
+        "    ckpt(0, queue)",
         "    while queue:",
         "        v = popleft()",
         "        n += 1",
+        "        if not n & 255:",
+        "            ckpt(n, queue)",
         *temps,
     ]
     sweep = [
-        "def _sweep(start):",
+        "def _sweep(start, ckpt):",
         "    parents = {start: None}",
         "    queue = _deque((start,))",
         "    append = queue.append",
         "    popleft = queue.popleft",
         "    n = 0",
+        "    ckpt(0, queue)",
         "    while queue:",
         "        v = popleft()",
         "        n += 1",
+        "        if not n & 255:",
+        "            ckpt(n, queue)",
         *temps,
     ]
     for idx, expr in enumerate(exprs):
@@ -276,15 +286,18 @@ def _compile_diff_search(
     exprs_a = _class_exprs(gen_a, keys_mine)
     exprs_b = _class_exprs(gen_b, keys_theirs)
     lines = [
-        "def _dsearch(start, ia, ib):",
+        "def _dsearch(start, ia, ib, ckpt):",
         "    parents = {start: None}",
         "    queue = _deque((start,))",
         "    append = queue.append",
         "    popleft = queue.popleft",
         "    n = 0",
+        "    ckpt(0, queue)",
         "    while queue:",
         "        pair = popleft()",
         "        n += 1",
+        "        if not n & 255:",
+        "            ckpt(n, queue)",
         "        v, w = pair",
         "        if ia(v) != ib(w):",
         "            return parents, pair, n",
@@ -532,9 +545,10 @@ class AFA:
             return vectors
 
     def _reachable_vectors_impl(self) -> dict[Vector, tuple[Symbol, ...]]:
+        ckpt = checkpoint_callable("afa.reachable_vectors")
         if _USE_COMPILED:
             engine = self._engine()
-            parents, popped = engine.sweeper()(engine.to_mask(self.finals))
+            parents, popped = engine.sweeper()(engine.to_mask(self.finals), ckpt)
             STATS.vectors_explored += popped
             STATS.pre_steps += popped * len(engine.reps)
             reps = engine.reps
@@ -546,9 +560,13 @@ class AFA:
         parents_v: dict[Vector, tuple[Symbol, Vector] | None] = {start: None}
         queue_v: deque[Vector] = deque([start])
         order = self._symbol_order()
+        n = 0
+        ckpt(0, queue_v)
         while queue_v:
             vector = queue_v.popleft()
             STATS.vectors_explored += 1
+            n += 1
+            ckpt(n, queue_v)
             for symbol in order:
                 nxt = self._pre_step_ast(vector, symbol)
                 if nxt not in parents_v:
@@ -592,13 +610,14 @@ class AFA:
             return witness
 
     def _search_witness_impl(self, accepting: bool) -> tuple[Symbol, ...] | None:
+        ckpt = checkpoint_callable("afa.search_witness")
         if _USE_COMPILED:
             engine = self._engine()
             start = engine.to_mask(self.finals)
             if engine.initial_fn(start) == accepting:
                 return ()
             parents, hit, popped = engine.searcher()(
-                start, accepting, engine.initial_fn
+                start, accepting, engine.initial_fn, ckpt
             )
             STATS.vectors_explored += popped
             STATS.pre_steps += popped * len(engine.reps)
@@ -611,9 +630,13 @@ class AFA:
         parents_v: dict[Vector, tuple[Symbol, Vector] | None] = {start: None}
         queue_v: deque[Vector] = deque([start])
         order = self._symbol_order()
+        n = 0
+        ckpt(0, queue_v)
         while queue_v:
             vector = queue_v.popleft()
             STATS.vectors_explored += 1
+            n += 1
+            ckpt(n, queue_v)
             for symbol in order:
                 nxt = self._pre_step_ast(vector, symbol)
                 if nxt in parents_v:
@@ -691,12 +714,13 @@ class AFA:
             return witness
 
     def _difference_witness_impl(self, other: "AFA") -> tuple[Symbol, ...] | None:
+        ckpt = checkpoint_callable("afa.difference_witness")
         if _USE_COMPILED:
             mine_e, theirs_e = self._engine(), other._engine()
             dsearch, reps = mine_e.diff_searcher(theirs_e)
             start = (mine_e.to_mask(self.finals), theirs_e.to_mask(other.finals))
             parents, hit, popped = dsearch(
-                start, mine_e.initial_fn, theirs_e.initial_fn
+                start, mine_e.initial_fn, theirs_e.initial_fn, ckpt
             )
             STATS.vectors_explored += popped
             STATS.pre_steps += popped * 2 * len(reps)
@@ -707,10 +731,14 @@ class AFA:
         parents_v: dict[tuple[Vector, Vector], tuple | None] = {start_v: None}
         queue_v: deque[tuple[Vector, Vector]] = deque([start_v])
         order = self._symbol_order()
+        n = 0
+        ckpt(0, queue_v)
         while queue_v:
             pair_v = queue_v.popleft()
             mine_v, theirs_v = pair_v
             STATS.vectors_explored += 1
+            n += 1
+            ckpt(n, queue_v)
             if self.initial_condition.evaluate(mine_v) != other.initial_condition.evaluate(
                 theirs_v
             ):
@@ -761,3 +789,20 @@ class AFA:
             f"AFA(states={len(self.states)}, alphabet={len(self.alphabet)}, "
             f"finals={len(self.finals)})"
         )
+
+
+register_span(
+    "afa.search_witness",
+    "AFA accepting/rejecting-witness BFS over valuation vectors",
+    "Theorem 4.1(3): SWS(PL, PL) non-emptiness/validation via AFA",
+)
+register_span(
+    "afa.reachable_vectors",
+    "AFA full vector-space sweep (to_dfa / reachable_vectors)",
+    "Theorem 4.1(3): AFA reachability underlying the PL procedures",
+)
+register_span(
+    "afa.difference_witness",
+    "joint pair-BFS over two AFA vector spaces",
+    "Theorem 4.1(3): PL equivalence via AFA difference",
+)

@@ -16,6 +16,7 @@ from collections import deque
 from typing import Hashable, Iterable, Mapping, Sequence
 
 from repro.errors import ReproError
+from repro.guard import checkpoint_callable, register_span
 
 State = Hashable
 Symbol = Hashable
@@ -85,12 +86,17 @@ class DFA:
         """Synchronous product; ``accept`` is ``"and"``, ``"or"`` or ``"xor"``."""
         if self.alphabet != other.alphabet:
             raise ReproError("product requires identical alphabets")
+        ckpt = checkpoint_callable("dfa.product")
         initial = (self.initial, other.initial)
         states: set[State] = set()
         transitions: dict[tuple[State, Symbol], State] = {}
         queue: deque[tuple[State, State]] = deque([initial])
+        n = 0
+        ckpt(0, queue)
         while queue:
             pair = queue.popleft()
+            n += 1
+            ckpt(n, queue)
             if pair in states:
                 continue
             states.add(pair)
@@ -215,3 +221,10 @@ class DFA:
             f"DFA(states={len(self.states)}, alphabet={len(self.alphabet)}, "
             f"finals={len(self.finals)})"
         )
+
+
+register_span(
+    "dfa.product",
+    "DFA synchronous-product pair BFS (equivalence/containment/complement)",
+    "Section 3 / Theorem 5.3(2): Roman-model and regular language checks",
+)

@@ -22,6 +22,7 @@ from typing import Hashable, Iterable, Mapping, Sequence
 
 from repro.automata.dfa import DFA
 from repro.errors import ReproError
+from repro.guard import checkpoint_callable, register_span
 
 State = Hashable
 Symbol = Hashable
@@ -109,12 +110,17 @@ class NFA:
 
     def determinize(self) -> DFA:
         """Subset construction (reachable part only)."""
+        ckpt = checkpoint_callable("nfa.determinize")
         initial = self.epsilon_closure(self.initials)
         states: set[frozenset[State]] = set()
         transitions: dict[tuple[frozenset[State], Symbol], frozenset[State]] = {}
         queue: deque[frozenset[State]] = deque([initial])
+        n = 0
+        ckpt(0, queue)
         while queue:
             subset = queue.popleft()
+            n += 1
+            ckpt(n, queue)
             if subset in states:
                 continue
             states.add(subset)
@@ -300,6 +306,13 @@ class NFA:
             f"NFA(states={len(self.states)}, alphabet={len(self.alphabet)}, "
             f"finals={len(self.finals)})"
         )
+
+
+register_span(
+    "nfa.determinize",
+    "NFA subset construction (determinize and everything built on it)",
+    "Theorem 5.3: regular mediator machinery over determinized languages",
+)
 
 
 def _merge_transitions(

@@ -30,6 +30,7 @@ from typing import Hashable, Mapping, Sequence
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
 from repro.errors import ReproError
+from repro.guard import checkpoint_callable, register_span
 
 Symbol = Hashable
 
@@ -57,12 +58,17 @@ def component_relation(goal_dfa: DFA, component: NFA) -> frozenset[tuple]:
     (origin, current goal state).
     """
     relation: set[tuple] = set()
+    ckpt = checkpoint_callable("regular_rewriting.rewrite")
+    n_popped = 0
     for origin in goal_dfa.states:
         start = (origin, component.epsilon_closure(component.initials))
         seen: set[tuple] = set()
         queue: deque[tuple] = deque([start])
+        ckpt(n_popped, queue)
         while queue:
             state, cset = queue.popleft()
+            n_popped += 1
+            ckpt(n_popped, queue)
             if (state, cset) in seen:
                 continue
             seen.add((state, cset))
@@ -102,8 +108,13 @@ def maximal_rewriting(
     states: set[frozenset] = set()
     transitions: dict[tuple[frozenset, Symbol], frozenset] = {}
     queue: deque[frozenset] = deque([initial])
+    ckpt = checkpoint_callable("regular_rewriting.rewrite")
+    n_popped = 0
+    ckpt(0, queue)
     while queue:
         subset = queue.popleft()
+        n_popped += 1
+        ckpt(n_popped, queue)
         if subset in states:
             continue
         states.add(subset)
@@ -165,3 +176,10 @@ def exact_rewriting_exists(
     this is the decision procedure behind Theorem 5.3(1) and (2).
     """
     return rewrite(goal, components, run_to_completion).exact
+
+
+register_span(
+    "regular_rewriting.rewrite",
+    "component-relation pair-BFS and rewriting subset construction",
+    "Theorem 5.3(1,2): 2EXPSPACE regular-rewriting composition",
+)

@@ -47,8 +47,23 @@ class AnalysisError(ReproError):
 
 
 class BudgetExceededError(ReproError):
-    """A bounded procedure ran out of budget before reaching a verdict."""
+    """A bounded procedure ran out of budget before reaching a verdict.
 
-    def __init__(self, message: str, *, budget: int | None = None) -> None:
+    ``budget`` is the configured value of the limit that tripped and
+    ``limit`` names it (``"steps"``, ``"deadline"``, ``"memory"`` or
+    ``"cancelled"``); when a limit name is given it is appended to the
+    message so bare tracebacks identify what ran out.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget: int | None = None,
+        limit: str | None = None,
+    ) -> None:
+        if limit is not None:
+            message = f"{message} [limit={limit}]"
         super().__init__(message)
         self.budget = budget
+        self.limit = limit

@@ -1,0 +1,177 @@
+"""Batch front-end: run a procedure over many instances, isolating failures.
+
+A workload sweep over synthesized services routinely hits one
+pathological instance — a recursive SWS whose bounded search explodes,
+or a malformed input that crashes a procedure.  :func:`batch_run` gives
+each instance a fresh :class:`~repro.guard.Guard` built from a shared
+:class:`~repro.guard.Budget`, converts guard trips to per-item UNKNOWN
+outcomes, and catches per-item exceptions, so the sweep always finishes
+and reports what happened to every instance::
+
+    report = batch_run(nonempty, services, budget=Budget(deadline_s=1.0))
+    for item in report.unknown:
+        print(item.label, item.trip.describe())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.guard._governor import (
+    Budget,
+    CancelToken,
+    Guard,
+    GuardTrip,
+    Trip,
+    ensure_guard,
+)
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """Outcome of one instance in a :func:`batch_run` sweep.
+
+    ``status`` is ``"ok"`` (procedure completed), ``"unknown"`` (a guard
+    tripped, or the procedure itself returned an UNKNOWN verdict — the
+    trip, when one exists, is attached), or ``"error"`` (the procedure
+    raised; the exception is attached, never re-raised).
+    """
+
+    index: int
+    label: str
+    status: str
+    result: Any = None
+    error: BaseException | None = field(default=None, compare=False)
+    trip: Trip | None = None
+    elapsed_s: float = field(default=0.0, compare=False)
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """All per-instance outcomes of one sweep, in input order."""
+
+    items: tuple[BatchItem, ...]
+
+    @property
+    def ok(self) -> tuple[BatchItem, ...]:
+        return tuple(i for i in self.items if i.status == "ok")
+
+    @property
+    def unknown(self) -> tuple[BatchItem, ...]:
+        return tuple(i for i in self.items if i.status == "unknown")
+
+    @property
+    def errors(self) -> tuple[BatchItem, ...]:
+        return tuple(i for i in self.items if i.status == "error")
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.items)} instances: {len(self.ok)} ok, "
+            f"{len(self.unknown)} unknown, {len(self.errors)} error"
+        )
+
+
+def _result_verdict_name(result: Any) -> str | None:
+    verdict = getattr(result, "verdict", None)
+    value = getattr(verdict, "value", None)
+    return value if isinstance(value, str) else None
+
+
+def _result_trip(result: Any) -> Trip | None:
+    trip = getattr(result, "trip", None)
+    return trip if isinstance(trip, Trip) else None
+
+
+def batch_run(
+    fn: Callable[..., Any],
+    instances: Iterable[Any],
+    *,
+    budget: Budget | Guard | int | None = None,
+    cancel_token: CancelToken | None = None,
+    label: Callable[[Any], str] | None = None,
+) -> BatchReport:
+    """Apply ``fn`` to each instance under a fresh per-instance guard.
+
+    ``budget`` (a :class:`Budget`, legacy ``int`` step budget, or a
+    template :class:`Guard` whose budget and cancel token are copied)
+    applies per instance — a tripped instance never eats the others'
+    allowance.  ``cancel_token`` is shared across the whole sweep:
+    cancelling aborts the current instance at its next checkpoint and
+    marks the remaining ones cancelled without calling ``fn``.
+    Instances may be bare arguments or ``(args_tuple, kwargs_dict)``
+    pairs; ``label`` customises the per-item name (default: ``name``
+    attribute or ``repr``).
+    """
+    template = ensure_guard(budget)
+    spec = template.budget
+    token = cancel_token if cancel_token is not None else template.cancel_token
+    items: list[BatchItem] = []
+    for index, instance in enumerate(instances):
+        if isinstance(instance, tuple) and len(instance) == 2 and isinstance(
+            instance[1], dict
+        ):
+            args: Sequence[Any] = instance[0]
+            kwargs: dict[str, Any] = instance[1]
+            subject = args[0] if args else instance
+        else:
+            args, kwargs, subject = (instance,), {}, instance
+        if label is not None:
+            name = label(subject)
+        else:
+            name = getattr(subject, "name", None) or f"instance[{index}]"
+        if token is not None and token.cancelled():
+            items.append(
+                BatchItem(
+                    index=index,
+                    label=name,
+                    status="unknown",
+                    trip=Trip(
+                        limit="cancelled",
+                        site="batch_run",
+                        steps=0,
+                        elapsed_s=0.0,
+                    ),
+                )
+            )
+            continue
+        guard = Guard(budget=spec, cancel_token=token)
+        t0 = time.monotonic()
+        try:
+            with guard.activate():
+                result = fn(*args, **kwargs)
+        except GuardTrip as error:
+            items.append(
+                BatchItem(
+                    index=index,
+                    label=name,
+                    status="unknown",
+                    trip=error.trip,
+                    elapsed_s=time.monotonic() - t0,
+                )
+            )
+            continue
+        except Exception as error:  # noqa: BLE001 - isolation is the point
+            items.append(
+                BatchItem(
+                    index=index,
+                    label=name,
+                    status="error",
+                    error=error,
+                    elapsed_s=time.monotonic() - t0,
+                )
+            )
+            continue
+        status = "unknown" if _result_verdict_name(result) == "unknown" else "ok"
+        items.append(
+            BatchItem(
+                index=index,
+                label=name,
+                status=status,
+                result=result,
+                trip=_result_trip(result) or guard.tripped,
+                elapsed_s=time.monotonic() - t0,
+            )
+        )
+    return BatchReport(items=tuple(items))

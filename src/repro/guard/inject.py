@@ -1,0 +1,96 @@
+"""Deterministic fault injection for the resource governor.
+
+Chaos-testing substrate: force an exhaustion or cancellation at the
+Nth checkpoint of a named span, no matter what limits (if any) are
+actually configured.  Span names are shared with :mod:`repro.obs` and
+the :data:`~repro.guard.GUARDED_SPANS` registry, so a fault plan can
+target any guarded loop in the library::
+
+    from repro.guard import inject
+
+    with inject.injected("afa.search_witness", at=1, limit="deadline"):
+        answer = nonempty_pl(sws)       # trips at the first BFS checkpoint
+    assert answer.is_unknown
+
+Injection is process-global (one installed plan at a time) and fully
+deterministic: the plan fires at checkpoint number ``at`` of its span
+and at every later checkpoint of that span, so a procedure that retries
+the same search still trips.  Checkpoints of other spans pass through
+to the real guards untouched.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.guard import _governor
+from repro.guard._governor import LIMITS, GuardTrip, Trip
+
+
+@dataclass
+class FaultPlan:
+    """Trip ``limit`` at the ``at``-th checkpoint of span ``span``.
+
+    ``calls`` counts checkpoints observed for the span so far; ``fired``
+    reports whether the fault has triggered at least once — test
+    matrices assert it to prove the targeted checkpoint was actually
+    reached.
+    """
+
+    span: str
+    at: int = 1
+    limit: str = "steps"
+    calls: int = field(default=0, init=False)
+    fired: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.limit not in LIMITS:
+            raise ValueError(f"limit must be one of {LIMITS}, got {self.limit!r}")
+        if self.at < 1:
+            raise ValueError("at must be >= 1 (checkpoints are 1-based)")
+
+    def note(self, site: str) -> None:
+        """The hook :func:`repro.guard._governor.checkpoint` calls."""
+        if site != self.span:
+            return
+        self.calls += 1
+        if self.calls < self.at:
+            return
+        self.fired = True
+        raise GuardTrip(
+            Trip(
+                limit=self.limit,
+                site=site,
+                steps=self.calls,
+                elapsed_s=0.0,
+                budget_value=0 if self.limit != "cancelled" else None,
+                injected=True,
+            )
+        )
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` as the process-wide fault hook (replacing any)."""
+    _governor._INJECT_HOOK = plan.note
+    return plan
+
+
+def remove() -> None:
+    """Remove the installed fault plan, if any."""
+    _governor._INJECT_HOOK = None
+
+
+# Backwards-friendly alias: tests often pair install()/reset().
+reset = remove
+
+
+@contextmanager
+def injected(span: str, at: int = 1, limit: str = "steps") -> Iterator[FaultPlan]:
+    """Context manager installing a :class:`FaultPlan` for its extent."""
+    plan = install(FaultPlan(span=span, at=at, limit=limit))
+    try:
+        yield plan
+    finally:
+        remove()

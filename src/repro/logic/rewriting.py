@@ -38,6 +38,7 @@ from repro.logic.cq import (
     LabeledNull,
     _facts_as_database,
 )
+from repro.guard import checkpoint, register_span
 from repro.logic.terms import Constant, Term, Variable
 from repro.logic.ucq import UnionQuery, compose_union
 from repro.obs import traced
@@ -176,6 +177,7 @@ def maximally_contained_rewriting(
     kept: list[ConjunctiveQuery] = []
     for disjunct in query.disjuncts:
         for candidate in _candidate_disjuncts(disjunct, views, base_relations):
+            checkpoint("rewriting.maximally_contained")
             exp = expansion(UnionQuery.of(candidate), views)
             if exp.contained_in(query):
                 kept.append(candidate)
@@ -196,6 +198,7 @@ def equivalent_rewriting(
     candidate = maximally_contained_rewriting(query, views)
     if not candidate.disjuncts:
         return None
+    checkpoint("rewriting.equivalent")
     exp = expansion(candidate, views)
     if not query.contained_in(exp):
         return None
@@ -214,6 +217,7 @@ def _minimize_rewriting(
     while changed and len(disjuncts) > 1:
         changed = False
         for i in range(len(disjuncts)):
+            checkpoint("rewriting.equivalent")
             trial = disjuncts[:i] + disjuncts[i + 1 :]
             exp = expansion(UnionQuery(trial, arity=query.arity), views)
             if query.contained_in(exp) and exp.contained_in(query):
@@ -229,6 +233,7 @@ def _minimize_rewriting(
         while progress and len(atoms) > 1:
             progress = False
             for i in range(len(atoms)):
+                checkpoint("rewriting.equivalent")
                 trial_atoms = atoms[:i] + atoms[i + 1 :]
                 try:
                     trial = ConjunctiveQuery(
@@ -345,6 +350,7 @@ def _apply_inverse_rules(
     """Fire every inverse rule once over the view extensions."""
     derived: dict[str, set[Row]] = {}
     for rule in rules:
+        checkpoint("rewriting.certain_answers")
         extension = view_extensions.get(rule.body.relation)
         if extension is None:
             continue
@@ -393,3 +399,26 @@ def certain_answers(
     database = _facts_as_database(base_facts, relations)
     answers = query.evaluate(database)
     return frozenset(row for row in answers if not _contains_skolem(row))
+
+
+# The rewriting engines return ``None`` to mean "no rewriting exists" (a
+# sound NO), so they cannot absorb a trip into their return value: they
+# raise, and the mediator boundaries built on them convert to UNKNOWN.
+register_span(
+    "rewriting.maximally_contained",
+    "canonical-candidate containment loop",
+    "Theorem 5.1(3): composition via equivalent rewriting using views",
+    raising_only=True,
+)
+register_span(
+    "rewriting.equivalent",
+    "equivalence test + greedy minimization trials",
+    "Theorem 5.1(3): composition via equivalent rewriting using views",
+    raising_only=True,
+)
+register_span(
+    "rewriting.certain_answers",
+    "inverse-rule firing loop (Duschka-Genesereth)",
+    "Corollary 5.2: UC2RPQ composition via maximally-contained rewriting",
+    raising_only=True,
+)

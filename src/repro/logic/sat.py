@@ -18,6 +18,7 @@ from collections import Counter
 from typing import Iterable, Iterator
 
 from repro._stats import STATS
+from repro.guard import checkpoint, register_span
 from repro.logic import pl
 from repro.obs import traced
 from repro.logic.cnf import CNF, Clause, Literal, to_cnf, tseitin
@@ -35,6 +36,9 @@ def solve_cnf(clauses: Iterable[Clause]) -> dict[str, bool] | None:
 
 
 def _dpll(clauses: list[Clause], assignment: dict[str, bool]) -> dict[str, bool] | None:
+    # Raising variant: no boundary here — a GuardTrip (a populated
+    # BudgetExceededError) propagates to the guarded caller.
+    checkpoint("sat.solve_cnf")
     if any(not clause for clause in clauses):
         return None
     clauses, assignment = _propagate(clauses, dict(assignment))
@@ -170,3 +174,11 @@ def all_models(formula: pl.Formula) -> Iterator[frozenset[str]]:
 def count_models(formula: pl.Formula) -> int:
     """Number of models over the formula's own variables (brute force)."""
     return sum(1 for _ in all_models(formula))
+
+
+register_span(
+    "sat.solve_cnf",
+    "DPLL recursion (one checkpoint per call)",
+    "Theorem 4.1(3): NP procedures for SWS_nr(PL, PL) via SAT",
+    raising_only=True,
+)

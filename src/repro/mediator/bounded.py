@@ -26,10 +26,12 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro._stats import STATS
+from repro.analysis.verdict import Verdict
 from repro.automata.nfa import NFA
 from repro.core.classes import SWSClass, require_class
 from repro.core.pl_semantics import joint_variables
 from repro.core.sws import MSG, SWS, SynthesisRule
+from repro.guard import checkpoint, guarded, register_span
 from repro.logic import pl
 from repro.mediator.mediator import Mediator, MediatorTransitionRule
 from repro.obs import traced
@@ -41,12 +43,28 @@ from repro.mediator.synthesis import (
 
 @dataclass
 class MDTbResult:
-    """Outcome of a bounded-mediator synthesis."""
+    """Outcome of a bounded-mediator synthesis.
+
+    ``verdict`` is three-valued: YES/NO mirror ``exists`` for completed
+    runs; UNKNOWN marks a synthesis cut short by a resource guard, in
+    which case ``exists`` is False but non-existence was *not* decided.
+    """
 
     exists: bool
     mediator: Mediator | None = None
     candidates_tried: int = 0
     detail: str = ""
+    verdict: Verdict | None = None
+
+    def __post_init__(self) -> None:
+        if self.verdict is None:
+            self.verdict = Verdict.YES if self.exists else Verdict.NO
+
+
+def _mdtb_trip(error) -> MDTbResult:
+    return MDTbResult(
+        exists=False, verdict=Verdict.UNKNOWN, detail=error.trip.describe()
+    )
 
 
 def _synthesis_pool(k: int, max_size: int) -> list[pl.Formula]:
@@ -134,6 +152,7 @@ def _build_mediator(
 
 
 @traced("compose_mdtb_pl", kind="mediator")
+@guarded(on_trip=_mdtb_trip)
 def compose_mdtb_pl(
     goal: SWS,
     components: Mapping[str, SWS],
@@ -177,6 +196,7 @@ def compose_mdtb_pl(
         branch_nfas = [language_of(chain) for chain in chains]
         for root_formula in _synthesis_pool(len(chains), max_synthesis_size):
             tried += 1
+            checkpoint("compose_mdtb_pl")
             STATS.mediator_candidates += 1
             combined = boolean_language_combination(
                 branch_nfas, root_formula, alphabet
@@ -200,3 +220,10 @@ def _sigma_star(alphabet: Iterable) -> NFA:
     alphabet = frozenset(alphabet)
     transitions = {(0, symbol): frozenset({0}) for symbol in alphabet}
     return NFA({0}, alphabet, transitions, {0}, {0})
+
+
+register_span(
+    "compose_mdtb_pl",
+    "per-candidate (chains × root formula) enumeration loop",
+    "Theorem 5.3(3): bounded-mediator composition for MDT_b(PL)",
+)

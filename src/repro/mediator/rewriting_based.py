@@ -28,10 +28,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.analysis.verdict import Verdict
 from repro.core.classes import SWSClass, require_class
 from repro.core.sws import MSG, SWS, SynthesisRule
 from repro.core.unfold import expand, saturation_length
 from repro.errors import AnalysisError
+from repro.guard import checkpoint, guarded, register_span
 from repro.logic.cq import Atom, ConjunctiveQuery
 from repro.logic.rewriting import View, equivalent_rewriting
 from repro.logic.terms import Variable
@@ -55,12 +57,27 @@ def component_view(name: str, component: SWS, session_length: int) -> View:
 
 @dataclass
 class CQCompositionResult:
-    """Outcome of a CQ/UCQ composition synthesis."""
+    """Outcome of a CQ/UCQ composition synthesis.
+
+    ``verdict`` is three-valued: YES/NO mirror ``exists`` for completed
+    runs; UNKNOWN marks a synthesis cut short by a resource guard.
+    """
 
     exists: bool
     mediator: Mediator | None = None
     rewriting: UnionQuery | None = None
     detail: str = ""
+    verdict: Verdict | None = None
+
+    def __post_init__(self) -> None:
+        if self.verdict is None:
+            self.verdict = Verdict.YES if self.exists else Verdict.NO
+
+
+def _cq_trip(error) -> CQCompositionResult:
+    return CQCompositionResult(
+        exists=False, verdict=Verdict.UNKNOWN, detail=error.trip.describe()
+    )
 
 
 def mediator_from_ucq_rewriting(
@@ -135,6 +152,10 @@ def verify_cq_mediator(
     if expand(goal, 0).is_satisfiable():
         return False
     for n in range(1, horizon + 1):
+        # Returns a bare bool where False is a sound "not equivalent", so
+        # this function cannot absorb a trip itself; the checkpoint's trip
+        # propagates to the guarded compose_cq_nr boundary.
+        checkpoint("compose_cq_nr")
         goal_q = expand(goal, n)
         definitions = {}
         for name, component in components.items():
@@ -151,6 +172,7 @@ def verify_cq_mediator(
 
 
 @traced("compose_cq_nr", kind="mediator")
+@guarded(on_trip=_cq_trip)
 def compose_cq_nr(
     goal: SWS, components: Mapping[str, SWS]
 ) -> CQCompositionResult:
@@ -172,10 +194,10 @@ def compose_cq_nr(
         + [saturation_length(c) for c in components.values()]
     )
     goal_q = expand(goal, horizon)
-    views = [
-        component_view(name, component, horizon)
-        for name, component in components.items()
-    ]
+    views = []
+    for name, component in components.items():
+        checkpoint("compose_cq_nr")
+        views.append(component_view(name, component, horizon))
     rewriting = equivalent_rewriting(goal_q, views)
     if rewriting is None:
         return CQCompositionResult(
@@ -194,3 +216,10 @@ def compose_cq_nr(
         rewriting=rewriting,
         detail=f"verified up to session length {horizon}",
     )
+
+
+register_span(
+    "compose_cq_nr",
+    "per-view expansion loop and per-session-length verification loop",
+    "Theorem 5.1(3): CQ/UCQ composition via equivalent query rewriting",
+)

@@ -31,10 +31,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.analysis.verdict import Verdict
 from repro.automata.nfa import NFA
 from repro.automata.regular_rewriting import RewritingResult, rewrite
 from repro.automata.rpq import GraphDatabase, Label, RPQ, inverse, is_inverse
 from repro.errors import AnalysisError
+from repro.guard import guarded
 from repro.logic.cq import Atom, ConjunctiveQuery
 from repro.logic.terms import Variable
 from repro.obs import traced
@@ -60,15 +62,31 @@ def chain_view(name: str, word: Sequence[Label]) -> ConjunctiveQuery:
 
 @dataclass
 class RPQCompositionResult:
-    """Outcome of a UC2RPQ composition synthesis."""
+    """Outcome of a UC2RPQ composition synthesis.
+
+    ``verdict`` is three-valued: YES/NO mirror ``exists`` for completed
+    runs; UNKNOWN marks a synthesis cut short by a resource guard.
+    """
 
     exists: bool
     mediator_rpq: RPQ | None = None
     rewriting: RewritingResult | None = None
     detail: str = ""
+    verdict: Verdict | None = None
+
+    def __post_init__(self) -> None:
+        if self.verdict is None:
+            self.verdict = Verdict.YES if self.exists else Verdict.NO
+
+
+def _rpq_trip(error) -> RPQCompositionResult:
+    return RPQCompositionResult(
+        exists=False, verdict=Verdict.UNKNOWN, detail=error.trip.describe()
+    )
 
 
 @traced("compose_uc2rpq", kind="mediator")
+@guarded(on_trip=_rpq_trip)
 def compose_uc2rpq(
     goal: RPQ, views: Mapping[str, Sequence[Label]]
 ) -> RPQCompositionResult:

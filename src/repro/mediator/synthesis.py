@@ -27,12 +27,14 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro.analysis.verdict import Verdict
 from repro.automata.nfa import NFA
 from repro.automata.regular_rewriting import RewritingResult, rewrite
 from repro.core.classes import SWSClass, require_class
 from repro.core.pl_semantics import joint_variables, to_afa
 from repro.core.sws import MSG, SWS, SynthesisRule
 from repro.errors import AnalysisError
+from repro.guard import checkpoint, checkpoint_callable, guarded, register_span
 from repro.logic import pl
 from repro.obs import traced
 from repro.mediator.mediator import (
@@ -142,8 +144,13 @@ def boolean_language_combination(
     states = set()
     transitions = {}
     queue = deque([initial])
+    ckpt = checkpoint_callable("boolean_language_combination")
+    n_popped = 0
+    ckpt(0, queue)
     while queue:
         combo = queue.popleft()
+        n_popped += 1
+        ckpt(n_popped, queue)
         if combo in states:
             continue
         states.add(combo)
@@ -190,6 +197,8 @@ class PLCompositionResult:
     ``mediator`` is the synthesized mediator when one exists;
     ``rewriting`` carries the language-level evidence (for the regular
     route); ``witness`` is a distinguishing word when synthesis failed.
+    ``verdict`` is three-valued: YES/NO mirror ``exists`` for completed
+    runs; UNKNOWN marks a synthesis cut short by a resource guard.
     """
 
     exists: bool
@@ -197,9 +206,21 @@ class PLCompositionResult:
     rewriting: RewritingResult | None = None
     witness: list | None = None
     detail: str = ""
+    verdict: Verdict | None = None
+
+    def __post_init__(self) -> None:
+        if self.verdict is None:
+            self.verdict = Verdict.YES if self.exists else Verdict.NO
+
+
+def _pl_trip(error) -> PLCompositionResult:
+    return PLCompositionResult(
+        exists=False, verdict=Verdict.UNKNOWN, detail=error.trip.describe()
+    )
 
 
 @traced("compose_pl_regular", kind="mediator")
+@guarded(on_trip=_pl_trip)
 def compose_pl_regular(
     goal: SWS, components: Mapping[str, SWS]
 ) -> PLCompositionResult:
@@ -417,6 +438,7 @@ def _enumerate_union_mediators(
 
 
 @traced("compose_pl_prefix", kind="mediator")
+@guarded(on_trip=_pl_trip)
 def compose_pl_prefix(
     goal: SWS,
     components: Mapping[str, SWS],
@@ -438,6 +460,7 @@ def compose_pl_prefix(
     for mediator in _enumerate_union_mediators(
         components, max_branches, max_chain_length
     ):
+        checkpoint("compose_pl_prefix")
         if mediator_language_equivalent(mediator, goal, variables):
             return PLCompositionResult(
                 exists=True,
@@ -449,3 +472,18 @@ def compose_pl_prefix(
         detail=f"no mediator within shape bounds (chains ≤ {max_chain_length}, "
         f"branches ≤ {max_branches})",
     )
+
+
+# mediator_language_equivalent returns a bare bool, where False is a sound
+# "not equivalent" — it cannot absorb a trip, so it is left unguarded and
+# trips propagate to the guarded composition boundaries above.
+register_span(
+    "boolean_language_combination",
+    "product-DFA BFS over the branch automata",
+    "Theorem 5.3(3): root-synthesis language combination for MDT_b(PL)",
+)
+register_span(
+    "compose_pl_prefix",
+    "per-candidate bounded-shape mediator enumeration loop",
+    "Theorem 5.1(4,5): k-prefix composition for nonrecursive PL services",
+)

@@ -150,8 +150,17 @@ class Span:
             k: after[k] - v for k, v in self._before.items() if after[k] != v
         }
         if exc is not None:
-            self.status = "error"
-            self.error = f"{type(exc).__name__}: {exc}"
+            trip = getattr(exc, "trip", None)
+            if getattr(trip, "limit", None) is not None:
+                # A guard trip is a bounded procedure saying UNKNOWN, not a
+                # failure: record the verdict and the tripped limit instead
+                # of a bare error event (duck-typed to avoid importing
+                # repro.guard from this import-light module).
+                self.attrs.setdefault("verdict", "unknown")
+                self.attrs["tripped"] = trip.limit
+            else:
+                self.status = "error"
+                self.error = f"{type(exc).__name__}: {exc}"
         stack = _stack()
         # Unwind to this span even if an inner span leaked (defensive; a
         # leaked child would otherwise misparent every later sibling).
@@ -336,16 +345,23 @@ def _subject_attrs(args: tuple) -> dict[str, Any]:
 
 def _note_result(sp: Span, result: Any) -> None:
     """Record a compact result summary as span attributes."""
+    noted = False
     verdict = getattr(result, "verdict", None)
     if verdict is not None and hasattr(verdict, "value"):
         sp.set(verdict=verdict.value)
-        return
+        noted = True
+    trip = getattr(result, "trip", None)
+    if getattr(trip, "limit", None) is not None:
+        sp.set(tripped=trip.limit)
+        noted = True
     exists = getattr(result, "exists", None)
     if isinstance(exists, bool):
         sp.set(exists=exists)
         tried = getattr(result, "candidates_tried", None)
         if isinstance(tried, int):
             sp.set(candidates_tried=tried)
+        noted = True
+    if noted:
         return
     if result is None or isinstance(result, (bool, int, float, str)):
         sp.set(result=result)

@@ -32,6 +32,7 @@ class SpanAggregate:
     total_s: float = 0.0
     max_s: float = 0.0
     counters: dict[str, int] = field(default_factory=dict)
+    trips: dict[str, int] = field(default_factory=dict)
     slowest: dict[str, Any] | None = None
 
     def add(self, event: dict[str, Any]) -> None:
@@ -40,6 +41,9 @@ class SpanAggregate:
         self.total_s += elapsed
         if event.get("status") == "error":
             self.errors += 1
+        tripped = (event.get("attrs") or {}).get("tripped")
+        if tripped is not None:
+            self.trips[str(tripped)] = self.trips.get(str(tripped), 0) + 1
         for counter, delta in (event.get("counters") or {}).items():
             self.counters[counter] = self.counters.get(counter, 0) + delta
         if elapsed >= self.max_s:
@@ -107,6 +111,15 @@ def render(
             f"{_format_seconds(row.max_s):>9}  "
             f"{_format_counters(row.dominant_counters())}"
         )
+    tripped_rows = [r for r in rows if r.trips]
+    if tripped_rows:
+        lines.append("")
+        lines.append("guard trips:")
+        for row in tripped_rows:
+            breakdown = ", ".join(
+                f"{limit}={count}" for limit, count in sorted(row.trips.items())
+            )
+            lines.append(f"  {row.name:<{name_width}}  {breakdown}")
     lines.append("")
     lines.append("slowest spans:")
     for row in rows:
@@ -128,6 +141,41 @@ def report(path: str, sort: str = "total", limit: int | None = None) -> str:
     return render(aggregate(iter_events(path)), sort=sort, limit=limit)
 
 
+def render_guard_map() -> str:
+    """The registry of guarded checkpoint sites as printable text.
+
+    One row per span usable with :mod:`repro.guard.inject`; ``raising``
+    marks sites whose procedures raise :class:`repro.guard.GuardTrip`
+    instead of returning an UNKNOWN answer.
+    """
+    # Checkpoint sites register at import time; pull in every guarded layer
+    # so a fresh CLI process sees the full map.
+    import repro.analysis.containment  # noqa: F401
+    import repro.analysis.equivalence  # noqa: F401
+    import repro.analysis.nonemptiness  # noqa: F401
+    import repro.analysis.validation  # noqa: F401
+    import repro.automata.regular_rewriting  # noqa: F401
+    import repro.logic.rewriting  # noqa: F401
+    import repro.logic.sat  # noqa: F401
+    import repro.mediator.bounded  # noqa: F401
+    import repro.mediator.rewriting_based  # noqa: F401
+    import repro.mediator.synthesis  # noqa: F401
+    from repro.guard import iter_guarded_spans
+
+    spans = list(iter_guarded_spans())
+    if not spans:
+        return "no guarded spans registered\n"
+    site_width = max(max(len(s.site) for s in spans), len("site"))
+    lines = [f"{'site':<{site_width}}  raising  where / covers"]
+    lines.append("-" * len(lines[0]))
+    for span in spans:
+        flag = "yes" if span.raising_only else "no"
+        lines.append(f"{span.site:<{site_width}}  {flag:<7}  {span.where}")
+        lines.append(f"{'':<{site_width}}  {'':<7}  {span.covers}")
+    lines.append("")
+    return "\n".join(lines)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -147,6 +195,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     report_parser.add_argument(
         "--limit", type=int, default=None, help="show at most N rows"
     )
+    subparsers.add_parser(
+        "guard",
+        help="list guarded checkpoint sites (fault-injection span names)",
+    )
     args = parser.parse_args(argv)
     if args.command == "report":
         try:
@@ -154,6 +206,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         except (OSError, ValueError) as error:
             parser.exit(1, f"error: {error}\n")
         print(text, end="")
+        return 0
+    if args.command == "guard":
+        print(render_guard_map(), end="")
         return 0
     return 2  # pragma: no cover - argparse enforces the subcommand
 

@@ -1,0 +1,16 @@
+"""Guard tests share process-global state; keep it clean between tests."""
+
+import pytest
+
+from repro.guard import _governor, inject
+
+
+@pytest.fixture(autouse=True)
+def _clean_guard_state():
+    inject.remove()
+    yield
+    inject.remove()
+    stack = getattr(_governor._local, "stack", None)
+    if stack:  # pragma: no cover - only on a buggy test leaking activation
+        stack.clear()
+        pytest.fail("a test left a guard on the ambient stack")

@@ -1,0 +1,80 @@
+"""batch_run: per-instance guards, failure isolation, cancellation."""
+
+from repro.analysis.verdict import Answer
+from repro.guard import Budget, CancelToken, checkpoint
+from repro.guard.batch import batch_run
+
+
+def _spin(n):
+    """A procedure whose cost in checkpoints is its argument."""
+    for _ in range(n):
+        checkpoint("unit.batch")
+    return n * 10
+
+
+class TestBatchRun:
+    def test_all_ok_without_limits(self):
+        report = batch_run(_spin, [1, 2, 3])
+        assert [item.status for item in report.items] == ["ok", "ok", "ok"]
+        assert [item.result for item in report.items] == [10, 20, 30]
+        assert report.summary() == "3 instances: 3 ok, 0 unknown, 0 error"
+
+    def test_budget_applies_per_instance(self):
+        # 4 steps each under a 10-step budget: a shared guard would trip on
+        # the third instance; per-instance guards let all three finish.
+        report = batch_run(_spin, [4, 4, 4], budget=10)
+        assert all(item.status == "ok" for item in report.items)
+
+    def test_tripped_instance_is_isolated(self):
+        report = batch_run(_spin, [1, 50, 1], budget=Budget(step_budget=5))
+        assert [item.status for item in report.items] == ["ok", "unknown", "ok"]
+        tripped = report.unknown[0]
+        assert tripped.trip is not None
+        assert tripped.trip.limit == "steps"
+
+    def test_crashing_instance_is_isolated(self):
+        def fragile(n):
+            if n == 2:
+                raise ValueError("boom")
+            return n
+
+        report = batch_run(fragile, [1, 2, 3])
+        assert [item.status for item in report.items] == ["ok", "error", "ok"]
+        assert isinstance(report.errors[0].error, ValueError)
+
+    def test_cancellation_skips_the_rest(self):
+        token = CancelToken()
+
+        def cancel_after_first(n):
+            if n == 1:
+                token.cancel()
+                return n
+            checkpoint("unit.batch")
+            return n
+
+        report = batch_run(cancel_after_first, [1, 2, 3], cancel_token=token)
+        assert report.items[0].status == "ok"
+        # Instance 2 trips at its first checkpoint; instance 3 never runs.
+        assert report.items[1].status == "unknown"
+        assert report.items[1].trip.limit == "cancelled"
+        assert report.items[2].status == "unknown"
+        assert report.items[2].trip.site == "batch_run"
+
+    def test_args_kwargs_instances_and_labels(self):
+        def combine(a, b=0):
+            return a + b
+
+        report = batch_run(
+            combine,
+            [((1,), {"b": 2}), ((5,), {})],
+            label=lambda subject: f"case-{subject}",
+        )
+        assert [item.result for item in report.items] == [3, 5]
+        assert report.items[0].label == "case-1"
+
+    def test_unknown_verdict_results_counted_unknown(self):
+        def undecided(_n):
+            return Answer.unknown(detail="bounded out")
+
+        report = batch_run(undecided, [1])
+        assert report.items[0].status == "unknown"

@@ -1,0 +1,74 @@
+"""Deterministic fault injection: the Nth checkpoint of a named span."""
+
+import pytest
+
+from repro.guard import GuardTrip, checkpoint
+from repro.guard.inject import FaultPlan, injected, install, remove
+
+
+class TestFaultPlan:
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan("x", limit="gasoline")
+
+    def test_zero_based_at_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan("x", at=0)
+
+    def test_fires_exactly_at_the_nth_checkpoint(self):
+        plan = install(FaultPlan("unit.span", at=3))
+        try:
+            checkpoint("unit.span")
+            checkpoint("unit.span")
+            assert not plan.fired
+            with pytest.raises(GuardTrip) as info:
+                checkpoint("unit.span")
+        finally:
+            remove()
+        assert plan.fired
+        assert plan.calls == 3
+        trip = info.value.trip
+        assert trip.injected
+        assert trip.limit == "steps"
+        assert "[injected]" in trip.describe()
+
+    def test_other_spans_pass_through(self):
+        with injected("unit.span", at=1) as plan:
+            checkpoint("unit.other")
+            checkpoint("unit.unrelated")
+        assert plan.calls == 0
+        assert not plan.fired
+
+    def test_keeps_firing_after_the_trigger(self):
+        with injected("unit.span", at=1) as plan:
+            with pytest.raises(GuardTrip):
+                checkpoint("unit.span")
+            with pytest.raises(GuardTrip):
+                checkpoint("unit.span")
+        assert plan.calls == 2
+
+    def test_injection_is_deterministic(self):
+        counts = []
+        for _ in range(2):
+            with injected("unit.span", at=2) as plan:
+                fired_at = None
+                for i in range(1, 6):
+                    try:
+                        checkpoint("unit.span")
+                    except GuardTrip:
+                        fired_at = i
+                        break
+                counts.append((fired_at, plan.calls))
+        assert counts[0] == counts[1] == (2, 2)
+
+    def test_context_manager_removes_the_hook(self):
+        with injected("unit.span"):
+            pass
+        checkpoint("unit.span")  # must not raise
+
+    def test_cancelled_limit_has_no_budget_value(self):
+        with injected("unit.span", limit="cancelled"):
+            with pytest.raises(GuardTrip) as info:
+                checkpoint("unit.span")
+        assert info.value.trip.budget_value is None
+        assert info.value.budget is None

@@ -1,0 +1,62 @@
+"""Soundness of budget-tripped answers (Hypothesis).
+
+Two properties the guard must never violate:
+
+* a tripped guard only ever *weakens* an answer to UNKNOWN — it never
+  flips a YES to NO or vice versa, so bounded runs stay sound;
+* an untripped guard is invisible: the guarded answer is identical to
+  the unguarded one, witnesses included.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.equivalence import equivalent_pl
+from repro.analysis.nonemptiness import nonempty_pl
+from repro.analysis.verdict import Verdict
+from repro.guard import Guard
+from repro.workloads.random_sws import random_pl_sws
+
+seeds = st.integers(min_value=0, max_value=60)
+tight_budgets = st.integers(min_value=1, max_value=64)
+
+
+class TestTrippedAnswersNeverContradict:
+    @given(seed=seeds, budget=tight_budgets)
+    @settings(max_examples=15, deadline=None)
+    def test_bounded_nonemptiness_is_sound(self, seed, budget):
+        sws = random_pl_sws(seed, n_states=3, n_variables=2)
+        unbounded = nonempty_pl(sws)
+        bounded = nonempty_pl(sws, guard=Guard(step_budget=budget))
+        assert bounded.verdict in (unbounded.verdict, Verdict.UNKNOWN)
+
+    @given(seed=seeds, budget=tight_budgets)
+    @settings(max_examples=15, deadline=None)
+    def test_bounded_equivalence_is_sound(self, seed, budget):
+        tau1 = random_pl_sws(seed, n_states=3, n_variables=2)
+        tau2 = random_pl_sws(seed + 1, n_states=3, n_variables=2)
+        unbounded = equivalent_pl(tau1, tau2)
+        bounded = equivalent_pl(tau1, tau2, guard=budget)  # legacy int spec
+        assert bounded.verdict in (unbounded.verdict, Verdict.UNKNOWN)
+
+
+class TestUntrippedGuardsAreInvisible:
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_generous_guard_changes_nothing(self, seed):
+        sws = random_pl_sws(seed, n_states=3, n_variables=2)
+        plain = nonempty_pl(sws)
+        guarded_answer = nonempty_pl(sws, guard=Guard(step_budget=10**9))
+        assert guarded_answer.verdict is plain.verdict
+        assert guarded_answer.witness == plain.witness
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_generous_equivalence_guard_changes_nothing(self, seed):
+        tau1 = random_pl_sws(seed, n_states=3, n_variables=2)
+        tau2 = random_pl_sws(seed + 7, n_states=3, n_variables=2)
+        plain = equivalent_pl(tau1, tau2)
+        guarded_answer = equivalent_pl(
+            tau1, tau2, guard=Guard(deadline_s=3600.0, step_budget=10**9)
+        )
+        assert guarded_answer.verdict is plain.verdict
+        assert guarded_answer.witness == plain.witness
