@@ -1,0 +1,153 @@
+"""Experiment SRV.1 — the serving layer on a service-traffic sweep.
+
+The decision procedures themselves are bounded by the paper's complexity
+results; what a *service* adds is throughput on realistic question
+streams.  :func:`repro.workloads.scaling.serve_traffic` draws a
+Zipf-shaped batch of non-emptiness jobs over the succinct-counter
+family — heavy repetition plus a long tail, like deploy pipelines
+re-checking the same services.  This experiment measures three ways of
+answering the same batch:
+
+* **sequential** — call each procedure directly, once per job (the
+  pre-``repro.serve`` baseline: no dedup, no cache, no workers);
+* **service, 4 workers** — ``SolverService(workers=4)``: in-flight
+  dedup collapses repeats to one computation per distinct fingerprint
+  and distinct jobs overlap across worker processes;
+* **service, resubmitted** — the identical batch again: every job is a
+  content-addressed cache hit, no procedure runs at all.
+
+``main()`` records the numbers into ``BENCH_serve_parallel.json`` (via
+``merge_section``, so other emitters' sections survive).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import nonempty_pl
+from repro.serve import JobSpec, SolverService
+from repro.workloads.scaling import serve_traffic
+
+from _bench_io import BENCH_SCHEMA_VERSION, merge_section  # noqa: F401
+
+BENCH_SERVE_PARALLEL = "BENCH_serve_parallel.json"
+
+#: The sweep: 64 jobs over 6 distinct counter services (bits 8..13).
+TRAFFIC_KWARGS = dict(n_jobs=64, distinct=6, seed=1, min_bits=8)
+
+_PROCEDURES = {"nonempty_pl": nonempty_pl}
+
+
+def _specs(traffic):
+    return [
+        JobSpec(name, args, label=f"job-{i}")
+        for i, (name, args) in enumerate(traffic)
+    ]
+
+
+def run_sequential(traffic) -> float:
+    t0 = time.perf_counter()
+    for name, args in traffic:
+        answer = _PROCEDURES[name](*args)
+        assert answer.is_yes
+    return time.perf_counter() - t0
+
+
+def run_service(service: SolverService, traffic) -> float:
+    t0 = time.perf_counter()
+    results = service.run_batch(_specs(traffic))
+    elapsed = time.perf_counter() - t0
+    assert all(a.is_yes for a in results)
+    return elapsed
+
+
+# -- interactive pytest-benchmark runs ----------------------------------------
+
+
+@pytest.fixture
+def traffic():
+    return serve_traffic(**TRAFFIC_KWARGS)
+
+
+def test_srv_1_sequential_baseline(benchmark, traffic):
+    benchmark.pedantic(
+        run_sequential, args=(traffic,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info.update(TRAFFIC_KWARGS)
+
+
+def test_srv_1_service_four_workers(benchmark, traffic):
+    def once():
+        with SolverService(workers=4) as service:
+            return run_service(service, traffic)
+
+    benchmark.pedantic(once, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(TRAFFIC_KWARGS)
+
+
+def test_srv_1_service_resubmission(benchmark, traffic):
+    with SolverService() as service:
+        run_service(service, traffic)  # warm the cache
+
+        def warm():
+            return run_service(service, traffic)
+
+        benchmark.pedantic(warm, rounds=3, iterations=1, warmup_rounds=0)
+        assert service.cache.stats.hits >= len(traffic)
+
+
+# -- BENCH_serve_parallel.json emission ---------------------------------------
+
+
+def main() -> None:
+    traffic = serve_traffic(**TRAFFIC_KWARGS)
+    distinct = len({id(args[0]) for _, args in traffic})
+
+    sequential_s = run_sequential(traffic)
+
+    with SolverService(workers=4) as service:
+        service_s = run_service(service, traffic)
+        executed = service.jobs_executed
+        deduped = service.jobs_deduped
+        resubmit_s = run_service(service, traffic)
+        cache_stats = service.cache.stats.as_dict()
+
+    speedup = sequential_s / service_s
+    resubmit_speedup = sequential_s / resubmit_s
+    payload = {
+        "traffic": {**TRAFFIC_KWARGS, "distinct_sampled": distinct},
+        "sequential_s": round(sequential_s, 6),
+        "service_4workers_s": round(service_s, 6),
+        "service_resubmit_s": round(resubmit_s, 6),
+        "speedup_vs_sequential": round(speedup, 2),
+        "resubmit_speedup_vs_sequential": round(resubmit_speedup, 2),
+        "jobs": len(traffic),
+        "jobs_executed": executed,
+        "jobs_deduped": deduped,
+        "cache": cache_stats,
+        "notes": (
+            "sequential = direct procedure calls, one per job; service = "
+            "SolverService(workers=4) with fingerprint dedup + answer cache; "
+            "resubmit = identical batch against the warm cache (zero "
+            "procedure executions)"
+        ),
+    }
+    merge_section(
+        BENCH_SERVE_PARALLEL,
+        "serve_traffic_sweep",
+        payload,
+        regenerate="python benchmarks/bench_serve_parallel.py",
+    )
+    print(
+        f"sequential {sequential_s:.3f}s | service(4w) {service_s:.3f}s "
+        f"({speedup:.1f}x) | resubmit {resubmit_s:.4f}s "
+        f"({resubmit_speedup:.0f}x) | executed {executed}/{len(traffic)}"
+    )
+    assert speedup >= 2.0, f"expected >=2x speedup, got {speedup:.2f}x"
+    assert resubmit_speedup >= 10.0
+
+
+if __name__ == "__main__":
+    main()

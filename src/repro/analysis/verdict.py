@@ -71,6 +71,27 @@ class Answer(Generic[WitnessT]):
         """Budget exhausted without a verdict."""
         return cls(Verdict.UNKNOWN, None, detail, trip=trip)
 
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-friendly summary of the answer.
+
+        ``witness`` is rendered through ``repr`` when it is not already
+        JSON-encodable — the serving layer's results files are for humans
+        and diffing, while exact round-tripping goes through pickle.
+        """
+        witness: Any = self.witness
+        if witness is not None and not isinstance(
+            witness, (str, int, float, bool)
+        ):
+            witness = repr(witness)
+        if isinstance(witness, str) and len(witness) > 200:
+            witness = witness[:200] + f"... ({len(witness)} chars)"
+        out: dict[str, Any] = {"verdict": self.verdict.value, "detail": self.detail}
+        if witness is not None:
+            out["witness"] = witness
+        if self.trip is not None and hasattr(self.trip, "limit"):
+            out["tripped"] = self.trip.limit
+        return out
+
     @property
     def is_yes(self) -> bool:
         """Whether the verdict is YES."""

@@ -462,6 +462,14 @@ class AFA:
         if stray:
             raise ReproError(f"initial condition mentions non-states {sorted(stray)}")
 
+    def __getstate__(self) -> dict:
+        # The compiled engine holds exec()-generated closures, which cannot
+        # be pickled; drop it so automata round-trip through worker
+        # processes (the receiver recompiles on first use).
+        state = self.__dict__.copy()
+        state["_engine_cache"] = None
+        return state
+
     def _engine(self) -> _CompiledAFA:
         """The compiled engine, built on first use."""
         engine = self._engine_cache

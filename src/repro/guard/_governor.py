@@ -40,7 +40,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import wraps
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.errors import BudgetExceededError
 
@@ -104,6 +104,27 @@ class Budget:
             "deadline": self.deadline_s,
             "memory": self.memory_ceiling_mb,
         }.get(limit)
+
+    def as_dict(self) -> dict[str, float | int]:
+        """The set limits as a plain dict (for JSONL job files and
+        worker-process payloads); unset limits are omitted."""
+        out: dict[str, float | int] = {}
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
+        if self.step_budget is not None:
+            out["step_budget"] = self.step_budget
+        if self.memory_ceiling_mb is not None:
+            out["memory_ceiling_mb"] = self.memory_ceiling_mb
+        return out
+
+    @classmethod
+    def from_dict(cls, spec: "Mapping[str, Any] | None") -> "Budget":
+        """Rebuild a :class:`Budget` from :meth:`as_dict` output."""
+        spec = dict(spec or {})
+        unknown = set(spec) - {"deadline_s", "step_budget", "memory_ceiling_mb"}
+        if unknown:
+            raise ValueError(f"unknown budget fields {sorted(unknown)}")
+        return cls(**spec)
 
 
 class CancelToken:

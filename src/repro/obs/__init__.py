@@ -48,6 +48,7 @@ from repro.obs._tracer import (
     current_span,
     is_enabled,
     iter_events,
+    reemit,
     span,
     traced,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "current_span",
     "is_enabled",
     "iter_events",
+    "reemit",
     "span",
     "stats_delta",
     "traced",

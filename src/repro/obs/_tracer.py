@@ -422,6 +422,27 @@ def traced(
     return decorate
 
 
+def reemit(event: Mapping[str, Any], **extra_attrs: Any) -> None:
+    """Re-emit an already-formed span event into the current sink.
+
+    Used by the serving layer to merge traces produced in worker
+    processes into the parent's trace: each worker writes its own JSONL
+    file (separate processes cannot share one sink), and the parent
+    replays the events here after the batch completes.  ``extra_attrs``
+    are merged into the event's ``attrs`` (e.g. ``worker=<pid>``), so
+    merged events remain distinguishable from locally produced ones.
+    No-op while tracing is disabled.
+    """
+    if not ENABLED:
+        return
+    event = dict(event)
+    if extra_attrs:
+        attrs = dict(event.get("attrs") or {})
+        attrs.update(extra_attrs)
+        event["attrs"] = attrs
+    _emit(event)
+
+
 def iter_events(path: str) -> Iterator[dict[str, Any]]:
     """Parse a JSONL trace file, skipping blank lines."""
     with open(path, encoding="utf-8") as handle:

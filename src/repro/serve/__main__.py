@@ -1,0 +1,195 @@
+"""``python -m repro.serve`` — batch solver service CLI.
+
+Subcommands:
+
+* ``run JOBS.jsonl [--workers N] [--out RESULTS.jsonl] [--cache-dir D]
+  [--repeat K]`` — execute a JSONL job file and write one result record
+  per job (in job order).
+* ``procedures`` — list the registered decision procedures.
+* ``fingerprint JOBS.jsonl`` — print each job's fingerprint without
+  running anything (what the cache would key on).
+
+Job file format — one JSON object per line::
+
+    {"procedure": "nonempty_pl",
+     "instances": [{"factory": "repro.workloads.scaling:pl_counter_sws",
+                    "args": [10]}],
+     "kwargs": {},
+     "budget": {"deadline_s": 5.0, "step_budget": 200000},
+     "label": "counter-10"}
+
+``instances`` build the procedure's positional arguments, each either a
+``factory`` spec (``module:function`` restricted to ``repro.workloads``
+modules, plus ``args``/``kwargs`` for it) or an inline ``pickle``
+(base64) of a prebuilt instance.  ``budget`` uses the
+:meth:`repro.guard.Budget.as_dict` fields.  Lines starting with ``#``
+and blank lines are skipped.
+
+Result records carry the job's label, procedure, fingerprint, verdict
+summary (via ``Answer.as_dict`` when available), whether it was served
+from cache, and the batch-level stats as a trailing ``_summary`` record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import pickle
+import sys
+import time
+from typing import Any
+
+from repro.guard import Budget
+from repro.serve.cache import AnswerCache
+from repro.serve.fingerprint import job_fingerprint
+from repro.serve.registry import procedure_names, resolve_factory
+from repro.serve.scheduler import JobSpec, SolverService
+
+
+def _build_instance(spec: Any) -> Any:
+    if isinstance(spec, dict) and "factory" in spec:
+        factory = resolve_factory(spec["factory"])
+        return factory(*spec.get("args", ()), **spec.get("kwargs", {}))
+    if isinstance(spec, dict) and "pickle" in spec:
+        return pickle.loads(base64.b64decode(spec["pickle"]))
+    if isinstance(spec, (str, int, float, bool)) or spec is None:
+        return spec
+    raise ValueError(
+        "instance spec must be a factory/pickle object or a JSON scalar, "
+        f"got {spec!r}"
+    )
+
+
+def _load_jobs(path: str) -> list[JobSpec]:
+    jobs: list[JobSpec] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SystemExit(f"{path}:{lineno}: bad JSON: {error}") from None
+            try:
+                procedure = record["procedure"]
+                args = tuple(
+                    _build_instance(spec) for spec in record.get("instances", ())
+                )
+                kwargs = dict(record.get("kwargs", {}))
+                budget_spec = record.get("budget")
+                budget = Budget.from_dict(budget_spec) if budget_spec else None
+                label = record.get("label") or f"{procedure}#{lineno}"
+            except (KeyError, ValueError, TypeError) as error:
+                raise SystemExit(f"{path}:{lineno}: bad job: {error}") from None
+            jobs.append(JobSpec(procedure, args, kwargs, budget, label))
+    return jobs
+
+
+def _result_record(job: JobSpec, handle: Any, result: Any) -> dict[str, Any]:
+    record: dict[str, Any] = {
+        "label": job.label,
+        "procedure": job.procedure,
+        "fingerprint": handle.fingerprint,
+        "from_cache": handle.from_cache,
+        "deduped": handle.deduped,
+    }
+    if hasattr(result, "as_dict"):
+        record.update(result.as_dict())
+    elif hasattr(result, "verdict"):
+        record["verdict"] = getattr(result.verdict, "value", str(result.verdict))
+    else:
+        record["result"] = repr(result)
+    return record
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    jobs = _load_jobs(args.jobs)
+    if not jobs:
+        print(f"{args.jobs}: no jobs", file=sys.stderr)
+        return 1
+    jobs = jobs * max(1, args.repeat)
+    cache = AnswerCache(directory=args.cache_dir) if args.cache_dir else None
+    service = SolverService(workers=args.workers, cache=cache)
+    started = time.perf_counter()
+    try:
+        handles = [
+            service.submit(
+                job.procedure,
+                *job.args,
+                budget=job.budget,
+                label=job.label,
+                **job.kwargs,
+            )
+            for job in jobs
+        ]
+        service.drain()
+        records = [
+            _result_record(job, handle, handle.result())
+            for job, handle in zip(jobs, handles)
+        ]
+    finally:
+        service.close()
+    elapsed = time.perf_counter() - started
+    summary = {"_summary": service.stats(), "elapsed_s": round(elapsed, 6)}
+    out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+    try:
+        for record in records:
+            out.write(json.dumps(record, sort_keys=True) + "\n")
+        out.write(json.dumps(summary, sort_keys=True) + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    stats = service.stats()
+    print(
+        f"{len(jobs)} jobs: {stats['jobs_executed']} executed, "
+        f"{stats['jobs_deduped']} deduped, "
+        f"{stats['cache']['hits']} cache hits, "
+        f"{elapsed:.3f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_procedures(_args: argparse.Namespace) -> int:
+    for name in procedure_names():
+        print(name)
+    return 0
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    for job in _load_jobs(args.jobs):
+        key = job_fingerprint(job.procedure, job.args, job.kwargs)
+        print(f"{key}  {job.label}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Batch solver service over the repro decision procedures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a JSONL job file")
+    run.add_argument("jobs", help="JSONL job file")
+    run.add_argument("--workers", type=int, default=0, help="worker processes (0 = in-process)")
+    run.add_argument("--out", default=None, help="results JSONL path (default: stdout)")
+    run.add_argument("--cache-dir", default=None, help="on-disk answer cache directory")
+    run.add_argument("--repeat", type=int, default=1, help="submit the job list K times (cache/dedup demo)")
+    run.set_defaults(func=_cmd_run)
+
+    procs = sub.add_parser("procedures", help="list registered procedures")
+    procs.set_defaults(func=_cmd_procedures)
+
+    fp = sub.add_parser("fingerprint", help="print job fingerprints without running")
+    fp.add_argument("jobs", help="JSONL job file")
+    fp.set_defaults(func=_cmd_fingerprint)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,236 @@
+"""Content-addressed answer cache for the serving layer.
+
+Keys are job fingerprints (:mod:`repro.serve.fingerprint`); values are
+the results the registered procedures return — usually
+:class:`~repro.analysis.verdict.Answer`, but the composition results
+(``PLCompositionResult``, ``MDTbResult``) cache the same way since they
+carry a ``verdict`` too.
+
+Semantics:
+
+* **UNKNOWN is never cached.**  A guard-tripped (or budget-bounded)
+  UNKNOWN says "ran out of resources", not "the answer is UNKNOWN";
+  caching it would let one under-budgeted run poison every future,
+  better-budgeted ask.  :meth:`AnswerCache.put` refuses such results and
+  counts the refusal.
+* The in-memory tier is a bounded LRU (gets refresh recency).
+* The optional on-disk tier is an append-only JSONL file under a cache
+  directory (``REPRO_CACHE_DIR`` enables it for the default service):
+  one record per stored answer, carrying the verdict/detail in plain
+  JSON for inspection and the full result pickled (base64) for exact
+  round-tripping.  On open, existing records are loaded into an index;
+  later writers append, so concurrent batch runs extend rather than
+  clobber (last record for a key wins on reload).
+* Hit/miss/store counters feed both a local :class:`CacheStats` and the
+  process-wide ``repro.obs`` STATS block (``serve_cache_hits`` /
+  ``serve_cache_misses``), so cache behaviour shows up in span counter
+  deltas and ``python -m repro.obs report`` tables.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro._stats import STATS
+
+#: Environment variable naming the on-disk cache directory.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: On-disk record format version.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _verdict_name(result: Any) -> str | None:
+    verdict = getattr(result, "verdict", None)
+    value = getattr(verdict, "value", None)
+    return value if isinstance(value, str) else None
+
+
+def cacheable(result: Any) -> bool:
+    """Whether ``result`` is a decided answer safe to memoize.
+
+    Refuses UNKNOWN verdicts (budget artifacts, not facts about the
+    instance) and anything carrying a guard :class:`~repro.guard.Trip`.
+    Results without a ``verdict`` attribute are treated as decided —
+    a procedure that returns a plain value decided it.
+    """
+    if _verdict_name(result) == "unknown":
+        return False
+    trip = getattr(result, "trip", None)
+    if trip is not None and getattr(trip, "limit", None) is not None:
+        return False
+    return True
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`AnswerCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    rejected_unknown: int = 0
+    evictions: int = 0
+    disk_loaded: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "rejected_unknown": self.rejected_unknown,
+            "evictions": self.evictions,
+            "disk_loaded": self.disk_loaded,
+            "hit_rate": self.hit_rate(),
+        }
+
+
+class AnswerCache:
+    """Two-tier (memory LRU + optional JSONL disk) answer store.
+
+    Thread-safe: the scheduler consults it from the submitting thread
+    while pool callbacks store results.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        directory: str | None = None,
+        namespace: str = "answers",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+        self._disk_path: str | None = None
+        self._disk_index: dict[str, dict[str, Any]] = {}
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            self._disk_path = os.path.join(directory, f"{namespace}.jsonl")
+            self._load_disk()
+
+    # -- the two tiers -----------------------------------------------------------
+
+    def get(self, key: str, procedure: str | None = None) -> Any | None:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        ``procedure`` only annotates disk records for humans; the key
+        already encodes it.
+        """
+        del procedure
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                STATS.serve_cache_hits += 1
+                return self._memory[key]
+            record = self._disk_index.get(key)
+            if record is not None:
+                try:
+                    result = pickle.loads(base64.b64decode(record["pickle"]))
+                except Exception:  # noqa: BLE001 - stale/corrupt record
+                    self._disk_index.pop(key, None)
+                else:
+                    self._remember(key, result)
+                    self.stats.hits += 1
+                    STATS.serve_cache_hits += 1
+                    return result
+            self.stats.misses += 1
+            STATS.serve_cache_misses += 1
+            return None
+
+    def put(self, key: str, result: Any, procedure: str | None = None) -> bool:
+        """Store a decided result; returns False (and stores nothing) for
+        UNKNOWN/tripped results or results that cannot be pickled."""
+        if not cacheable(result):
+            with self._lock:
+                self.stats.rejected_unknown += 1
+            return False
+        with self._lock:
+            self._remember(key, result)
+            self.stats.stores += 1
+            if self._disk_path is not None:
+                self._append_disk(key, result, procedure)
+            return True
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._memory or key in self._disk_index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (disk records remain loadable)."""
+        with self._lock:
+            self._memory.clear()
+
+    def _remember(self, key: str, result: Any) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- the disk tier -----------------------------------------------------------
+
+    def _load_disk(self) -> None:
+        assert self._disk_path is not None
+        if not os.path.exists(self._disk_path):
+            return
+        with open(self._disk_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                key = record.get("key")
+                if isinstance(key, str) and "pickle" in record:
+                    self._disk_index[key] = record
+                    self.stats.disk_loaded += 1
+
+    def _append_disk(self, key: str, result: Any, procedure: str | None) -> None:
+        assert self._disk_path is not None
+        try:
+            payload = base64.b64encode(pickle.dumps(result)).decode("ascii")
+        except Exception:  # noqa: BLE001 - unpicklable result: memory-only
+            return
+        record: dict[str, Any] = {
+            "v": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "pickle": payload,
+        }
+        if procedure:
+            record["procedure"] = procedure
+        verdict = _verdict_name(result)
+        if verdict is not None:
+            record["verdict"] = verdict
+        detail = getattr(result, "detail", None)
+        if isinstance(detail, str) and detail:
+            record["detail"] = detail
+        self._disk_index[key] = record
+        with open(self._disk_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def default_cache_directory() -> str | None:
+    """The ``REPRO_CACHE_DIR`` path, or ``None`` when unset/empty."""
+    path = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+    return path or None

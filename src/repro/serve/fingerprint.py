@@ -1,0 +1,327 @@
+"""Deterministic structural fingerprints for problem instances.
+
+The answer cache and the in-flight deduplication of :mod:`repro.serve`
+key on *what is being asked*: the decision procedure plus the structure
+of its instance.  Python's builtin ``hash`` (and anything derived from
+``repr`` of sets/dicts) varies with ``PYTHONHASHSEED`` and with
+construction order, so fingerprints are computed over an explicit
+canonical form instead:
+
+* unordered containers (sets, dicts, ``DatabaseSchema``, SWS/mediator
+  rule maps) are serialized in sorted order;
+* ordered containers (tuples of transition targets, CQ atom lists,
+  query heads) keep their order — position is semantics there (``A1``
+  refers to the first successor);
+* subset-valued automaton states reuse the canonical naming discipline
+  of :func:`repro.automata.afa.symbol_sort_key` /
+  ``_canonical_state_name`` from PR 1, so a determinized DFA fingerprints
+  identically however its frozenset states were built;
+* ``name`` attributes are **excluded** — they are labels, not structure,
+  so renaming a service does not lose its cache entries.
+
+The fingerprint is the SHA-256 of the canonical form, making collisions
+between distinct instances negligible; equal fingerprints are treated as
+"the same question" by the cache and scheduler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable, Mapping
+
+from repro.automata.afa import AFA
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.core.sws import SWS, SynthesisRule, TransitionRule
+from repro.data.database import Database
+from repro.data.input_sequence import InputSequence
+from repro.data.relation import Relation
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.errors import ReproError
+from repro.guard import Budget
+from repro.logic import fo, pl
+from repro.logic.cq import Atom, Comparison, ConjunctiveQuery, LabeledNull
+from repro.logic.terms import Constant, Variable
+from repro.logic.ucq import UnionQuery
+from repro.mediator.mediator import Mediator, MediatorTransitionRule
+
+__all__ = ["FingerprintError", "canonical", "fingerprint", "job_fingerprint"]
+
+
+class FingerprintError(ReproError):
+    """Raised for values no canonical form is defined for."""
+
+
+def _seq(items: Iterable[Any]) -> tuple:
+    return tuple(canonical(item) for item in items)
+
+
+def _sorted_set(items: Iterable[Any]) -> tuple:
+    # Canonical forms are heterogeneous trees; repr gives them a total,
+    # deterministic order where direct comparison would raise TypeError
+    # (e.g. the ε transition label None next to string symbols).
+    return tuple(sorted(_seq(items), key=repr))
+
+
+def _sorted_map(mapping: Mapping[Any, Any]) -> tuple:
+    return tuple(
+        sorted(
+            ((canonical(k), canonical(v)) for k, v in mapping.items()),
+            key=repr,
+        )
+    )
+
+
+def _pl_formula(formula: pl.Formula) -> tuple:
+    if isinstance(formula, pl.Var):
+        return ("pl.var", formula.name)
+    if isinstance(formula, pl.Const):
+        return ("pl.const", formula.value)
+    if isinstance(formula, pl.Not):
+        return ("pl.not", _pl_formula(formula.operand))
+    if isinstance(formula, pl.And):
+        return ("pl.and", tuple(_pl_formula(op) for op in formula.operands))
+    if isinstance(formula, pl.Or):
+        return ("pl.or", tuple(_pl_formula(op) for op in formula.operands))
+    raise FingerprintError(f"unknown PL node {type(formula).__name__}")
+
+
+def _fo_formula(formula: fo.FOFormula) -> tuple:
+    if isinstance(formula, fo.RelAtom):
+        return ("fo.atom", formula.atom.relation, _seq(formula.atom.terms))
+    if isinstance(formula, fo.Equals):
+        return ("fo.eq", canonical(formula.left), canonical(formula.right))
+    if isinstance(formula, fo.NotF):
+        return ("fo.not", _fo_formula(formula.operand))
+    if isinstance(formula, fo.AndF):
+        return ("fo.and", tuple(_fo_formula(op) for op in formula.operands))
+    if isinstance(formula, fo.OrF):
+        return ("fo.or", tuple(_fo_formula(op) for op in formula.operands))
+    if isinstance(formula, (fo.Exists, fo.Forall)):
+        tag = "fo.exists" if isinstance(formula, fo.Exists) else "fo.forall"
+        return (tag, _seq(formula.variables), _fo_formula(formula.body))
+    raise FingerprintError(f"unknown FO node {type(formula).__name__}")
+
+
+def _transition_rule(rule: TransitionRule) -> tuple:
+    # Target order is positional semantics (A1, A2, ... registers).
+    return tuple((target, canonical(query)) for target, query in rule.targets)
+
+
+def _sws(sws: SWS) -> tuple:
+    return (
+        "sws",
+        sws.kind.value,
+        _sorted_set(sws.states),
+        sws.start,
+        tuple(
+            sorted(
+                (state, _transition_rule(rule))
+                for state, rule in sws.transitions.items()
+            )
+        ),
+        tuple(
+            sorted(
+                (state, canonical(rule.query))
+                for state, rule in sws.synthesis.items()
+            )
+        ),
+        canonical(sws.db_schema),
+        canonical(sws.input_schema),
+        sws.output_arity,
+    )
+
+
+def _mediator(mediator: Mediator) -> tuple:
+    return (
+        "mediator",
+        _sorted_set(mediator.states),
+        mediator.start,
+        tuple(
+            sorted(
+                (state, tuple(rule.targets))
+                for state, rule in mediator.transitions.items()
+            )
+        ),
+        tuple(
+            sorted(
+                (state, canonical(rule.query))
+                for state, rule in mediator.synthesis.items()
+            )
+        ),
+        tuple(
+            sorted(
+                (component, canonical(sws))
+                for component, sws in mediator.components.items()
+            )
+        ),
+    )
+
+
+def _afa(afa: AFA) -> tuple:
+    return (
+        "afa",
+        _sorted_set(afa.states),
+        _sorted_set(afa.alphabet),
+        tuple(
+            sorted(
+                (((canonical(state), canonical(symbol)), _pl_formula(formula))
+                for (state, symbol), formula in afa.transitions.items()),
+                key=repr,
+            )
+        ),
+        _pl_formula(afa.initial_condition),
+        _sorted_set(afa.finals),
+    )
+
+
+def _nfa(nfa: NFA) -> tuple:
+    return (
+        "nfa",
+        _sorted_set(nfa.states),
+        _sorted_set(nfa.alphabet),
+        tuple(
+            sorted(
+                (((canonical(state), canonical(symbol)), _sorted_set(targets))
+                for (state, symbol), targets in nfa.transitions.items()),
+                key=repr,
+            )
+        ),
+        _sorted_set(nfa.initials),
+        _sorted_set(nfa.finals),
+    )
+
+
+def _dfa(dfa: DFA) -> tuple:
+    return (
+        "dfa",
+        _sorted_set(dfa.states),
+        _sorted_set(dfa.alphabet),
+        tuple(
+            sorted(
+                (((canonical(state), canonical(symbol)), canonical(target))
+                for (state, symbol), target in dfa.transitions.items()),
+                key=repr,
+            )
+        ),
+        canonical(dfa.initial),
+        _sorted_set(dfa.finals),
+    )
+
+
+def _cq(query: ConjunctiveQuery) -> tuple:
+    return (
+        "cq",
+        _seq(query.head),
+        tuple(
+            ("atom", atom.relation, _seq(atom.terms)) for atom in query.atoms
+        ),
+        tuple(
+            ("neq" if c.negated else "eq", canonical(c.left), canonical(c.right))
+            for c in query.comparisons
+        ),
+    )
+
+
+def canonical(value: Any) -> Any:
+    """The canonical, order- and hash-seed-independent form of ``value``.
+
+    Returns a tree of primitives and tuples whose ``repr`` is
+    deterministic; :func:`fingerprint` hashes that representation.
+    Raises :class:`FingerprintError` for values with no defined form.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return ("seq", _seq(value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", _sorted_set(value))
+    if isinstance(value, dict):
+        return ("map", _sorted_map(value))
+    if isinstance(value, pl.Formula):
+        return _pl_formula(value)
+    if isinstance(value, SWS):
+        return _sws(value)
+    if isinstance(value, Mediator):
+        return _mediator(value)
+    if isinstance(value, AFA):
+        return _afa(value)
+    if isinstance(value, NFA):
+        return _nfa(value)
+    if isinstance(value, DFA):
+        return _dfa(value)
+    if isinstance(value, ConjunctiveQuery):
+        return _cq(value)
+    if isinstance(value, UnionQuery):
+        return ("ucq", value.arity, tuple(_cq(d) for d in value.disjuncts))
+    if isinstance(value, fo.FOQuery):
+        return ("fo.query", _seq(value.head), _fo_formula(value.formula))
+    if isinstance(value, fo.FOFormula):
+        return _fo_formula(value)
+    if isinstance(value, Variable):
+        return ("var", value.name)
+    if isinstance(value, Constant):
+        return ("const", type(value.value).__name__, repr(value.value))
+    if isinstance(value, LabeledNull):
+        return ("null", value.label)
+    if isinstance(value, Atom):
+        return ("atom", value.relation, _seq(value.terms))
+    if isinstance(value, Comparison):
+        return (
+            "neq" if value.negated else "eq",
+            canonical(value.left),
+            canonical(value.right),
+        )
+    if isinstance(value, RelationSchema):
+        return ("rschema", value.name, tuple(value.attributes))
+    if isinstance(value, DatabaseSchema):
+        return ("dschema", tuple(sorted((n, canonical(r)) for n, r in value.items())))
+    if isinstance(value, Relation):
+        return ("relation", canonical(value.schema), _sorted_set(value.rows))
+    if isinstance(value, Database):
+        return (
+            "database",
+            canonical(value.schema),
+            tuple(sorted((n, canonical(value[n])) for n in value.schema)),
+        )
+    if isinstance(value, InputSequence):
+        return (
+            "input",
+            canonical(value.schema),
+            tuple(canonical(message) for message in value),
+        )
+    if isinstance(value, Budget):
+        # Budgets never enter fingerprints (a decided answer does not
+        # depend on the budget it was computed under), but give them a
+        # canonical form so job *labels* can include them.
+        return ("budget", tuple(sorted(value.as_dict().items())))
+    raise FingerprintError(
+        f"no canonical form for {type(value).__name__}; "
+        "register one in repro.serve.fingerprint"
+    )
+
+
+def fingerprint(value: Any) -> str:
+    """SHA-256 hex digest of ``value``'s canonical form."""
+    return hashlib.sha256(repr(canonical(value)).encode("utf-8")).hexdigest()
+
+
+def job_fingerprint(
+    procedure: str, args: tuple = (), kwargs: Mapping[str, Any] | None = None
+) -> str:
+    """Fingerprint of a whole job: procedure name + instance arguments.
+
+    Resource budgets are deliberately *not* part of the key: the
+    procedures are sound, so any decided (YES/NO) answer is
+    budget-independent, and guard-tripped UNKNOWN answers are never
+    cached in the first place.  Procedure parameters that change the
+    *question* (``max_session_length``, ``invocation_bound``, ...)
+    arrive through ``args``/``kwargs`` and are included.
+    """
+    payload = (
+        "job",
+        procedure,
+        _seq(args),
+        tuple(sorted((k, canonical(v)) for k, v in (kwargs or {}).items())),
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()

@@ -1,0 +1,164 @@
+"""Process-pool execution of solver jobs.
+
+Workers receive *names*, not code: a job crosses the process boundary
+as ``(procedure_name, args, kwargs, budget_spec)`` where the procedure
+name resolves against :mod:`repro.serve.registry` inside the worker and
+the budget travels as the plain dict from
+:meth:`repro.guard.Budget.as_dict`.  The instance arguments themselves
+pickle thanks to the model types' round-trip support (interned PL
+formulas re-intern on load; compiled AFA engines are dropped and
+rebuilt on first use).
+
+Tracing across the boundary: when the parent has :mod:`repro.obs`
+enabled, each worker is initialized with its own JSONL trace file under
+a spool directory (``worker-<pid>.jsonl``).  The parent periodically
+merges those files — re-emitting each span event into its own sink via
+:func:`repro.obs.reemit` with a ``worker_pid`` attribute — so one
+parent trace tells the whole story.  Merging tracks per-file byte
+offsets, so it is incremental and idempotent.
+
+Cancellation: a queued job's future can still be cancelled; a job
+already running in a worker runs to completion (its budget's deadline
+still bounds it).  Cross-process cooperative cancellation would need a
+shared token; the scheduler therefore checks tokens before dispatch.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Mapping
+
+from repro import obs
+from repro.guard import Budget
+
+__all__ = ["WorkerPool"]
+
+#: Module-level so the fork/spawn child can import it by qualified name.
+_WORKER_TRACE_DIR: str | None = None
+
+
+def _worker_init(trace_dir: str | None) -> None:
+    """Per-worker initializer: give the worker its own trace sink."""
+    global _WORKER_TRACE_DIR
+    _WORKER_TRACE_DIR = trace_dir
+    if trace_dir is not None:
+        path = os.path.join(trace_dir, f"worker-{os.getpid()}.jsonl")
+        # "a": a recycled pid (or a fork that inherited an open sink)
+        # must not truncate events the parent has not merged yet.
+        obs.configure(path=path, mode="a")
+    else:
+        # A forked worker inherits the parent's open sink; writing to it
+        # from two processes would interleave half-lines.  Detach.
+        if obs.is_enabled():
+            obs.configure(enabled=False)
+
+
+def _run_job(
+    name: str,
+    args: tuple,
+    kwargs: Mapping[str, Any],
+    budget_spec: Mapping[str, Any] | None,
+) -> Any:
+    """Worker-side job body: resolve the procedure by name and run it."""
+    from repro.serve.registry import get_procedure
+
+    procedure = get_procedure(name)
+    guard = Budget.from_dict(budget_spec) if budget_spec else None
+    if guard is not None:
+        return procedure(*args, guard=guard, **dict(kwargs))
+    return procedure(*args, **dict(kwargs))
+
+
+class WorkerPool:
+    """A :class:`ProcessPoolExecutor` wired for solver jobs and tracing."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("worker pool needs at least one worker")
+        self.workers = workers
+        self._trace_dir: str | None = None
+        self._merge_offsets: dict[str, int] = {}
+        if obs.is_enabled():
+            self._trace_dir = tempfile.mkdtemp(prefix="repro-serve-trace-")
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(self._trace_dir,),
+        )
+
+    def submit(
+        self,
+        name: str,
+        args: tuple,
+        kwargs: Mapping[str, Any],
+        budget: Budget | None,
+    ) -> Future:
+        spec = budget.as_dict() if budget is not None else None
+        return self._executor.submit(_run_job, name, args, dict(kwargs), spec)
+
+    # -- trace spool merging -----------------------------------------------------
+
+    def merge_traces(self) -> int:
+        """Fold new worker span events into the parent sink.
+
+        Returns the number of events merged.  Safe to call repeatedly;
+        each call only reads bytes appended since the last one.
+        """
+        if self._trace_dir is None or not obs.is_enabled():
+            return 0
+        merged = 0
+        try:
+            names = sorted(os.listdir(self._trace_dir))
+        except OSError:
+            return 0
+        for fname in names:
+            if not fname.endswith(".jsonl"):
+                continue
+            path = os.path.join(self._trace_dir, fname)
+            offset = self._merge_offsets.get(path, 0)
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    handle.seek(offset)
+                    payload = handle.read()
+                    self._merge_offsets[path] = handle.tell()
+            except OSError:
+                continue
+            pid = fname[len("worker-") : -len(".jsonl")]
+            for line in payload.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                obs.reemit(event, worker_pid=pid)
+                merged += 1
+        return merged
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+        self.merge_traces()
+        if self._trace_dir is not None:
+            try:
+                for fname in os.listdir(self._trace_dir):
+                    os.unlink(os.path.join(self._trace_dir, fname))
+                os.rmdir(self._trace_dir)
+            except OSError:
+                pass
+            self._trace_dir = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()

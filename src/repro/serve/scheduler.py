@@ -1,0 +1,436 @@
+"""Job scheduler: dedup, caching, budgets, and cancellation.
+
+:class:`SolverService` is the front door of the serving layer.  Callers
+:meth:`~SolverService.submit` decision-procedure jobs and get
+:class:`JobHandle` futures back; :meth:`~SolverService.drain` (or
+``handle.result()``) runs everything that is still pending.
+
+The pipeline per submission:
+
+1. **Fingerprint.**  The job is keyed by
+   :func:`repro.serve.fingerprint.job_fingerprint` — procedure name plus
+   the canonical form of its arguments.  Budgets are not part of the
+   key (decided answers are budget-independent; UNKNOWN is never
+   cached).
+2. **Cache probe.**  A hit resolves the handle immediately
+   (``handle.from_cache`` is true) without queueing anything.
+3. **In-flight dedup.**  If an un-drained entry with the same
+   fingerprint exists, the new handle joins it — one computation, many
+   handles (``handle.deduped`` is true for the joiners).
+4. **Queue.**  Otherwise a new entry is queued.  Nothing executes until
+   a drain, so a whole batch dedups before any work starts and a queued
+   job can still be cancelled.
+
+Execution happens either in-process (``workers=0``, the default — jobs
+run sequentially in the draining thread) or on a
+:class:`repro.serve.pool.WorkerPool` (``workers>=1`` — jobs are
+dispatched to worker processes and drained concurrently).
+
+Cancellation: ``handle.cancel()`` or a fired
+:class:`~repro.guard.CancelToken` passed at submit time.  An entry whose
+handles are all cancelled before dispatch is **skipped** — the
+procedure is never called — and resolves to an UNKNOWN answer with
+detail :data:`CANCELLED_DETAIL`.  In-process entries additionally get a
+service-side token wired into their :class:`~repro.guard.Guard`, so
+cancelling mid-run trips the procedure cooperatively at its next
+checkpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro._stats import STATS
+from repro.analysis.verdict import Answer
+from repro.guard import Budget, CancelToken, Guard
+from repro.serve.cache import AnswerCache, default_cache_directory
+from repro.serve.fingerprint import job_fingerprint
+from repro.serve.pool import WorkerPool
+from repro.serve.registry import get_procedure
+
+__all__ = ["CANCELLED_DETAIL", "JobHandle", "JobSpec", "SolverService"]
+
+#: ``Answer.detail`` of jobs cancelled before execution.
+CANCELLED_DETAIL = "cancelled before execution"
+
+
+class JobSpec:
+    """A declarative job for :meth:`SolverService.run_batch`."""
+
+    __slots__ = ("procedure", "args", "kwargs", "budget", "label")
+
+    def __init__(
+        self,
+        procedure: str,
+        args: Sequence[Any] = (),
+        kwargs: Mapping[str, Any] | None = None,
+        budget: Budget | None = None,
+        label: str | None = None,
+    ) -> None:
+        self.procedure = procedure
+        self.args = tuple(args)
+        self.kwargs = dict(kwargs or {})
+        self.budget = budget
+        self.label = label or procedure
+
+
+class _Entry:
+    """One unique computation; possibly shared by several handles."""
+
+    __slots__ = (
+        "key",
+        "procedure",
+        "args",
+        "kwargs",
+        "budget",
+        "handles",
+        "done",
+        "result",
+        "dispatched",
+        "skipped",
+        "token",
+        "future",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        procedure: str,
+        args: tuple,
+        kwargs: dict,
+        budget: Budget | None,
+    ) -> None:
+        self.key = key
+        self.procedure = procedure
+        self.args = args
+        self.kwargs = kwargs
+        self.budget = budget
+        self.handles: list[JobHandle] = []
+        self.done = threading.Event()
+        self.result: Any = None
+        self.dispatched = False
+        self.skipped = False
+        # Service-side token: fired when every handle cancels, so an
+        # in-process run trips cooperatively at its next checkpoint.
+        self.token = CancelToken()
+        self.future: Any = None
+
+    def all_cancelled(self) -> bool:
+        return bool(self.handles) and all(h.cancelled for h in self.handles)
+
+    def resolve(self, result: Any) -> None:
+        self.result = result
+        self.done.set()
+
+
+class JobHandle:
+    """Future-like handle for one submitted job."""
+
+    def __init__(
+        self,
+        service: "SolverService",
+        entry: _Entry,
+        *,
+        label: str,
+        cancel_token: CancelToken | None,
+        from_cache: bool,
+        deduped: bool,
+    ) -> None:
+        self._service = service
+        self._entry = entry
+        self._cancelled = False
+        self._cancel_token = cancel_token
+        self.label = label
+        self.from_cache = from_cache
+        self.deduped = deduped
+
+    @property
+    def fingerprint(self) -> str:
+        return self._entry.key
+
+    @property
+    def procedure(self) -> str:
+        return self._entry.procedure
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether this handle asked for cancellation (directly or via token)."""
+        if self._cancelled:
+            return True
+        token = self._cancel_token
+        return token is not None and token.cancelled()
+
+    def cancel(self) -> bool:
+        """Request cancellation; returns True if the job had not finished.
+
+        A queued entry whose handles are all cancelled is skipped at the
+        next drain without ever calling the procedure.  For an entry
+        already running in-process, the service token trips it at its
+        next guard checkpoint; a pool job already running in a worker
+        completes (bounded by its budget) but this handle still reports
+        ``cancelled``.
+        """
+        if self._entry.done.is_set():
+            return False
+        self._cancelled = True
+        self._service._on_handle_cancelled(self._entry)
+        return True
+
+    def done(self) -> bool:
+        return self._entry.done.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The job's result, draining the service if still pending."""
+        if not self._entry.done.is_set():
+            self._service.drain()
+        if not self._entry.done.wait(timeout):
+            raise TimeoutError(f"job {self.label!r} did not finish in {timeout}s")
+        return self._entry.result
+
+
+class SolverService:
+    """Concurrent solver front end with caching and dedup.
+
+    ``workers=0`` executes in-process; ``workers>=1`` uses a process
+    pool.  ``cache_dir`` (default: ``$REPRO_CACHE_DIR`` if set) enables
+    the on-disk cache tier.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: AnswerCache | None = None,
+        cache_dir: str | None = None,
+        cache_capacity: int = 4096,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        if cache is None:
+            cache = AnswerCache(
+                capacity=cache_capacity,
+                directory=cache_dir if cache_dir is not None else default_cache_directory(),
+            )
+        self.cache = cache
+        self._lock = threading.Lock()
+        self._pending: OrderedDict[str, _Entry] = OrderedDict()
+        self._inflight: dict[str, _Entry] = {}
+        self._pool: WorkerPool | None = None
+        self.jobs_executed = 0
+        self.jobs_deduped = 0
+        self.jobs_skipped = 0
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(
+        self,
+        procedure: str,
+        *args: Any,
+        budget: Budget | None = None,
+        cancel_token: CancelToken | None = None,
+        label: str | None = None,
+        **kwargs: Any,
+    ) -> JobHandle:
+        """Queue one job; returns a :class:`JobHandle`.
+
+        ``budget`` bounds the execution (per job, not per handle — on a
+        dedup join the *first* submission's budget applies).
+        ``cancel_token`` marks this handle cancelled once fired; fired
+        before the drain dispatches the entry, the procedure never runs.
+        """
+        get_procedure(procedure)  # fail fast on unknown names
+        key = job_fingerprint(procedure, args, kwargs)
+        label = label or procedure
+        with self._lock:
+            entry = self._pending.get(key) or self._inflight.get(key)
+            if entry is not None:
+                handle = JobHandle(
+                    self,
+                    entry,
+                    label=label,
+                    cancel_token=cancel_token,
+                    from_cache=False,
+                    deduped=True,
+                )
+                entry.handles.append(handle)
+                self.jobs_deduped += 1
+                STATS.serve_jobs_deduped += 1
+                return handle
+        cached = self.cache.get(key, procedure)
+        if cached is not None:
+            entry = _Entry(key, procedure, args, dict(kwargs), budget)
+            entry.resolve(cached)
+            return JobHandle(
+                self,
+                entry,
+                label=label,
+                cancel_token=cancel_token,
+                from_cache=True,
+                deduped=False,
+            )
+        with self._lock:
+            # Re-check: another thread may have queued the same key
+            # while we probed the cache.
+            entry = self._pending.get(key) or self._inflight.get(key)
+            if entry is None:
+                entry = _Entry(key, procedure, args, dict(kwargs), budget)
+                self._pending[key] = entry
+                deduped = False
+            else:
+                deduped = True
+                self.jobs_deduped += 1
+                STATS.serve_jobs_deduped += 1
+            handle = JobHandle(
+                self,
+                entry,
+                label=label,
+                cancel_token=cancel_token,
+                from_cache=False,
+                deduped=deduped,
+            )
+            entry.handles.append(handle)
+            return handle
+
+    # -- execution ---------------------------------------------------------------
+
+    def drain(self) -> int:
+        """Run every pending job to completion; returns how many entries ran.
+
+        With workers, all pending entries are dispatched before any is
+        awaited, so distinct jobs overlap across worker processes.
+        """
+        with self._lock:
+            batch = list(self._pending.values())
+            self._pending.clear()
+            for entry in batch:
+                self._inflight[entry.key] = entry
+        executed = 0
+        try:
+            if self.workers == 0:
+                for entry in batch:
+                    executed += self._run_entry_inline(entry)
+            else:
+                executed += self._run_batch_pooled(batch)
+        finally:
+            with self._lock:
+                for entry in batch:
+                    self._inflight.pop(entry.key, None)
+        return executed
+
+    def run_batch(
+        self, jobs: Iterable[JobSpec | Mapping[str, Any]]
+    ) -> list[Any]:
+        """Submit every job, drain, and return results in job order."""
+        handles = []
+        for job in jobs:
+            if isinstance(job, Mapping):
+                job = JobSpec(
+                    procedure=job["procedure"],
+                    args=job.get("args", ()),
+                    kwargs=job.get("kwargs"),
+                    budget=job.get("budget"),
+                    label=job.get("label"),
+                )
+            handles.append(
+                self.submit(
+                    job.procedure,
+                    *job.args,
+                    budget=job.budget,
+                    label=job.label,
+                    **job.kwargs,
+                )
+            )
+        self.drain()
+        return [handle.result() for handle in handles]
+
+    def _skip(self, entry: _Entry) -> None:
+        entry.skipped = True
+        self.jobs_skipped += 1
+        entry.resolve(Answer.unknown(detail=CANCELLED_DETAIL))
+
+    def _run_entry_inline(self, entry: _Entry) -> int:
+        if entry.all_cancelled():
+            self._skip(entry)
+            return 0
+        entry.dispatched = True
+        procedure = get_procedure(entry.procedure)
+        guard = Guard(budget=entry.budget, cancel_token=entry.token)
+        self.jobs_executed += 1
+        STATS.serve_jobs_executed += 1
+        try:
+            result = procedure(*entry.args, guard=guard, **entry.kwargs)
+        except Exception as error:  # noqa: BLE001 - resolve waiters, then raise
+            entry.resolve(
+                Answer.unknown(detail=f"procedure raised {type(error).__name__}")
+            )
+            raise
+        self.cache.put(entry.key, result, entry.procedure)
+        entry.resolve(result)
+        return 1
+
+    def _run_batch_pooled(self, batch: list[_Entry]) -> int:
+        pool = self._ensure_pool()
+        dispatched: list[_Entry] = []
+        for entry in batch:
+            if entry.all_cancelled():
+                self._skip(entry)
+                continue
+            entry.dispatched = True
+            entry.future = pool.submit(
+                entry.procedure, entry.args, entry.kwargs, entry.budget
+            )
+            self.jobs_executed += 1
+            STATS.serve_jobs_executed += 1
+            dispatched.append(entry)
+        for entry in dispatched:
+            try:
+                result = entry.future.result()
+            except Exception as error:  # noqa: BLE001
+                entry.resolve(
+                    Answer.unknown(detail=f"worker raised {type(error).__name__}")
+                )
+                continue
+            self.cache.put(entry.key, result, entry.procedure)
+            entry.resolve(result)
+        pool.merge_traces()
+        return len(dispatched)
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers)
+        return self._pool
+
+    def _on_handle_cancelled(self, entry: _Entry) -> None:
+        if entry.all_cancelled():
+            # Trips an in-process run at its next checkpoint; for a pool
+            # job, best-effort cancel of a not-yet-started future.
+            entry.token.cancel()
+            future = entry.future
+            if future is not None:
+                future.cancel()
+
+    # -- lifecycle / introspection -----------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Service + cache counters, JSON-friendly."""
+        return {
+            "workers": self.workers,
+            "jobs_executed": self.jobs_executed,
+            "jobs_deduped": self.jobs_deduped,
+            "jobs_skipped": self.jobs_skipped,
+            "cache": self.cache.stats.as_dict(),
+        }
+
+    def close(self) -> None:
+        """Shut down the worker pool (if any)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

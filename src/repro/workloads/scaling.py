@@ -240,3 +240,36 @@ def random_3cnf(
         chosen = rng.sample(variables, min(3, n_variables))
         clauses.append(tuple((v, rng.random() < 0.5) for v in chosen))
     return clauses
+
+
+def serve_traffic(
+    n_jobs: int = 32,
+    distinct: int = 6,
+    seed: int = 0,
+    min_bits: int = 8,
+) -> list[tuple[str, tuple]]:
+    """A batch of decision-procedure jobs shaped like service traffic.
+
+    Production question streams are heavily repetitive — the same few
+    services get re-checked over and over (deploy pipelines, retries,
+    polling monitors) with a long tail of one-off asks.  This family
+    draws ``n_jobs`` jobs over ``distinct`` counter services
+    (``pl_counter_sws(min_bits) .. pl_counter_sws(min_bits+distinct-1)``)
+    with Zipf-shaped popularity: job *k* asks about instance rank *r*
+    with probability ∝ 1/(r+1).  The repetition is what the serving
+    layer's dedup + answer cache exploit.
+
+    Returns ``(procedure_name, args)`` pairs suitable for
+    ``repro.serve`` job specs (this module deliberately does not import
+    the serving layer).
+    """
+    if n_jobs < 1 or distinct < 1:
+        raise ValueError("n_jobs and distinct must be positive")
+    rng = random.Random(seed)
+    instances = [pl_counter_sws(min_bits + i) for i in range(distinct)]
+    weights = [1.0 / (rank + 1) for rank in range(distinct)]
+    jobs = []
+    for _ in range(n_jobs):
+        sws = rng.choices(instances, weights=weights, k=1)[0]
+        jobs.append(("nonempty_pl", (sws,)))
+    return jobs

@@ -1,0 +1,21 @@
+"""Serve tests: isolate tracing, the default service, and the registry."""
+
+import pytest
+
+from repro import obs, serve
+from repro.obs import _tracer
+from repro.serve import registry
+
+
+@pytest.fixture(autouse=True)
+def _serve_isolation():
+    """Reset cross-test serving state: sink, default service, registry."""
+    registered_before = set(registry.PROCEDURES)
+    if _tracer.ENABLED:
+        obs.configure(enabled=False)
+    yield
+    if _tracer.ENABLED:
+        obs.configure(enabled=False)
+    serve.reset_default_service()
+    for name in set(registry.PROCEDURES) - registered_before:
+        del registry.PROCEDURES[name]

@@ -1,0 +1,89 @@
+"""Answer cache semantics: LRU, the UNKNOWN taboo, and the disk tier."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.verdict import Answer
+from repro.guard import Trip
+from repro.serve.cache import AnswerCache, cacheable
+
+
+def test_basic_hit_miss():
+    cache = AnswerCache(capacity=8)
+    assert cache.get("k") is None
+    assert cache.put("k", Answer.yes(detail="x"))
+    hit = cache.get("k")
+    assert hit is not None and hit.is_yes
+    stats = cache.stats
+    assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+
+
+def test_lru_eviction_order():
+    cache = AnswerCache(capacity=2)
+    cache.put("a", Answer.yes())
+    cache.put("b", Answer.no())
+    assert cache.get("a") is not None  # refresh a; b is now LRU
+    cache.put("c", Answer.yes())
+    assert "b" not in cache
+    assert cache.get("b") is None
+    assert cache.get("a") is not None and cache.get("c") is not None
+    assert cache.stats.evictions == 1
+
+
+def test_unknown_never_cached():
+    cache = AnswerCache()
+    plain_unknown = Answer.unknown(detail="ran out")
+    tripped = Answer.unknown(
+        detail="deadline",
+        trip=Trip(limit="deadline_s", site="afa.search", steps=10, elapsed_s=0.1),
+    )
+    assert not cacheable(plain_unknown)
+    assert not cacheable(tripped)
+    assert not cache.put("u1", plain_unknown)
+    assert not cache.put("u2", tripped)
+    assert cache.get("u1") is None and cache.get("u2") is None
+    assert cache.stats.rejected_unknown == 2
+    assert cache.stats.stores == 0
+
+
+def test_decided_answers_are_cacheable():
+    assert cacheable(Answer.yes())
+    assert cacheable(Answer.no(witness="w"))
+    assert cacheable({"verdict-free": True})  # plain values count as decided
+
+
+def test_disk_tier_roundtrip(tmp_path):
+    d = str(tmp_path / "cache")
+    first = AnswerCache(directory=d)
+    first.put("k1", Answer.yes(witness=("a", "b"), detail="afa"), procedure="nonempty_pl")
+    first.put("k2", Answer.no(detail="empty"))
+
+    second = AnswerCache(directory=d)  # fresh process, same directory
+    assert second.stats.disk_loaded == 2
+    hit = second.get("k1")
+    assert hit is not None and hit.is_yes and hit.witness == ("a", "b")
+    # The hit was promoted to memory; record metadata is readable JSON.
+    records = [
+        json.loads(line)
+        for line in (tmp_path / "cache" / "answers.jsonl").read_text().splitlines()
+    ]
+    assert records[0]["verdict"] == "yes"
+    assert records[0]["procedure"] == "nonempty_pl"
+
+
+def test_disk_tier_tolerates_garbage(tmp_path):
+    d = tmp_path / "cache"
+    d.mkdir()
+    (d / "answers.jsonl").write_text("not json\n\n{\"key\": \"x\"}\n")
+    cache = AnswerCache(directory=str(d))  # must not raise
+    assert cache.get("x") is None  # record without pickle payload ignored
+
+
+def test_last_record_wins_on_reload(tmp_path):
+    d = str(tmp_path / "cache")
+    cache = AnswerCache(directory=d)
+    cache.put("k", Answer.yes(detail="first"))
+    cache.put("k", Answer.yes(detail="second"))
+    reloaded = AnswerCache(directory=d)
+    assert reloaded.get("k").detail == "second"

@@ -1,0 +1,139 @@
+"""``python -m repro.serve`` end to end (in-process via main())."""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+
+import pytest
+
+from repro.serve.__main__ import main
+from repro.workloads.scaling import pl_counter_sws
+
+
+def write_jobs(path, lines):
+    path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+
+
+@pytest.fixture
+def jobs_file(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    write_jobs(
+        path,
+        [
+            {
+                "procedure": "nonempty_pl",
+                "instances": [
+                    {
+                        "factory": "repro.workloads.scaling:pl_counter_sws",
+                        "args": [6],
+                    }
+                ],
+                "label": "counter-6",
+            },
+            {
+                "procedure": "nonempty_pl",
+                "instances": [
+                    {
+                        "factory": "repro.workloads.scaling:pl_counter_sws",
+                        "args": [6],
+                    }
+                ],
+                "budget": {"deadline_s": 30.0},
+                "label": "counter-6-dup",
+            },
+        ],
+    )
+    return path
+
+
+def test_run_writes_results_in_order(tmp_path, jobs_file):
+    out = tmp_path / "results.jsonl"
+    assert main(["run", str(jobs_file), "--out", str(out)]) == 0
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    *results, summary = records
+    assert [r["label"] for r in results] == ["counter-6", "counter-6-dup"]
+    assert all(r["verdict"] == "yes" for r in results)
+    assert results[0]["fingerprint"] == results[1]["fingerprint"]
+    assert results[1]["deduped"] is True
+    assert summary["_summary"]["jobs_executed"] == 1
+
+
+def test_run_with_cache_dir_hits_on_second_run(tmp_path, jobs_file):
+    out = tmp_path / "results.jsonl"
+    cache_dir = str(tmp_path / "cache")
+    assert main(["run", str(jobs_file), "--out", str(out), "--cache-dir", cache_dir]) == 0
+    assert main(["run", str(jobs_file), "--out", str(out), "--cache-dir", cache_dir]) == 0
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    *results, summary = records
+    assert all(r["from_cache"] for r in results[:1])  # first job hits disk cache
+    assert summary["_summary"]["jobs_executed"] == 0
+    assert summary["_summary"]["cache"]["hits"] >= 1
+
+
+def test_pickled_instance_spec(tmp_path):
+    payload = base64.b64encode(pickle.dumps(pl_counter_sws(5))).decode("ascii")
+    path = tmp_path / "jobs.jsonl"
+    write_jobs(
+        path,
+        [{"procedure": "nonempty_pl", "instances": [{"pickle": payload}]}],
+    )
+    out = tmp_path / "results.jsonl"
+    assert main(["run", str(path), "--out", str(out)]) == 0
+    first = json.loads(out.read_text().splitlines()[0])
+    assert first["verdict"] == "yes"
+
+
+def test_fingerprint_command(capsys, jobs_file):
+    assert main(["fingerprint", str(jobs_file)]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2
+    # Same instance => same fingerprint, regardless of label/budget.
+    assert lines[0].split()[0] == lines[1].split()[0]
+
+
+def test_procedures_command(capsys):
+    assert main(["procedures"]) == 0
+    names = capsys.readouterr().out.split()
+    assert "nonempty_pl" in names and "compose_mdtb_pl" in names
+
+
+def test_disallowed_factory_module(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    write_jobs(
+        path,
+        [
+            {
+                "procedure": "nonempty_pl",
+                "instances": [{"factory": "os:getcwd"}],
+            }
+        ],
+    )
+    with pytest.raises(SystemExit):
+        main(["run", str(path)])
+
+
+def test_bad_json_line(tmp_path):
+    path = tmp_path / "jobs.jsonl"
+    path.write_text('{"procedure": "nonempty_pl"\n')
+    with pytest.raises(SystemExit):
+        main(["fingerprint", str(path)])
+
+
+def test_comments_and_blanks_skipped(tmp_path, capsys):
+    path = tmp_path / "jobs.jsonl"
+    path.write_text(
+        "# a comment\n\n"
+        + json.dumps(
+            {
+                "procedure": "nonempty_pl",
+                "instances": [
+                    {"factory": "repro.workloads.scaling:pl_counter_sws", "args": [4]}
+                ],
+            }
+        )
+        + "\n"
+    )
+    assert main(["fingerprint", str(path)]) == 0
+    assert len(capsys.readouterr().out.strip().splitlines()) == 1

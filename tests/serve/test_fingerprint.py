@@ -1,0 +1,142 @@
+"""Fingerprints must depend on structure only.
+
+Same instance built in a different order, under a different hash seed,
+or with a different name → same fingerprint; any structural change →
+a different one.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.nfa import NFA
+from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.logic import pl
+from repro.serve import fingerprint, job_fingerprint
+from repro.serve.fingerprint import FingerprintError, canonical
+from repro.workloads.scaling import pl_counter_sws
+from repro.workloads.travel import travel_mediator, travel_service
+
+
+def shuffled_pl_counter(bits: int, seed: int) -> SWS:
+    """``pl_counter_sws(bits)`` rebuilt with shuffled container orders."""
+    base = pl_counter_sws(bits)
+    rng = random.Random(seed)
+    states = list(base.states)
+    rng.shuffle(states)
+    trans_items = list(base.transitions.items())
+    rng.shuffle(trans_items)
+    synth_items = list(base.synthesis.items())
+    rng.shuffle(synth_items)
+    return SWS(
+        states=states,
+        start=base.start,
+        transitions=dict(trans_items),
+        synthesis=dict(synth_items),
+        kind=base.kind,
+        db_schema=base.db_schema,
+        input_schema=base.input_schema,
+        output_arity=base.output_arity,
+        name=f"shuffled-{seed}",  # names are labels, not structure
+    )
+
+
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_build_order_and_name_independent(bits, seed):
+    assert fingerprint(shuffled_pl_counter(bits, seed)) == fingerprint(
+        pl_counter_sws(bits)
+    )
+
+
+def test_structural_changes_change_fingerprint():
+    assert fingerprint(pl_counter_sws(4)) != fingerprint(pl_counter_sws(5))
+    assert fingerprint(travel_service()) != fingerprint(pl_counter_sws(4))
+
+
+def test_mediator_fingerprint_stable():
+    assert fingerprint(travel_mediator()) == fingerprint(travel_mediator())
+
+
+def test_nfa_epsilon_and_mixed_symbols():
+    # ε transitions are keyed by None; sorting falls back to repr so the
+    # mix of None and str never raises.
+    def build(order):
+        transitions = {("p", "a"): {"q"}, ("q", None): {"r"}}
+        items = list(transitions.items())
+        if order:
+            items.reverse()
+        return NFA(
+            states=order and ["r", "q", "p"] or ["p", "q", "r"],
+            alphabet={"a"},
+            transitions=dict(items),
+            initials={"p"},
+            finals={"r"},
+        )
+
+    assert fingerprint(build(False)) == fingerprint(build(True))
+
+
+def test_containers_canonicalize():
+    assert canonical({1, 2, 3}) == canonical({3, 2, 1})
+    assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+    # Sequences keep order: position is semantics.
+    assert canonical((1, 2)) != canonical((2, 1))
+
+
+def test_pl_interning_vs_fresh_nodes():
+    f = pl.And((pl.Var("x"), pl.Var("y")))
+    g = pl.And((pl.Var("x"), pl.Var("y")))
+    assert fingerprint(f) == fingerprint(g)
+
+
+def test_job_fingerprint_excludes_budget_kwarg_order():
+    sws = pl_counter_sws(3)
+    a = job_fingerprint("nonempty_cq", (sws,), {"max_session_length": 4})
+    b = job_fingerprint("nonempty_cq", (sws,), {"max_session_length": 4})
+    c = job_fingerprint("nonempty_cq", (sws,), {"max_session_length": 5})
+    d = job_fingerprint("nonempty_pl", (sws,))
+    assert a == b
+    assert a != c  # question-changing kwargs are part of the key
+    assert a != d  # so is the procedure name
+
+
+def test_unknown_type_raises():
+    class Opaque:
+        pass
+
+    with pytest.raises(FingerprintError):
+        fingerprint(Opaque())
+
+
+_HASHSEED_SNIPPET = """
+from repro.serve import fingerprint
+from repro.workloads.scaling import pl_counter_sws
+from repro.workloads.travel import travel_mediator
+print(fingerprint(pl_counter_sws(5)))
+print(fingerprint(travel_mediator()))
+"""
+
+
+def test_hash_seed_independent():
+    """Two interpreters with different PYTHONHASHSEED agree exactly."""
+    outputs = []
+    for seed in ("1", "4242"):
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        proc = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SNIPPET],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]
+    assert len(outputs[0].split()) == 2

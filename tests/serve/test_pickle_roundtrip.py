@@ -1,0 +1,152 @@
+"""Every public model type must cross a process boundary intact.
+
+The worker pool ships instances to forked workers via pickle; these
+tests pin the round-trip for one representative instance per public
+type, checking structural identity through the serve fingerprint (which
+ignores incidental attributes like compiled-engine caches) plus a
+behavioural probe where the type has behaviour.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis.verdict import Answer, Verdict
+from repro.automata.afa import AFA
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.guard import Budget
+from repro.logic import fo, pl
+from repro.logic.cq import Atom, Comparison, ConjunctiveQuery
+from repro.logic.terms import Constant, Variable
+from repro.logic.ucq import UnionQuery
+from repro.serve import fingerprint
+from repro.workloads.random_sws import random_cq_sws, random_fo_sws, random_pl_sws
+from repro.workloads.scaling import afa_counter, cq_diamond_sws, pl_counter_sws
+from repro.workloads.travel import (
+    booking_request,
+    sample_database,
+    travel_mediator,
+)
+
+
+def roundtrip(value):
+    return pickle.loads(pickle.dumps(value))
+
+
+def assert_same_fingerprint(value):
+    copy = roundtrip(value)
+    assert fingerprint(copy) == fingerprint(value)
+    return copy
+
+
+def test_pl_formula_reinterns():
+    f = pl.Or((pl.And((pl.Var("x"), pl.Not(pl.Var("y")))), pl.Const(True)))
+    g = roundtrip(f)
+    # Hash-consing: unpickling re-interns into the same node.
+    assert g is f
+
+
+def test_fo_query():
+    q = fo.FOQuery(
+        head=[Variable("x")],
+        formula=fo.Exists(
+            [Variable("y")],
+            fo.AndF(
+                [
+                    fo.RelAtom(Atom("R", (Variable("x"), Variable("y")))),
+                    fo.NotF(fo.Equals(Variable("x"), Constant(1))),
+                ]
+            ),
+        ),
+    )
+    assert_same_fingerprint(q)
+
+
+def test_cq_and_ucq():
+    q = ConjunctiveQuery(
+        head=[Variable("x")],
+        atoms=[Atom("R", (Variable("x"), Variable("y")))],
+        comparisons=[Comparison(Variable("x"), Variable("y"), negated=True)],
+    )
+    assert_same_fingerprint(q)
+    assert_same_fingerprint(UnionQuery([q], arity=1))
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: pl_counter_sws(4),
+        lambda: cq_diamond_sws(3),
+        lambda: random_pl_sws(seed=7),
+        lambda: random_cq_sws(seed=7),
+        lambda: random_fo_sws(seed=7),
+    ],
+)
+def test_sws_kinds(factory):
+    sws = factory()
+    copy = assert_same_fingerprint(sws)
+    assert copy.states == sws.states
+    assert copy.reachable_states() == sws.reachable_states()
+
+
+def test_mediator():
+    mediator = travel_mediator()
+    copy = assert_same_fingerprint(mediator)
+    assert set(copy.components) == set(mediator.components)
+
+
+def test_afa_with_compiled_engine():
+    afa = afa_counter(3)
+    word = afa.accepting_witness()
+    assert word is not None  # forces engine compilation (exec closures)
+    copy = assert_same_fingerprint(afa)
+    # The dropped engine recompiles on first use in the receiver.
+    assert copy.accepts(word)
+    assert copy.accepting_witness() is not None
+
+
+def test_nfa_and_dfa():
+    nfa = NFA(
+        states={"p", "q", "r"},
+        alphabet={"a", "b"},
+        transitions={("p", "a"): {"q"}, ("q", None): {"r"}, ("r", "b"): {"r"}},
+        initials={"p"},
+        finals={"r"},
+    )
+    copy = assert_same_fingerprint(nfa)
+    assert copy.accepts(["a", "b"]) == nfa.accepts(["a", "b"])
+    dfa = nfa.determinize()
+    dcopy = assert_same_fingerprint(dfa)
+    assert dcopy.accepts(["a"]) == dfa.accepts(["a"])
+
+
+def test_database_relation_schemas():
+    db = sample_database()
+    copy = assert_same_fingerprint(db)
+    assert set(copy.schema) == set(db.schema)
+    schema = RelationSchema("E", ("src", "dst"))
+    assert roundtrip(schema) == schema
+    dschema = DatabaseSchema([schema])
+    assert_same_fingerprint(dschema)
+    rel = Relation(schema, {(1, 2), (2, 3)})
+    assert_same_fingerprint(rel)
+
+
+def test_input_sequence():
+    seq = booking_request()
+    copy = assert_same_fingerprint(seq)
+    assert list(copy) == list(seq)
+
+
+def test_answer_and_budget():
+    answer = Answer.yes(witness=("w",), detail="test")
+    copy = roundtrip(answer)
+    assert copy == answer and copy.verdict is Verdict.YES
+    budget = Budget(deadline_s=1.5, step_budget=100)
+    assert roundtrip(budget) == budget

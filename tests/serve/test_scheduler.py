@@ -1,0 +1,185 @@
+"""Scheduler semantics: dedup, cancellation, budgets, cache speedup."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.verdict import Answer
+from repro.guard import Budget, CancelToken, checkpoint, guarded
+from repro.serve import (
+    CANCELLED_DETAIL,
+    JobSpec,
+    SolverService,
+    register_procedure,
+)
+from repro.serve.registry import UnknownProcedureError
+from repro.workloads.scaling import pl_counter_sws
+
+CALLS: list[str] = []
+
+
+@guarded()
+def counting_procedure(tag: str) -> Answer:
+    """Test stub: records every actual execution."""
+    CALLS.append(tag)
+    return Answer.yes(detail=f"ran {tag}")
+
+
+@guarded()
+def slow_procedure(tag: str, steps: int = 50) -> Answer:
+    for _ in range(steps):
+        checkpoint("test.slow")
+        time.sleep(0.001)
+    return Answer.yes(detail=f"ran {tag}")
+
+
+@pytest.fixture(autouse=True)
+def _register_stubs():
+    CALLS.clear()
+    register_procedure("test_counting", counting_procedure, replace=True)
+    register_procedure("test_slow", slow_procedure, replace=True)
+    yield
+
+
+def test_unknown_procedure_fails_fast():
+    service = SolverService()
+    with pytest.raises(UnknownProcedureError):
+        service.submit("no_such_procedure", 1)
+
+
+def test_dedup_one_computation_many_handles():
+    service = SolverService()
+    h1 = service.submit("test_counting", "x")
+    h2 = service.submit("test_counting", "x")
+    h3 = service.submit("test_counting", "y")
+    assert not h1.deduped and h2.deduped and not h3.deduped
+    service.drain()
+    assert CALLS == ["x", "y"]  # "x" ran once for two handles
+    assert h1.result() is h2.result()
+    assert service.jobs_deduped == 1 and service.jobs_executed == 2
+
+
+def test_cache_hit_on_resubmission():
+    service = SolverService()
+    h1 = service.submit("test_counting", "x")
+    h1.result()
+    h2 = service.submit("test_counting", "x")
+    assert h2.from_cache and h2.done()
+    assert h2.result() is h1.result()
+    assert CALLS == ["x"]
+
+
+def test_real_procedure_cached_resubmission_is_10x_faster():
+    """The acceptance criterion: identical batch ≥10× faster when cached."""
+    service = SolverService()
+    specs = [JobSpec("nonempty_pl", (pl_counter_sws(n),)) for n in (10, 11, 12)]
+    t0 = time.perf_counter()
+    cold = service.run_batch(specs)
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = service.run_batch(specs)
+    warm_s = time.perf_counter() - t0
+    assert [a.verdict for a in warm] == [a.verdict for a in cold]
+    assert service.cache.stats.hits >= 3
+    assert cold_s / warm_s >= 10, f"cold {cold_s:.4f}s vs warm {warm_s:.4f}s"
+
+
+def test_cancel_queued_job_via_token_prevents_execution():
+    """A token fired while the job is still queued: procedure never runs."""
+    service = SolverService()
+    token = CancelToken()
+    handle = service.submit("test_counting", "doomed", cancel_token=token)
+    token.cancel()
+    service.drain()
+    assert CALLS == []  # never executed
+    assert service.jobs_executed == 0 and service.jobs_skipped == 1
+    answer = handle.result()
+    assert answer.is_unknown and answer.detail == CANCELLED_DETAIL
+
+
+def test_cancel_via_handle_prevents_execution():
+    service = SolverService()
+    handle = service.submit("test_counting", "doomed")
+    assert handle.cancel()
+    service.drain()
+    assert CALLS == []
+    assert handle.result().detail == CANCELLED_DETAIL
+
+
+def test_cancelled_result_is_never_cached():
+    service = SolverService()
+    token = CancelToken()
+    h1 = service.submit("test_counting", "again", cancel_token=token)
+    token.cancel()
+    service.drain()
+    assert h1.result().is_unknown
+    # Resubmission without the token must actually execute.
+    h2 = service.submit("test_counting", "again")
+    assert not h2.from_cache
+    assert h2.result().is_yes
+    assert CALLS == ["again"]
+
+
+def test_one_live_handle_keeps_a_deduped_job_alive():
+    service = SolverService()
+    h1 = service.submit("test_counting", "shared")
+    h2 = service.submit("test_counting", "shared")
+    h1.cancel()
+    service.drain()
+    assert CALLS == ["shared"]  # h2 still wanted it
+    assert h2.result().is_yes
+
+
+def test_budget_trips_to_unknown_and_is_not_cached():
+    service = SolverService()
+    budget = Budget(step_budget=5)
+    h1 = service.submit("test_slow", "b", budget=budget)
+    answer = h1.result()
+    assert answer.is_unknown  # tripped, not decided
+    # The trip was not cached: a generous retry decides.
+    h2 = service.submit("test_slow", "b", budget=Budget(step_budget=10_000))
+    assert not h2.from_cache
+    assert h2.result().is_yes
+    assert service.cache.stats.rejected_unknown >= 1
+
+
+def test_budget_not_part_of_cache_key():
+    service = SolverService()
+    h1 = service.submit("test_counting", "k", budget=Budget(step_budget=100))
+    h1.result()
+    h2 = service.submit("test_counting", "k", budget=Budget(step_budget=999))
+    assert h2.from_cache  # same question, different budget
+
+
+def test_run_batch_preserves_job_order():
+    service = SolverService()
+    specs = [
+        JobSpec("test_counting", ("a",)),
+        JobSpec("test_counting", ("b",)),
+        JobSpec("test_counting", ("a",), label="a-again"),
+    ]
+    results = service.run_batch(specs)
+    assert [r.detail for r in results] == ["ran a", "ran b", "ran a"]
+    assert CALLS == ["a", "b"]
+
+
+def test_run_batch_accepts_mappings():
+    service = SolverService()
+    results = service.run_batch([{"procedure": "test_counting", "args": ("m",)}])
+    assert results[0].is_yes
+
+
+def test_stats_shape():
+    service = SolverService()
+    service.run_batch([JobSpec("test_counting", ("s",))])
+    stats = service.stats()
+    assert stats["jobs_executed"] == 1
+    assert set(stats) == {
+        "workers",
+        "jobs_executed",
+        "jobs_deduped",
+        "jobs_skipped",
+        "cache",
+    }
