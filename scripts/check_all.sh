@@ -86,4 +86,38 @@ with SolverService(workers=2) as service:
 PY
 python -m repro.serve procedures > /dev/null
 
+echo "== store smoke (write, reopen cold, warm-start hit) =="
+STORE_DIR="$(mktemp -d /tmp/repro_store_smoke.XXXXXX)"
+trap 'rm -f "${OBS_TRACE}"; rm -rf "${STORE_DIR}"' EXIT
+REPRO_STORE_SMOKE_DIR="${STORE_DIR}" python - <<'PY'
+import os
+
+import repro.automata.afa as afa
+from repro.serve import JobSpec, SolverService
+from repro.workloads.scaling import pl_counter_sws
+
+cache_dir = os.environ["REPRO_STORE_SMOKE_DIR"]
+specs = [JobSpec("nonempty_pl", (pl_counter_sws(8),))]
+
+# Write: a service with a store-backed disk tier solves once.
+with SolverService(cache_dir=cache_dir) as service:
+    assert service.run_batch(specs)[0].is_yes
+    stats = service.cache.store.stats()
+    assert stats["journal_mode"] == "wal", stats
+    assert stats["answers"] == 1, stats
+    assert stats["artifacts"], stats
+
+# Reopen cold: simulate a fresh process (cleared compile caches,
+# empty memory tier) and warm-start from the store.
+afa._SEARCHER_CACHE.clear()
+afa._DIFF_SEARCHER_CACHE.clear()
+with SolverService(cache_dir=cache_dir) as service:
+    assert service.cache.stats.disk_loaded == 1
+    assert service.run_batch(specs)[0].is_yes
+    assert service.jobs_executed == 0, service.stats()  # answer reused
+    assert service.cache.stats.hits >= 1
+PY
+python -m repro.serve store stats "${STORE_DIR}" > /dev/null
+python -m repro.serve store vacuum "${STORE_DIR}" > /dev/null
+
 echo "all green"

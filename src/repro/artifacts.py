@@ -1,0 +1,152 @@
+"""Process-wide hook between artifact *producers* and the artifact store.
+
+The expensive intermediates of the decision procedures — generated AFA
+searcher source, symbol-class quotients, UCQ expansions — are worth
+keeping across processes: a cold worker that reuses them warm-starts
+instead of re-deriving everything from the instance.  The modules that
+*produce* those intermediates (:mod:`repro.automata.afa`,
+:mod:`repro.logic.rewriting`) sit far below the serving layer, so they
+cannot import the SQLite store directly; this dependency-free leaf
+module is the meeting point:
+
+* the serving layer installs a *provider* around each job dispatch
+  (:func:`scope`), carrying the open store and the job fingerprint;
+* producers call :func:`load` / :func:`store` with a *key material*
+  object (either an explicit string, or a structure the provider
+  fingerprints) and a picklable value.
+
+With no provider in scope every call is a cheap no-op, so library users
+who never touch :mod:`repro.serve` see zero behaviour change.  Provider
+errors never propagate into producers: a broken store degrades to
+"no artifact cache", not to a failed solve.
+
+The scope is thread-local: a multi-threaded server dispatching jobs on
+several threads keeps each job's artifacts attributed to its own key.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Protocol
+
+from repro._stats import STATS
+
+__all__ = [
+    "ArtifactProvider",
+    "enabled",
+    "job_key",
+    "load",
+    "scope",
+    "slot",
+    "store",
+]
+
+
+class ArtifactProvider(Protocol):
+    """What the serving layer installs around a dispatch."""
+
+    def load_artifact(self, kind: str, key: Any) -> Any | None:
+        """The stored value for ``(kind, key)``, or ``None``."""
+
+    def store_artifact(
+        self, kind: str, key: Any, value: Any, meta: dict | None = None
+    ) -> bool:
+        """Persist ``value`` under ``(kind, key)``; False when not stored."""
+
+
+class _Scope:
+    __slots__ = ("provider", "job", "counters")
+
+    def __init__(self, provider: ArtifactProvider, job: str | None) -> None:
+        self.provider = provider
+        self.job = job
+        self.counters: dict[str, int] = {}
+
+
+_TLS = threading.local()
+
+
+def _current() -> _Scope | None:
+    return getattr(_TLS, "scope", None)
+
+
+@contextmanager
+def scope(provider: ArtifactProvider | None, job: str | None = None) -> Iterator[None]:
+    """Activate ``provider`` for the current thread; ``None`` is a no-op.
+
+    Scopes nest (the inner one wins); the serving layer enters one per
+    job dispatch so slot counters restart per job.
+    """
+    if provider is None:
+        yield
+        return
+    previous = _current()
+    _TLS.scope = _Scope(provider, job)
+    try:
+        yield
+    finally:
+        _TLS.scope = previous
+
+
+def enabled() -> bool:
+    """Whether an artifact provider is in scope on this thread."""
+    return _current() is not None
+
+
+def job_key() -> str | None:
+    """The fingerprint of the job being dispatched, if any."""
+    current = _current()
+    return current.job if current is not None else None
+
+
+def slot(kind: str) -> str | None:
+    """A per-job sequence key for ``kind``, or ``None`` outside a scope.
+
+    Deterministic procedures derive their intermediates in a fixed
+    order, so "the n-th artifact of this kind produced while answering
+    job J" is a stable identity even when fingerprinting the artifact's
+    own inputs would cost as much as recomputing it.  Each call claims
+    the next ordinal; the producer must use the returned key for both
+    the load probe and the store.
+    """
+    current = _current()
+    if current is None or current.job is None:
+        return None
+    ordinal = current.counters.get(kind, 0)
+    current.counters[kind] = ordinal + 1
+    return f"{current.job}/{kind}/{ordinal}"
+
+
+def load(kind: str, key: Any) -> Any | None:
+    """The artifact stored under ``(kind, key)``, or ``None``.
+
+    ``key`` is either a string (used as-is) or a structure the provider
+    fingerprints.  Provider failures return ``None``.
+    """
+    current = _current()
+    if current is None:
+        return None
+    try:
+        value = current.provider.load_artifact(kind, key)
+    except Exception:  # noqa: BLE001 - a broken store must not fail the solve
+        return None
+    if value is None:
+        STATS.artifact_misses += 1
+    else:
+        STATS.artifact_hits += 1
+    return value
+
+
+def store(kind: str, key: Any, value: Any, meta: dict | None = None) -> bool:
+    """Persist ``value`` under ``(kind, key)``; False when not stored."""
+    current = _current()
+    if current is None:
+        return False
+    try:
+        stored = bool(current.provider.store_artifact(kind, key, value, meta))
+    except Exception:  # noqa: BLE001
+        return False
+    if stored:
+        STATS.artifact_stores += 1
+    return stored

@@ -33,10 +33,13 @@ made witness words differ across interpreter runs.
 
 from __future__ import annotations
 
+import importlib.util
+import marshal
 from collections import deque
 from contextlib import contextmanager
 from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
 
+from repro import artifacts
 from repro._stats import STATS
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
@@ -158,15 +161,51 @@ def _class_exprs(gen: "pl._MaskCodegen", keys: Sequence[tuple]) -> list[str]:
     return exprs
 
 
-def _exec_source(name: str, lines: list[str]) -> Callable:
-    source = "\n".join(lines) + "\n"
+def _compile_fn_source(name: str, source: str):
+    return compile(source, f"<afa.{name}>", "exec")
+
+
+def _exec_code(name: str, code) -> Callable:
     namespace: dict = {"_deque": deque}
-    exec(compile(source, f"<afa.{name}>", "exec"), namespace)
+    exec(code, namespace)
     return namespace[name]
+
+
+def _exec_source(name: str, lines: list[str]) -> Callable:
+    return _exec_code(name, _compile_fn_source(name, "\n".join(lines) + "\n"))
 
 
 _SEARCHER_CACHE: dict[tuple, tuple[Callable, Callable]] = {}
 _DIFF_SEARCHER_CACHE: dict[tuple, Callable] = {}
+
+#: Marshalled code objects are interpreter-version specific; artifacts
+#: tagged with a different magic fall back to recompiling stored source.
+_BYTECODE_MAGIC = importlib.util.MAGIC_NUMBER.hex()
+
+
+def _load_searchers_artifact(cache_key: tuple) -> tuple[Callable, Callable] | None:
+    """Rehydrate persisted searchers, or ``None`` to compile from scratch.
+
+    Prefers the marshalled code objects (skips parsing + compiling); a
+    magic-number mismatch (store written by another Python version)
+    recompiles from the stored source, which is still cheaper than
+    regenerating it.  Any malformed payload falls through to a rebuild.
+    """
+    if not artifacts.enabled():
+        return None
+    payload = artifacts.load("afa.searchers", cache_key)
+    if not isinstance(payload, dict):
+        return None
+    try:
+        if payload.get("magic") == _BYTECODE_MAGIC:
+            search_code = marshal.loads(payload["search_code"])
+            sweep_code = marshal.loads(payload["sweep_code"])
+        else:
+            search_code = _compile_fn_source("_search", payload["search_src"])
+            sweep_code = _compile_fn_source("_sweep", payload["sweep_src"])
+        return _exec_code("_search", search_code), _exec_code("_sweep", sweep_code)
+    except Exception:  # noqa: BLE001 - corrupt artifact: recompile instead
+        return None
 
 
 def _compile_searchers(engine: "_CompiledAFA") -> tuple[Callable, Callable]:
@@ -180,6 +219,10 @@ def _compile_searchers(engine: "_CompiledAFA") -> tuple[Callable, Callable]:
     Generated functions depend only on the state order and the interned
     row formulas, so they are cached globally — rebuilding the same AFA
     (e.g. one ``to_afa`` per analysis call) reuses the compiled search.
+    When an artifact store is in scope the source and marshalled code
+    objects also persist under a content fingerprint of that same key,
+    so a *cold process* skips codegen (and, same interpreter version,
+    parsing/compilation) for engines any prior run ever compiled.
     """
     cache_key = (
         engine.order,
@@ -189,6 +232,11 @@ def _compile_searchers(engine: "_CompiledAFA") -> tuple[Callable, Callable]:
     if cached is not None:
         STATS.compile_cache_hits += 1
         return cached
+    restored = _load_searchers_artifact(cache_key)
+    if restored is not None:
+        STATS.compile_cache_hits += 1
+        _SEARCHER_CACHE[cache_key] = restored
+        return restored
     STATS.compile_cache_misses += 1
     gen = pl._MaskCodegen(engine.index)
     exprs = _class_exprs(gen, [engine.row_keys[rep] for rep in engine.reps])
@@ -244,8 +292,25 @@ def _compile_searchers(engine: "_CompiledAFA") -> tuple[Callable, Callable]:
         ]
     search.append("    return parents, None, n")
     sweep.append("    return parents, n")
-    built = _exec_source("_search", search), _exec_source("_sweep", sweep)
+    search_src = "\n".join(search) + "\n"
+    sweep_src = "\n".join(sweep) + "\n"
+    search_code = _compile_fn_source("_search", search_src)
+    sweep_code = _compile_fn_source("_sweep", sweep_src)
+    built = _exec_code("_search", search_code), _exec_code("_sweep", sweep_code)
     _SEARCHER_CACHE[cache_key] = built
+    if artifacts.enabled():
+        artifacts.store(
+            "afa.searchers",
+            cache_key,
+            {
+                "magic": _BYTECODE_MAGIC,
+                "search_src": search_src,
+                "sweep_src": sweep_src,
+                "search_code": marshal.dumps(search_code),
+                "sweep_code": marshal.dumps(sweep_code),
+            },
+            meta={"states": len(engine.order), "classes": len(engine.reps)},
+        )
     return built
 
 
@@ -353,21 +418,57 @@ class _CompiledAFA:
         )
         # Group symbols by transition row (tuple of interned formulas, one
         # per state): identical rows induce identical pre_step functions,
-        # so only one representative per class needs exploring.
+        # so only one representative per class needs exploring.  The
+        # quotient (rep_of / reps) persists as a job-scoped artifact:
+        # slot keys rely on the procedures deriving their automata
+        # deterministically, so a stored quotient with matching state
+        # order and alphabet describes this same automaton, and only one
+        # row tuple per *class* (instead of per symbol) must be built.
         self.row_keys: dict[Symbol, tuple] = {}
-        classes: dict[tuple, Symbol] = {}
         self.rep_of: dict[Symbol, Symbol] = {}
-        for symbol in self.symbols:
-            key = tuple(
-                afa.transitions.get((state, symbol), pl.FALSE)
-                for state in self.order
-            )
-            self.row_keys[symbol] = key
-            rep = classes.setdefault(key, symbol)
-            self.rep_of[symbol] = rep
-        self.reps: tuple[Symbol, ...] = tuple(classes.values())
         self.rows: dict[Symbol, Callable[[int], int]] = {}
-        for key, rep in classes.items():
+        slot = artifacts.slot("afa.quotient")
+        quotient = self._valid_quotient(
+            artifacts.load("afa.quotient", slot) if slot is not None else None
+        )
+        if quotient is not None:
+            self.rep_of = dict(quotient["rep_of"])
+            self.reps: tuple[Symbol, ...] = tuple(quotient["reps"])
+            rows_by_rep = {
+                rep: tuple(
+                    afa.transitions.get((state, rep), pl.FALSE)
+                    for state in self.order
+                )
+                for rep in self.reps
+            }
+            for symbol in self.symbols:
+                self.row_keys[symbol] = rows_by_rep[self.rep_of[symbol]]
+            class_items = [(rows_by_rep[rep], rep) for rep in self.reps]
+        else:
+            classes: dict[tuple, Symbol] = {}
+            for symbol in self.symbols:
+                key = tuple(
+                    afa.transitions.get((state, symbol), pl.FALSE)
+                    for state in self.order
+                )
+                self.row_keys[symbol] = key
+                rep = classes.setdefault(key, symbol)
+                self.rep_of[symbol] = rep
+            self.reps = tuple(classes.values())
+            class_items = list(classes.items())
+            if slot is not None:
+                artifacts.store(
+                    "afa.quotient",
+                    slot,
+                    {
+                        "order": self.order,
+                        "symbols": self.symbols,
+                        "rep_of": self.rep_of,
+                        "reps": self.reps,
+                    },
+                    meta={"classes": len(self.reps)},
+                )
+        for key, rep in class_items:
             self.rows[rep] = pl.compile_row(
                 (
                     (1 << i, formula)
@@ -385,6 +486,32 @@ class _CompiledAFA:
         STATS.afa_compilations += 1
         STATS.alphabet_symbols += len(self.symbols)
         STATS.symbol_classes += len(self.reps)
+
+    def _valid_quotient(self, payload) -> dict | None:
+        """``payload`` if it is a quotient applicable here, else ``None``.
+
+        The state order and alphabet must match exactly, every symbol
+        must be classified, and every class representative must name an
+        actual symbol — anything else (staleness, corruption, a slot
+        collision) silently recomputes the quotient from scratch.
+        """
+        if not isinstance(payload, dict):
+            return None
+        try:
+            if payload["order"] != self.order:
+                return None
+            if payload["symbols"] != self.symbols:
+                return None
+            rep_of = payload["rep_of"]
+            reps = payload["reps"]
+            universe = set(self.symbols)
+            if set(rep_of) != universe or not universe.issuperset(reps):
+                return None
+            if set(rep_of.values()) != set(reps):
+                return None
+        except (KeyError, TypeError, AttributeError):
+            return None
+        return payload
 
     def searcher(self) -> Callable:
         """The generated witness-search BFS (built on first use)."""

@@ -29,8 +29,10 @@ Components:
 
 * :mod:`repro.serve.fingerprint` — hash-seed- and construction-order-
   independent structural fingerprints of problem instances.
-* :mod:`repro.serve.cache` — in-memory LRU + optional on-disk JSONL
-  answer cache (``REPRO_CACHE_DIR``); never caches UNKNOWN.
+* :mod:`repro.serve.store` — the WAL-mode SQLite answer + artifact
+  store; safe for many concurrent reader/writer processes.
+* :mod:`repro.serve.cache` — in-memory LRU over the optional store
+  disk tier (``REPRO_CACHE_DIR``); never caches UNKNOWN.
 * :mod:`repro.serve.scheduler` — :class:`SolverService`,
   :class:`JobHandle`, dedup and cancellation semantics.
 * :mod:`repro.serve.pool` — worker processes + trace spool merging.
@@ -40,6 +42,7 @@ See ``docs/SERVING.md`` for the full design.
 """
 
 from repro.serve.cache import AnswerCache, CacheStats, cacheable
+from repro.serve.store import Store, StoreArtifactProvider, StoreError
 from repro.serve.fingerprint import (
     FingerprintError,
     canonical,
@@ -55,6 +58,7 @@ from repro.serve.registry import (
     register_procedure,
 )
 from repro.serve.scheduler import (
+    BATCH_ABORTED_DETAIL,
     CANCELLED_DETAIL,
     JobHandle,
     JobSpec,
@@ -63,6 +67,7 @@ from repro.serve.scheduler import (
 
 __all__ = [
     "AnswerCache",
+    "BATCH_ABORTED_DETAIL",
     "CacheStats",
     "CANCELLED_DETAIL",
     "FingerprintError",
@@ -70,6 +75,9 @@ __all__ = [
     "JobSpec",
     "PROCEDURES",
     "SolverService",
+    "Store",
+    "StoreArtifactProvider",
+    "StoreError",
     "UnknownProcedureError",
     "WorkerPool",
     "cacheable",

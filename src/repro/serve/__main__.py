@@ -8,6 +8,10 @@ Subcommands:
 * ``procedures`` — list the registered decision procedures.
 * ``fingerprint JOBS.jsonl`` — print each job's fingerprint without
   running anything (what the cache would key on).
+* ``store stats|vacuum|import`` — inspect and maintain the SQLite
+  answer + artifact store behind a cache directory (``stats`` prints a
+  JSON summary; ``vacuum`` compacts the file; ``import`` folds a legacy
+  JSONL answer file in, ``--replace`` letting its records win).
 
 Job file format — one JSON object per line::
 
@@ -35,6 +39,7 @@ from __future__ import annotations
 import argparse
 import base64
 import json
+import os
 import pickle
 import sys
 import time
@@ -45,6 +50,7 @@ from repro.serve.cache import AnswerCache
 from repro.serve.fingerprint import job_fingerprint
 from repro.serve.registry import procedure_names, resolve_factory
 from repro.serve.scheduler import JobSpec, SolverService
+from repro.serve.store import Store
 
 
 def _build_instance(spec: Any) -> Any:
@@ -131,6 +137,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ]
     finally:
         service.close()
+        if cache is not None:
+            cache.close()
     elapsed = time.perf_counter() - started
     summary = {"_summary": service.stats(), "elapsed_s": round(elapsed, 6)}
     out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
@@ -165,6 +173,38 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(args: argparse.Namespace) -> Store:
+    path = os.path.join(args.cache_dir, f"{args.namespace}.sqlite3")
+    if not os.path.exists(path):
+        raise SystemExit(f"{path}: no store file")
+    return Store(path)
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        print(json.dumps(store.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_store_vacuum(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        before = store.stats()["file_bytes"]
+        store.vacuum()
+        after = store.stats()["file_bytes"]
+    print(f"vacuumed: {before} -> {after} bytes", file=sys.stderr)
+    return 0
+
+
+def _cmd_store_import(args: argparse.Namespace) -> int:
+    os.makedirs(args.cache_dir, exist_ok=True)
+    path = os.path.join(args.cache_dir, f"{args.namespace}.sqlite3")
+    with Store(path) as store:
+        imported = store.import_jsonl(args.jsonl, replace=args.replace)
+        total = store.answer_count()
+    print(f"imported {imported} records from {args.jsonl}; store holds {total}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -186,6 +226,33 @@ def main(argv: list[str] | None = None) -> int:
     fp = sub.add_parser("fingerprint", help="print job fingerprints without running")
     fp.add_argument("jobs", help="JSONL job file")
     fp.set_defaults(func=_cmd_fingerprint)
+
+    store = sub.add_parser("store", help="inspect/maintain the answer+artifact store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    def _store_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("cache_dir", help="cache directory holding the store")
+        p.add_argument(
+            "--namespace", default="answers", help="store namespace (file stem)"
+        )
+
+    st = store_sub.add_parser("stats", help="print a JSON store summary")
+    _store_common(st)
+    st.set_defaults(func=_cmd_store_stats)
+
+    vac = store_sub.add_parser("vacuum", help="compact the store file")
+    _store_common(vac)
+    vac.set_defaults(func=_cmd_store_vacuum)
+
+    imp = store_sub.add_parser("import", help="import a legacy JSONL answer file")
+    _store_common(imp)
+    imp.add_argument("jsonl", help="legacy JSONL answer file")
+    imp.add_argument(
+        "--replace",
+        action="store_true",
+        help="imported records replace existing store rows",
+    )
+    imp.set_defaults(func=_cmd_store_import)
 
     args = parser.parse_args(argv)
     return args.func(args)

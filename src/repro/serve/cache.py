@@ -14,13 +14,14 @@ Semantics:
   better-budgeted ask.  :meth:`AnswerCache.put` refuses such results and
   counts the refusal.
 * The in-memory tier is a bounded LRU (gets refresh recency).
-* The optional on-disk tier is an append-only JSONL file under a cache
-  directory (``REPRO_CACHE_DIR`` enables it for the default service):
-  one record per stored answer, carrying the verdict/detail in plain
-  JSON for inspection and the full result pickled (base64) for exact
-  round-tripping.  On open, existing records are loaded into an index;
-  later writers append, so concurrent batch runs extend rather than
-  clobber (last record for a key wins on reload).
+* The optional on-disk tier is a :class:`repro.serve.store.Store` — a
+  WAL-mode SQLite database under a cache directory (``REPRO_CACHE_DIR``
+  enables it for the default service).  Unlike the JSONL file it
+  replaces, the store is safe for many concurrent reader/writer
+  processes and also holds derived artifacts (compiled AFA searchers,
+  symbol-class quotients, UCQ expansions) for cold-process warm starts.
+  A legacy ``<namespace>.jsonl`` file in the directory is imported into
+  the store on open (once per file version; store rows win).
 * Hit/miss/store counters feed both a local :class:`CacheStats` and the
   process-wide ``repro.obs`` STATS block (``serve_cache_hits`` /
   ``serve_cache_misses``), so cache behaviour shows up in span counter
@@ -29,22 +30,17 @@ Semantics:
 
 from __future__ import annotations
 
-import base64
-import json
 import os
-import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
 from repro._stats import STATS
+from repro.serve.store import Store
 
 #: Environment variable naming the on-disk cache directory.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
-
-#: On-disk record format version.
-CACHE_SCHEMA_VERSION = 1
 
 
 def _verdict_name(result: Any) -> str | None:
@@ -79,6 +75,7 @@ class CacheStats:
     rejected_unknown: int = 0
     evictions: int = 0
     disk_loaded: int = 0
+    disk_skipped: int = 0
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -92,15 +89,18 @@ class CacheStats:
             "rejected_unknown": self.rejected_unknown,
             "evictions": self.evictions,
             "disk_loaded": self.disk_loaded,
+            "disk_skipped": self.disk_skipped,
             "hit_rate": self.hit_rate(),
         }
 
 
 class AnswerCache:
-    """Two-tier (memory LRU + optional JSONL disk) answer store.
+    """Two-tier (memory LRU + optional SQLite store) answer cache.
 
     Thread-safe: the scheduler consults it from the submitting thread
-    while pool callbacks store results.
+    while pool callbacks store results.  The disk tier is additionally
+    safe across processes — any number of services may share one cache
+    directory.
     """
 
     def __init__(
@@ -115,12 +115,33 @@ class AnswerCache:
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._memory: OrderedDict[str, Any] = OrderedDict()
-        self._disk_path: str | None = None
-        self._disk_index: dict[str, dict[str, Any]] = {}
+        self.store: Store | None = None
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
-            self._disk_path = os.path.join(directory, f"{namespace}.jsonl")
-            self._load_disk()
+            self.store = Store(os.path.join(directory, f"{namespace}.sqlite3"))
+            self._migrate_legacy_jsonl(
+                os.path.join(directory, f"{namespace}.jsonl")
+            )
+            self.stats.disk_loaded = self.store.answer_count()
+
+    def _migrate_legacy_jsonl(self, legacy_path: str) -> None:
+        """One-time import of a pre-store JSONL tier sharing the directory.
+
+        Keyed on the file's (mtime, size) so an unchanged file is not
+        re-read on every open, while a file extended by an old-version
+        writer is picked up again.  Store rows win over imported ones —
+        they are the newer generation.
+        """
+        assert self.store is not None
+        if not os.path.exists(legacy_path):
+            return
+        stat = os.stat(legacy_path)
+        marker = f"{stat.st_mtime_ns}:{stat.st_size}"
+        meta_key = f"imported-jsonl:{os.path.basename(legacy_path)}"
+        if self.store.get_meta(meta_key) == marker:
+            return
+        self.store.import_jsonl(legacy_path)
+        self.store.set_meta(meta_key, marker)
 
     # -- the two tiers -----------------------------------------------------------
 
@@ -137,13 +158,9 @@ class AnswerCache:
                 self.stats.hits += 1
                 STATS.serve_cache_hits += 1
                 return self._memory[key]
-            record = self._disk_index.get(key)
-            if record is not None:
-                try:
-                    result = pickle.loads(base64.b64decode(record["pickle"]))
-                except Exception:  # noqa: BLE001 - stale/corrupt record
-                    self._disk_index.pop(key, None)
-                else:
+            if self.store is not None:
+                result = self.store.get_answer(key)
+                if result is not None:
                     self._remember(key, result)
                     self.stats.hits += 1
                     STATS.serve_cache_hits += 1
@@ -153,8 +170,13 @@ class AnswerCache:
             return None
 
     def put(self, key: str, result: Any, procedure: str | None = None) -> bool:
-        """Store a decided result; returns False (and stores nothing) for
-        UNKNOWN/tripped results or results that cannot be pickled."""
+        """Store a decided result; True iff every configured tier holds it.
+
+        UNKNOWN/tripped results are stored nowhere and return False.  A
+        result the disk tier cannot pickle is kept memory-only: the call
+        returns False and counts a ``disk_skipped`` so callers relying
+        on cross-process persistence can tell the difference.
+        """
         if not cacheable(result):
             with self._lock:
                 self.stats.rejected_unknown += 1
@@ -162,22 +184,42 @@ class AnswerCache:
         with self._lock:
             self._remember(key, result)
             self.stats.stores += 1
-            if self._disk_path is not None:
-                self._append_disk(key, result, procedure)
+            if self.store is not None and not self.store.put_answer(
+                key, result, procedure
+            ):
+                self.stats.disk_skipped += 1
+                return False
             return True
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
-            return key in self._memory or key in self._disk_index
+            if key in self._memory:
+                return True
+            return self.store is not None and self.store.has_answer(key)
 
     def __len__(self) -> int:
+        """Distinct keys answerable from *any* tier (memory or disk).
+
+        Consistent with ``in``: every key visible to ``__contains__``
+        is counted, whether or not it is currently memory-resident.
+        """
         with self._lock:
-            return len(self._memory)
+            if self.store is None:
+                return len(self._memory)
+            keys = set(self._memory)
+            keys.update(self.store.answer_keys())
+            return len(keys)
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (disk records remain loadable)."""
         with self._lock:
             self._memory.clear()
+
+    def close(self) -> None:
+        """Close the disk tier (if any); the memory tier stays usable."""
+        if self.store is not None:
+            self.store.close()
+            self.store = None
 
     def _remember(self, key: str, result: Any) -> None:
         self._memory[key] = result
@@ -185,49 +227,6 @@ class AnswerCache:
         while len(self._memory) > self.capacity:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
-
-    # -- the disk tier -----------------------------------------------------------
-
-    def _load_disk(self) -> None:
-        assert self._disk_path is not None
-        if not os.path.exists(self._disk_path):
-            return
-        with open(self._disk_path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                key = record.get("key")
-                if isinstance(key, str) and "pickle" in record:
-                    self._disk_index[key] = record
-                    self.stats.disk_loaded += 1
-
-    def _append_disk(self, key: str, result: Any, procedure: str | None) -> None:
-        assert self._disk_path is not None
-        try:
-            payload = base64.b64encode(pickle.dumps(result)).decode("ascii")
-        except Exception:  # noqa: BLE001 - unpicklable result: memory-only
-            return
-        record: dict[str, Any] = {
-            "v": CACHE_SCHEMA_VERSION,
-            "key": key,
-            "pickle": payload,
-        }
-        if procedure:
-            record["procedure"] = procedure
-        verdict = _verdict_name(result)
-        if verdict is not None:
-            record["verdict"] = verdict
-        detail = getattr(result, "detail", None)
-        if isinstance(detail, str) and detail:
-            record["detail"] = detail
-        self._disk_index[key] = record
-        with open(self._disk_path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
 
 
 def default_cache_directory() -> str | None:

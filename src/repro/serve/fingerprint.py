@@ -72,18 +72,35 @@ def _sorted_map(mapping: Mapping[Any, Any]) -> tuple:
     )
 
 
+#: Canonical forms of PL nodes, memoized.  Hash-consing makes formulas
+#: DAGs with heavy sharing; a plain tree recursion re-expands every
+#: shared subformula (exponentially, in the worst case), while the memo
+#: keeps the walk linear in DAG size.  Interning also keeps the nodes
+#: alive process-wide, so a bounded plain dict is the right cache shape.
+_PL_CANON_MEMO: dict[pl.Formula, tuple] = {}
+_PL_CANON_MEMO_LIMIT = 200_000
+
+
 def _pl_formula(formula: pl.Formula) -> tuple:
+    cached = _PL_CANON_MEMO.get(formula)
+    if cached is not None:
+        return cached
     if isinstance(formula, pl.Var):
-        return ("pl.var", formula.name)
-    if isinstance(formula, pl.Const):
-        return ("pl.const", formula.value)
-    if isinstance(formula, pl.Not):
-        return ("pl.not", _pl_formula(formula.operand))
-    if isinstance(formula, pl.And):
-        return ("pl.and", tuple(_pl_formula(op) for op in formula.operands))
-    if isinstance(formula, pl.Or):
-        return ("pl.or", tuple(_pl_formula(op) for op in formula.operands))
-    raise FingerprintError(f"unknown PL node {type(formula).__name__}")
+        result = ("pl.var", formula.name)
+    elif isinstance(formula, pl.Const):
+        result = ("pl.const", formula.value)
+    elif isinstance(formula, pl.Not):
+        result = ("pl.not", _pl_formula(formula.operand))
+    elif isinstance(formula, pl.And):
+        result = ("pl.and", tuple(_pl_formula(op) for op in formula.operands))
+    elif isinstance(formula, pl.Or):
+        result = ("pl.or", tuple(_pl_formula(op) for op in formula.operands))
+    else:
+        raise FingerprintError(f"unknown PL node {type(formula).__name__}")
+    if len(_PL_CANON_MEMO) >= _PL_CANON_MEMO_LIMIT:
+        _PL_CANON_MEMO.clear()
+    _PL_CANON_MEMO[formula] = result
+    return result
 
 
 def _fo_formula(formula: fo.FOFormula) -> tuple:

@@ -57,20 +57,51 @@ def _worker_init(trace_dir: str | None) -> None:
             obs.configure(enabled=False)
 
 
+#: Worker-side cache of open stores, keyed by (path, pid) — a forked
+#: worker must not reuse a store object created before the fork.
+_WORKER_STORES: dict[tuple[str, int], Any] = {}
+
+
+def _worker_artifact_provider(store_path: str | None):
+    """The worker's artifact provider for ``store_path`` (or ``None``).
+
+    Each worker process opens its own connection to the shared SQLite
+    store — that is the multi-process contract the store is built for.
+    A store that fails to open degrades to no artifact cache.
+    """
+    if store_path is None:
+        return None
+    from repro.serve.store import Store, StoreArtifactProvider
+
+    key = (store_path, os.getpid())
+    store = _WORKER_STORES.get(key)
+    if store is None:
+        try:
+            store = Store(store_path)
+        except Exception:  # noqa: BLE001 - degrade, don't fail the job
+            return None
+        _WORKER_STORES[key] = store
+    return StoreArtifactProvider(store)
+
+
 def _run_job(
     name: str,
     args: tuple,
     kwargs: Mapping[str, Any],
     budget_spec: Mapping[str, Any] | None,
+    store_path: str | None = None,
+    job_key: str | None = None,
 ) -> Any:
     """Worker-side job body: resolve the procedure by name and run it."""
+    from repro import artifacts
     from repro.serve.registry import get_procedure
 
     procedure = get_procedure(name)
     guard = Budget.from_dict(budget_spec) if budget_spec else None
-    if guard is not None:
-        return procedure(*args, guard=guard, **dict(kwargs))
-    return procedure(*args, **dict(kwargs))
+    with artifacts.scope(_worker_artifact_provider(store_path), job_key):
+        if guard is not None:
+            return procedure(*args, guard=guard, **dict(kwargs))
+        return procedure(*args, **dict(kwargs))
 
 
 class WorkerPool:
@@ -101,9 +132,13 @@ class WorkerPool:
         args: tuple,
         kwargs: Mapping[str, Any],
         budget: Budget | None,
+        store_path: str | None = None,
+        job_key: str | None = None,
     ) -> Future:
         spec = budget.as_dict() if budget is not None else None
-        return self._executor.submit(_run_job, name, args, dict(kwargs), spec)
+        return self._executor.submit(
+            _run_job, name, args, dict(kwargs), spec, store_path, job_key
+        )
 
     # -- trace spool merging -----------------------------------------------------
 

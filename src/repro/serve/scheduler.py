@@ -40,8 +40,10 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from concurrent import futures as _futures
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro import artifacts
 from repro._stats import STATS
 from repro.analysis.verdict import Answer
 from repro.guard import Budget, CancelToken, Guard
@@ -49,11 +51,22 @@ from repro.serve.cache import AnswerCache, default_cache_directory
 from repro.serve.fingerprint import job_fingerprint
 from repro.serve.pool import WorkerPool
 from repro.serve.registry import get_procedure
+from repro.serve.store import StoreArtifactProvider
 
-__all__ = ["CANCELLED_DETAIL", "JobHandle", "JobSpec", "SolverService"]
+__all__ = [
+    "BATCH_ABORTED_DETAIL",
+    "CANCELLED_DETAIL",
+    "JobHandle",
+    "JobSpec",
+    "SolverService",
+]
 
 #: ``Answer.detail`` of jobs cancelled before execution.
 CANCELLED_DETAIL = "cancelled before execution"
+
+#: ``Answer.detail`` of jobs stranded when an earlier job in the same
+#: drain raised: they resolve to UNKNOWN instead of hanging their handles.
+BATCH_ABORTED_DETAIL = "batch aborted: an earlier job's procedure raised"
 
 
 class JobSpec:
@@ -74,6 +87,34 @@ class JobSpec:
         self.kwargs = dict(kwargs or {})
         self.budget = budget
         self.label = label or procedure
+
+
+class _EntryToken(CancelToken):
+    """The service-side token wired into an entry's :class:`Guard`.
+
+    Besides the explicitly-fired flag (set by ``handle.cancel()`` via
+    ``_on_handle_cancelled``), it *polls the entry's handles*: a handle
+    whose submit-time :class:`CancelToken` fires mid-run never calls
+    back into the service, so the guard checkpoint consulting this
+    token is the only place that can observe it.  Once every handle is
+    cancelled the flag latches and the running procedure trips at its
+    next checkpoint.
+    """
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: "_Entry") -> None:
+        super().__init__()
+        self._entry = entry
+
+    def cancelled(self) -> bool:
+        if super().cancelled():
+            return True
+        handles = self._entry.handles
+        if handles and all(h.cancelled for h in handles):
+            self.cancel()  # latch, so later checks skip the handle scan
+            return True
+        return False
 
 
 class _Entry:
@@ -112,9 +153,10 @@ class _Entry:
         self.result: Any = None
         self.dispatched = False
         self.skipped = False
-        # Service-side token: fired when every handle cancels, so an
-        # in-process run trips cooperatively at its next checkpoint.
-        self.token = CancelToken()
+        # Service-side token: fires when every handle cancels — whether
+        # via handle.cancel() or a submit-time token firing mid-run — so
+        # an in-process run trips cooperatively at its next checkpoint.
+        self.token = _EntryToken(self)
         self.future: Any = None
 
     def all_cancelled(self) -> bool:
@@ -208,6 +250,7 @@ class SolverService:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
+        self._owns_cache = cache is None
         if cache is None:
             cache = AnswerCache(
                 capacity=cache_capacity,
@@ -314,8 +357,13 @@ class SolverService:
             else:
                 executed += self._run_batch_pooled(batch)
         finally:
+            # A procedure exception aborts the rest of the batch; resolve
+            # every stranded entry (UNKNOWN, "batch aborted") before
+            # propagating so no JobHandle.result() can block forever.
             with self._lock:
                 for entry in batch:
+                    if not entry.done.is_set():
+                        entry.resolve(Answer.unknown(detail=BATCH_ABORTED_DETAIL))
                     self._inflight.pop(entry.key, None)
         return executed
 
@@ -350,6 +398,11 @@ class SolverService:
         self.jobs_skipped += 1
         entry.resolve(Answer.unknown(detail=CANCELLED_DETAIL))
 
+    def _artifact_provider(self) -> StoreArtifactProvider | None:
+        """The dispatch-time artifact provider (read-through to the store)."""
+        store = self.cache.store
+        return StoreArtifactProvider(store) if store is not None else None
+
     def _run_entry_inline(self, entry: _Entry) -> int:
         if entry.all_cancelled():
             self._skip(entry)
@@ -360,7 +413,8 @@ class SolverService:
         self.jobs_executed += 1
         STATS.serve_jobs_executed += 1
         try:
-            result = procedure(*entry.args, guard=guard, **entry.kwargs)
+            with artifacts.scope(self._artifact_provider(), entry.key):
+                result = procedure(*entry.args, guard=guard, **entry.kwargs)
         except Exception as error:  # noqa: BLE001 - resolve waiters, then raise
             entry.resolve(
                 Answer.unknown(detail=f"procedure raised {type(error).__name__}")
@@ -372,6 +426,8 @@ class SolverService:
 
     def _run_batch_pooled(self, batch: list[_Entry]) -> int:
         pool = self._ensure_pool()
+        store = self.cache.store
+        store_path = store.path if store is not None else None
         dispatched: list[_Entry] = []
         for entry in batch:
             if entry.all_cancelled():
@@ -379,23 +435,51 @@ class SolverService:
                 continue
             entry.dispatched = True
             entry.future = pool.submit(
-                entry.procedure, entry.args, entry.kwargs, entry.budget
+                entry.procedure,
+                entry.args,
+                entry.kwargs,
+                entry.budget,
+                store_path=store_path,
+                job_key=entry.key,
             )
             self.jobs_executed += 1
             STATS.serve_jobs_executed += 1
             dispatched.append(entry)
         for entry in dispatched:
-            try:
-                result = entry.future.result()
-            except Exception as error:  # noqa: BLE001
-                entry.resolve(
-                    Answer.unknown(detail=f"worker raised {type(error).__name__}")
-                )
-                continue
+            result = self._await_pooled(entry)
+            if result is None:
+                continue  # resolved inside (error or cancelled-in-queue)
             self.cache.put(entry.key, result, entry.procedure)
             entry.resolve(result)
         pool.merge_traces()
         return len(dispatched)
+
+    def _await_pooled(self, entry: _Entry) -> Any | None:
+        """Await one pool future, polling for token-fired cancellation.
+
+        A job still queued behind busy workers whose handles have all
+        cancelled (e.g. their submit-time tokens fired after dispatch)
+        is withdrawn from the pool instead of executed.  A job already
+        running in a worker completes — cross-process cooperative
+        cancellation would need a shared token — bounded by its budget.
+        Resolves the entry and returns ``None`` on error/cancellation;
+        otherwise returns the result for the caller to cache + resolve.
+        """
+        while True:
+            try:
+                return entry.future.result(timeout=0.05)
+            except _futures.TimeoutError:
+                if entry.all_cancelled() and entry.future.cancel():
+                    self._skip(entry)
+                    return None
+            except _futures.CancelledError:
+                self._skip(entry)
+                return None
+            except Exception as error:  # noqa: BLE001
+                entry.resolve(
+                    Answer.unknown(detail=f"worker raised {type(error).__name__}")
+                )
+                return None
 
     def _ensure_pool(self) -> WorkerPool:
         if self._pool is None:
@@ -424,10 +508,12 @@ class SolverService:
         }
 
     def close(self) -> None:
-        """Shut down the worker pool (if any)."""
+        """Shut down the worker pool and any cache this service created."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._owns_cache:
+            self.cache.close()
 
     def __enter__(self) -> "SolverService":
         return self

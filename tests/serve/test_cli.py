@@ -99,6 +99,40 @@ def test_procedures_command(capsys):
     assert "nonempty_pl" in names and "compose_mdtb_pl" in names
 
 
+def test_store_stats_vacuum_import_commands(tmp_path, jobs_file, capsys):
+    cache_dir = str(tmp_path / "cache")
+    out = tmp_path / "results.jsonl"
+    assert main(["run", str(jobs_file), "--out", str(out), "--cache-dir", cache_dir]) == 0
+
+    assert main(["store", "stats", cache_dir]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["answers"] == 1
+    assert stats["journal_mode"] == "wal"
+    # The quotient artifact is job-scoped, so it stores even when this
+    # process's compile caches were already warm.
+    assert "afa.quotient" in stats["artifacts"]
+
+    assert main(["store", "vacuum", cache_dir]) == 0
+
+    # Importing a legacy JSONL file adds its records to the store.
+    from repro.analysis.verdict import Answer
+
+    legacy = tmp_path / "legacy.jsonl"
+    payload = base64.b64encode(pickle.dumps(Answer.yes(detail="legacy")))
+    legacy.write_text(
+        json.dumps({"key": "legacy-k", "pickle": payload.decode("ascii")}) + "\n"
+    )
+    assert main(["store", "import", cache_dir, str(legacy)]) == 0
+    assert "imported 1" in capsys.readouterr().out
+    assert main(["store", "stats", cache_dir]) == 0
+    assert json.loads(capsys.readouterr().out)["answers"] == 2
+
+
+def test_store_stats_missing_store_errors(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["store", "stats", str(tmp_path / "nowhere")])
+
+
 def test_disallowed_factory_module(tmp_path):
     path = tmp_path / "jobs.jsonl"
     write_jobs(

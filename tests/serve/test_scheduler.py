@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 
 import pytest
@@ -9,6 +10,7 @@ import pytest
 from repro.analysis.verdict import Answer
 from repro.guard import Budget, CancelToken, checkpoint, guarded
 from repro.serve import (
+    BATCH_ABORTED_DETAIL,
     CANCELLED_DETAIL,
     JobSpec,
     SolverService,
@@ -35,11 +37,17 @@ def slow_procedure(tag: str, steps: int = 50) -> Answer:
     return Answer.yes(detail=f"ran {tag}")
 
 
+@guarded()
+def raising_procedure(tag: str) -> Answer:
+    raise ValueError(f"boom {tag}")
+
+
 @pytest.fixture(autouse=True)
 def _register_stubs():
     CALLS.clear()
     register_procedure("test_counting", counting_procedure, replace=True)
     register_procedure("test_slow", slow_procedure, replace=True)
+    register_procedure("test_raising", raising_procedure, replace=True)
     yield
 
 
@@ -169,6 +177,69 @@ def test_run_batch_accepts_mappings():
     service = SolverService()
     results = service.run_batch([{"procedure": "test_counting", "args": ("m",)}])
     assert results[0].is_yes
+
+
+def test_drain_abort_resolves_every_stranded_handle():
+    """Regression: an exception mid-batch must not strand queued handles.
+
+    Before the fix, a procedure raising during drain() left every
+    not-yet-run entry unresolved and still registered in-flight, so
+    ``JobHandle.result()`` blocked forever (drain had nothing pending)
+    and resubmissions deduped against the dead entry.
+    """
+    service = SolverService()
+    doomed = service.submit("test_raising", "first")
+    stranded = [service.submit("test_counting", tag) for tag in ("a", "b", "c")]
+    with pytest.raises(ValueError):
+        service.drain()
+    # The raising job's own handle reports the failure...
+    assert doomed.done()
+    assert doomed.result(timeout=1).detail == "procedure raised ValueError"
+    # ...and every queued-behind-it handle resolves instead of hanging.
+    for handle in stranded:
+        assert handle.done()
+        answer = handle.result(timeout=1)
+        assert answer.is_unknown and answer.detail == BATCH_ABORTED_DETAIL
+    assert CALLS == []  # none of the stranded jobs ever ran
+    # The failed keys left the in-flight table: resubmitting re-executes.
+    retry = service.submit("test_counting", "a")
+    assert not retry.deduped and not retry.from_cache
+    assert retry.result(timeout=5).is_yes
+    assert CALLS == ["a"]
+
+
+def test_pooled_drain_worker_exception_does_not_strand_the_batch():
+    """In pooled mode a raising job resolves UNKNOWN; the rest still run."""
+    with SolverService(workers=1) as service:
+        doomed = service.submit("test_raising", "first")
+        survivor = service.submit("test_counting", "ok")
+        service.drain()  # must not raise and must not hang
+        assert doomed.result(timeout=5).detail == "worker raised ValueError"
+        assert survivor.result(timeout=5).is_yes
+
+
+def test_token_fired_mid_run_trips_inline_procedure():
+    """Regression: a submit-time token firing *after* dispatch must still
+    cancel a running in-process entry via its guard checkpoints.
+
+    Before the fix nothing ever propagated the fired token to
+    ``entry.token`` (only ``handle.cancel()`` did), so the procedure ran
+    to completion.
+    """
+    service = SolverService()
+    token = CancelToken()
+    handle = service.submit("test_slow", "t", steps=5_000, cancel_token=token)
+    timer = threading.Timer(0.05, token.cancel)
+    timer.start()
+    try:
+        answer = handle.result(timeout=30)
+    finally:
+        timer.cancel()
+    assert answer.is_unknown
+    assert answer.trip is not None and answer.trip.limit == "cancelled"
+    # A cancellation trip is a non-answer: never cached.
+    retry = service.submit("test_slow", "t", steps=5_000)
+    assert not retry.from_cache
 
 
 def test_stats_shape():

@@ -1,0 +1,232 @@
+"""Store semantics: schema, pragmas, artifacts, and multi-process safety."""
+
+from __future__ import annotations
+
+import base64
+import json
+import multiprocessing
+import pickle
+import sqlite3
+
+import pytest
+
+from repro.analysis.verdict import Answer
+from repro.serve import JobSpec, SolverService
+from repro.serve.store import (
+    STORE_SCHEMA_VERSION,
+    Store,
+    StoreArtifactProvider,
+    StoreError,
+)
+from repro.workloads.scaling import pl_counter_sws
+
+
+def test_answer_roundtrip(tmp_path):
+    store = Store(str(tmp_path / "s.sqlite3"))
+    assert store.put_answer(
+        "k", Answer.yes(witness=("a", "b"), detail="d"), procedure="p"
+    )
+    hit = store.get_answer("k")
+    assert hit is not None and hit.is_yes and hit.witness == ("a", "b")
+    assert store.has_answer("k") and not store.has_answer("absent")
+    assert store.answer_count() == 1
+    assert list(store.answer_keys()) == ["k"]
+    assert store.get_answer("absent") is None
+    store.close()
+
+
+def test_reopen_sees_prior_writes(tmp_path):
+    path = str(tmp_path / "s.sqlite3")
+    with Store(path) as store:
+        store.put_answer("k", Answer.no(detail="first"))
+        store.put_answer("k", Answer.no(detail="second"))  # replace
+    with Store(path) as store:
+        assert store.answer_count() == 1
+        assert store.get_answer("k").detail == "second"
+
+
+def test_wal_mode_and_tuned_pragmas(tmp_path):
+    with Store(str(tmp_path / "s.sqlite3")) as store:
+        stats = store.stats()
+    assert stats["schema_version"] == STORE_SCHEMA_VERSION
+    assert stats["journal_mode"] == "wal"
+    assert stats["page_size"] == 4096
+    assert stats["busy_timeout_ms"] == 10_000
+    assert stats["file_bytes"] > 0
+
+
+def test_newer_schema_version_is_refused(tmp_path):
+    path = str(tmp_path / "s.sqlite3")
+    Store(path).close()
+    with sqlite3.connect(path) as conn:
+        conn.execute("UPDATE schema_version SET version = ?", (STORE_SCHEMA_VERSION + 1,))
+    with pytest.raises(StoreError):
+        Store(path)
+
+
+def test_corrupt_payload_is_dropped_not_fatal(tmp_path):
+    path = str(tmp_path / "s.sqlite3")
+    store = Store(path)
+    store.put_answer("good", Answer.yes())
+    with sqlite3.connect(path) as conn:
+        conn.execute(
+            "UPDATE answers SET payload = ? WHERE fingerprint = 'good'",
+            (b"not a pickle",),
+        )
+    assert store.get_answer("good") is None  # dropped, not raised
+    assert not store.has_answer("good")  # the corrupt row was deleted
+    store.close()
+
+
+def test_artifact_roundtrip_and_counts(tmp_path):
+    store = Store(str(tmp_path / "s.sqlite3"))
+    assert store.put_artifact("kind.a", "k1", {"v": 1}, meta={"n": 1})
+    assert store.put_artifact("kind.a", "k2", {"v": 2})
+    assert store.put_artifact("kind.b", "k1", [1, 2, 3])
+    assert store.get_artifact("kind.a", "k1") == {"v": 1}
+    assert store.get_artifact("kind.b", "k1") == [1, 2, 3]
+    assert store.get_artifact("kind.a", "absent") is None
+    assert store.artifact_counts() == {"kind.a": 2, "kind.b": 1}
+    # Same fingerprint under different kinds are distinct records.
+    assert not store.put_artifact("kind.a", "k3", lambda: None)  # unpicklable
+    store.close()
+
+
+def test_meta_roundtrip_and_vacuum(tmp_path):
+    store = Store(str(tmp_path / "s.sqlite3"))
+    assert store.get_meta("marker") is None
+    store.set_meta("marker", "v1")
+    store.set_meta("marker", "v2")
+    assert store.get_meta("marker") == "v2"
+    store.vacuum()  # must not raise
+    store.close()
+    with pytest.raises(StoreError):
+        store.put_answer("k", Answer.yes())
+
+
+def test_import_jsonl_ignore_vs_replace(tmp_path):
+    def record(key: str, detail: str) -> str:
+        payload = base64.b64encode(pickle.dumps(Answer.yes(detail=detail)))
+        return json.dumps(
+            {"key": key, "verdict": "yes", "pickle": payload.decode("ascii")}
+        )
+
+    legacy = tmp_path / "answers.jsonl"
+    legacy.write_text(
+        "garbage line\n"
+        + record("k1", "from-jsonl")
+        + "\n"
+        + json.dumps({"key": "no-pickle"})
+        + "\n"
+    )
+    store = Store(str(tmp_path / "s.sqlite3"))
+    store.put_answer("k1", Answer.yes(detail="from-store"))
+    assert store.import_jsonl(str(legacy)) == 0  # store row wins by default
+    assert store.get_answer("k1").detail == "from-store"
+    assert store.import_jsonl(str(legacy), replace=True) == 1
+    assert store.get_answer("k1").detail == "from-jsonl"
+    assert store.import_jsonl(str(tmp_path / "missing.jsonl")) == 0
+    store.close()
+
+
+def test_artifact_provider_string_and_structural_keys(tmp_path):
+    store = Store(str(tmp_path / "s.sqlite3"))
+    provider = StoreArtifactProvider(store)
+    # String keys are used verbatim (job-scoped slot keys).
+    assert provider.store_artifact("kind", "job/slot/0", "value")
+    assert provider.load_artifact("kind", "job/slot/0") == "value"
+    # Structural keys are fingerprinted; equal structures alias.
+    key_a = ("ucq", ("x", "y"), 3)
+    key_b = ("ucq", ("x", "y"), 3)
+    assert provider.store_artifact("kind", key_a, {"expanded": True})
+    assert provider.load_artifact("kind", key_b) == {"expanded": True}
+    # Unfingerprintable keys degrade to a miss, never an exception.
+    assert provider.load_artifact("kind", object()) is None
+    assert not provider.store_artifact("kind", object(), "value")
+    store.close()
+
+
+# -- multi-process safety ----------------------------------------------------------
+
+_WRITES_PER_WORKER = 25
+
+
+def _writer_process(path: str, worker_id: int) -> None:
+    store = Store(path)
+    for i in range(_WRITES_PER_WORKER):
+        key = f"w{worker_id}-{i}"
+        assert store.put_answer(
+            key, Answer.yes(detail=key), procedure="concurrency-test"
+        )
+        assert store.put_artifact("test.kind", key, {"worker": worker_id, "i": i})
+        # Every worker also hammers one shared key — contention must
+        # serialize, never corrupt.
+        assert store.put_answer("shared", Answer.yes(detail=f"worker-{worker_id}"))
+    store.close()
+
+
+def test_concurrent_writer_processes_lose_nothing(tmp_path):
+    """The acceptance criterion: >=4 writer processes, zero lost records."""
+    workers = 5
+    path = str(tmp_path / "shared.sqlite3")
+    Store(path).close()  # schema exists before the stampede
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context()
+    processes = [
+        ctx.Process(target=_writer_process, args=(path, w)) for w in range(workers)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+    assert all(process.exitcode == 0 for process in processes)
+
+    store = Store(path)
+    assert store.answer_count() == workers * _WRITES_PER_WORKER + 1
+    for w in range(workers):
+        for i in range(_WRITES_PER_WORKER):
+            key = f"w{w}-{i}"
+            answer = store.get_answer(key)
+            assert answer is not None and answer.detail == key
+            assert store.get_artifact("test.kind", key) == {"worker": w, "i": i}
+    shared = store.get_answer("shared")
+    assert shared is not None and shared.detail.startswith("worker-")
+    store.close()
+
+
+# -- warm start through the artifact hook ------------------------------------------
+
+
+def test_artifacts_warm_start_cold_process(tmp_path):
+    """A fresh process (simulated: cleared module caches) reuses stored
+    AFA searcher artifacts instead of regenerating them."""
+    import repro.automata.afa as afa_mod
+    from repro._stats import STATS
+
+    directory = str(tmp_path / "cache")
+    sws = pl_counter_sws(6)
+    # Searcher artifacts persist when compiled inside a job scope; start
+    # from a genuinely cold compile cache so this process stores them.
+    afa_mod._SEARCHER_CACHE.clear()
+    afa_mod._DIFF_SEARCHER_CACHE.clear()
+    with SolverService(cache_dir=directory) as service:
+        first = service.run_batch([JobSpec("nonempty_pl", (sws,))])[0]
+        counts = service.cache.store.artifact_counts()
+        store_path = service.cache.store.path
+    assert counts.get("afa.searchers", 0) >= 1
+    assert counts.get("afa.quotient", 0) >= 1
+
+    # Wipe the answers (to force re-execution) but keep the artifacts,
+    # and clear the in-process compile caches — the cold-process state.
+    with sqlite3.connect(store_path) as conn:
+        conn.execute("DELETE FROM answers")
+    afa_mod._SEARCHER_CACHE.clear()
+    afa_mod._DIFF_SEARCHER_CACHE.clear()
+
+    hits_before = STATS.artifact_hits
+    with SolverService(cache_dir=directory) as service:
+        second = service.run_batch([JobSpec("nonempty_pl", (sws,))])[0]
+    assert second.verdict == first.verdict
+    assert STATS.artifact_hits > hits_before
