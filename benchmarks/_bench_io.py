@@ -47,6 +47,22 @@ def timed(func: Callable[[], Any], repeats: int = 3) -> tuple[float, Any]:
     return best, result
 
 
+def _metrics_context() -> dict | None:
+    """The active :mod:`repro.metrics` snapshot context, if enabled.
+
+    ``REPRO_METRICS=... python benchmarks/bench_*.py`` stamps the run's
+    cache hit rate and per-histogram count/p99 into the emitted
+    ``_meta`` block, tying the committed numbers to the serving-layer
+    conditions they were measured under.  Disabled (the default) stamps
+    nothing, so plain regeneration runs leave the files byte-stable.
+    """
+    try:
+        from repro import metrics
+    except ImportError:  # pragma: no cover - src/ not on the path
+        return None
+    return metrics.bench_context()
+
+
 def merge_section(
     path: str, section: str, payload: dict, regenerate: str | None = None
 ) -> dict:
@@ -80,6 +96,9 @@ def merge_section(
     if regenerate:
         commands[section] = regenerate
     meta["regenerate"] = commands
+    context = _metrics_context()
+    if context is not None:
+        meta.setdefault("metrics", {})[section] = context
     data["_meta"] = meta
     with open(path, "w") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)

@@ -120,4 +120,38 @@ PY
 python -m repro.serve store stats "${STORE_DIR}" > /dev/null
 python -m repro.serve store vacuum "${STORE_DIR}" > /dev/null
 
+echo "== metrics smoke (exported snapshot + dashboard frame) =="
+METRICS_DIR="$(mktemp -d /tmp/repro_metrics_smoke.XXXXXX)"
+trap 'rm -f "${OBS_TRACE}"; rm -rf "${STORE_DIR}" "${METRICS_DIR}"' EXIT
+cat > "${METRICS_DIR}/jobs.jsonl" <<'JOBS'
+{"procedure": "nonempty_pl", "instances": [{"factory": "repro.workloads.scaling:pl_counter_sws", "args": [6]}], "label": "c6"}
+{"procedure": "nonempty_pl", "instances": [{"factory": "repro.workloads.scaling:pl_counter_sws", "args": [7]}], "label": "c7"}
+{"procedure": "nonempty_pl", "instances": [{"factory": "repro.workloads.scaling:pl_counter_sws", "args": [8]}], "label": "c8"}
+{"procedure": "nonempty_pl", "instances": [{"factory": "repro.workloads.scaling:pl_counter_sws", "args": [9]}], "label": "c9"}
+JOBS
+python -m repro.serve run "${METRICS_DIR}/jobs.jsonl" \
+    --workers 2 --repeat 2 --metrics "${METRICS_DIR}/metrics.jsonl" \
+    --out /dev/null 2> /dev/null
+REPRO_METRICS_SMOKE="${METRICS_DIR}/metrics.jsonl" python - <<'PY'
+import os
+
+from repro import metrics
+
+snap = metrics.last_snapshot(os.environ["REPRO_METRICS_SMOKE"])
+assert snap is not None, "no snapshot exported"
+assert snap["v"] == metrics.METRICS_SCHEMA_VERSION
+counters = snap["counters"]
+assert metrics.counter_total(counters, "serve.jobs.executed") == 4, counters
+latency = snap["histograms"]["serve.job.latency_s{procedure=nonempty_pl}"]
+assert latency["count"] == 4, latency  # worker samples merged up
+rate = metrics.cache_hit_rate(counters)
+assert rate is not None and rate >= 0.4, counters  # warm repeat round
+PY
+python -m repro.serve top "${METRICS_DIR}/metrics.jsonl" --once > /dev/null
+
+echo "== perf tripwire (obs check vs committed baselines) =="
+python -m repro.obs check --baseline benchmarks/baselines.json \
+    --metrics "${METRICS_DIR}/metrics.jsonl" --trace 'BENCH_*.trace.jsonl'
+python -m repro.obs critical-path 'BENCH_*.trace.jsonl' --limit 8 > /dev/null
+
 echo "all green"

@@ -30,6 +30,7 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Iterator, Protocol
 
+from repro import metrics
 from repro._stats import STATS
 
 __all__ = [
@@ -133,8 +134,10 @@ def load(kind: str, key: Any) -> Any | None:
         return None
     if value is None:
         STATS.artifact_misses += 1
+        metrics.counter("artifact.misses", kind=kind).inc()
     else:
         STATS.artifact_hits += 1
+        metrics.counter("artifact.hits", kind=kind).inc()
     return value
 
 
@@ -149,4 +152,5 @@ def store(kind: str, key: Any, value: Any, meta: dict | None = None) -> bool:
         return False
     if stored:
         STATS.artifact_stores += 1
+        metrics.counter("artifact.stores", kind=kind).inc()
     return stored

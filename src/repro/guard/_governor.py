@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from functools import wraps
 from typing import Any, Callable, Iterator, Mapping
 
+from repro import metrics
 from repro.errors import BudgetExceededError
 
 try:  # pragma: no cover - resource is always present on POSIX
@@ -335,6 +336,7 @@ class Guard:
         )
         if self._tripped is None:
             self._tripped = trip
+        metrics.counter("guard.trips", limit=limit).inc()
         raise GuardTrip(trip)
 
     # -- ambient activation ------------------------------------------------------

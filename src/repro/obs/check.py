@@ -1,0 +1,198 @@
+"""Threshold/SLO checking: the CI perf tripwire.
+
+``python -m repro.obs check --baseline benchmarks/baselines.json
+[--metrics SNAP.jsonl] [--trace TRACE.jsonl ...]`` evaluates a metrics
+snapshot and/or trace files against a committed baseline and exits
+nonzero on any violation — giving CI a regression gate fed by the same
+artifacts `serve top` and `obs report` consume.
+
+Baseline format (JSON)::
+
+    {
+      "_meta": {...},
+      "checks": [
+        {"name": "pl-p99",             # shown in the verdict line
+         "source": "metrics",          # or "trace"
+         "select": "serve.job.latency_s{procedure=nonempty_pl}",
+         "stat": "p99",                # histogram/gauge/counter stat
+         "max": 2.0},                  # and/or "min"
+        {"name": "cache-hit-rate",
+         "source": "metrics",
+         "stat": "cache_hit_rate",     # derived: no select needed
+         "min": 0.4},
+        {"name": "no-span-errors",
+         "source": "trace",
+         "select": "nonempty_pl",      # span name
+         "stat": "errors", "max": 0}
+      ]
+    }
+
+Metrics stats: ``value`` (counter total over labeled variants, or
+gauge), ``count``, ``sum``, ``mean``, ``p50``, ``p90``, ``p99``,
+``min_observed``, ``max_observed`` (histograms), and the derived
+``cache_hit_rate``.  Trace stats (per span name): ``count``,
+``errors``, ``total_s``, ``mean_s``, ``max_s``.
+
+Bounds are *absolute* numbers committed to the repository.  Wall-clock
+bounds therefore carry generous headroom (an order of magnitude over
+the benchmarked laptop numbers) — the tripwire catches the 10×
+regressions that matter, not machine jitter.  A check whose input was
+not provided fails unless marked ``"optional": true``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro import metrics
+from repro.obs.report import SpanAggregate, aggregate
+from repro.obs._tracer import iter_events
+
+
+@dataclass
+class CheckResult:
+    """One evaluated baseline check."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def line(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        return f"{status}  {self.name}: {self.detail}"
+
+
+def _metrics_stat(
+    snap: Mapping[str, Any], select: str | None, stat: str
+) -> float | None:
+    counters = snap.get("counters") or {}
+    gauges = snap.get("gauges") or {}
+    histograms = snap.get("histograms") or {}
+    if stat == "cache_hit_rate":
+        return metrics.cache_hit_rate(counters)
+    if select is None:
+        return None
+    if select in histograms:
+        readout = metrics.histogram_readout(histograms[select])
+        mapped = {
+            "count": readout["count"],
+            "sum": readout["sum"],
+            "mean": readout["mean"],
+            "p50": readout["p50"],
+            "p90": readout["p90"],
+            "p99": readout["p99"],
+            "min_observed": readout["min"],
+            "max_observed": readout["max"],
+        }
+        return mapped.get(stat)
+    if stat == "value":
+        if select in gauges:
+            return gauges[select]
+        total = metrics.counter_total(counters, metrics.decode_key(select)[0])
+        if select in counters:
+            return counters[select]
+        return total if total else None
+    return None
+
+
+def _trace_stat(
+    aggregates: Mapping[str, SpanAggregate], select: str | None, stat: str
+) -> float | None:
+    if select is None or select not in aggregates:
+        return None
+    row = aggregates[select]
+    mapped = {
+        "count": row.count,
+        "errors": row.errors,
+        "total_s": row.total_s,
+        "mean_s": row.total_s / row.count if row.count else None,
+        "max_s": row.max_s,
+    }
+    return mapped.get(stat)
+
+
+def evaluate(
+    baseline: Mapping[str, Any],
+    snap: Mapping[str, Any] | None = None,
+    trace_aggregates: Mapping[str, SpanAggregate] | None = None,
+) -> list[CheckResult]:
+    """Run every baseline check against the provided inputs."""
+    results: list[CheckResult] = []
+    for check in baseline.get("checks", ()):
+        name = check.get("name", "<unnamed>")
+        source = check.get("source", "metrics")
+        select = check.get("select")
+        stat = check.get("stat", "value")
+        optional = bool(check.get("optional"))
+        if source == "metrics":
+            provided, value = snap is not None, None
+            if snap is not None:
+                value = _metrics_stat(snap, select, stat)
+        elif source == "trace":
+            provided, value = trace_aggregates is not None, None
+            if trace_aggregates is not None:
+                value = _trace_stat(trace_aggregates, select, stat)
+        else:
+            results.append(CheckResult(name, False, f"unknown source {source!r}"))
+            continue
+        if not provided:
+            if optional:
+                results.append(
+                    CheckResult(name, True, f"skipped: no {source} input (optional)")
+                )
+            else:
+                results.append(
+                    CheckResult(name, False, f"no {source} input provided")
+                )
+            continue
+        if value is None:
+            detail = f"{source} has no {stat!r} for {select!r}"
+            results.append(CheckResult(name, optional, detail))
+            continue
+        lo = check.get("min")
+        hi = check.get("max")
+        ok = True
+        bounds = []
+        if lo is not None:
+            bounds.append(f">= {lo}")
+            ok = ok and value >= lo
+        if hi is not None:
+            bounds.append(f"<= {hi}")
+            ok = ok and value <= hi
+        detail = (
+            f"{stat}={value:.6g} (want {' and '.join(bounds) or 'anything'})"
+        )
+        results.append(CheckResult(name, ok, detail))
+    return results
+
+
+def run_check(
+    baseline_path: str,
+    metrics_path: str | None = None,
+    trace_paths: Sequence[str] = (),
+) -> tuple[int, str]:
+    """Evaluate a baseline file; returns (exit code, report text)."""
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    snap = metrics.last_snapshot(metrics_path) if metrics_path else None
+    if metrics_path and snap is None:
+        return 1, f"error: {metrics_path}: no metrics snapshot found\n"
+    aggregates = None
+    if trace_paths:
+        def events():
+            for path in trace_paths:
+                yield from iter_events(path)
+
+        aggregates = aggregate(events())
+    results = evaluate(baseline, snap, aggregates)
+    lines = [result.line() for result in results]
+    failed = [result for result in results if not result.ok]
+    lines.append("")
+    lines.append(
+        f"{len(results) - len(failed)}/{len(results)} checks passed"
+        + (f"; {len(failed)} FAILED" if failed else "")
+    )
+    lines.append("")
+    return (1 if failed else 0), "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Critical-path profiling over a JSONL span trace.
+
+``python -m repro.obs critical-path trace.jsonl`` answers "where did the
+wall-clock go" from any existing trace artifact: it rebuilds the span
+tree from ``parent_id`` links, attributes each span its *self time*
+(elapsed minus the elapsed of its direct children), then walks the
+dominant chain — from the slowest root, repeatedly into the slowest
+child — reporting every hop with its self-time share.
+
+Merged worker events (re-emitted through :func:`repro.obs.reemit`) keep
+their worker-local span ids, so ids can collide across processes; nodes
+are therefore keyed by ``(worker_pid, span_id)`` with the parent link
+resolved within the same process only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs._tracer import iter_events
+
+#: Key type: ("<source file>:<worker pid>" scope, span id) — both scope
+#: parts empty for spans the parent process emitted from a single file.
+NodeKey = tuple[str, int]
+
+
+@dataclass
+class SpanNode:
+    """One span event plus its tree links and self-time attribution."""
+
+    key: NodeKey
+    name: str
+    elapsed_s: float
+    attrs: dict[str, Any]
+    parent: NodeKey | None
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def children_s(self) -> float:
+        return sum(child.elapsed_s for child in self.children)
+
+    @property
+    def self_s(self) -> float:
+        """Elapsed not accounted for by direct children (clamped >= 0)."""
+        return max(0.0, self.elapsed_s - self.children_s)
+
+
+def build_tree(events: Iterable[dict[str, Any]]) -> list[SpanNode]:
+    """Parse span events into root nodes (children attached, any order)."""
+    nodes: dict[NodeKey, SpanNode] = {}
+    for event in events:
+        if event.get("event") != "span":
+            continue
+        span_id = event.get("span_id")
+        if not isinstance(span_id, int):
+            continue
+        attrs = dict(event.get("attrs") or {})
+        # Span ids are process-local (and restart per trace file): scope
+        # the key by merged-worker pid and source file alike.
+        process = f"{event.get('_source', '')}:{attrs.get('worker_pid', '')}"
+        parent_id = event.get("parent_id")
+        nodes[(process, span_id)] = SpanNode(
+            key=(process, span_id),
+            name=str(event.get("name", "<unnamed>")),
+            elapsed_s=float(event.get("elapsed_s", 0.0)),
+            attrs=attrs,
+            parent=(process, parent_id) if isinstance(parent_id, int) else None,
+        )
+    roots: list[SpanNode] = []
+    for node in nodes.values():
+        parent = nodes.get(node.parent) if node.parent is not None else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def dominant_chain(roots: list[SpanNode]) -> list[SpanNode]:
+    """From the slowest root, descend into the slowest child at each hop."""
+    if not roots:
+        return []
+    node = max(roots, key=lambda n: n.elapsed_s)
+    chain = [node]
+    while node.children:
+        node = max(node.children, key=lambda n: n.elapsed_s)
+        chain.append(node)
+    return chain
+
+
+def self_time_by_name(roots: list[SpanNode]) -> dict[str, tuple[float, int]]:
+    """Aggregate ``name -> (total self seconds, span count)`` over the forest."""
+    totals: dict[str, tuple[float, int]] = {}
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        total, count = totals.get(node.name, (0.0, 0))
+        totals[node.name] = (total + node.self_s, count + 1)
+        stack.extend(node.children)
+    return totals
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:7.2f}ms"
+    return f"{seconds * 1e6:7.1f}µs"
+
+
+def render(roots: list[SpanNode], limit: int = 10) -> str:
+    """The critical-path report as printable text."""
+    if not roots:
+        return "trace contains no span events\n"
+    chain = dominant_chain(roots)
+    total = chain[0].elapsed_s or 1e-12
+    lines = [
+        f"dominant chain (root {chain[0].name!r}, "
+        f"{_fmt_seconds(chain[0].elapsed_s).strip()} wall-clock):",
+        "",
+    ]
+    name_width = max(len(node.name) for node in chain)
+    for depth, node in enumerate(chain):
+        marker = "└─ " * bool(depth)
+        share = node.elapsed_s / total
+        self_share = node.self_s / total
+        worker = node.key[0].rpartition(":")[2]
+        worker_text = f"  worker={worker}" if worker else ""
+        lines.append(
+            f"{'  ' * depth}{marker}{node.name:<{name_width}}  "
+            f"total {_fmt_seconds(node.elapsed_s).strip():>9} ({share:5.1%})  "
+            f"self {_fmt_seconds(node.self_s).strip():>9} ({self_share:5.1%})"
+            f"{worker_text}"
+        )
+    lines.append("")
+    lines.append(f"self time by span name (top {limit}):")
+    totals = self_time_by_name(roots)
+    grand = sum(t for t, _ in totals.values()) or 1e-12
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1][0])[:limit]
+    width = max(len(name) for name, _ in ranked)
+    for name, (self_s, count) in ranked:
+        lines.append(
+            f"  {name:<{width}}  {_fmt_seconds(self_s):>9}  "
+            f"({self_s / grand:5.1%})  n={count}"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def critical_path(paths: list[str], limit: int = 10) -> str:
+    """Render the critical-path report for one or more trace files."""
+
+    def events() -> Iterable[dict[str, Any]]:
+        for index, path in enumerate(paths):
+            for event in iter_events(path):
+                if len(paths) > 1:
+                    event = dict(event)
+                    event["_source"] = index
+                yield event
+
+    return render(build_tree(events()), limit=limit)

@@ -1,18 +1,31 @@
-"""Aggregate a JSONL trace into a per-procedure report.
+"""Aggregate JSONL traces into a per-procedure report.
 
 CLI::
 
-    python -m repro.obs report trace.jsonl [--sort total|count|max] [--limit N]
+    python -m repro.obs report TRACE... [--sort total|count|max] [--limit N]
+
+``TRACE`` arguments may be files or globs (quoted, so the shell does
+not eat them) — per-worker spool files aggregate without hand-merging::
+
+    python -m repro.obs report 'spool/worker-*.jsonl'
 
 For every span name the report shows how often it ran, total/mean/max
 wall-clock, error count, the dominant counters (largest summed deltas),
 and the slowest single span with its attributes — enough to see where an
 exponential blowup actually landed without opening the raw trace.
+Root-span serving/artifact counter deltas additionally roll up into a
+``serve:`` section (cache hits/misses, jobs executed/deduped, artifact
+traffic), and guard trips get their own breakdown.
+
+The sibling subcommands live in their own modules: ``check``
+(:mod:`repro.obs.check`, the CI perf tripwire) and ``critical-path``
+(:mod:`repro.obs.critical_path`, wall-clock attribution).
 """
 
 from __future__ import annotations
 
 import argparse
+import glob as _glob
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
@@ -20,6 +33,9 @@ from repro.obs._tracer import iter_events
 
 #: How many counters count as "dominant" in the table.
 DOMINANT_COUNTERS = 3
+
+#: STATS counters rolled up into the report's ``serve:`` section.
+SERVE_COUNTER_PREFIXES = ("serve_cache_", "serve_jobs_", "artifact_")
 
 
 @dataclass
@@ -58,13 +74,50 @@ class SpanAggregate:
 
 def aggregate(events: Iterable[dict[str, Any]]) -> dict[str, SpanAggregate]:
     """Fold span events into per-name aggregates (non-span events skipped)."""
+    return fold_events(events)[0]
+
+
+def fold_events(
+    events: Iterable[dict[str, Any]],
+) -> tuple[dict[str, SpanAggregate], dict[str, int]]:
+    """One pass over the events: per-name aggregates + serve counter totals.
+
+    The serve totals sum :data:`SERVE_COUNTER_PREFIXES` counters over
+    *root* spans only — a child's deltas are already included in its
+    parent's, so summing every span would double-count nested work.
+    """
     out: dict[str, SpanAggregate] = {}
+    serve_totals: dict[str, int] = {}
     for event in events:
         if event.get("event") != "span":
             continue
         name = str(event.get("name", "<unnamed>"))
         out.setdefault(name, SpanAggregate(name)).add(event)
-    return out
+        if event.get("parent_id") is None:
+            for counter, delta in (event.get("counters") or {}).items():
+                if counter.startswith(SERVE_COUNTER_PREFIXES):
+                    serve_totals[counter] = serve_totals.get(counter, 0) + delta
+    return out, serve_totals
+
+
+def expand_traces(patterns: Sequence[str]) -> list[str]:
+    """Resolve trace arguments: each is a literal path or a glob pattern."""
+    paths: list[str] = []
+    for pattern in patterns:
+        matches = sorted(_glob.glob(pattern))
+        if matches:
+            paths.extend(matches)
+        elif _glob.has_magic(pattern):
+            raise ValueError(f"{pattern}: no trace files match")
+        else:
+            paths.append(pattern)  # literal path; open() reports the error
+    return paths
+
+
+def iter_all_events(paths: Sequence[str]) -> Iterable[dict[str, Any]]:
+    """Chain :func:`iter_events` over several trace files."""
+    for path in paths:
+        yield from iter_events(path)
 
 
 def _format_seconds(seconds: float) -> str:
@@ -83,6 +136,7 @@ def render(
     aggregates: dict[str, SpanAggregate],
     sort: str = "total",
     limit: int | None = None,
+    serve_totals: dict[str, int] | None = None,
 ) -> str:
     """The report as printable text."""
     key = {
@@ -120,6 +174,19 @@ def render(
                 f"{limit}={count}" for limit, count in sorted(row.trips.items())
             )
             lines.append(f"  {row.name:<{name_width}}  {breakdown}")
+    if serve_totals:
+        lines.append("")
+        lines.append("serve:")
+        counter_width = max(len(name) for name in serve_totals)
+        for name in sorted(serve_totals):
+            lines.append(f"  {name:<{counter_width}}  {serve_totals[name]}")
+        hits = serve_totals.get("serve_cache_hits", 0)
+        misses = serve_totals.get("serve_cache_misses", 0)
+        if hits + misses:
+            lines.append(
+                f"  {'cache hit rate':<{counter_width}}  "
+                f"{hits / (hits + misses):.1%}"
+            )
     lines.append("")
     lines.append("slowest spans:")
     for row in rows:
@@ -136,9 +203,14 @@ def render(
     return "\n".join(lines)
 
 
-def report(path: str, sort: str = "total", limit: int | None = None) -> str:
-    """Aggregate the trace file at ``path`` and return the rendered table."""
-    return render(aggregate(iter_events(path)), sort=sort, limit=limit)
+def report(
+    path: str | Sequence[str], sort: str = "total", limit: int | None = None
+) -> str:
+    """Aggregate trace file(s)/glob(s) and return the rendered table."""
+    patterns = [path] if isinstance(path, str) else list(path)
+    paths = expand_traces(patterns)
+    aggregates, serve_totals = fold_events(iter_all_events(paths))
+    return render(aggregates, sort=sort, limit=limit, serve_totals=serve_totals)
 
 
 def render_guard_map() -> str:
@@ -183,9 +255,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     report_parser = subparsers.add_parser(
-        "report", help="aggregate a trace into a per-procedure table"
+        "report", help="aggregate trace(s) into a per-procedure table"
     )
-    report_parser.add_argument("trace", help="path to a JSONL trace file")
+    report_parser.add_argument(
+        "trace", nargs="+", help="JSONL trace file(s) or glob pattern(s)"
+    )
     report_parser.add_argument(
         "--sort",
         choices=("total", "count", "max", "name"),
@@ -199,6 +273,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         "guard",
         help="list guarded checkpoint sites (fault-injection span names)",
     )
+    path_parser = subparsers.add_parser(
+        "critical-path",
+        help="dominant span chain with self-time attribution",
+    )
+    path_parser.add_argument(
+        "trace", nargs="+", help="JSONL trace file(s) or glob pattern(s)"
+    )
+    path_parser.add_argument(
+        "--limit", type=int, default=10, help="self-time ranking rows"
+    )
+    check_parser = subparsers.add_parser(
+        "check",
+        help="evaluate metrics/trace artifacts against a committed baseline",
+    )
+    check_parser.add_argument(
+        "--baseline",
+        default="benchmarks/baselines.json",
+        help="baseline JSON (default: benchmarks/baselines.json)",
+    )
+    check_parser.add_argument(
+        "--metrics", default=None, help="metrics snapshot JSONL to evaluate"
+    )
+    check_parser.add_argument(
+        "--trace",
+        nargs="*",
+        default=(),
+        help="trace file(s)/glob(s) to evaluate",
+    )
     args = parser.parse_args(argv)
     if args.command == "report":
         try:
@@ -210,6 +312,30 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "guard":
         print(render_guard_map(), end="")
         return 0
+    if args.command == "critical-path":
+        from repro.obs.critical_path import critical_path
+
+        try:
+            text = critical_path(
+                expand_traces(args.trace), limit=args.limit
+            )
+        except (OSError, ValueError) as error:
+            parser.exit(1, f"error: {error}\n")
+        print(text, end="")
+        return 0
+    if args.command == "check":
+        from repro.obs.check import run_check
+
+        try:
+            code, text = run_check(
+                args.baseline,
+                metrics_path=args.metrics,
+                trace_paths=expand_traces(args.trace),
+            )
+        except (OSError, ValueError) as error:
+            parser.exit(1, f"error: {error}\n")
+        print(text, end="")
+        return code
     return 2  # pragma: no cover - argparse enforces the subcommand
 
 

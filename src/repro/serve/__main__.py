@@ -12,6 +12,10 @@ Subcommands:
   answer + artifact store behind a cache directory (``stats`` prints a
   JSON summary; ``vacuum`` compacts the file; ``import`` folds a legacy
   JSONL answer file in, ``--replace`` letting its records win).
+* ``top [METRICS.jsonl]`` — live dashboard over the snapshot file a
+  metrics-enabled batch exports (``run --metrics`` or
+  ``REPRO_METRICS``): throughput, queue depth, worker utilization,
+  cache hit rate, per-procedure latency percentiles.
 
 Job file format — one JSON object per line::
 
@@ -45,7 +49,9 @@ import sys
 import time
 from typing import Any
 
+from repro import metrics
 from repro.guard import Budget
+from repro.serve import top as _top
 from repro.serve.cache import AnswerCache
 from repro.serve.fingerprint import job_fingerprint
 from repro.serve.registry import procedure_names, resolve_factory
@@ -115,22 +121,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not jobs:
         print(f"{args.jobs}: no jobs", file=sys.stderr)
         return 1
-    jobs = jobs * max(1, args.repeat)
+    if args.metrics:
+        # Truncate: one batch, one snapshot stream (watch it live with
+        # ``python -m repro.serve top <path>``).
+        metrics.configure(path=args.metrics, mode="w")
     cache = AnswerCache(directory=args.cache_dir) if args.cache_dir else None
     service = SolverService(workers=args.workers, cache=cache)
     started = time.perf_counter()
     try:
-        handles = [
-            service.submit(
-                job.procedure,
-                *job.args,
-                budget=job.budget,
-                label=job.label,
-                **job.kwargs,
+        # Each repeat round drains before the next submits, so rounds
+        # after the first hit the warm answer cache instead of deduping
+        # inside one batch — `--repeat 2` demos the cache tier for real.
+        handles = []
+        rounds = max(1, args.repeat)
+        for _ in range(rounds):
+            handles.extend(
+                service.submit(
+                    job.procedure,
+                    *job.args,
+                    budget=job.budget,
+                    label=job.label,
+                    **job.kwargs,
+                )
+                for job in jobs
             )
-            for job in jobs
-        ]
-        service.drain()
+            service.drain()
+        jobs = jobs * rounds
         records = [
             _result_record(job, handle, handle.result())
             for job, handle in zip(jobs, handles)
@@ -139,6 +155,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         service.close()
         if cache is not None:
             cache.close()
+        if args.metrics:
+            metrics.write_snapshot()  # final frame for serve top / obs check
     elapsed = time.perf_counter() - started
     summary = {"_summary": service.stats(), "elapsed_s": round(elapsed, 6)}
     out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
@@ -218,6 +236,11 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--out", default=None, help="results JSONL path (default: stdout)")
     run.add_argument("--cache-dir", default=None, help="on-disk answer cache directory")
     run.add_argument("--repeat", type=int, default=1, help="submit the job list K times (cache/dedup demo)")
+    run.add_argument(
+        "--metrics",
+        default=None,
+        help="export metrics snapshots to this JSONL path (watch with `top`)",
+    )
     run.set_defaults(func=_cmd_run)
 
     procs = sub.add_parser("procedures", help="list registered procedures")
@@ -253,6 +276,8 @@ def main(argv: list[str] | None = None) -> int:
         help="imported records replace existing store rows",
     )
     imp.set_defaults(func=_cmd_store_import)
+
+    _top.add_parser(sub)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -36,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
+from repro import metrics
 from repro._stats import STATS
 from repro.serve.store import Store
 
@@ -157,6 +158,7 @@ class AnswerCache:
                 self._memory.move_to_end(key)
                 self.stats.hits += 1
                 STATS.serve_cache_hits += 1
+                metrics.counter("serve.cache.hits", tier="memory").inc()
                 return self._memory[key]
             if self.store is not None:
                 result = self.store.get_answer(key)
@@ -164,9 +166,11 @@ class AnswerCache:
                     self._remember(key, result)
                     self.stats.hits += 1
                     STATS.serve_cache_hits += 1
+                    metrics.counter("serve.cache.hits", tier="disk").inc()
                     return result
             self.stats.misses += 1
             STATS.serve_cache_misses += 1
+            metrics.counter("serve.cache.misses").inc()
             return None
 
     def put(self, key: str, result: Any, procedure: str | None = None) -> bool:
@@ -180,14 +184,17 @@ class AnswerCache:
         if not cacheable(result):
             with self._lock:
                 self.stats.rejected_unknown += 1
+            metrics.counter("serve.cache.rejected_unknown").inc()
             return False
         with self._lock:
             self._remember(key, result)
             self.stats.stores += 1
+            metrics.counter("serve.cache.stores").inc()
             if self.store is not None and not self.store.put_answer(
                 key, result, procedure
             ):
                 self.stats.disk_skipped += 1
+                metrics.counter("serve.cache.disk_skipped").inc()
                 return False
             return True
 
@@ -227,6 +234,7 @@ class AnswerCache:
         while len(self._memory) > self.capacity:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
+            metrics.counter("serve.cache.evictions").inc()
 
 
 def default_cache_directory() -> str | None:

@@ -17,6 +17,15 @@ merges those files — re-emitting each span event into its own sink via
 parent trace tells the whole story.  Merging tracks per-file byte
 offsets, so it is incremental and idempotent.
 
+Metrics cross the boundary the same way: when the parent has
+:mod:`repro.metrics` enabled, each worker records into its own registry
+(zeroed after the fork — the parent owns the pre-fork counts) and
+spools one *cumulative* snapshot per completed job
+(``metrics-<pid>.json``, atomic rename).  :meth:`WorkerPool.merge_metrics`
+folds the spools into the parent registry delta-wise, so parent-side
+histograms include worker-recorded samples and repeated merges never
+double-count.
+
 Cancellation: a queued job's future can still be cancelled; a job
 already running in a worker runs to completion (its budget's deadline
 still bounds it).  Cross-process cooperative cancellation would need a
@@ -29,10 +38,11 @@ import json
 import multiprocessing
 import os
 import tempfile
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Mapping
 
-from repro import obs
+from repro import metrics, obs
 from repro.guard import Budget
 
 __all__ = ["WorkerPool"]
@@ -41,8 +51,8 @@ __all__ = ["WorkerPool"]
 _WORKER_TRACE_DIR: str | None = None
 
 
-def _worker_init(trace_dir: str | None) -> None:
-    """Per-worker initializer: give the worker its own trace sink."""
+def _worker_init(trace_dir: str | None, metrics_dir: str | None) -> None:
+    """Per-worker initializer: give the worker its own trace/metrics sinks."""
     global _WORKER_TRACE_DIR
     _WORKER_TRACE_DIR = trace_dir
     if trace_dir is not None:
@@ -55,6 +65,15 @@ def _worker_init(trace_dir: str | None) -> None:
         # from two processes would interleave half-lines.  Detach.
         if obs.is_enabled():
             obs.configure(enabled=False)
+    # The fork also inherits the parent's metrics registry and sink:
+    # zero the registry (the parent owns those counts) and spool
+    # cumulative snapshots for the parent to merge delta-wise.
+    spool = (
+        os.path.join(metrics_dir, f"metrics-{os.getpid()}.json")
+        if metrics_dir is not None
+        else None
+    )
+    metrics.reset_after_fork(spool)
 
 
 #: Worker-side cache of open stores, keyed by (path, pid) — a forked
@@ -98,10 +117,22 @@ def _run_job(
 
     procedure = get_procedure(name)
     guard = Budget.from_dict(budget_spec) if budget_spec else None
-    with artifacts.scope(_worker_artifact_provider(store_path), job_key):
-        if guard is not None:
-            return procedure(*args, guard=guard, **dict(kwargs))
-        return procedure(*args, **dict(kwargs))
+    metrics.gauge("serve.worker.busy").set(1)
+    t0 = time.perf_counter()
+    try:
+        with artifacts.scope(_worker_artifact_provider(store_path), job_key):
+            if guard is not None:
+                return procedure(*args, guard=guard, **dict(kwargs))
+            return procedure(*args, **dict(kwargs))
+    finally:
+        elapsed = time.perf_counter() - t0
+        metrics.observe("serve.job.latency_s", elapsed, procedure=name)
+        metrics.counter("serve.worker.jobs").inc()
+        metrics.counter("serve.worker.busy_s").inc(elapsed)
+        metrics.gauge("serve.worker.busy").set(0)
+        # Cumulative spool write per job: the parent can merge at any
+        # point and always sees one complete snapshot.
+        metrics.write_snapshot()
 
 
 class WorkerPool:
@@ -112,9 +143,13 @@ class WorkerPool:
             raise ValueError("worker pool needs at least one worker")
         self.workers = workers
         self._trace_dir: str | None = None
+        self._metrics_dir: str | None = None
         self._merge_offsets: dict[str, int] = {}
         if obs.is_enabled():
             self._trace_dir = tempfile.mkdtemp(prefix="repro-serve-trace-")
+        if metrics.is_enabled():
+            self._metrics_dir = tempfile.mkdtemp(prefix="repro-serve-metrics-")
+            metrics.gauge("serve.pool.workers").set(workers)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -123,7 +158,7 @@ class WorkerPool:
             max_workers=workers,
             mp_context=context,
             initializer=_worker_init,
-            initargs=(self._trace_dir,),
+            initargs=(self._trace_dir, self._metrics_dir),
         )
 
     def submit(
@@ -180,17 +215,51 @@ class WorkerPool:
                 merged += 1
         return merged
 
+    # -- metrics spool merging ---------------------------------------------------
+
+    def merge_metrics(self) -> int:
+        """Fold worker metrics spools into the parent registry.
+
+        Each spool file is one cumulative snapshot per worker; the
+        registry merges delta-wise per source, so calling this
+        repeatedly (mid-batch, post-batch, at shutdown) never
+        double-counts.  Returns the number of spools merged.
+        """
+        if self._metrics_dir is None or not metrics.is_enabled():
+            return 0
+        merged = 0
+        try:
+            names = sorted(os.listdir(self._metrics_dir))
+        except OSError:
+            return 0
+        for fname in names:
+            if not fname.startswith("metrics-") or not fname.endswith(".json"):
+                continue
+            path = os.path.join(self._metrics_dir, fname)
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    snap = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            pid = fname[len("metrics-") : -len(".json")]
+            metrics.REGISTRY.merge_snapshot(snap, source=pid)
+            merged += 1
+        return merged
+
     def shutdown(self, wait: bool = True) -> None:
         self._executor.shutdown(wait=wait)
         self.merge_traces()
-        if self._trace_dir is not None:
-            try:
-                for fname in os.listdir(self._trace_dir):
-                    os.unlink(os.path.join(self._trace_dir, fname))
-                os.rmdir(self._trace_dir)
-            except OSError:
-                pass
-            self._trace_dir = None
+        self.merge_metrics()
+        for attr in ("_trace_dir", "_metrics_dir"):
+            directory = getattr(self, attr)
+            if directory is not None:
+                try:
+                    for fname in os.listdir(directory):
+                        os.unlink(os.path.join(directory, fname))
+                    os.rmdir(directory)
+                except OSError:
+                    pass
+                setattr(self, attr, None)
 
     def __enter__(self) -> "WorkerPool":
         return self

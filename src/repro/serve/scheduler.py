@@ -39,11 +39,12 @@ checkpoint.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent import futures as _futures
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro import artifacts
+from repro import artifacts, metrics
 from repro._stats import STATS
 from repro.analysis.verdict import Answer
 from repro.guard import Budget, CancelToken, Guard
@@ -133,6 +134,8 @@ class _Entry:
         "skipped",
         "token",
         "future",
+        "t_submitted",
+        "t_dispatched",
     )
 
     def __init__(
@@ -158,6 +161,8 @@ class _Entry:
         # an in-process run trips cooperatively at its next checkpoint.
         self.token = _EntryToken(self)
         self.future: Any = None
+        self.t_submitted = time.perf_counter()
+        self.t_dispatched: float | None = None
 
     def all_cancelled(self) -> bool:
         return bool(self.handles) and all(h.cancelled for h in self.handles)
@@ -300,11 +305,13 @@ class SolverService:
                 entry.handles.append(handle)
                 self.jobs_deduped += 1
                 STATS.serve_jobs_deduped += 1
+                metrics.counter("serve.jobs.deduped").inc()
                 return handle
         cached = self.cache.get(key, procedure)
         if cached is not None:
             entry = _Entry(key, procedure, args, dict(kwargs), budget)
             entry.resolve(cached)
+            metrics.counter("serve.jobs.completed", outcome="cached").inc()
             return JobHandle(
                 self,
                 entry,
@@ -325,6 +332,8 @@ class SolverService:
                 deduped = True
                 self.jobs_deduped += 1
                 STATS.serve_jobs_deduped += 1
+                metrics.counter("serve.jobs.deduped").inc()
+            metrics.gauge("serve.queue.depth").set(len(self._pending))
             handle = JobHandle(
                 self,
                 entry,
@@ -349,6 +358,7 @@ class SolverService:
             self._pending.clear()
             for entry in batch:
                 self._inflight[entry.key] = entry
+            metrics.gauge("serve.queue.depth").set(0)
         executed = 0
         try:
             if self.workers == 0:
@@ -365,6 +375,7 @@ class SolverService:
                     if not entry.done.is_set():
                         entry.resolve(Answer.unknown(detail=BATCH_ABORTED_DETAIL))
                     self._inflight.pop(entry.key, None)
+            metrics.gauge("serve.inflight").set(0)
         return executed
 
     def run_batch(
@@ -396,6 +407,7 @@ class SolverService:
     def _skip(self, entry: _Entry) -> None:
         entry.skipped = True
         self.jobs_skipped += 1
+        metrics.counter("serve.jobs.completed", outcome="skipped").inc()
         entry.resolve(Answer.unknown(detail=CANCELLED_DETAIL))
 
     def _artifact_provider(self) -> StoreArtifactProvider | None:
@@ -408,18 +420,35 @@ class SolverService:
             self._skip(entry)
             return 0
         entry.dispatched = True
+        entry.t_dispatched = time.perf_counter()
+        metrics.observe(
+            "serve.job.queue_wait_s",
+            entry.t_dispatched - entry.t_submitted,
+            procedure=entry.procedure,
+        )
         procedure = get_procedure(entry.procedure)
         guard = Guard(budget=entry.budget, cancel_token=entry.token)
         self.jobs_executed += 1
         STATS.serve_jobs_executed += 1
+        metrics.counter("serve.jobs.executed").inc()
+        metrics.gauge("serve.inflight").inc()
         try:
             with artifacts.scope(self._artifact_provider(), entry.key):
                 result = procedure(*entry.args, guard=guard, **entry.kwargs)
         except Exception as error:  # noqa: BLE001 - resolve waiters, then raise
+            metrics.counter("serve.jobs.completed", outcome="error").inc()
             entry.resolve(
                 Answer.unknown(detail=f"procedure raised {type(error).__name__}")
             )
             raise
+        finally:
+            metrics.gauge("serve.inflight").dec()
+            metrics.observe(
+                "serve.job.latency_s",
+                time.perf_counter() - entry.t_dispatched,
+                procedure=entry.procedure,
+            )
+        metrics.counter("serve.jobs.completed", outcome="executed").inc()
         self.cache.put(entry.key, result, entry.procedure)
         entry.resolve(result)
         return 1
@@ -434,6 +463,12 @@ class SolverService:
                 self._skip(entry)
                 continue
             entry.dispatched = True
+            entry.t_dispatched = time.perf_counter()
+            metrics.observe(
+                "serve.job.queue_wait_s",
+                entry.t_dispatched - entry.t_submitted,
+                procedure=entry.procedure,
+            )
             entry.future = pool.submit(
                 entry.procedure,
                 entry.args,
@@ -444,14 +479,25 @@ class SolverService:
             )
             self.jobs_executed += 1
             STATS.serve_jobs_executed += 1
+            metrics.counter("serve.jobs.executed").inc()
             dispatched.append(entry)
+        inflight = metrics.gauge("serve.inflight")
+        inflight.set(len(dispatched))
         for entry in dispatched:
             result = self._await_pooled(entry)
+            inflight.dec()
             if result is None:
                 continue  # resolved inside (error or cancelled-in-queue)
+            metrics.observe(
+                "serve.job.turnaround_s",
+                time.perf_counter() - entry.t_dispatched,
+                procedure=entry.procedure,
+            )
+            metrics.counter("serve.jobs.completed", outcome="executed").inc()
             self.cache.put(entry.key, result, entry.procedure)
             entry.resolve(result)
         pool.merge_traces()
+        pool.merge_metrics()
         return len(dispatched)
 
     def _await_pooled(self, entry: _Entry) -> Any | None:
@@ -476,6 +522,7 @@ class SolverService:
                 self._skip(entry)
                 return None
             except Exception as error:  # noqa: BLE001
+                metrics.counter("serve.jobs.completed", outcome="error").inc()
                 entry.resolve(
                     Answer.unknown(detail=f"worker raised {type(error).__name__}")
                 )

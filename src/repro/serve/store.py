@@ -43,6 +43,7 @@ import threading
 import time
 from typing import Any, Callable, Iterator
 
+from repro import metrics
 from repro.errors import ReproError
 
 __all__ = ["Store", "StoreArtifactProvider", "StoreError", "STORE_SCHEMA_VERSION"]
@@ -211,6 +212,7 @@ class Store:
         try:
             payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:  # noqa: BLE001 - unpicklable results stay memory-only
+            metrics.counter("serve.store.answer_skips").inc()
             return False
         detail = getattr(result, "detail", None)
         conn = self._connection()
@@ -229,6 +231,7 @@ class Store:
                 ),
             )
         )
+        metrics.counter("serve.store.answer_stores").inc()
         return True
 
     def get_answer(self, key: str) -> Any | None:
@@ -240,16 +243,20 @@ class Store:
             ).fetchone()
         )
         if row is None:
+            metrics.counter("serve.store.answer_misses").inc()
             return None
         try:
-            return pickle.loads(row[0])
+            result = pickle.loads(row[0])
         except Exception:  # noqa: BLE001 - stale/corrupt record: drop it
             self._retry(
                 lambda: conn.execute(
                     "DELETE FROM answers WHERE fingerprint = ?", (key,)
                 )
             )
+            metrics.counter("serve.store.answer_misses").inc()
             return None
+        metrics.counter("serve.store.answer_hits").inc()
+        return result
 
     def has_answer(self, key: str) -> bool:
         conn = self._connection()

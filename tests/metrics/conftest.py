@@ -1,0 +1,17 @@
+"""Metrics tests must never leak an enabled registry into other tests."""
+
+import pytest
+
+from repro import metrics
+
+
+@pytest.fixture(autouse=True)
+def _metrics_off():
+    """Force metrics off and empty before and after every test here."""
+    if metrics.is_enabled():
+        metrics.configure(enabled=False)
+    metrics.REGISTRY.reset()
+    yield
+    if metrics.is_enabled():
+        metrics.configure(enabled=False)
+    metrics.REGISTRY.reset()

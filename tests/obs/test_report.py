@@ -6,7 +6,15 @@ import json
 import pytest
 
 from repro import obs
-from repro.obs.report import SpanAggregate, aggregate, main, render, report
+from repro.obs.report import (
+    SpanAggregate,
+    aggregate,
+    expand_traces,
+    fold_events,
+    main,
+    render,
+    report,
+)
 from repro.workloads.scaling import pl_counter_sws
 
 
@@ -120,3 +128,74 @@ class TestReportEndToEnd:
         with pytest.raises(SystemExit) as excinfo:
             main(["report", str(trace)])
         assert excinfo.value.code == 1
+
+
+class TestMultiTrace:
+    def _write(self, path, events):
+        with open(path, "w") as handle:
+            for event in events:
+                handle.write(json.dumps(event) + "\n")
+
+    def test_report_merges_several_files(self, tmp_path):
+        self._write(tmp_path / "a.jsonl", [_span("proc", 1.0, span_id=1)])
+        self._write(tmp_path / "b.jsonl", [_span("proc", 2.0, span_id=1)])
+        text = report([str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")])
+        assert "proc" in text
+        assert "    2" in text  # count column folds both files
+
+    def test_report_accepts_a_glob(self, tmp_path):
+        self._write(tmp_path / "w-1.jsonl", [_span("proc", 1.0)])
+        self._write(tmp_path / "w-2.jsonl", [_span("other", 1.0)])
+        text = report(str(tmp_path / "w-*.jsonl"))
+        assert "proc" in text and "other" in text
+
+    def test_unmatched_glob_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no trace files match"):
+            expand_traces([str(tmp_path / "nope-*.jsonl")])
+
+    def test_literal_path_passes_through_unmatched(self, tmp_path):
+        missing = str(tmp_path / "absent.jsonl")
+        assert expand_traces([missing]) == [missing]
+
+    def test_cli_accepts_multiple_traces(self, tmp_path, capsys):
+        self._write(tmp_path / "a.jsonl", [_span("proc", 1.0)])
+        self._write(tmp_path / "b.jsonl", [_span("proc", 1.0)])
+        code = main(
+            ["report", str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")]
+        )
+        assert code == 0
+        assert "proc" in capsys.readouterr().out
+
+
+class TestServeSection:
+    def test_root_span_serve_counters_roll_up(self):
+        child = _span("inner", 0.5, span_id=2, counters={"serve_cache_hits": 3})
+        child["parent_id"] = 1
+        events = [
+            _span(
+                "outer",
+                1.0,
+                span_id=1,
+                counters={
+                    "serve_cache_hits": 3,  # includes the child's delta
+                    "serve_cache_misses": 1,
+                    "artifact_hits": 2,
+                    "sat_calls": 9,  # not a serve counter
+                },
+            ),
+            child,
+        ]
+        aggs, serve_totals = fold_events(events)
+        assert serve_totals == {
+            "serve_cache_hits": 3,
+            "serve_cache_misses": 1,
+            "artifact_hits": 2,
+        }
+        text = render(aggs, serve_totals=serve_totals)
+        assert "serve:" in text
+        assert "cache hit rate" in text and "75.0%" in text
+
+    def test_no_serve_counters_no_section(self):
+        aggs, serve_totals = fold_events([_span("a", 1.0)])
+        assert serve_totals == {}
+        assert "serve:" not in render(aggs, serve_totals=serve_totals)

@@ -1,21 +1,27 @@
-"""Serve tests: isolate tracing, the default service, and the registry."""
+"""Serve tests: isolate tracing, metrics, the default service, registry."""
 
 import pytest
 
-from repro import obs, serve
+from repro import metrics, obs, serve
 from repro.obs import _tracer
 from repro.serve import registry
 
 
 @pytest.fixture(autouse=True)
 def _serve_isolation():
-    """Reset cross-test serving state: sink, default service, registry."""
+    """Reset cross-test serving state: sinks, default service, registry."""
     registered_before = set(registry.PROCEDURES)
     if _tracer.ENABLED:
         obs.configure(enabled=False)
+    if metrics.is_enabled():
+        metrics.configure(enabled=False)
+    metrics.REGISTRY.reset()
     yield
     if _tracer.ENABLED:
         obs.configure(enabled=False)
+    if metrics.is_enabled():
+        metrics.configure(enabled=False)
+    metrics.REGISTRY.reset()
     serve.reset_default_service()
     for name in set(registry.PROCEDURES) - registered_before:
         del registry.PROCEDURES[name]
