@@ -74,7 +74,7 @@ def contained_cq_nr(tau1: SWS, tau2: SWS) -> Answer:
     require_class(tau2, SWSClass.CQ_UCQ_NR, "contained_cq_nr")
     horizon = max(saturation_length(tau1), saturation_length(tau2))
     for n in range(0, horizon + 1):
-        checkpoint("contained_cq_nr")
+        checkpoint("contained_cq_nr", depth=n)
         if not expand(tau1, n).contained_in(expand(tau2, n)):
             return Answer.no(detail=f"τ1 ⊄ τ2 at session length {n}")
     return Answer.yes(detail=f"expansions contained up to saturation ({horizon})")
@@ -89,7 +89,7 @@ def contained_cq(tau1: SWS, tau2: SWS, max_session_length: int = 5) -> Answer:
     if not tau1.is_recursive() and not tau2.is_recursive():
         return contained_cq_nr(tau1, tau2)
     for n in range(0, max_session_length + 1):
-        checkpoint("contained_cq")
+        checkpoint("contained_cq", depth=n)
         if not expand(tau1, n).contained_in(expand(tau2, n)):
             return Answer.no(detail=f"τ1 ⊄ τ2 at session length {n}")
     return Answer.unknown(

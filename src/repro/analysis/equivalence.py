@@ -83,7 +83,7 @@ def equivalent_cq_nr(tau1: SWS, tau2: SWS) -> Answer:
     _check_comparable(tau1, tau2)
     horizon = max(saturation_length(tau1), saturation_length(tau2))
     for n in range(0, horizon + 1):
-        checkpoint("equivalent_cq_nr")
+        checkpoint("equivalent_cq_nr", depth=n)
         q1 = expand(tau1, n)
         q2 = expand(tau2, n)
         if not q1.contained_in(q2):
@@ -108,7 +108,7 @@ def equivalent_cq(tau1: SWS, tau2: SWS, max_session_length: int = 5) -> Answer:
     if not tau1.is_recursive() and not tau2.is_recursive():
         return equivalent_cq_nr(tau1, tau2)
     for n in range(0, max_session_length + 1):
-        checkpoint("equivalent_cq")
+        checkpoint("equivalent_cq", depth=n)
         q1 = expand(tau1, n)
         q2 = expand(tau2, n)
         if not q1.contained_in(q2):
@@ -160,7 +160,7 @@ def equivalent_fo_bounded(
                         tau1.input_schema, [list(c) for c in combo]
                     )
                     runs += 1
-                    checkpoint("equivalent_fo_bounded")
+                    checkpoint("equivalent_fo_bounded", depth=n)
                     out1 = run_relational(tau1, database, inputs).output.rows
                     out2 = run_relational(tau2, database, inputs).output.rows
                     if out1 != out2:

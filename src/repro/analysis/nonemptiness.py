@@ -115,7 +115,7 @@ def nonempty_pl_nr_sat(sws: SWS) -> Answer:
     require_class(sws, SWSClass.PL_PL_NR, "nonempty_pl_nr_sat")
     variables = sorted(sws.input_variables())
     for n in range(0, sws.depth() + 2):
-        checkpoint("nonempty_pl_nr_sat")
+        checkpoint("nonempty_pl_nr_sat", depth=n)
         formula = pl_nr_value_formula(sws, n)
         assignment = sat_model(formula)
         if assignment is None:
@@ -183,7 +183,7 @@ def nonempty_cq_nr(sws: SWS) -> Answer:
     n = saturation_length(sws)
     expansion = expand(sws, n)
     for disjunct in expansion.disjuncts:
-        checkpoint("nonempty_cq_nr")
+        checkpoint("nonempty_cq_nr", frontier=len(expansion.disjuncts), depth=n)
         if not disjunct.is_satisfiable():
             continue
         database, inputs = witness_from_disjunct(sws, disjunct, n)
@@ -208,10 +208,12 @@ def nonempty_cq(sws: SWS, max_session_length: int = 6) -> Answer:
     if not sws.is_recursive():
         return nonempty_cq_nr(sws)
     for n in range(0, max_session_length + 1):
-        checkpoint("nonempty_cq")
+        checkpoint("nonempty_cq", depth=n)
         expansion = expand(sws, n)
         for disjunct in expansion.disjuncts:
-            checkpoint("nonempty_cq")
+            checkpoint(
+                "nonempty_cq", frontier=len(expansion.disjuncts), depth=n
+            )
             if not disjunct.is_satisfiable():
                 continue
             database, inputs = witness_from_disjunct(sws, disjunct, n)
@@ -306,7 +308,7 @@ def nonempty_fo_bounded(
                         sws.input_schema, [list(c) for c in combo]
                     )
                     runs += 1
-                    checkpoint("nonempty_fo_bounded")
+                    checkpoint("nonempty_fo_bounded", depth=n)
                     result = run_relational(sws, database, inputs)
                     if result.output:
                         return Answer.yes(

@@ -62,7 +62,7 @@ def validate_pl_nr_sat(sws: SWS, output: bool) -> Answer:
     require_class(sws, SWSClass.PL_PL_NR, "validate_pl_nr_sat")
     variables = sorted(sws.input_variables())
     for n in range(0, sws.depth() + 2):
-        checkpoint("validate_pl_nr_sat")
+        checkpoint("validate_pl_nr_sat", depth=n)
         formula = pl_nr_value_formula(sws, n)
         target = formula if output else pl.Not(formula)
         assignment = sat_model(target)
@@ -266,7 +266,7 @@ def validate_cq_nr(
         for database, inputs in _candidate_instances(
             sws, disjuncts, rows, n, merge_budget
         ):
-            checkpoint("validate_cq_nr")
+            checkpoint("validate_cq_nr", frontier=len(disjuncts), depth=n)
             if run_relational(sws, database, inputs).output.rows == target:
                 return Answer.yes(witness=(database, inputs), detail=f"n={n}")
     return Answer.unknown(detail="candidate space exhausted")
@@ -333,7 +333,7 @@ def _validate_bounded(
                         sws.input_schema, [list(c) for c in combo]
                     )
                     runs += 1
-                    checkpoint("validate_fo_bounded")
+                    checkpoint("validate_fo_bounded", depth=n)
                     if run_relational(sws, database, inputs).output.rows == target:
                         return Answer.yes(witness=(database, inputs))
     return Answer.unknown(detail=f"exhausted bounds after {runs} runs")

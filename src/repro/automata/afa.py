@@ -182,6 +182,11 @@ _DIFF_SEARCHER_CACHE: dict[tuple, Callable] = {}
 #: tagged with a different magic fall back to recompiling stored source.
 _BYTECODE_MAGIC = importlib.util.MAGIC_NUMBER.hex()
 
+#: Bumped when the generated searcher source changes shape (v2: ckpt
+#: calls carry the visited map for progress telemetry).  Artifacts from
+#: an older codegen are regenerated rather than rehydrated.
+_CODEGEN_VERSION = 2
+
 
 def _load_searchers_artifact(cache_key: tuple) -> tuple[Callable, Callable] | None:
     """Rehydrate persisted searchers, or ``None`` to compile from scratch.
@@ -195,6 +200,8 @@ def _load_searchers_artifact(cache_key: tuple) -> tuple[Callable, Callable] | No
         return None
     payload = artifacts.load("afa.searchers", cache_key)
     if not isinstance(payload, dict):
+        return None
+    if payload.get("codegen") != _CODEGEN_VERSION:
         return None
     try:
         if payload.get("magic") == _BYTECODE_MAGIC:
@@ -252,12 +259,12 @@ def _compile_searchers(engine: "_CompiledAFA") -> tuple[Callable, Callable]:
         "    append = queue.append",
         "    popleft = queue.popleft",
         "    n = 0",
-        "    ckpt(0, queue)",
+        "    ckpt(0, queue, parents)",
         "    while queue:",
         "        v = popleft()",
         "        n += 1",
         "        if not n & 255:",
-        "            ckpt(n, queue)",
+        "            ckpt(n, queue, parents)",
         *temps,
     ]
     sweep = [
@@ -267,12 +274,12 @@ def _compile_searchers(engine: "_CompiledAFA") -> tuple[Callable, Callable]:
         "    append = queue.append",
         "    popleft = queue.popleft",
         "    n = 0",
-        "    ckpt(0, queue)",
+        "    ckpt(0, queue, parents)",
         "    while queue:",
         "        v = popleft()",
         "        n += 1",
         "        if not n & 255:",
-        "            ckpt(n, queue)",
+        "            ckpt(n, queue, parents)",
         *temps,
     ]
     for idx, expr in enumerate(exprs):
@@ -304,6 +311,7 @@ def _compile_searchers(engine: "_CompiledAFA") -> tuple[Callable, Callable]:
             cache_key,
             {
                 "magic": _BYTECODE_MAGIC,
+                "codegen": _CODEGEN_VERSION,
                 "search_src": search_src,
                 "sweep_src": sweep_src,
                 "search_code": marshal.dumps(search_code),
@@ -357,12 +365,12 @@ def _compile_diff_search(
         "    append = queue.append",
         "    popleft = queue.popleft",
         "    n = 0",
-        "    ckpt(0, queue)",
+        "    ckpt(0, queue, parents)",
         "    while queue:",
         "        pair = popleft()",
         "        n += 1",
         "        if not n & 255:",
-        "            ckpt(n, queue)",
+        "            ckpt(n, queue, parents)",
         "        v, w = pair",
         "        if ia(v) != ib(w):",
         "            return parents, pair, n",
@@ -696,12 +704,12 @@ class AFA:
         queue_v: deque[Vector] = deque([start])
         order = self._symbol_order()
         n = 0
-        ckpt(0, queue_v)
+        ckpt(0, queue_v, parents_v)
         while queue_v:
             vector = queue_v.popleft()
             STATS.vectors_explored += 1
             n += 1
-            ckpt(n, queue_v)
+            ckpt(n, queue_v, parents_v)
             for symbol in order:
                 nxt = self._pre_step_ast(vector, symbol)
                 if nxt not in parents_v:
@@ -766,12 +774,12 @@ class AFA:
         queue_v: deque[Vector] = deque([start])
         order = self._symbol_order()
         n = 0
-        ckpt(0, queue_v)
+        ckpt(0, queue_v, parents_v)
         while queue_v:
             vector = queue_v.popleft()
             STATS.vectors_explored += 1
             n += 1
-            ckpt(n, queue_v)
+            ckpt(n, queue_v, parents_v)
             for symbol in order:
                 nxt = self._pre_step_ast(vector, symbol)
                 if nxt in parents_v:
@@ -867,13 +875,13 @@ class AFA:
         queue_v: deque[tuple[Vector, Vector]] = deque([start_v])
         order = self._symbol_order()
         n = 0
-        ckpt(0, queue_v)
+        ckpt(0, queue_v, parents_v)
         while queue_v:
             pair_v = queue_v.popleft()
             mine_v, theirs_v = pair_v
             STATS.vectors_explored += 1
             n += 1
-            ckpt(n, queue_v)
+            ckpt(n, queue_v, parents_v)
             if self.initial_condition.evaluate(mine_v) != other.initial_condition.evaluate(
                 theirs_v
             ):

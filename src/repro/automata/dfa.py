@@ -92,11 +92,11 @@ class DFA:
         transitions: dict[tuple[State, Symbol], State] = {}
         queue: deque[tuple[State, State]] = deque([initial])
         n = 0
-        ckpt(0, queue)
+        ckpt(0, queue, states)
         while queue:
             pair = queue.popleft()
             n += 1
-            ckpt(n, queue)
+            ckpt(n, queue, states)
             if pair in states:
                 continue
             states.add(pair)

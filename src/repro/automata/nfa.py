@@ -116,11 +116,11 @@ class NFA:
         transitions: dict[tuple[frozenset[State], Symbol], frozenset[State]] = {}
         queue: deque[frozenset[State]] = deque([initial])
         n = 0
-        ckpt(0, queue)
+        ckpt(0, queue, states)
         while queue:
             subset = queue.popleft()
             n += 1
-            ckpt(n, queue)
+            ckpt(n, queue, states)
             if subset in states:
                 continue
             states.add(subset)

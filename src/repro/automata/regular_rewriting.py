@@ -64,11 +64,11 @@ def component_relation(goal_dfa: DFA, component: NFA) -> frozenset[tuple]:
         start = (origin, component.epsilon_closure(component.initials))
         seen: set[tuple] = set()
         queue: deque[tuple] = deque([start])
-        ckpt(n_popped, queue)
+        ckpt(n_popped, queue, seen)
         while queue:
             state, cset = queue.popleft()
             n_popped += 1
-            ckpt(n_popped, queue)
+            ckpt(n_popped, queue, seen)
             if (state, cset) in seen:
                 continue
             seen.add((state, cset))
@@ -110,11 +110,11 @@ def maximal_rewriting(
     queue: deque[frozenset] = deque([initial])
     ckpt = checkpoint_callable("regular_rewriting.rewrite")
     n_popped = 0
-    ckpt(0, queue)
+    ckpt(0, queue, states)
     while queue:
         subset = queue.popleft()
         n_popped += 1
-        ckpt(n_popped, queue)
+        ckpt(n_popped, queue, states)
         if subset in states:
             continue
         states.add(subset)

@@ -388,6 +388,11 @@ _local = threading.local()
 #: Installed by :mod:`repro.guard.inject`; ``None`` means no injection.
 _INJECT_HOOK: Callable[[str], None] | None = None
 
+#: Installed by :mod:`repro.obs.progress` while progress telemetry is
+#: enabled; ``None`` (the default) keeps the checkpoint's disabled path
+#: at one extra global read.
+_PROGRESS: Any | None = None
+
 
 def _stack() -> list[Guard]:
     stack = getattr(_local, "stack", None)
@@ -402,45 +407,84 @@ def current_guard() -> Guard | None:
     return stack[-1] if stack else None
 
 
-def checkpoint(site: str, n: int = 1, frontier: int | None = None) -> None:
+def checkpoint(
+    site: str,
+    n: int = 1,
+    frontier: int | None = None,
+    visited: int | None = None,
+    depth: int | None = None,
+) -> None:
     """Cooperative checkpoint: consult fault injection and ambient guards.
 
-    The no-guard, no-injection path is two global reads — cheap enough
-    for per-iteration use in the interpreted loops.  Hot compiled loops
-    should use :func:`checkpoint_callable` and batch instead.
+    The no-guard, no-injection, no-progress path is three global reads —
+    cheap enough for per-iteration use in the interpreted loops.  Hot
+    compiled loops should use :func:`checkpoint_callable` and batch
+    instead.  ``visited``/``depth`` are progress-telemetry enrichments
+    (seen-set size, search depth) that loops report where one exists;
+    guards ignore them.
+
+    A trip raised here — by a real guard or injected — is first noted to
+    the progress tracker, so a tripped solve's last ``progress`` event
+    always matches the :class:`Trip` partial-progress detail.
     """
+    progress = _PROGRESS
     hook = _INJECT_HOOK
-    if hook is not None:
-        hook(site)
-    stack = getattr(_local, "stack", None)
-    if stack:
-        for guard in stack:
-            guard.checkpoint(site, n, frontier)
+    try:
+        if hook is not None:
+            hook(site)
+        stack = getattr(_local, "stack", None)
+        if stack:
+            for guard in stack:
+                guard.checkpoint(site, n, frontier)
+    except GuardTrip as error:
+        if progress is not None:
+            progress.note_trip(error.trip)
+        raise
+    if progress is not None:
+        progress.note(site, n, frontier, visited, depth)
 
 
-def _noop_checkpoint(n: int = 0, queue: Any = None) -> None:
+def _noop_checkpoint(
+    n: int = 0, queue: Any = None, visited: Any = None, depth: int | None = None
+) -> None:
     return None
 
 
-def checkpoint_callable(site: str) -> Callable[[int, Any], None]:
+def checkpoint_callable(site: str) -> Callable[..., None]:
     """A per-search checkpoint closure for the compiled BFS hot loops.
 
-    The generated searchers call ``ckpt(n, queue)`` with the cumulative
-    pop count every ``HOT_LOOP_MASK + 1`` pops (and once on entry, so
-    tiny searches still hit at least one checkpoint).  When no guard is
-    ambient and no fault is injected this returns a shared no-op —
-    fetched once per search, so the loop body's only overhead is the
-    masked counter test.
+    The generated searchers call ``ckpt(n, queue)`` — optionally
+    ``ckpt(n, queue, seen)`` — with the cumulative pop count every
+    ``HOT_LOOP_MASK + 1`` pops (and once on entry, so tiny searches
+    still hit at least one checkpoint).  When no guard is ambient, no
+    fault is injected, and progress telemetry is off this returns a
+    shared no-op — fetched once per search, so the loop body's only
+    overhead is the masked counter test.
     """
-    if _INJECT_HOOK is None and not getattr(_local, "stack", None):
+    if (
+        _INJECT_HOOK is None
+        and _PROGRESS is None
+        and not getattr(_local, "stack", None)
+    ):
         return _noop_checkpoint
     last = 0
 
-    def ckpt(n: int, queue: Any = None) -> None:
+    def ckpt(
+        n: int,
+        queue: Any = None,
+        visited: Any = None,
+        depth: int | None = None,
+    ) -> None:
         nonlocal last
         delta = n - last
         last = n
-        checkpoint(site, delta, None if queue is None else len(queue))
+        checkpoint(
+            site,
+            delta,
+            None if queue is None else len(queue),
+            None if visited is None else len(visited),
+            depth,
+        )
 
     return ckpt
 

@@ -155,7 +155,7 @@ def verify_cq_mediator(
         # Returns a bare bool where False is a sound "not equivalent", so
         # this function cannot absorb a trip itself; the checkpoint's trip
         # propagates to the guarded compose_cq_nr boundary.
-        checkpoint("compose_cq_nr")
+        checkpoint("compose_cq_nr", depth=n)
         goal_q = expand(goal, n)
         definitions = {}
         for name, component in components.items():
@@ -196,7 +196,7 @@ def compose_cq_nr(
     goal_q = expand(goal, horizon)
     views = []
     for name, component in components.items():
-        checkpoint("compose_cq_nr")
+        checkpoint("compose_cq_nr", frontier=len(components))
         views.append(component_view(name, component, horizon))
     rewriting = equivalent_rewriting(goal_q, views)
     if rewriting is None:

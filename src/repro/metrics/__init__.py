@@ -70,6 +70,7 @@ from repro.metrics._core import (
     observe,
     reset_after_fork,
     snapshot,
+    maybe_write_snapshot,
     write_snapshot,
 )
 
@@ -101,5 +102,6 @@ __all__ = [
     "observe",
     "reset_after_fork",
     "snapshot",
+    "maybe_write_snapshot",
     "write_snapshot",
 ]

@@ -502,6 +502,33 @@ def write_snapshot() -> dict[str, Any] | None:
     return snap
 
 
+#: Minimum seconds between :func:`maybe_write_snapshot` writes.
+MIN_SNAPSHOT_INTERVAL_S = 0.5
+
+_last_snapshot_write = 0.0
+
+
+def maybe_write_snapshot(
+    min_interval_s: float = MIN_SNAPSHOT_INTERVAL_S,
+) -> dict[str, Any] | None:
+    """Throttled :func:`write_snapshot` for in-band callers.
+
+    The progress tracker calls this on every emitted progress event so a
+    long-running worker job's spool file refreshes *mid-job* (the normal
+    per-job write in the pool only lands when the job finishes).  The
+    throttle makes it safe to call at event rate; returns the snapshot
+    when one was written, else ``None``.
+    """
+    global _last_snapshot_write
+    if not ENABLED:
+        return None
+    now = time.monotonic()
+    if now - _last_snapshot_write < min_interval_s:
+        return None
+    _last_snapshot_write = now
+    return write_snapshot()
+
+
 def _close_stream() -> None:
     global _stream
     if _stream is not None:

@@ -46,12 +46,18 @@ from repro.obs._tracer import (
     TRACE_SCHEMA_VERSION,
     configure,
     current_span,
+    emit_event,
     is_enabled,
     iter_events,
     reemit,
     span,
     traced,
 )
+
+# Imported for their side effects too: REPRO_PROGRESS / REPRO_PROFILE
+# environment activation happens here, mirroring REPRO_TRACE above.
+# Both are import-light and cost nothing while disabled.
+from repro.obs import profile, progress  # noqa: E402  (after _tracer)
 
 __all__ = [
     "NOOP_SPAN",
@@ -64,8 +70,11 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "configure",
     "current_span",
+    "emit_event",
     "is_enabled",
     "iter_events",
+    "profile",
+    "progress",
     "reemit",
     "span",
     "stats_delta",

@@ -443,19 +443,62 @@ def reemit(event: Mapping[str, Any], **extra_attrs: Any) -> None:
     _emit(event)
 
 
-def iter_events(path: str) -> Iterator[dict[str, Any]]:
-    """Parse a JSONL trace file, skipping blank lines."""
+def emit_event(event: Mapping[str, Any]) -> None:
+    """Emit a raw (non-span) event into the current sink.
+
+    The structured side channel for :mod:`repro.obs.progress` and
+    friends: the event rides the same JSONL stream as span events, under
+    the same lock, so ``progress``/``heartbeat`` records interleave with
+    spans in wall-clock order.  No-op while tracing is disabled —
+    callers can skip building the event dict entirely by checking
+    :data:`ENABLED` first.
+    """
+    if not ENABLED:
+        return
+    _emit(dict(event))
+
+
+def iter_events(
+    path: str,
+    strict: bool = True,
+    on_skip: Callable[[str], None] | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Parse a JSONL trace file, skipping blank lines.
+
+    ``strict=True`` (the default) raises :class:`ValueError` on the
+    first malformed line.  ``strict=False`` skips malformed lines —
+    reporting each through ``on_skip`` — which is what the CLI consumers
+    want for traces truncated mid-line by killed pool workers.  A file
+    that yields *no* valid events but had malformed lines still raises,
+    so a garbage input is an error rather than a silently empty report.
+    """
+    good = 0
+    bad = 0
+    first_bad: str | None = None
     with open(path, encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, 1):
             line = line.strip()
             if not line:
                 continue
             try:
-                yield json.loads(line)
+                event = json.loads(line)
             except json.JSONDecodeError as error:
-                raise ValueError(
-                    f"{path}:{line_number}: malformed trace line: {error}"
-                ) from error
+                message = f"{path}:{line_number}: malformed trace line: {error}"
+                if strict:
+                    raise ValueError(message) from error
+                bad += 1
+                if first_bad is None:
+                    first_bad = message
+                if on_skip is not None:
+                    on_skip(message)
+                continue
+            good += 1
+            yield event
+    if bad and not good:
+        raise ValueError(
+            f"{path}: no valid trace events "
+            f"({bad} malformed line(s); first: {first_bad})"
+        )
 
 
 # Zero-code activation: REPRO_TRACE=trace.jsonl enables tracing at import.

@@ -168,24 +168,39 @@ def evaluate(
     return results
 
 
-def run_check(
+def _load_inputs(
     baseline_path: str,
-    metrics_path: str | None = None,
-    trace_paths: Sequence[str] = (),
-) -> tuple[int, str]:
-    """Evaluate a baseline file; returns (exit code, report text)."""
+    metrics_path: str | None,
+    trace_paths: Sequence[str],
+    strict: bool = True,
+    on_skip: Any = None,
+) -> tuple[dict, Mapping[str, Any] | None, Mapping[str, SpanAggregate] | None]:
     with open(baseline_path, encoding="utf-8") as handle:
         baseline = json.load(handle)
     snap = metrics.last_snapshot(metrics_path) if metrics_path else None
-    if metrics_path and snap is None:
-        return 1, f"error: {metrics_path}: no metrics snapshot found\n"
     aggregates = None
     if trace_paths:
         def events():
             for path in trace_paths:
-                yield from iter_events(path)
+                yield from iter_events(path, strict=strict, on_skip=on_skip)
 
         aggregates = aggregate(events())
+    return baseline, snap, aggregates
+
+
+def run_check(
+    baseline_path: str,
+    metrics_path: str | None = None,
+    trace_paths: Sequence[str] = (),
+    strict: bool = True,
+    on_skip: Any = None,
+) -> tuple[int, str]:
+    """Evaluate a baseline file; returns (exit code, report text)."""
+    baseline, snap, aggregates = _load_inputs(
+        baseline_path, metrics_path, trace_paths, strict=strict, on_skip=on_skip
+    )
+    if metrics_path and snap is None:
+        return 1, f"error: {metrics_path}: no metrics snapshot found\n"
     results = evaluate(baseline, snap, aggregates)
     lines = [result.line() for result in results]
     failed = [result for result in results if not result.ok]
@@ -196,3 +211,94 @@ def run_check(
     )
     lines.append("")
     return (1 if failed else 0), "\n".join(lines)
+
+
+#: Default multiplier between a freshly observed value and the bound
+#: ``--update`` writes: max bounds get ``value * headroom``, min bounds
+#: ``value / headroom`` — an order-of-magnitude tripwire by default.
+DEFAULT_HEADROOM = 10.0
+
+
+def _round_bound(value: float) -> float | int:
+    """3 significant figures; integers stay integers."""
+    rounded = float(f"{value:.3g}")
+    return int(rounded) if rounded == int(rounded) else rounded
+
+
+def update_baseline(
+    baseline_path: str,
+    metrics_path: str | None = None,
+    trace_paths: Sequence[str] = (),
+    headroom: float = DEFAULT_HEADROOM,
+    strict: bool = True,
+    on_skip: Any = None,
+) -> tuple[int, str]:
+    """Regenerate a baseline's bounds from fresh inputs (``check --update``).
+
+    For every check whose input was provided and whose stat is
+    observable, the bounds are rewritten around the observed value:
+    ``max`` becomes ``value * headroom`` and ``min`` becomes
+    ``value / headroom`` (3 significant figures; a bound of 0 around an
+    observed 0 stays 0).  A per-check ``"headroom"`` key overrides the
+    multiplier; checks without fresh input are left untouched and
+    reported as skipped.  Returns (exit code, report text); exit is
+    nonzero only when nothing could be updated.
+    """
+    if headroom < 1.0:
+        raise ValueError("headroom must be >= 1.0")
+    baseline, snap, aggregates = _load_inputs(
+        baseline_path, metrics_path, trace_paths, strict=strict, on_skip=on_skip
+    )
+    lines: list[str] = []
+    updated = 0
+    for check in baseline.get("checks", ()):
+        name = check.get("name", "<unnamed>")
+        source = check.get("source", "metrics")
+        select = check.get("select")
+        stat = check.get("stat", "value")
+        if source == "metrics":
+            value = _metrics_stat(snap, select, stat) if snap is not None else None
+        elif source == "trace":
+            value = (
+                _trace_stat(aggregates, select, stat)
+                if aggregates is not None
+                else None
+            )
+        else:
+            lines.append(f"SKIP  {name}: unknown source {source!r}")
+            continue
+        if value is None:
+            lines.append(f"SKIP  {name}: no fresh {source} value for {select!r}")
+            continue
+        factor = float(check.get("headroom", headroom))
+        changes = []
+        if "max" in check:
+            new_hi = _round_bound(value * factor)
+            changes.append(f"max {check['max']} -> {new_hi}")
+            check["max"] = new_hi
+        if "min" in check:
+            new_lo = _round_bound(value / factor)
+            changes.append(f"min {check['min']} -> {new_lo}")
+            check["min"] = new_lo
+        updated += 1
+        lines.append(
+            f"SET   {name}: observed {stat}={value:.6g}; "
+            + ("; ".join(changes) or "no bounds to update")
+        )
+    if updated:
+        meta = baseline.setdefault("_meta", {})
+        meta["updated_by"] = (
+            "python -m repro.obs check --update"
+            + (f" --metrics {metrics_path}" if metrics_path else "")
+            + "".join(f" --trace {p}" for p in trace_paths)
+        )
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    lines.append("")
+    lines.append(
+        f"{updated}/{len(baseline.get('checks', ()))} checks re-baselined"
+        + ("" if updated else " — nothing written")
+    )
+    lines.append("")
+    return (0 if updated else 1), "\n".join(lines)

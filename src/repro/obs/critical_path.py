@@ -148,12 +148,22 @@ def render(roots: list[SpanNode], limit: int = 10) -> str:
     return "\n".join(lines)
 
 
-def critical_path(paths: list[str], limit: int = 10) -> str:
-    """Render the critical-path report for one or more trace files."""
+def critical_path(
+    paths: list[str],
+    limit: int = 10,
+    strict: bool = True,
+    on_skip: Any = None,
+) -> str:
+    """Render the critical-path report for one or more trace files.
+
+    ``strict=False`` skips malformed lines (reporting them through
+    ``on_skip``) instead of raising — what the CLI wants for traces
+    truncated by killed workers.
+    """
 
     def events() -> Iterable[dict[str, Any]]:
         for index, path in enumerate(paths):
-            for event in iter_events(path):
+            for event in iter_events(path, strict=strict, on_skip=on_skip):
                 if len(paths) > 1:
                     event = dict(event)
                     event["_source"] = index

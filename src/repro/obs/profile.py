@@ -1,0 +1,483 @@
+"""Thread-based sampling wall-clock profiler (dependency-free).
+
+The span layer says *which procedure* was slow; this module says *which
+frames*.  A daemon thread wakes ``hz`` times per second (default
+:data:`DEFAULT_HZ` — prime, so it does not beat against periodic work),
+grabs ``sys._current_frames()``, and folds every thread's stack into a
+collapsed-stack table::
+
+    repro.analysis.nonemptiness.nonempty_pl;repro.automata.afa.AFA.search_witness;... 412
+
+which is the standard flamegraph input format — one line per unique
+root-to-leaf stack, space, sample count.  ``python -m repro.obs flame
+profile.collapsed -o flame.html`` renders a self-contained HTML
+flamegraph (no external assets, no JS dependencies).
+
+Usage::
+
+    from repro.obs import profile
+    with profile.profiling("solve.collapsed", hz=200):
+        nonempty_pl(big_instance)
+
+or process-wide via ``REPRO_PROFILE=profile.collapsed`` (rate override:
+``REPRO_PROFILE_HZ=200``), mirroring ``REPRO_TRACE``/``REPRO_METRICS``;
+the collapsed file is written at exit and on :func:`write_collapsed`.
+
+Pool workers follow the per-pid spool idiom: the parent hands each
+worker ``profile-<pid>.collapsed`` under a spool directory, workers
+rewrite their file (atomic replace) after every job, and
+:meth:`repro.serve.pool.WorkerPool.merge_profiles` folds the spools into
+the parent's table **replace-wise per source** — spool files are
+cumulative, so repeated merges never double-count, exactly like the
+metrics spools.
+
+Cost: disabled, nothing runs and nothing is imported at call sites.
+Enabled, the sampler costs one stack walk per thread per tick — at the
+default ~97 Hz that is well under 1% on the compiled AFA loops (the CI
+smoke enforces the disabled-mode bound, see ``scripts/check_all.sh``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import threading
+import time
+from typing import Any, Iterable, Mapping
+
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+PROFILE_HZ_ENV_VAR = "REPRO_PROFILE_HZ"
+
+#: Default sampling rate; prime, to avoid aliasing with periodic work.
+DEFAULT_HZ = 97
+
+#: Frames from these modules are the sampler/exporter machinery itself;
+#: stacks consisting only of them are dropped.
+_SELF_MODULES = ("repro.obs.profile",)
+
+__all__ = [
+    "DEFAULT_HZ",
+    "PROFILE_ENV_VAR",
+    "PROFILE_HZ_ENV_VAR",
+    "Sampler",
+    "absorb_spool",
+    "configure",
+    "flamegraph_html",
+    "is_enabled",
+    "merged_samples",
+    "parse_collapsed",
+    "profiling",
+    "render_collapsed",
+    "sample_count",
+    "write_collapsed",
+]
+
+
+def _frame_name(frame: Any) -> str:
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    qualname = getattr(code, "co_qualname", code.co_name)
+    return f"{module}.{qualname}"
+
+
+def _stack_of(frame: Any) -> tuple[str, ...] | None:
+    """Root-first frame names for one thread's current frame."""
+    names: list[str] = []
+    while frame is not None:
+        names.append(_frame_name(frame))
+        frame = frame.f_back
+    names.reverse()
+    if not names:
+        return None
+    # A thread that is only running the profiler (or sitting in the
+    # threading wait loop at the bottom of a worker) is noise.
+    if all(name.startswith(_SELF_MODULES) for name in names):
+        return None
+    return tuple(names)
+
+
+class Sampler:
+    """The sampling thread plus its collapsed-stack accumulator."""
+
+    def __init__(self, hz: float = DEFAULT_HZ) -> None:
+        if hz <= 0:
+            raise ValueError("hz must be positive")
+        self.hz = hz
+        self.samples: dict[tuple[str, ...], int] = {}
+        self.ticks = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "Sampler":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-profile", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=2.0)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        own_id = threading.get_ident()
+        while not self._stop.wait(interval):
+            frames = sys._current_frames()
+            self.ticks += 1
+            with self._lock:
+                for thread_id, frame in frames.items():
+                    if thread_id == own_id:
+                        continue
+                    stack = _stack_of(frame)
+                    if stack is None:
+                        continue
+                    self.samples[stack] = self.samples.get(stack, 0) + 1
+
+    # -- accessors -------------------------------------------------------------
+
+    def snapshot(self) -> dict[tuple[str, ...], int]:
+        with self._lock:
+            return dict(self.samples)
+
+    def sample_count(self) -> int:
+        with self._lock:
+            return sum(self.samples.values())
+
+
+# -- collapsed-stack I/O -------------------------------------------------------
+
+
+def render_collapsed(samples: Mapping[tuple[str, ...], int]) -> str:
+    """Samples as collapsed-stack text (sorted for stable diffs)."""
+    lines = [
+        ";".join(stack) + f" {count}"
+        for stack, count in sorted(samples.items())
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_collapsed(text: str, path: str = "<collapsed>") -> dict[tuple[str, ...], int]:
+    """Parse collapsed-stack text back into a samples table.
+
+    Lenient about blank lines; a line without a trailing integer count
+    is an error naming the offending line.
+    """
+    samples: dict[tuple[str, ...], int] = {}
+    for line_number, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        stack_text, _, count_text = line.rpartition(" ")
+        if not stack_text or not count_text.isdigit():
+            raise ValueError(f"{path}:{line_number}: malformed collapsed line")
+        stack = tuple(stack_text.split(";"))
+        samples[stack] = samples.get(stack, 0) + int(count_text)
+    return samples
+
+
+def merge_samples(
+    tables: Iterable[Mapping[tuple[str, ...], int]],
+) -> dict[tuple[str, ...], int]:
+    """Fold several samples tables into one."""
+    out: dict[tuple[str, ...], int] = {}
+    for table in tables:
+        for stack, count in table.items():
+            out[stack] = out.get(stack, 0) + count
+    return out
+
+
+# -- module-level state (configure / env / spool) ------------------------------
+
+_sampler: Sampler | None = None
+_path: str | None = None
+#: Worker spool tables, replace-wise per source pid (cumulative files).
+_sources: dict[str, dict[tuple[str, ...], int]] = {}
+_atexit_registered = False
+
+
+def is_enabled() -> bool:
+    """Whether a process-wide sampler is running."""
+    return _sampler is not None and _sampler.running
+
+
+def configure(
+    path: str | None = None,
+    hz: float | None = None,
+    enabled: bool | None = None,
+) -> None:
+    """(Re)configure the process-wide sampler.
+
+    ``configure(path="p.collapsed")`` starts sampling and arranges an
+    exit-time write; ``configure(enabled=False)`` stops the sampler
+    (samples are kept until the next enable, so a final
+    :func:`write_collapsed` still sees them).
+    """
+    global _sampler, _path, _atexit_registered
+    if path is not None:
+        _path = path
+        if enabled is None:
+            enabled = True
+    if hz is not None and _sampler is not None and not _sampler.running:
+        _sampler = None  # apply the new rate to a fresh sampler
+    if enabled:
+        if _path is None:
+            raise ValueError(
+                "configure(enabled=True) needs an output: pass path= or set "
+                f"{PROFILE_ENV_VAR}"
+            )
+        if _sampler is None or not _sampler.running:
+            rate = hz if hz is not None else _env_hz()
+            _sampler = Sampler(rate).start()
+        if not _atexit_registered:
+            atexit.register(_atexit_write)
+            _atexit_registered = True
+    elif enabled is not None and _sampler is not None:
+        _sampler.stop()
+
+
+def _env_hz() -> float:
+    raw = os.environ.get(PROFILE_HZ_ENV_VAR)
+    if not raw:
+        return DEFAULT_HZ
+    try:
+        return float(raw)
+    except ValueError:
+        return DEFAULT_HZ
+
+
+def sample_count() -> int:
+    """Samples collected by this process's sampler (workers excluded)."""
+    return _sampler.sample_count() if _sampler is not None else 0
+
+
+def merged_samples() -> dict[tuple[str, ...], int]:
+    """Own samples plus every absorbed worker spool."""
+    own = _sampler.snapshot() if _sampler is not None else {}
+    return merge_samples([own, *_sources.values()])
+
+
+def absorb_spool(path: str, source: str) -> int:
+    """Replace ``source``'s table with the spool file's current contents.
+
+    Spool files are cumulative (rewritten whole after every job), so a
+    replace — not an add — keeps repeated merges idempotent.  Returns
+    the number of samples absorbed; unreadable or partially written
+    spools are skipped (the next merge sees the complete rewrite).
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            table = parse_collapsed(handle.read(), path)
+    except (OSError, ValueError):
+        return 0
+    _sources[source] = table
+    return sum(table.values())
+
+
+def write_collapsed(path: str | None = None) -> str | None:
+    """Write own + absorbed samples as collapsed text; returns the path."""
+    target = path if path is not None else _path
+    if target is None:
+        return None
+    text = render_collapsed(merged_samples())
+    tmp = f"{target}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.replace(tmp, target)
+    return target
+
+
+def _atexit_write() -> None:  # pragma: no cover - interpreter shutdown
+    if _sampler is not None:
+        _sampler.stop()
+    try:
+        write_collapsed()
+    except OSError:
+        pass
+
+
+def reset_after_fork(spool_path: str | None) -> None:
+    """Re-home the profiler in a freshly forked pool worker.
+
+    The sampler *thread* does not survive a fork, and the inherited
+    samples belong to the parent: drop both, point the output at the
+    worker's per-pid spool file, and restart sampling at the parent's
+    rate.  ``spool_path=None`` disables profiling in the child.
+    """
+    global _sampler, _path
+    rate = _sampler.hz if _sampler is not None else _env_hz()
+    _sampler = None
+    _sources.clear()
+    _path = None
+    if spool_path is not None:
+        configure(path=spool_path, hz=rate, enabled=True)
+
+
+class profiling:
+    """Context manager: sample for the block, write collapsed output."""
+
+    def __init__(self, path: str, hz: float = DEFAULT_HZ) -> None:
+        self.path = path
+        self.sampler = Sampler(hz)
+
+    def __enter__(self) -> Sampler:
+        self.sampler.start()
+        return self.sampler
+
+    def __exit__(self, *exc: Any) -> None:
+        self.sampler.stop()
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(render_collapsed(self.sampler.snapshot()))
+
+
+# -- the flamegraph renderer ---------------------------------------------------
+
+
+class _TrieNode:
+    __slots__ = ("name", "count", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.children: dict[str, _TrieNode] = {}
+
+
+def _build_trie(samples: Mapping[tuple[str, ...], int]) -> _TrieNode:
+    root = _TrieNode("all")
+    for stack, count in samples.items():
+        root.count += count
+        node = root
+        for name in stack:
+            child = node.children.get(name)
+            if child is None:
+                child = node.children[name] = _TrieNode(name)
+            node = child
+            node.count += count
+    return root
+
+
+def _color(name: str) -> str:
+    """A deterministic warm color per frame name (hash-seed independent)."""
+    import zlib
+
+    h = zlib.crc32(name.encode("utf-8"))
+    red = 205 + (h & 0x1F)
+    green = 80 + ((h >> 5) & 0x7F)
+    blue = (h >> 12) & 0x37
+    return f"rgb({red},{green},{blue})"
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+_FLAME_CSS = """
+body { font: 12px/1.4 -apple-system, 'Segoe UI', sans-serif; margin: 16px; }
+h1 { font-size: 15px; }
+.frame { position: absolute; box-sizing: border-box; height: 17px;
+  overflow: hidden; white-space: nowrap; text-overflow: ellipsis;
+  border: 1px solid rgba(255,255,255,0.6); border-radius: 2px;
+  padding: 0 3px; cursor: pointer; font-size: 11px; }
+.frame:hover { border-color: #000; }
+#graph { position: relative; width: 100%; }
+#detail { margin-top: 8px; color: #444; min-height: 1.4em; }
+"""
+
+_FLAME_JS = """
+var graph = document.getElementById('graph');
+var detail = document.getElementById('detail');
+var total = Number(graph.dataset.total) || 1;
+graph.addEventListener('mouseover', function (e) {
+  var t = e.target;
+  if (!t.classList.contains('frame')) return;
+  detail.textContent = t.dataset.name + ' — ' + t.dataset.count +
+    ' samples (' + (100 * t.dataset.count / total).toFixed(1) + '%)';
+});
+graph.addEventListener('click', function (e) {
+  var t = e.target;
+  if (!t.classList.contains('frame')) return;
+  var left = parseFloat(t.style.left), width = parseFloat(t.style.width);
+  var scale = 100 / width;
+  Array.prototype.forEach.call(graph.children, function (f) {
+    var l = parseFloat(f.style.left), w = parseFloat(f.style.width);
+    f.style.left = ((l - left) * scale) + '%';
+    f.style.width = (w * scale) + '%';
+  });
+});
+graph.addEventListener('dblclick', function () {
+  Array.prototype.forEach.call(graph.children, function (f) {
+    f.style.left = f.dataset.left + '%';
+    f.style.width = f.dataset.width + '%';
+  });
+});
+"""
+
+
+def flamegraph_html(
+    samples: Mapping[tuple[str, ...], int], title: str = "repro flamegraph"
+) -> str:
+    """Render samples as one self-contained HTML flamegraph.
+
+    Pure HTML/CSS plus ~30 lines of inline JS for hover detail,
+    click-to-zoom, and double-click-to-reset; no external assets, so
+    the file can be committed or attached to a bug report as-is.
+    """
+    root = _build_trie(samples)
+    total = root.count or 1
+    divs: list[str] = []
+    max_depth = 0
+
+    def walk(node: _TrieNode, depth: int, left: float) -> None:
+        nonlocal max_depth
+        max_depth = max(max_depth, depth)
+        width = 100.0 * node.count / total
+        name = _escape(node.name)
+        divs.append(
+            f'<div class="frame" style="left:{left:.4f}%;width:{width:.4f}%;'
+            f"top:{depth * 18}px;background:{_color(node.name)}\" "
+            f'data-name="{name}" data-count="{node.count}" '
+            f'data-left="{left:.4f}" data-width="{width:.4f}" '
+            f'title="{name} ({node.count})">{name}</div>'
+        )
+        child_left = left
+        for child in sorted(
+            node.children.values(), key=lambda c: (-c.count, c.name)
+        ):
+            walk(child, depth + 1, child_left)
+            child_left += 100.0 * child.count / total
+
+    walk(root, 0, 0.0)
+    height = (max_depth + 1) * 18 + 4
+    return (
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>{_escape(title)}</title>"
+        f"<style>{_FLAME_CSS}</style></head><body>"
+        f"<h1>{_escape(title)} — {total} samples</h1>"
+        f'<div id="graph" data-total="{total}" style="height:{height}px">'
+        + "".join(divs)
+        + f'</div><div id="detail">hover a frame; click to zoom, '
+        f"double-click to reset</div>"
+        f"<script>{_FLAME_JS}</script></body></html>\n"
+    )
+
+
+# Zero-code activation: REPRO_PROFILE=profile.collapsed samples at import.
+_env_path = os.environ.get(PROFILE_ENV_VAR)
+if _env_path:
+    configure(path=_env_path)

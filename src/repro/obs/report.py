@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import glob as _glob
+import sys as _sys
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
@@ -114,10 +115,14 @@ def expand_traces(patterns: Sequence[str]) -> list[str]:
     return paths
 
 
-def iter_all_events(paths: Sequence[str]) -> Iterable[dict[str, Any]]:
+def iter_all_events(
+    paths: Sequence[str],
+    strict: bool = True,
+    on_skip: Any = None,
+) -> Iterable[dict[str, Any]]:
     """Chain :func:`iter_events` over several trace files."""
     for path in paths:
-        yield from iter_events(path)
+        yield from iter_events(path, strict=strict, on_skip=on_skip)
 
 
 def _format_seconds(seconds: float) -> str:
@@ -204,12 +209,23 @@ def render(
 
 
 def report(
-    path: str | Sequence[str], sort: str = "total", limit: int | None = None
+    path: str | Sequence[str],
+    sort: str = "total",
+    limit: int | None = None,
+    strict: bool = True,
+    on_skip: Any = None,
 ) -> str:
-    """Aggregate trace file(s)/glob(s) and return the rendered table."""
+    """Aggregate trace file(s)/glob(s) and return the rendered table.
+
+    ``strict=False`` degrades gracefully on truncated/partial JSONL
+    lines (killed workers): malformed lines are skipped — reported
+    through ``on_skip`` — instead of aborting the whole report.
+    """
     patterns = [path] if isinstance(path, str) else list(path)
     paths = expand_traces(patterns)
-    aggregates, serve_totals = fold_events(iter_all_events(paths))
+    aggregates, serve_totals = fold_events(
+        iter_all_events(paths, strict=strict, on_skip=on_skip)
+    )
     return render(aggregates, sort=sort, limit=limit, serve_totals=serve_totals)
 
 
@@ -301,10 +317,56 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=(),
         help="trace file(s)/glob(s) to evaluate",
     )
+    check_parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline's bounds around freshly observed values",
+    )
+    check_parser.add_argument(
+        "--headroom",
+        type=float,
+        default=None,
+        help="bound multiplier for --update (default: 10x)",
+    )
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="ranked 'why was this solve slow' diagnosis over a trace",
+    )
+    explain_parser.add_argument(
+        "trace", nargs="+", help="JSONL trace file(s) or glob pattern(s)"
+    )
+    explain_parser.add_argument(
+        "--limit", type=int, default=None, help="show at most N findings"
+    )
+    flame_parser = subparsers.add_parser(
+        "flame",
+        help="render collapsed-stack profiles as a self-contained HTML flamegraph",
+    )
+    flame_parser.add_argument(
+        "profile",
+        nargs="+",
+        help="collapsed-stack file(s) or glob pattern(s) (merged)",
+    )
+    flame_parser.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="output HTML path (default: first input with .html suffix)",
+    )
+    flame_parser.add_argument(
+        "--title", default=None, help="flamegraph title"
+    )
     args = parser.parse_args(argv)
+    warn = lambda message: print(f"warning: {message}", file=_sys.stderr)  # noqa: E731
     if args.command == "report":
         try:
-            text = report(args.trace, sort=args.sort, limit=args.limit)
+            text = report(
+                args.trace,
+                sort=args.sort,
+                limit=args.limit,
+                strict=False,
+                on_skip=warn,
+            )
         except (OSError, ValueError) as error:
             parser.exit(1, f"error: {error}\n")
         print(text, end="")
@@ -317,25 +379,82 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         try:
             text = critical_path(
-                expand_traces(args.trace), limit=args.limit
+                expand_traces(args.trace),
+                limit=args.limit,
+                strict=False,
+                on_skip=warn,
             )
         except (OSError, ValueError) as error:
             parser.exit(1, f"error: {error}\n")
         print(text, end="")
         return 0
     if args.command == "check":
-        from repro.obs.check import run_check
+        from repro.obs.check import DEFAULT_HEADROOM, run_check, update_baseline
 
         try:
-            code, text = run_check(
-                args.baseline,
-                metrics_path=args.metrics,
-                trace_paths=expand_traces(args.trace),
-            )
+            if args.update:
+                code, text = update_baseline(
+                    args.baseline,
+                    metrics_path=args.metrics,
+                    trace_paths=expand_traces(args.trace),
+                    headroom=(
+                        args.headroom
+                        if args.headroom is not None
+                        else DEFAULT_HEADROOM
+                    ),
+                    strict=False,
+                    on_skip=warn,
+                )
+            else:
+                code, text = run_check(
+                    args.baseline,
+                    metrics_path=args.metrics,
+                    trace_paths=expand_traces(args.trace),
+                    strict=False,
+                    on_skip=warn,
+                )
         except (OSError, ValueError) as error:
             parser.exit(1, f"error: {error}\n")
         print(text, end="")
         return code
+    if args.command == "explain":
+        from repro.obs.explain import explain
+
+        try:
+            text = explain(
+                expand_traces(args.trace), limit=args.limit, on_skip=warn
+            )
+        except (OSError, ValueError) as error:
+            parser.exit(1, f"error: {error}\n")
+        print(text, end="")
+        return 0
+    if args.command == "flame":
+        from repro.obs import profile as _profile
+
+        try:
+            paths = expand_traces(args.profile)
+            tables = []
+            for path in paths:
+                with open(path, encoding="utf-8") as handle:
+                    tables.append(_profile.parse_collapsed(handle.read(), path))
+            samples = _profile.merge_samples(tables)
+        except (OSError, ValueError) as error:
+            parser.exit(1, f"error: {error}\n")
+        if not samples:
+            parser.exit(1, "error: profile(s) contain no samples\n")
+        out = args.out
+        if out is None:
+            stem = paths[0]
+            if stem.endswith(".collapsed"):
+                stem = stem[: -len(".collapsed")]
+            out = f"{stem}.html"
+        title = args.title or f"repro flamegraph — {', '.join(paths)}"
+        html = _profile.flamegraph_html(samples, title=title)
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(html)
+        total = sum(samples.values())
+        print(f"{out}: {total} samples, {len(samples)} unique stacks")
+        return 0
     return 2  # pragma: no cover - argparse enforces the subcommand
 
 

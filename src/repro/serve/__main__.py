@@ -3,8 +3,10 @@
 Subcommands:
 
 * ``run JOBS.jsonl [--workers N] [--out RESULTS.jsonl] [--cache-dir D]
-  [--repeat K]`` — execute a JSONL job file and write one result record
-  per job (in job order).
+  [--repeat K] [--profile P.collapsed]`` — execute a JSONL job file and
+  write one result record per job (in job order); ``--profile`` samples
+  wall-clock stacks across the parent and every worker into one
+  collapsed-stack file.
 * ``procedures`` — list the registered decision procedures.
 * ``fingerprint JOBS.jsonl`` — print each job's fingerprint without
   running anything (what the cache would key on).
@@ -51,6 +53,7 @@ from typing import Any
 
 from repro import metrics
 from repro.guard import Budget
+from repro.obs import profile as _profile
 from repro.serve import top as _top
 from repro.serve.cache import AnswerCache
 from repro.serve.fingerprint import job_fingerprint
@@ -125,6 +128,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Truncate: one batch, one snapshot stream (watch it live with
         # ``python -m repro.serve top <path>``).
         metrics.configure(path=args.metrics, mode="w")
+    if args.profile:
+        # Start before the service so the worker pool sees profiling
+        # enabled and sets up per-pid spools for its children.
+        _profile.configure(path=args.profile, hz=args.profile_hz)
     cache = AnswerCache(directory=args.cache_dir) if args.cache_dir else None
     service = SolverService(workers=args.workers, cache=cache)
     started = time.perf_counter()
@@ -157,6 +164,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             cache.close()
         if args.metrics:
             metrics.write_snapshot()  # final frame for serve top / obs check
+        if args.profile:
+            # service.close() already merged the worker spools.
+            _profile.configure(enabled=False)
+            written = _profile.write_collapsed()
+            if written:
+                print(
+                    f"profile: {written} "
+                    f"(render with `python -m repro.obs flame {written}`)",
+                    file=sys.stderr,
+                )
     elapsed = time.perf_counter() - started
     summary = {"_summary": service.stats(), "elapsed_s": round(elapsed, 6)}
     out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
@@ -240,6 +257,18 @@ def main(argv: list[str] | None = None) -> int:
         "--metrics",
         default=None,
         help="export metrics snapshots to this JSONL path (watch with `top`)",
+    )
+    run.add_argument(
+        "--profile",
+        default=None,
+        help="sample wall-clock stacks (parent and workers) into this "
+        "collapsed-stack file (render with `python -m repro.obs flame`)",
+    )
+    run.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        help=f"sampling rate for --profile (default {_profile.DEFAULT_HZ})",
     )
     run.set_defaults(func=_cmd_run)
 

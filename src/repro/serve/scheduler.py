@@ -69,6 +69,10 @@ CANCELLED_DETAIL = "cancelled before execution"
 #: drain raised: they resolve to UNKNOWN instead of hanging their handles.
 BATCH_ABORTED_DETAIL = "batch aborted: an earlier job's procedure raised"
 
+#: While a pooled job runs, the awaiting drain merges worker spools this
+#: often so ``serve top`` shows live progress instead of a silent gap.
+HEARTBEAT_INTERVAL_S = 1.0
+
 
 class JobSpec:
     """A declarative job for :meth:`SolverService.run_batch`."""
@@ -498,7 +502,25 @@ class SolverService:
             entry.resolve(result)
         pool.merge_traces()
         pool.merge_metrics()
+        pool.merge_profiles()
         return len(dispatched)
+
+    def _heartbeat(self, entry: _Entry) -> None:
+        """Surface a long-running pooled job's progress while it runs.
+
+        Folds the worker spools into the parent (so ``serve top`` sees
+        fresh ``progress.*`` gauges and the parent trace grows) and
+        stamps how long this entry has been running.
+        """
+        pool = self._pool
+        if pool is not None:
+            pool.merge_metrics()
+            pool.merge_traces()
+        if entry.t_dispatched is not None:
+            metrics.gauge(
+                "serve.job.heartbeat_s", procedure=entry.procedure
+            ).set(round(time.perf_counter() - entry.t_dispatched, 3))
+        metrics.write_snapshot()
 
     def _await_pooled(self, entry: _Entry) -> Any | None:
         """Await one pool future, polling for token-fired cancellation.
@@ -508,9 +530,12 @@ class SolverService:
         is withdrawn from the pool instead of executed.  A job already
         running in a worker completes — cross-process cooperative
         cancellation would need a shared token — bounded by its budget.
+        While waiting, a heartbeat every :data:`HEARTBEAT_INTERVAL_S`
+        merges worker telemetry so progress stays visible mid-job.
         Resolves the entry and returns ``None`` on error/cancellation;
         otherwise returns the result for the caller to cache + resolve.
         """
+        last_heartbeat = time.perf_counter()
         while True:
             try:
                 return entry.future.result(timeout=0.05)
@@ -518,6 +543,10 @@ class SolverService:
                 if entry.all_cancelled() and entry.future.cancel():
                     self._skip(entry)
                     return None
+                now = time.perf_counter()
+                if now - last_heartbeat >= HEARTBEAT_INTERVAL_S:
+                    last_heartbeat = now
+                    self._heartbeat(entry)
             except _futures.CancelledError:
                 self._skip(entry)
                 return None

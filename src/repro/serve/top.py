@@ -146,6 +146,44 @@ def render(
         )
         lines.append(f"guard trips {breakdown}")
 
+    heartbeats = []
+    for key, value in sorted(gauges.items()):
+        name, labels = metrics.decode_key(key)
+        if name == "serve.job.heartbeat_s" and value:
+            heartbeats.append(f"{labels.get('procedure', '?')} {value:g}s")
+    if heartbeats:
+        lines.append(f"running     {'  '.join(heartbeats)}")
+
+    progress_rows: dict[tuple[str, str], dict[str, float]] = {}
+    for key, value in gauges.items():
+        name, labels = metrics.decode_key(key)
+        if not name.startswith("progress."):
+            continue
+        ident = (labels.get("site", "?"), labels.get("worker", "-"))
+        progress_rows.setdefault(ident, {})[name[len("progress."):]] = value
+    if progress_rows:
+        lines.append("")
+        site_width = max(
+            len("search site"), max(len(site) for site, _ in progress_rows)
+        )
+        lines.append(
+            f"{'search site':<{site_width}}  {'worker':>6}  {'steps':>10}  "
+            f"{'frontier':>9}  {'steps/s':>10}"
+        )
+        lines.append("-" * len(lines[-1]))
+        for (site, worker), fields in sorted(progress_rows.items()):
+            steps_per_s = fields.get("steps_per_s")
+            lines.append(
+                f"{site:<{site_width}}  {worker:>6}  "
+                f"{_fmt_count(fields.get('steps', 0.0)):>10}  "
+                f"{_fmt_count(fields.get('frontier', 0.0)):>9}  "
+                + (
+                    f"{steps_per_s:>10.0f}"
+                    if steps_per_s is not None
+                    else f"{'-':>10}"
+                )
+            )
+
     latency_rows = []
     for key, dump in sorted(histograms.items()):
         name, labels = metrics.decode_key(key)

@@ -257,3 +257,131 @@ class TestRunCheck:
             ],
         )
         assert code == 0, text
+
+class TestUpdateBaseline:
+    def _write(self, tmp_path, checks, meta=None):
+        path = tmp_path / "baselines.json"
+        data = {"checks": checks}
+        if meta:
+            data["_meta"] = meta
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def _metrics_file(self, tmp_path, snap):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(json.dumps(snap) + "\n")
+        return str(path)
+
+    def test_rewrites_bounds_around_observed(self, tmp_path):
+        from repro.obs.check import update_baseline
+
+        baseline = self._write(
+            tmp_path,
+            [
+                {
+                    "name": "p99",
+                    "source": "metrics",
+                    "select": "serve.job.latency_s{procedure=pl}",
+                    "stat": "p99",
+                    "max": 123.0,
+                },
+                {
+                    "name": "samples",
+                    "source": "metrics",
+                    "select": "serve.job.latency_s{procedure=pl}",
+                    "stat": "count",
+                    "min": 99,
+                },
+            ],
+        )
+        metrics_path = self._metrics_file(tmp_path, _snapshot())
+        code, text = update_baseline(baseline, metrics_path=metrics_path)
+        assert code == 0
+        assert "2/2 checks re-baselined" in text
+        data = json.loads(open(baseline).read())
+        p99, samples = data["checks"]
+        # Observed p99 = 0.02 -> max 0.2 at the default 10x headroom;
+        # observed count = 2 -> min 0.2.
+        assert p99["max"] == pytest.approx(0.2)
+        assert samples["min"] == pytest.approx(0.2)
+        assert "check --update" in data["_meta"]["updated_by"]
+        # The regenerated file must pass its own check.
+        from repro.obs.check import run_check
+
+        assert run_check(baseline, metrics_path=metrics_path)[0] == 0
+
+    def test_per_check_headroom_override(self, tmp_path):
+        from repro.obs.check import update_baseline
+
+        baseline = self._write(
+            tmp_path,
+            [
+                {
+                    "name": "tight",
+                    "source": "metrics",
+                    "select": "serve.job.latency_s{procedure=pl}",
+                    "stat": "p99",
+                    "max": 1.0,
+                    "headroom": 2.0,
+                }
+            ],
+        )
+        metrics_path = self._metrics_file(tmp_path, _snapshot())
+        code, _ = update_baseline(baseline, metrics_path=metrics_path)
+        assert code == 0
+        data = json.loads(open(baseline).read())
+        assert data["checks"][0]["max"] == pytest.approx(0.04)
+        # The override key itself survives the rewrite.
+        assert data["checks"][0]["headroom"] == 2.0
+
+    def test_missing_input_skips_and_exits_nonzero(self, tmp_path):
+        from repro.obs.check import update_baseline
+
+        baseline = self._write(
+            tmp_path,
+            [
+                {
+                    "name": "trace-only",
+                    "source": "trace",
+                    "select": "proc",
+                    "stat": "mean_s",
+                    "max": 1.0,
+                }
+            ],
+        )
+        before = open(baseline).read()
+        code, text = update_baseline(baseline)
+        assert code == 1
+        assert "SKIP" in text and "nothing written" in text
+        assert open(baseline).read() == before
+
+    def test_rejects_sub_unit_headroom(self, tmp_path):
+        from repro.obs.check import update_baseline
+
+        baseline = self._write(tmp_path, [])
+        with pytest.raises(ValueError):
+            update_baseline(baseline, headroom=0.5)
+
+    def test_cli_update_flag(self, tmp_path, capsys):
+        from repro.obs.report import main
+
+        baseline = self._write(
+            tmp_path,
+            [
+                {
+                    "name": "hit-rate",
+                    "source": "metrics",
+                    "stat": "cache_hit_rate",
+                    "min": 0.01,
+                }
+            ],
+        )
+        metrics_path = self._metrics_file(tmp_path, _snapshot())
+        code = main(
+            ["check", "--update", "--baseline", baseline, "--metrics", metrics_path]
+        )
+        assert code == 0
+        assert "re-baselined" in capsys.readouterr().out
+        # hit rate observed 0.75 -> min 0.075 at default headroom
+        data = json.loads(open(baseline).read())
+        assert data["checks"][0]["min"] == pytest.approx(0.075)

@@ -199,3 +199,36 @@ class TestServeSection:
         aggs, serve_totals = fold_events([_span("a", 1.0)])
         assert serve_totals == {}
         assert "serve:" not in render(aggs, serve_totals=serve_totals)
+
+class TestLenientParsing:
+    """Truncated traces (killed workers) degrade gracefully in the CLI."""
+
+    def test_report_cli_skips_truncated_trailing_line(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        with open(trace, "w") as handle:
+            handle.write(json.dumps(_span("proc", 0.5)) + "\n")
+            handle.write('{"event": "span", "name": "tru')  # mid-write kill
+        assert main(["report", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert "proc" in captured.out
+        assert "warning" in captured.err
+
+    def test_critical_path_cli_skips_truncated_trailing_line(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "t.jsonl"
+        with open(trace, "w") as handle:
+            handle.write(json.dumps(_span("proc", 0.5, span_id=7)) + "\n")
+            handle.write('{"truncated')
+        assert main(["critical-path", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert "proc" in captured.out
+        assert "warning" in captured.err
+
+    def test_strict_api_still_raises(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        with open(trace, "w") as handle:
+            handle.write(json.dumps(_span("proc", 0.5)) + "\n")
+            handle.write('{"truncated')
+        with pytest.raises(ValueError):
+            report(str(trace))

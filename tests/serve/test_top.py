@@ -98,3 +98,46 @@ class TestRunTop:
 
         monkeypatch.delenv(METRICS_ENV_VAR, raising=False)
         assert main(["top"]) == 2
+
+class TestProgressAndHeartbeat:
+    def test_heartbeat_line_lists_running_jobs(self):
+        snap = _snapshot()
+        r = Registry()
+        r.gauge("serve.job.heartbeat_s", procedure="nonempty_pl").set(3.5)
+        snap["gauges"].update(r.snapshot()["gauges"])
+        frame = render(snap)
+        assert "running" in frame
+        assert "nonempty_pl 3.5s" in frame
+
+    def test_progress_table_groups_site_and_worker(self):
+        snap = _snapshot()
+        r = Registry()
+        r.gauge("progress.steps", site="afa.search_witness", worker="71").set(
+            120000
+        )
+        r.gauge(
+            "progress.frontier", site="afa.search_witness", worker="71"
+        ).set(1873)
+        r.gauge(
+            "progress.steps_per_s", site="afa.search_witness", worker="71"
+        ).set(815000.0)
+        r.gauge("progress.steps", site="sat.solve_cnf").set(64)
+        snap["gauges"].update(r.snapshot()["gauges"])
+        frame = render(snap)
+        assert "search site" in frame and "steps/s" in frame
+        afa_row = next(
+            line for line in frame.splitlines() if "afa.search_witness" in line
+        )
+        assert "71" in afa_row
+        assert "120000" in afa_row
+        assert "1873" in afa_row
+        assert "815000" in afa_row
+        sat_row = next(
+            line for line in frame.splitlines() if "sat.solve_cnf" in line
+        )
+        assert "64" in sat_row
+        # No worker label: in-process site rows show "-".
+        assert " - " in sat_row or sat_row.split()[1] == "-"
+
+    def test_no_progress_gauges_no_table(self):
+        assert "search site" not in render(_snapshot())
