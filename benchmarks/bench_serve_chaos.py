@@ -1,0 +1,249 @@
+"""Experiment SRV.2 — chaos/soak: the serving layer under injected faults.
+
+A serving tier for EXPTIME/PSPACE-hard procedures *will* see workers
+OOM-killed mid-search, budgets tripping, store contention, and queue
+spikes.  This experiment drives a 10k-job Zipf+burst traffic stream
+(:func:`repro.workloads.scaling.serve_traffic_burst`) into a
+``SolverService(workers=4)`` while :class:`repro.guard.inject.ChaosSpec`
+deterministically injects:
+
+* **worker kills** — ``os._exit`` at a guard checkpoint, genuinely
+  mid-job, breaking the whole process pool (recovery = respawn +
+  re-dispatch);
+* **guard trips** — forced budget exhaustion (recovery = budget-
+  escalation retry, exhausted retries dead-letter);
+* **exec stalls** — wedged-worker sleeps before execution;
+* **store faults** — first-attempt "database is locked" errors on the
+  SQLite tier (recovery = the store's decorrelated-jitter retry).
+
+The invariants asserted, fault schedule notwithstanding:
+
+1. **every job resolves** — decided, sound UNKNOWN, or dead-lettered;
+   no handle hangs;
+2. **zero contradictions** — every *decided* answer equals the
+   unfaulted ground truth computed beforehand;
+3. **bounded drain** — the whole soak completes within
+   :data:`DRAIN_BOUND_S`.
+
+A second section demonstrates budget-escalation retry converting a
+guard-tripped workload family (``nonempty_pl`` on the 12-bit succinct
+counter under a too-small step budget) from UNKNOWN to a definite YES —
+no chaos involved, just escalation.
+
+``main()`` records both into ``BENCH_serve_chaos.json`` via
+``merge_section``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro import metrics
+from repro.analysis import nonempty_pl
+from repro.guard import Budget
+from repro.guard import inject
+from repro.serve import RetryPolicy, SolverService
+from repro.workloads.scaling import pl_counter_sws, serve_traffic_burst
+
+from _bench_io import BENCH_SCHEMA_VERSION, merge_section  # noqa: F401
+
+BENCH_SERVE_CHAOS = "BENCH_serve_chaos.json"
+
+#: The soak: 10k jobs over 12 distinct counter services in 8 waves,
+#: every 3rd wave a 4x burst.
+TRAFFIC_KWARGS = dict(
+    n_jobs=10_000, distinct=12, seed=7, min_bits=4, waves=8, burst_every=3,
+    burst_factor=4,
+)
+
+#: Deterministic fault rates (drawn per dispatched job, keyed on
+#: ``fingerprint:attempt`` so a re-dispatched job re-draws its fate).
+#: Rates are deliberately brutal: dedup + the answer cache collapse the
+#: 10k jobs to a few dozen actual executions, so per-dispatch rates must
+#: be high for every fault path to fire in one soak.
+CHAOS = inject.ChaosSpec(
+    kill_rate=0.15,
+    stall_rate=0.10,
+    stall_s=0.02,
+    trip_rate=0.35,
+    trip_limit="steps",
+    store_error_rate=0.20,
+    seed=7,
+)
+
+#: Generous wall-clock ceiling for the whole soak (the point is "does
+#: not hang", not "is fast"); the measured time is recorded too.
+DRAIN_BOUND_S = 180.0
+
+#: Step budget for the soak jobs — roomy enough that only *injected*
+#: trips fire (the largest instance, 15 bits, needs ~2^15 steps).
+SOAK_BUDGET = Budget(step_budget=200_000)
+
+
+def run_chaos_soak(
+    traffic_kwargs: dict = TRAFFIC_KWARGS,
+    chaos: inject.ChaosSpec = CHAOS,
+    workers: int = 4,
+    drain_bound_s: float = DRAIN_BOUND_S,
+) -> dict:
+    """Drive the burst traffic through a chaos-faulted service.
+
+    Returns the soak report dict; raises ``AssertionError`` if any
+    invariant breaks.  Reusable by the tier-2 soak test with a smaller
+    traffic shape.
+    """
+    if not metrics.is_enabled():
+        # Recording on, no sink: the fault counters (store retries,
+        # worker losses, io errors) are part of the soak's report.
+        metrics.configure(enabled=True)
+    waves = serve_traffic_burst(**traffic_kwargs)
+    n_jobs = sum(len(wave) for wave in waves)
+
+    # Unfaulted ground truth, one direct call per distinct instance.
+    truth: dict[int, str] = {}
+    for wave in waves:
+        for _, args in wave:
+            if id(args[0]) not in truth:
+                truth[id(args[0])] = nonempty_pl(args[0]).verdict.value
+    assert all(v != "unknown" for v in truth.values()), "ground truth undecided"
+
+    outcomes = {"decided": 0, "unknown": 0, "dead_lettered": 0}
+    contradictions = 0
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as cache_dir:
+        with inject.chaos(chaos):
+            service = SolverService(
+                workers=workers,
+                cache_dir=cache_dir,
+                retry_policy=RetryPolicy(
+                    max_attempts=3, budget_multiplier=4.0, backoff_base_s=0.01,
+                    backoff_cap_s=0.2,
+                ),
+            )
+            try:
+                for wave in waves:
+                    handles = [
+                        service.submit(
+                            name, *args, budget=SOAK_BUDGET, source="soak"
+                        )
+                        for name, args in wave
+                    ]
+                    service.drain()
+                    for handle, (_, args) in zip(handles, wave):
+                        assert handle.done(), "handle left unresolved"
+                        answer = handle.result(timeout=0)
+                        verdict = answer.verdict.value
+                        if handle.dead_lettered:
+                            outcomes["dead_lettered"] += 1
+                        elif verdict == "unknown":
+                            outcomes["unknown"] += 1
+                        else:
+                            outcomes["decided"] += 1
+                            if verdict != truth[id(args[0])]:
+                                contradictions += 1
+                dlq_records = [r.as_dict() for r in service.dlq.records()]
+                stats = service.stats()
+            finally:
+                service.close()
+    elapsed = time.perf_counter() - t0
+
+    resolved = sum(outcomes.values())
+    assert resolved == n_jobs, f"{n_jobs - resolved} of {n_jobs} jobs unresolved"
+    assert contradictions == 0, f"{contradictions} decided answers wrong"
+    assert elapsed < drain_bound_s, f"soak took {elapsed:.1f}s >= {drain_bound_s}s"
+
+    counters = metrics.snapshot()["counters"]
+    return {
+        "traffic": dict(traffic_kwargs),
+        "chaos": chaos.as_dict(),
+        "workers": workers,
+        "jobs": n_jobs,
+        "outcomes": outcomes,
+        "contradictions": contradictions,
+        "elapsed_s": round(elapsed, 3),
+        "drain_bound_s": drain_bound_s,
+        "service": stats,
+        "dlq_records": len(dlq_records),
+        "faults_observed": {
+            "worker_lost": stats["resilience"]["worker_lost"],
+            "pool_respawns": stats["resilience"]["pool_respawns"],
+            "retried": stats["resilience"]["retried"],
+            "store_retries": metrics.counter_total(
+                counters, "serve.store.retries"
+            ),
+            "store_io_errors": metrics.counter_total(
+                counters, "serve.store.io_errors"
+            ),
+        },
+    }
+
+
+def run_escalation_demo() -> dict:
+    """Budget escalation turning a tripped family from UNKNOWN to YES.
+
+    The 12-bit succinct counter needs ~2^12 reachability steps; a
+    256-step budget trips.  Without a retry policy the service returns
+    the trip UNKNOWN; with ``RetryPolicy(max_attempts=3,
+    budget_multiplier=4)`` the third attempt runs under a 4096-step
+    budget and decides YES.
+    """
+    sws = pl_counter_sws(12)
+    starved = Budget(step_budget=256)
+
+    with SolverService() as service:
+        bare = service.submit("nonempty_pl", sws, budget=starved).result()
+    assert bare.is_unknown and bare.trip is not None
+
+    policy = RetryPolicy(
+        max_attempts=3, budget_multiplier=4.0, backoff_base_s=0.0,
+        backoff_cap_s=0.0,
+    )
+    with SolverService(retry_policy=policy) as service:
+        handle = service.submit("nonempty_pl", sws, budget=starved)
+        escalated = handle.result()
+        attempts = handle.attempts
+    assert escalated.is_yes, f"escalation still {escalated.verdict.value}"
+    assert attempts > 1, "escalation demo never retried"
+
+    return {
+        "family": "pl_counter_sws(12) / nonempty_pl",
+        "initial_budget": starved.as_dict(),
+        "policy": {"max_attempts": 3, "budget_multiplier": 4.0},
+        "without_retry": bare.verdict.value,
+        "with_retry": escalated.verdict.value,
+        "attempts": attempts,
+    }
+
+
+def main() -> None:
+    escalation = run_escalation_demo()
+    soak = run_chaos_soak()
+    merge_section(
+        BENCH_SERVE_CHAOS,
+        "chaos_soak",
+        soak,
+        regenerate="python benchmarks/bench_serve_chaos.py",
+    )
+    merge_section(
+        BENCH_SERVE_CHAOS,
+        "budget_escalation",
+        escalation,
+        regenerate="python benchmarks/bench_serve_chaos.py",
+    )
+    faults = soak["faults_observed"]
+    print(
+        f"{soak['jobs']} jobs in {soak['elapsed_s']}s | "
+        f"outcomes {soak['outcomes']} | "
+        f"kills {faults['worker_lost']} (respawns {faults['pool_respawns']}) | "
+        f"retries {faults['retried']} | "
+        f"store retries {faults['store_retries']} | "
+        f"escalation {escalation['without_retry']} -> "
+        f"{escalation['with_retry']} in {escalation['attempts']} attempts"
+    )
+    assert faults["worker_lost"] > 0, "chaos never killed a worker"
+    assert faults["retried"] > 0, "chaos never exercised the retry path"
+
+
+if __name__ == "__main__":
+    main()

@@ -35,7 +35,12 @@ Components:
   disk tier (``REPRO_CACHE_DIR``); never caches UNKNOWN.
 * :mod:`repro.serve.scheduler` — :class:`SolverService`,
   :class:`JobHandle`, dedup and cancellation semantics.
-* :mod:`repro.serve.pool` — worker processes + trace spool merging.
+* :mod:`repro.serve.resilience` — :class:`RetryPolicy` (budget
+  escalation + decorrelated-jitter backoff), :class:`AdmissionControl`
+  (queue-depth cap + per-source token buckets), and the store-backed
+  :class:`DeadLetterQueue` (``python -m repro.serve dlq``).
+* :mod:`repro.serve.pool` — worker processes + trace spool merging and
+  in-place respawn after a worker death.
 * :mod:`repro.serve.registry` — the name → procedure table.
 
 See ``docs/SERVING.md`` for the full design.
@@ -57,6 +62,15 @@ from repro.serve.registry import (
     procedure_names,
     register_procedure,
 )
+from repro.serve.resilience import (
+    REJECTED_DETAIL,
+    RETRYABLE_LIMITS,
+    WORKER_LOST_DETAIL,
+    AdmissionControl,
+    DeadLetterQueue,
+    DLQRecord,
+    RetryPolicy,
+)
 from repro.serve.scheduler import (
     BATCH_ABORTED_DETAIL,
     CANCELLED_DETAIL,
@@ -66,19 +80,26 @@ from repro.serve.scheduler import (
 )
 
 __all__ = [
+    "AdmissionControl",
     "AnswerCache",
     "BATCH_ABORTED_DETAIL",
     "CacheStats",
     "CANCELLED_DETAIL",
+    "DeadLetterQueue",
+    "DLQRecord",
     "FingerprintError",
     "JobHandle",
     "JobSpec",
     "PROCEDURES",
+    "REJECTED_DETAIL",
+    "RETRYABLE_LIMITS",
+    "RetryPolicy",
     "SolverService",
     "Store",
     "StoreArtifactProvider",
     "StoreError",
     "UnknownProcedureError",
+    "WORKER_LOST_DETAIL",
     "WorkerPool",
     "cacheable",
     "canonical",

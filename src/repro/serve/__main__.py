@@ -3,10 +3,18 @@
 Subcommands:
 
 * ``run JOBS.jsonl [--workers N] [--out RESULTS.jsonl] [--cache-dir D]
-  [--repeat K] [--profile P.collapsed]`` — execute a JSONL job file and
-  write one result record per job (in job order); ``--profile`` samples
-  wall-clock stacks across the parent and every worker into one
-  collapsed-stack file.
+  [--repeat K] [--profile P.collapsed] [--retries K] [--strict]`` —
+  execute a JSONL job file and write one result record per job (in job
+  order); ``--profile`` samples wall-clock stacks across the parent and
+  every worker into one collapsed-stack file.  ``--retries``/
+  ``--budget-multiplier`` turn on budget-escalation retry for tripped
+  jobs; ``--max-queue-depth``/``--admit-rate`` turn on admission
+  control.  The run always prints a per-outcome summary line; the exit
+  status is nonzero when any job was dead-lettered, and ``--strict``
+  extends that to any UNKNOWN result.
+* ``dlq list|retry|purge CACHE_DIR`` — inspect the dead-letter queue
+  behind a cache directory, re-run its payload-bearing records (decided
+  answers leave the queue), or drop every record.
 * ``procedures`` — list the registered decision procedures.
 * ``fingerprint JOBS.jsonl`` — print each job's fingerprint without
   running anything (what the cache would key on).
@@ -58,6 +66,7 @@ from repro.serve import top as _top
 from repro.serve.cache import AnswerCache
 from repro.serve.fingerprint import job_fingerprint
 from repro.serve.registry import procedure_names, resolve_factory
+from repro.serve.resilience import AdmissionControl, DeadLetterQueue, RetryPolicy
 from repro.serve.scheduler import JobSpec, SolverService
 from repro.serve.store import Store
 
@@ -109,6 +118,8 @@ def _result_record(job: JobSpec, handle: Any, result: Any) -> dict[str, Any]:
         "fingerprint": handle.fingerprint,
         "from_cache": handle.from_cache,
         "deduped": handle.deduped,
+        "outcome": _outcome(handle, result),
+        "attempts": handle.attempts,
     }
     if hasattr(result, "as_dict"):
         record.update(result.as_dict())
@@ -117,6 +128,32 @@ def _result_record(job: JobSpec, handle: Any, result: Any) -> dict[str, Any]:
     else:
         record["result"] = repr(result)
     return record
+
+
+def _outcome(handle: Any, result: Any) -> str:
+    """One word for the summary line: how this job's handle resolved."""
+    if getattr(handle, "rejected", False):
+        return "rejected"
+    if getattr(handle, "dead_lettered", False):
+        return "dead_lettered"
+    verdict = getattr(getattr(result, "verdict", None), "value", None)
+    return "unknown" if verdict == "unknown" else "decided"
+
+
+def _build_resilience(
+    args: argparse.Namespace,
+) -> tuple[RetryPolicy | None, AdmissionControl | None]:
+    retry = None
+    if args.retries > 1:
+        retry = RetryPolicy(
+            max_attempts=args.retries, budget_multiplier=args.budget_multiplier
+        )
+    admission = None
+    if args.max_queue_depth is not None or args.admit_rate is not None:
+        admission = AdmissionControl(
+            max_queue_depth=args.max_queue_depth, rate=args.admit_rate
+        )
+    return retry, admission
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -133,7 +170,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # enabled and sets up per-pid spools for its children.
         _profile.configure(path=args.profile, hz=args.profile_hz)
     cache = AnswerCache(directory=args.cache_dir) if args.cache_dir else None
-    service = SolverService(workers=args.workers, cache=cache)
+    retry_policy, admission = _build_resilience(args)
+    service = SolverService(
+        workers=args.workers,
+        cache=cache,
+        retry_policy=retry_policy,
+        admission=admission,
+    )
     started = time.perf_counter()
     try:
         # Each repeat round drains before the next submits, so rounds
@@ -192,6 +235,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{elapsed:.3f}s",
         file=sys.stderr,
     )
+    outcomes = {"decided": 0, "unknown": 0, "rejected": 0, "dead_lettered": 0}
+    for record in records:
+        outcomes[record["outcome"]] += 1
+    resilience = stats["resilience"]
+    print(
+        "outcomes: "
+        + ", ".join(f"{count} {name}" for name, count in outcomes.items())
+        + f"; {resilience['retried']} retried, "
+        f"{resilience['worker_lost']} worker-lost, "
+        f"{resilience['dlq_depth']} in dlq",
+        file=sys.stderr,
+    )
+    if outcomes["dead_lettered"]:
+        print(
+            f"FAIL: {outcomes['dead_lettered']} job(s) dead-lettered "
+            "(inspect with `python -m repro.serve dlq list <cache-dir>`)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.strict and (outcomes["unknown"] or outcomes["rejected"]):
+        print(
+            f"FAIL (--strict): {outcomes['unknown']} unknown, "
+            f"{outcomes['rejected']} rejected",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -240,6 +309,112 @@ def _cmd_store_import(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dlq_list(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        records = store.list_dlq()
+        if args.json:
+            for record in records:
+                print(json.dumps(record.as_dict(), sort_keys=True))
+        else:
+            if not records:
+                print("dlq: empty", file=sys.stderr)
+            for record in records:
+                last_trip = record.trips[-1] if record.trips else {}
+                print(
+                    f"{record.fingerprint[:16]}  {record.procedure:<24} "
+                    f"{record.label:<24} attempts={record.attempts} "
+                    f"reason={record.reason!r} last_trip={last_trip}"
+                )
+    return 0
+
+
+def _cmd_dlq_retry(args: argparse.Namespace) -> int:
+    """Re-run dead-lettered jobs; decided answers leave the queue.
+
+    Only payload-bearing records can re-run (the payload is the pickled
+    ``(args, kwargs)``).  Each retry starts from the record's last
+    escalated budget — optionally re-escalated ``--retries`` more times.
+    """
+    cache = AnswerCache(directory=args.cache_dir, namespace=args.namespace)
+    retry_policy = (
+        RetryPolicy(
+            max_attempts=args.retries, budget_multiplier=args.budget_multiplier
+        )
+        if args.retries > 1
+        else None
+    )
+    service = SolverService(
+        workers=args.workers, cache=cache, retry_policy=retry_policy
+    )
+    dlq = DeadLetterQueue(cache.store)
+    recovered = skipped = still_dead = 0
+    try:
+        records = dlq.records()
+        if args.fingerprint:
+            records = [
+                r for r in records if r.fingerprint.startswith(args.fingerprint)
+            ]
+        handles = []
+        for record in records:
+            job = record.job()
+            if job is None:
+                skipped += 1
+                print(
+                    f"skip {record.fingerprint[:16]}: no runnable payload",
+                    file=sys.stderr,
+                )
+                continue
+            job_args, job_kwargs = job
+            budget = (
+                Budget.from_dict(record.last_budget)
+                if record.last_budget
+                else None
+            )
+            handles.append(
+                (
+                    record,
+                    service.submit(
+                        record.procedure,
+                        *job_args,
+                        budget=budget,
+                        label=record.label,
+                        **job_kwargs,
+                    ),
+                )
+            )
+        service.drain()
+        for record, handle in handles:
+            result = handle.result()
+            verdict = getattr(getattr(result, "verdict", None), "value", None)
+            if verdict != "unknown":
+                dlq.remove(record.fingerprint)
+                recovered += 1
+                print(f"recovered {record.fingerprint[:16]}: {verdict}")
+            else:
+                still_dead += 1
+                detail = getattr(result, "detail", None)
+                print(
+                    f"still unknown {record.fingerprint[:16]}: {detail}",
+                    file=sys.stderr,
+                )
+    finally:
+        service.close()
+        cache.close()
+    print(
+        f"dlq retry: {recovered} recovered, {still_dead} still dead, "
+        f"{skipped} skipped",
+        file=sys.stderr,
+    )
+    return 0 if still_dead == 0 else 1
+
+
+def _cmd_dlq_purge(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        dropped = store.purge_dlq()
+    print(f"dlq: purged {dropped} record(s)", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -269,6 +444,36 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=None,
         help=f"sampling rate for --profile (default {_profile.DEFAULT_HZ})",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="max executions per tripped job (>1 enables budget-escalation retry)",
+    )
+    run.add_argument(
+        "--budget-multiplier",
+        type=float,
+        default=4.0,
+        help="budget growth factor per retry (with --retries)",
+    )
+    run.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="reject submissions once this many jobs are queued",
+    )
+    run.add_argument(
+        "--admit-rate",
+        type=float,
+        default=None,
+        help="token-bucket admission rate (jobs/s) per source",
+    )
+    run.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on any UNKNOWN or rejected result "
+        "(dead-lettered jobs always fail the run)",
     )
     run.set_defaults(func=_cmd_run)
 
@@ -305,6 +510,26 @@ def main(argv: list[str] | None = None) -> int:
         help="imported records replace existing store rows",
     )
     imp.set_defaults(func=_cmd_store_import)
+
+    dlq = sub.add_parser("dlq", help="inspect/re-run/purge the dead-letter queue")
+    dlq_sub = dlq.add_subparsers(dest="dlq_command", required=True)
+
+    dl = dlq_sub.add_parser("list", help="print dead-lettered jobs")
+    _store_common(dl)
+    dl.add_argument("--json", action="store_true", help="one JSON object per record")
+    dl.set_defaults(func=_cmd_dlq_list)
+
+    dr = dlq_sub.add_parser("retry", help="re-run payload-bearing DLQ records")
+    _store_common(dr)
+    dr.add_argument("--fingerprint", default=None, help="only records with this fingerprint prefix")
+    dr.add_argument("--workers", type=int, default=0, help="worker processes (0 = in-process)")
+    dr.add_argument("--retries", type=int, default=1, help="max executions per job (>1 re-escalates budgets)")
+    dr.add_argument("--budget-multiplier", type=float, default=4.0, help="budget growth factor per retry")
+    dr.set_defaults(func=_cmd_dlq_retry)
+
+    dp = dlq_sub.add_parser("purge", help="drop every DLQ record")
+    _store_common(dp)
+    dp.set_defaults(func=_cmd_dlq_purge)
 
     _top.add_parser(sub)
 

@@ -31,6 +31,7 @@ Semantics:
 from __future__ import annotations
 
 import os
+import sqlite3
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -38,7 +39,7 @@ from typing import Any
 
 from repro import metrics
 from repro._stats import STATS
-from repro.serve.store import Store
+from repro.serve.store import Store, StoreError
 
 #: Environment variable naming the on-disk cache directory.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
@@ -161,7 +162,7 @@ class AnswerCache:
                 metrics.counter("serve.cache.hits", tier="memory").inc()
                 return self._memory[key]
             if self.store is not None:
-                result = self.store.get_answer(key)
+                result = self._store_io(lambda: self.store.get_answer(key))
                 if result is not None:
                     self._remember(key, result)
                     self.stats.hits += 1
@@ -190,13 +191,31 @@ class AnswerCache:
             self._remember(key, result)
             self.stats.stores += 1
             metrics.counter("serve.cache.stores").inc()
-            if self.store is not None and not self.store.put_answer(
-                key, result, procedure
+            if self.store is not None and not self._store_io(
+                lambda: self.store.put_answer(key, result, procedure),
+                default=False,
             ):
                 self.stats.disk_skipped += 1
                 metrics.counter("serve.cache.disk_skipped").inc()
                 return False
             return True
+
+    def _store_io(self, operation, default: Any = None) -> Any:
+        """Run a disk-tier operation, degrading on I/O failure.
+
+        The store already retries transient lock errors internally; an
+        error that still escapes (exhausted retries, a disk yanked
+        mid-run, chaos-injected faults) must cost this process the disk
+        tier for one call, never the answer — the memory tier and the
+        procedure itself still serve it.  Failures are counted on
+        ``serve.store.io_errors`` so a soak run can prove the
+        degradation happened without a single job being lost.
+        """
+        try:
+            return operation()
+        except (sqlite3.Error, StoreError, OSError):
+            metrics.counter("serve.store.io_errors").inc()
+            return default
 
     def __contains__(self, key: str) -> bool:
         with self._lock:

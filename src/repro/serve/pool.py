@@ -30,6 +30,13 @@ Cancellation: a queued job's future can still be cancelled; a job
 already running in a worker runs to completion (its budget's deadline
 still bounds it).  Cross-process cooperative cancellation would need a
 shared token; the scheduler therefore checks tokens before dispatch.
+
+Worker loss: an abruptly dead worker (OOM kill, segfault, chaos
+``os._exit``) breaks the whole :class:`ProcessPoolExecutor` — every
+in-flight future raises :class:`BrokenProcessPool`.  :meth:`WorkerPool.respawn`
+rebuilds the executor in place (same spool directories, same merge
+offsets, so no telemetry is lost) and the scheduler re-dispatches or
+resolves the stranded jobs; the pool itself never leaks a hung future.
 """
 
 from __future__ import annotations
@@ -40,14 +47,16 @@ import os
 import tempfile
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Mapping
 
 from repro import metrics, obs
 from repro.guard import Budget
+from repro.guard import inject as _inject
 from repro.obs import profile as _obs_profile
 from repro.obs import progress as _obs_progress
 
-__all__ = ["WorkerPool"]
+__all__ = ["BrokenProcessPool", "WorkerPool"]
 
 #: Module-level so the fork/spawn child can import it by qualified name.
 _WORKER_TRACE_DIR: str | None = None
@@ -126,13 +135,25 @@ def _run_job(
     budget_spec: Mapping[str, Any] | None,
     store_path: str | None = None,
     job_key: str | None = None,
+    attempt: int = 0,
 ) -> Any:
-    """Worker-side job body: resolve the procedure by name and run it."""
+    """Worker-side job body: resolve the procedure by name and run it.
+
+    ``attempt`` is the parent's dispatch count for this entry (retries
+    and post-crash re-dispatches increment it); it only feeds the chaos
+    harness's per-dispatch fault decisions.
+    """
     from repro import artifacts
     from repro.serve.registry import get_procedure
 
     procedure = get_procedure(name)
     guard = Budget.from_dict(budget_spec) if budget_spec else None
+    # Chaos (if armed via install_chaos before the fork, or REPRO_CHAOS):
+    # this dispatch may draw a mid-search kill, an injected trip, or a
+    # pre-execution stall.
+    stall_s = _inject.apply_job_chaos(job_key or name, attempt)
+    if stall_s > 0:
+        time.sleep(stall_s)
     metrics.gauge("serve.worker.busy").set(1)
     t0 = time.perf_counter()
     try:
@@ -141,6 +162,7 @@ def _run_job(
                 return procedure(*args, guard=guard, **dict(kwargs))
             return procedure(*args, **dict(kwargs))
     finally:
+        _inject.clear_job_chaos()
         elapsed = time.perf_counter() - t0
         metrics.observe("serve.job.latency_s", elapsed, procedure=name)
         metrics.counter("serve.worker.jobs").inc()
@@ -171,16 +193,41 @@ class WorkerPool:
             metrics.gauge("serve.pool.workers").set(workers)
         if _obs_profile.is_enabled():
             self._profile_dir = tempfile.mkdtemp(prefix="repro-serve-profile-")
+        self.respawns = 0
+        self._executor = self._spawn_executor()
+
+    def _spawn_executor(self) -> ProcessPoolExecutor:
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             context = multiprocessing.get_context()
-        self._executor = ProcessPoolExecutor(
-            max_workers=workers,
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
             mp_context=context,
             initializer=_worker_init,
             initargs=(self._trace_dir, self._metrics_dir, self._profile_dir),
         )
+
+    def respawn(self) -> None:
+        """Replace a broken executor with a fresh one, in place.
+
+        Called after a worker died abruptly and broke the pool.  The
+        dead executor is shut down without waiting (its workers are
+        gone); spool directories and merge offsets survive, so worker
+        telemetry from before the crash still merges.  Any telemetry
+        the surviving spool files hold is folded in first — the dead
+        workers will never write again.
+        """
+        self.merge_traces()
+        self.merge_metrics()
+        self.merge_profiles()
+        try:
+            self._executor.shutdown(wait=False)
+        except Exception:  # noqa: BLE001 - a broken executor may refuse
+            pass
+        self.respawns += 1
+        metrics.counter("serve.pool.respawns").inc()
+        self._executor = self._spawn_executor()
 
     def submit(
         self,
@@ -190,10 +237,11 @@ class WorkerPool:
         budget: Budget | None,
         store_path: str | None = None,
         job_key: str | None = None,
+        attempt: int = 0,
     ) -> Future:
         spec = budget.as_dict() if budget is not None else None
         return self._executor.submit(
-            _run_job, name, args, dict(kwargs), spec, store_path, job_key
+            _run_job, name, args, dict(kwargs), spec, store_path, job_key, attempt
         )
 
     # -- trace spool merging -----------------------------------------------------

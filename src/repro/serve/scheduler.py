@@ -34,6 +34,35 @@ detail :data:`CANCELLED_DETAIL`.  In-process entries additionally get a
 service-side token wired into their :class:`~repro.guard.Guard`, so
 cancelling mid-run trips the procedure cooperatively at its next
 checkpoint.
+
+Fault tolerance (all opt-in, composed from
+:mod:`repro.serve.resilience`):
+
+* A :class:`~repro.serve.resilience.RetryPolicy` re-queues
+  guard-tripped entries with escalated budgets; the drain loop waits
+  out each backoff (cancellation-aware) and re-runs them.  Entries stay
+  dedup-visible across attempts — a second ``submit`` of a retrying
+  fingerprint joins it, it never forks a parallel computation.
+* An :class:`~repro.serve.resilience.AdmissionControl` gates ``submit``:
+  inadmissible jobs resolve immediately to
+  :data:`~repro.serve.resilience.REJECTED_DETAIL` UNKNOWN with
+  ``handle.rejected`` set.  Cache hits and dedup joins bypass the gate.
+* A worker that dies abruptly (OOM kill, segfault, chaos ``os._exit``)
+  breaks the whole :class:`ProcessPoolExecutor`; the drain catches
+  :class:`BrokenProcessPool`, **respawns the pool in place**, and
+  re-dispatches the lost entries (each loss re-draws its chaos fate via
+  a fresh attempt number).  An entry lost more than
+  ``worker_redispatch_limit`` times resolves to
+  :data:`~repro.serve.resilience.WORKER_LOST_DETAIL` UNKNOWN and is
+  dead-lettered.
+* Jobs that exhaust escalation, or die too often, land in the
+  :class:`~repro.serve.resilience.DeadLetterQueue` (persisted in the
+  SQLite store when the cache has a disk tier) for
+  ``python -m repro.serve dlq list|retry|purge``.
+
+The drain invariant is unchanged and now fault-proof: **every handle
+resolves** — decided, UNKNOWN (tripped / cancelled / worker-lost /
+batch-aborted), or rejected — no matter which workers died.
 """
 
 from __future__ import annotations
@@ -50,8 +79,16 @@ from repro.analysis.verdict import Answer
 from repro.guard import Budget, CancelToken, Guard
 from repro.serve.cache import AnswerCache, default_cache_directory
 from repro.serve.fingerprint import job_fingerprint
-from repro.serve.pool import WorkerPool
+from repro.serve.pool import BrokenProcessPool, WorkerPool
 from repro.serve.registry import get_procedure
+from repro.serve.resilience import (
+    REJECTED_DETAIL,
+    WORKER_LOST_DETAIL,
+    AdmissionControl,
+    DeadLetterQueue,
+    DLQRecord,
+    RetryPolicy,
+)
 from repro.serve.store import StoreArtifactProvider
 
 __all__ = [
@@ -61,6 +98,10 @@ __all__ = [
     "JobSpec",
     "SolverService",
 ]
+
+#: Sentinel ``_await_pooled`` returns when the entry's worker died and
+#: broke the pool — the caller must respawn and decide re-dispatch.
+_WORKER_LOST = object()
 
 #: ``Answer.detail`` of jobs cancelled before execution.
 CANCELLED_DETAIL = "cancelled before execution"
@@ -140,6 +181,13 @@ class _Entry:
         "future",
         "t_submitted",
         "t_dispatched",
+        "attempts",
+        "dispatch_seq",
+        "worker_lost",
+        "trips",
+        "not_before",
+        "last_backoff_s",
+        "dead_lettered",
     )
 
     def __init__(
@@ -167,6 +215,18 @@ class _Entry:
         self.future: Any = None
         self.t_submitted = time.perf_counter()
         self.t_dispatched: float | None = None
+        # Resilience bookkeeping.  ``attempts`` counts completed
+        # executions (what RetryPolicy.max_attempts bounds);
+        # ``dispatch_seq`` counts pool dispatches including worker-lost
+        # re-dispatches — it feeds the chaos key so a re-dispatched job
+        # re-draws its fate instead of dying forever.
+        self.attempts = 0
+        self.dispatch_seq = 0
+        self.worker_lost = 0
+        self.trips: list[dict] = []
+        self.not_before: float | None = None
+        self.last_backoff_s: float = 0.0
+        self.dead_lettered = False
 
     def all_cancelled(self) -> bool:
         return bool(self.handles) and all(h.cancelled for h in self.handles)
@@ -174,6 +234,10 @@ class _Entry:
     def resolve(self, result: Any) -> None:
         self.result = result
         self.done.set()
+
+    @property
+    def label(self) -> str:
+        return self.handles[0].label if self.handles else self.procedure
 
 
 class JobHandle:
@@ -188,6 +252,7 @@ class JobHandle:
         cancel_token: CancelToken | None,
         from_cache: bool,
         deduped: bool,
+        rejected: bool = False,
     ) -> None:
         self._service = service
         self._entry = entry
@@ -196,6 +261,7 @@ class JobHandle:
         self.label = label
         self.from_cache = from_cache
         self.deduped = deduped
+        self.rejected = rejected
 
     @property
     def fingerprint(self) -> str:
@@ -204,6 +270,16 @@ class JobHandle:
     @property
     def procedure(self) -> str:
         return self._entry.procedure
+
+    @property
+    def attempts(self) -> int:
+        """How many times the job executed (>1 = it was retried)."""
+        return self._entry.attempts
+
+    @property
+    def dead_lettered(self) -> bool:
+        """Whether the job exhausted its retries and landed in the DLQ."""
+        return self._entry.dead_lettered
 
     @property
     def cancelled(self) -> bool:
@@ -242,11 +318,15 @@ class JobHandle:
 
 
 class SolverService:
-    """Concurrent solver front end with caching and dedup.
+    """Concurrent solver front end with caching, dedup, and recovery.
 
     ``workers=0`` executes in-process; ``workers>=1`` uses a process
     pool.  ``cache_dir`` (default: ``$REPRO_CACHE_DIR`` if set) enables
-    the on-disk cache tier.
+    the on-disk cache tier.  ``retry_policy`` / ``admission`` opt into
+    budget-escalation retry and submit-side admission control;
+    ``worker_redispatch_limit`` bounds how many times one entry may
+    lose its worker before it is dead-lettered (the DLQ defaults to one
+    backed by the cache's store when a disk tier exists).
     """
 
     def __init__(
@@ -255,9 +335,15 @@ class SolverService:
         cache: AnswerCache | None = None,
         cache_dir: str | None = None,
         cache_capacity: int = 4096,
+        retry_policy: RetryPolicy | None = None,
+        admission: AdmissionControl | None = None,
+        dlq: DeadLetterQueue | None = None,
+        worker_redispatch_limit: int = 2,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if worker_redispatch_limit < 0:
+            raise ValueError("worker_redispatch_limit must be >= 0")
         self.workers = workers
         self._owns_cache = cache is None
         if cache is None:
@@ -266,13 +352,28 @@ class SolverService:
                 directory=cache_dir if cache_dir is not None else default_cache_directory(),
             )
         self.cache = cache
+        self.retry_policy = retry_policy
+        self.admission = admission
+        self.dlq = dlq if dlq is not None else DeadLetterQueue(self.cache.store)
+        self.worker_redispatch_limit = worker_redispatch_limit
         self._lock = threading.Lock()
         self._pending: OrderedDict[str, _Entry] = OrderedDict()
         self._inflight: dict[str, _Entry] = {}
+        # Lifetime pool-dispatch count per fingerprint.  Feeds the
+        # chaos-injection attempt key, so a job re-submitted after an
+        # earlier entry resolved (e.g. its UNKNOWN was never cached)
+        # keeps drawing *fresh* chaos fates instead of deterministically
+        # replaying its first entry's kills forever.
+        self._dispatch_history: dict[str, int] = {}
         self._pool: WorkerPool | None = None
         self.jobs_executed = 0
         self.jobs_deduped = 0
         self.jobs_skipped = 0
+        self.jobs_retried = 0
+        self.jobs_rejected = 0
+        self.jobs_redispatched = 0
+        self.jobs_worker_lost = 0
+        self.jobs_dead_lettered = 0
 
     # -- submission --------------------------------------------------------------
 
@@ -283,6 +384,7 @@ class SolverService:
         budget: Budget | None = None,
         cancel_token: CancelToken | None = None,
         label: str | None = None,
+        source: str | None = None,
         **kwargs: Any,
     ) -> JobHandle:
         """Queue one job; returns a :class:`JobHandle`.
@@ -291,6 +393,13 @@ class SolverService:
         dedup join the *first* submission's budget applies).
         ``cancel_token`` marks this handle cancelled once fired; fired
         before the drain dispatches the entry, the procedure never runs.
+        ``source`` is the admission-control tenant tag: each source gets
+        its own token bucket when the service has an
+        :class:`~repro.serve.resilience.AdmissionControl`.  An
+        inadmissible job comes back already resolved
+        (:data:`~repro.serve.resilience.REJECTED_DETAIL` UNKNOWN,
+        ``handle.rejected``); cache hits and dedup joins are never
+        rejected — they add no work.
         """
         get_procedure(procedure)  # fail fast on unknown names
         key = job_fingerprint(procedure, args, kwargs)
@@ -329,6 +438,14 @@ class SolverService:
             # while we probed the cache.
             entry = self._pending.get(key) or self._inflight.get(key)
             if entry is None:
+                if self.admission is not None:
+                    reason = self.admission.admit(source, len(self._pending))
+                    if reason is not None:
+                        return self._reject(
+                            key, procedure, args, kwargs, budget,
+                            label=label, cancel_token=cancel_token,
+                            reason=reason,
+                        )
                 entry = _Entry(key, procedure, args, dict(kwargs), budget)
                 self._pending[key] = entry
                 deduped = False
@@ -349,6 +466,33 @@ class SolverService:
             entry.handles.append(handle)
             return handle
 
+    def _reject(
+        self,
+        key: str,
+        procedure: str,
+        args: tuple,
+        kwargs: Mapping[str, Any],
+        budget: Budget | None,
+        *,
+        label: str,
+        cancel_token: CancelToken | None,
+        reason: str,
+    ) -> JobHandle:
+        """An already-resolved REJECTED handle (admission said no)."""
+        self.jobs_rejected += 1
+        metrics.counter("serve.rejected", reason=reason).inc()
+        entry = _Entry(key, procedure, args, dict(kwargs), budget)
+        entry.resolve(Answer.unknown(detail=REJECTED_DETAIL))
+        return JobHandle(
+            self,
+            entry,
+            label=label,
+            cancel_token=cancel_token,
+            from_cache=False,
+            deduped=False,
+            rejected=True,
+        )
+
     # -- execution ---------------------------------------------------------------
 
     def drain(self) -> int:
@@ -356,31 +500,80 @@ class SolverService:
 
         With workers, all pending entries are dispatched before any is
         awaited, so distinct jobs overlap across worker processes.
+
+        Runs in *rounds*: entries a :class:`RetryPolicy` re-queued with a
+        backoff deadline are picked up by a later round once their wait
+        elapses (the wait polls for cancellation, so cancelling every
+        handle of a backing-off entry resolves it promptly).  The drain
+        returns only when nothing is pending — every entry resolved,
+        retried to resolution, or dead-lettered.
         """
-        with self._lock:
-            batch = list(self._pending.values())
-            self._pending.clear()
-            for entry in batch:
-                self._inflight[entry.key] = entry
-            metrics.gauge("serve.queue.depth").set(0)
         executed = 0
-        try:
-            if self.workers == 0:
-                for entry in batch:
-                    executed += self._run_entry_inline(entry)
-            else:
-                executed += self._run_batch_pooled(batch)
-        finally:
-            # A procedure exception aborts the rest of the batch; resolve
-            # every stranded entry (UNKNOWN, "batch aborted") before
-            # propagating so no JobHandle.result() can block forever.
+        while True:
             with self._lock:
-                for entry in batch:
-                    if not entry.done.is_set():
-                        entry.resolve(Answer.unknown(detail=BATCH_ABORTED_DETAIL))
-                    self._inflight.pop(entry.key, None)
-            metrics.gauge("serve.inflight").set(0)
+                now = time.monotonic()
+                ready = [
+                    entry
+                    for entry in self._pending.values()
+                    if entry.not_before is None or entry.not_before <= now
+                ]
+                for entry in ready:
+                    del self._pending[entry.key]
+                    self._inflight[entry.key] = entry
+                remaining = len(self._pending)
+                metrics.gauge("serve.queue.depth").set(remaining)
+            if not ready:
+                if remaining == 0:
+                    break
+                self._await_retry_ready()
+                continue
+            try:
+                if self.workers == 0:
+                    for entry in ready:
+                        executed += self._run_entry_inline(entry)
+                else:
+                    executed += self._run_batch_pooled(ready)
+            finally:
+                # A procedure exception aborts the rest of the round;
+                # resolve every stranded entry (UNKNOWN, "batch
+                # aborted") before propagating so no JobHandle.result()
+                # can block forever.  Entries the retry policy re-queued
+                # are in _pending again — they are not stranded.
+                with self._lock:
+                    for entry in ready:
+                        if entry.done.is_set():
+                            self._inflight.pop(entry.key, None)
+                        elif entry.key not in self._pending:
+                            entry.resolve(
+                                Answer.unknown(detail=BATCH_ABORTED_DETAIL)
+                            )
+                            self._inflight.pop(entry.key, None)
+                metrics.gauge("serve.inflight").set(0)
         return executed
+
+    def _await_retry_ready(self) -> None:
+        """Wait until a backing-off entry is ready (or all are gone).
+
+        Polls in small increments so a retry wait never blocks
+        cancellation: an entry whose handles all cancel while it waits
+        is skipped immediately (:data:`CANCELLED_DETAIL`), exactly as if
+        it had been cancelled in the queue.
+        """
+        while True:
+            cancelled: list[_Entry] = []
+            with self._lock:
+                now = time.monotonic()
+                for entry in list(self._pending.values()):
+                    if entry.all_cancelled():
+                        del self._pending[entry.key]
+                        cancelled.append(entry)
+                waiting = list(self._pending.values())
+                deadlines = [e.not_before or now for e in waiting]
+            for entry in cancelled:
+                self._skip(entry)
+            if not waiting or min(deadlines) <= now:
+                return
+            time.sleep(min(0.02, max(0.001, min(deadlines) - now)))
 
     def run_batch(
         self, jobs: Iterable[JobSpec | Mapping[str, Any]]
@@ -425,6 +618,7 @@ class SolverService:
             return 0
         entry.dispatched = True
         entry.t_dispatched = time.perf_counter()
+        entry.attempts += 1
         metrics.observe(
             "serve.job.queue_wait_s",
             entry.t_dispatched - entry.t_submitted,
@@ -452,6 +646,9 @@ class SolverService:
                 time.perf_counter() - entry.t_dispatched,
                 procedure=entry.procedure,
             )
+        if self._maybe_schedule_retry(entry, result):
+            metrics.counter("serve.jobs.completed", outcome="retry").inc()
+            return 1
         metrics.counter("serve.jobs.completed", outcome="executed").inc()
         self.cache.put(entry.key, result, entry.procedure)
         entry.resolve(result)
@@ -461,7 +658,7 @@ class SolverService:
         pool = self._ensure_pool()
         store = self.cache.store
         store_path = store.path if store is not None else None
-        dispatched: list[_Entry] = []
+        to_dispatch: list[_Entry] = []
         for entry in batch:
             if entry.all_cancelled():
                 self._skip(entry)
@@ -473,37 +670,167 @@ class SolverService:
                 entry.t_dispatched - entry.t_submitted,
                 procedure=entry.procedure,
             )
-            entry.future = pool.submit(
-                entry.procedure,
-                entry.args,
-                entry.kwargs,
-                entry.budget,
-                store_path=store_path,
-                job_key=entry.key,
-            )
             self.jobs_executed += 1
             STATS.serve_jobs_executed += 1
             metrics.counter("serve.jobs.executed").inc()
-            dispatched.append(entry)
+            to_dispatch.append(entry)
+        executed = len(to_dispatch)
         inflight = metrics.gauge("serve.inflight")
-        inflight.set(len(dispatched))
-        for entry in dispatched:
-            result = self._await_pooled(entry)
-            inflight.dec()
-            if result is None:
-                continue  # resolved inside (error or cancelled-in-queue)
-            metrics.observe(
-                "serve.job.turnaround_s",
-                time.perf_counter() - entry.t_dispatched,
-                procedure=entry.procedure,
-            )
-            metrics.counter("serve.jobs.completed", outcome="executed").inc()
-            self.cache.put(entry.key, result, entry.procedure)
-            entry.resolve(result)
+        # Dispatch/await in waves: a worker death breaks every
+        # outstanding future at once, so the first wave ends early with
+        # the lost entries collected; the pool is respawned in place and
+        # the survivors re-dispatched (fresh attempt number, fresh chaos
+        # draw) until every entry resolves or exceeds the re-dispatch
+        # limit.
+        while to_dispatch:
+            for entry in to_dispatch:
+                entry.attempts += 1
+                seq = self._dispatch_history.get(entry.key, 0)
+                self._dispatch_history[entry.key] = seq + 1
+                entry.dispatch_seq = seq + 1
+                entry.future = pool.submit(
+                    entry.procedure,
+                    entry.args,
+                    entry.kwargs,
+                    entry.budget,
+                    store_path=store_path,
+                    job_key=entry.key,
+                    attempt=seq,
+                )
+            inflight.set(len(to_dispatch))
+            lost: list[_Entry] = []
+            for entry in to_dispatch:
+                result = self._await_pooled(entry)
+                inflight.dec()
+                if result is _WORKER_LOST:
+                    entry.attempts -= 1  # it never ran to completion
+                    lost.append(entry)
+                    continue
+                if result is None:
+                    continue  # resolved inside (error or cancelled-in-queue)
+                metrics.observe(
+                    "serve.job.turnaround_s",
+                    time.perf_counter() - entry.t_dispatched,
+                    procedure=entry.procedure,
+                )
+                if self._maybe_schedule_retry(entry, result):
+                    metrics.counter("serve.jobs.completed", outcome="retry").inc()
+                    continue
+                metrics.counter("serve.jobs.completed", outcome="executed").inc()
+                self.cache.put(entry.key, result, entry.procedure)
+                entry.resolve(result)
+            to_dispatch = self._recover_worker_loss(pool, lost) if lost else []
         pool.merge_traces()
         pool.merge_metrics()
         pool.merge_profiles()
-        return len(dispatched)
+        return executed
+
+    def _recover_worker_loss(
+        self, pool: WorkerPool, lost: list[_Entry]
+    ) -> list[_Entry]:
+        """Respawn the broken pool and decide each lost entry's fate.
+
+        Returns the entries to re-dispatch on the fresh pool.  Entries
+        past ``worker_redispatch_limit`` resolve to
+        :data:`WORKER_LOST_DETAIL` UNKNOWN and are dead-lettered;
+        entries whose handles all cancelled while the pool was down are
+        skipped (prompt :data:`CANCELLED_DETAIL`, no re-dispatch).
+        """
+        pool.respawn()
+        redispatch: list[_Entry] = []
+        for entry in lost:
+            entry.worker_lost += 1
+            self.jobs_worker_lost += 1
+            metrics.counter("serve.worker.lost", procedure=entry.procedure).inc()
+            entry.trips.append(
+                {"worker_lost": True, "dispatch": entry.dispatch_seq}
+            )
+            if entry.all_cancelled():
+                self._skip(entry)
+                continue
+            if entry.worker_lost > self.worker_redispatch_limit:
+                self._dead_letter(
+                    entry,
+                    reason=(
+                        f"worker lost {entry.worker_lost}x "
+                        f"(re-dispatch limit {self.worker_redispatch_limit})"
+                    ),
+                )
+                metrics.counter(
+                    "serve.jobs.completed", outcome="worker_lost"
+                ).inc()
+                entry.resolve(Answer.unknown(detail=WORKER_LOST_DETAIL))
+                continue
+            self.jobs_redispatched += 1
+            metrics.counter("serve.jobs.redispatched").inc()
+            redispatch.append(entry)
+        return redispatch
+
+    def _maybe_schedule_retry(self, entry: _Entry, result: Any) -> bool:
+        """Re-queue a guard-tripped entry with an escalated budget.
+
+        True iff the entry was re-queued — the caller must then *not*
+        cache or resolve ``result``.  Exhausted retries dead-letter the
+        entry and return False (the trip UNKNOWN resolves as-is, with
+        ``handle.dead_lettered`` set).  Cancellation always wins: a
+        fully-cancelled entry is never re-queued.
+        """
+        policy = self.retry_policy
+        trip = getattr(result, "trip", None)
+        if trip is not None and getattr(trip, "limit", None) is not None:
+            entry.trips.append(
+                {
+                    "limit": trip.limit,
+                    "site": trip.site,
+                    "steps": trip.steps,
+                    "injected": bool(getattr(trip, "injected", False)),
+                }
+            )
+        if policy is None or not policy.retryable(result):
+            return False
+        if entry.all_cancelled():
+            return False
+        if entry.attempts >= policy.max_attempts:
+            metrics.counter(
+                "serve.retry.exhausted", procedure=entry.procedure
+            ).inc()
+            self._dead_letter(
+                entry,
+                reason=f"retries exhausted after {entry.attempts} attempts",
+            )
+            return False
+        entry.budget = policy.escalate(entry.budget)
+        entry.last_backoff_s = policy.backoff_s(entry.last_backoff_s or None)
+        entry.not_before = time.monotonic() + entry.last_backoff_s
+        entry.future = None
+        self.jobs_retried += 1
+        metrics.counter("serve.retry.scheduled", procedure=entry.procedure).inc()
+        metrics.observe("serve.retry.backoff_s", entry.last_backoff_s)
+        with self._lock:
+            self._inflight.pop(entry.key, None)
+            self._pending[entry.key] = entry
+        return True
+
+    def _dead_letter(self, entry: _Entry, reason: str) -> None:
+        """Park an undecidable entry in the DLQ (store-backed if possible)."""
+        entry.dead_lettered = True
+        self.jobs_dead_lettered += 1
+        metrics.counter("serve.dlq.added", procedure=entry.procedure).inc()
+        record = DLQRecord(
+            fingerprint=entry.key,
+            procedure=entry.procedure,
+            label=entry.label,
+            reason=reason,
+            attempts=entry.attempts,
+            trips=list(entry.trips),
+            last_budget=entry.budget.as_dict() if entry.budget is not None else None,
+            payload=DLQRecord.encode_job(entry.args, entry.kwargs),
+        )
+        try:
+            self.dlq.add(record)
+            metrics.gauge("serve.dlq.depth").set(len(self.dlq))
+        except Exception:  # noqa: BLE001 - the DLQ must never lose the job's resolve
+            metrics.counter("serve.dlq.errors").inc()
 
     def _heartbeat(self, entry: _Entry) -> None:
         """Surface a long-running pooled job's progress while it runs.
@@ -533,7 +860,9 @@ class SolverService:
         While waiting, a heartbeat every :data:`HEARTBEAT_INTERVAL_S`
         merges worker telemetry so progress stays visible mid-job.
         Resolves the entry and returns ``None`` on error/cancellation;
-        otherwise returns the result for the caller to cache + resolve.
+        returns :data:`_WORKER_LOST` when the worker died and broke the
+        pool (the caller respawns and re-dispatches); otherwise returns
+        the result for the caller to cache + resolve.
         """
         last_heartbeat = time.perf_counter()
         while True:
@@ -550,6 +879,8 @@ class SolverService:
             except _futures.CancelledError:
                 self._skip(entry)
                 return None
+            except BrokenProcessPool:
+                return _WORKER_LOST
             except Exception as error:  # noqa: BLE001
                 metrics.counter("serve.jobs.completed", outcome="error").inc()
                 entry.resolve(
@@ -574,13 +905,26 @@ class SolverService:
     # -- lifecycle / introspection -----------------------------------------------
 
     def stats(self) -> dict[str, Any]:
-        """Service + cache counters, JSON-friendly."""
+        """Service + cache + resilience counters, JSON-friendly."""
+        try:
+            dlq_depth = len(self.dlq)
+        except Exception:  # noqa: BLE001 - stats after close(): store is gone
+            dlq_depth = self.jobs_dead_lettered
         return {
             "workers": self.workers,
             "jobs_executed": self.jobs_executed,
             "jobs_deduped": self.jobs_deduped,
             "jobs_skipped": self.jobs_skipped,
             "cache": self.cache.stats.as_dict(),
+            "resilience": {
+                "retried": self.jobs_retried,
+                "rejected": self.jobs_rejected,
+                "redispatched": self.jobs_redispatched,
+                "worker_lost": self.jobs_worker_lost,
+                "dead_lettered": self.jobs_dead_lettered,
+                "pool_respawns": self._pool.respawns if self._pool else 0,
+                "dlq_depth": dlq_depth,
+            },
         }
 
     def close(self) -> None:

@@ -38,6 +38,7 @@ import base64
 import json
 import os
 import pickle
+import random
 import sqlite3
 import threading
 import time
@@ -45,11 +46,21 @@ from typing import Any, Callable, Iterator
 
 from repro import metrics
 from repro.errors import ReproError
+from repro.guard import inject as _inject
+from repro.serve.resilience import DLQRecord
 
-__all__ = ["Store", "StoreArtifactProvider", "StoreError", "STORE_SCHEMA_VERSION"]
+__all__ = [
+    "Store",
+    "StoreArtifactProvider",
+    "StoreError",
+    "STORE_SCHEMA_VERSION",
+    "retry_backoff_s",
+]
 
 #: Version of the on-disk schema; bump on incompatible layout changes.
-STORE_SCHEMA_VERSION = 1
+#: v2 added the ``dlq`` dead-letter table (older stores upgrade in
+#: place on open — the new table is simply created).
+STORE_SCHEMA_VERSION = 2
 
 #: How long a writer waits on SQLite's lock before erroring (ms).
 BUSY_TIMEOUT_MS = 10_000
@@ -58,6 +69,24 @@ _PAGE_SIZE = 4096
 _CACHE_KIB = 8192  # 8 MiB page cache
 _RETRIES = 5
 _RETRY_BASE_SLEEP_S = 0.05
+_RETRY_CAP_SLEEP_S = 1.0
+
+
+def retry_backoff_s(
+    previous_s: float | None, rng: random.Random | None = None
+) -> float:
+    """The next retry wait: decorrelated jitter, not lockstep doubling.
+
+    The old schedule was ``base * 2**attempt`` — deterministic, so N
+    worker processes that hit ``busy_timeout`` on the same contended
+    write retried *in phase* and collided again on every attempt.
+    Decorrelated jitter (``min(cap, uniform(base, 3 * previous))``)
+    spreads the herd: each process draws its own wait from a widening
+    window.  ``rng`` is injectable for deterministic tests.
+    """
+    draw = (rng or random).uniform
+    span = max(_RETRY_BASE_SLEEP_S, 3.0 * (previous_s or _RETRY_BASE_SLEEP_S))
+    return min(_RETRY_CAP_SLEEP_S, draw(_RETRY_BASE_SLEEP_S, span))
 
 _SCHEMA = (
     "CREATE TABLE IF NOT EXISTS schema_version (version INTEGER NOT NULL)",
@@ -86,6 +115,19 @@ _SCHEMA = (
         meta        TEXT,
         updated_s   REAL NOT NULL,
         PRIMARY KEY (kind, fingerprint)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS dlq (
+        fingerprint TEXT PRIMARY KEY,
+        procedure   TEXT,
+        label       TEXT,
+        reason      TEXT,
+        attempts    INTEGER NOT NULL,
+        trips       TEXT,
+        last_budget TEXT,
+        payload     BLOB,
+        updated_s   REAL NOT NULL
     )
     """,
 )
@@ -165,6 +207,16 @@ class Store:
                     f"store {self.path} has schema version {row[0]}, newer than "
                     f"this library's {STORE_SCHEMA_VERSION}; refusing to touch it"
                 )
+            elif row[0] < STORE_SCHEMA_VERSION:
+                # Older store: the CREATE IF NOT EXISTS pass above already
+                # added any new tables (all version bumps so far are purely
+                # additive); stamp the new version.
+                self._retry(
+                    lambda: conn.execute(
+                        "UPDATE schema_version SET version = ?",
+                        (STORE_SCHEMA_VERSION,),
+                    )
+                )
 
     @staticmethod
     def _retry(operation: Callable[[], Any]) -> Any:
@@ -172,17 +224,28 @@ class Store:
 
         The busy timeout handles almost all contention; the retry loop
         backstops the cases SQLite still reports (lock escalation under
-        WAL, some network filesystems).
+        WAL, some network filesystems) with decorrelated-jitter waits
+        (:func:`retry_backoff_s`) so concurrent writers do not retry in
+        phase.  The chaos harness (:mod:`repro.guard.inject`) may force
+        a first attempt to fail with a transient error, exercising
+        exactly this path.
         """
+        backoff: float | None = None
         for attempt in range(_RETRIES):
             try:
+                if _inject.store_fault_due(attempt):
+                    raise sqlite3.OperationalError(
+                        "database is locked [chaos injected]"
+                    )
                 return operation()
             except sqlite3.OperationalError as error:
                 message = str(error).lower()
                 transient = "locked" in message or "busy" in message
                 if not transient or attempt == _RETRIES - 1:
                     raise
-                time.sleep(_RETRY_BASE_SLEEP_S * (2**attempt))
+                metrics.counter("serve.store.retries").inc()
+                backoff = retry_backoff_s(backoff)
+                time.sleep(backoff)
 
     def close(self) -> None:
         """Close this thread's connection and refuse further use."""
@@ -337,6 +400,100 @@ class Store:
         )
         return dict(rows)
 
+    # -- dead-letter queue -------------------------------------------------------
+
+    def put_dlq(self, record: DLQRecord) -> None:
+        """Upsert one dead-letter record (keyed by fingerprint)."""
+        conn = self._connection()
+        self._retry(
+            lambda: conn.execute(
+                "INSERT OR REPLACE INTO dlq "
+                "(fingerprint, procedure, label, reason, attempts, trips, "
+                "last_budget, payload, updated_s) VALUES (?,?,?,?,?,?,?,?,?)",
+                (
+                    record.fingerprint,
+                    record.procedure,
+                    record.label,
+                    record.reason,
+                    record.attempts,
+                    json.dumps(record.trips, sort_keys=True),
+                    json.dumps(record.last_budget, sort_keys=True)
+                    if record.last_budget is not None
+                    else None,
+                    record.payload,
+                    record.updated_s,
+                ),
+            )
+        )
+
+    @staticmethod
+    def _dlq_record(row: tuple) -> DLQRecord:
+        def loads(text, default):
+            if text is None:
+                return default
+            try:
+                return json.loads(text)
+            except json.JSONDecodeError:
+                return default
+
+        return DLQRecord(
+            fingerprint=row[0],
+            procedure=row[1] or "",
+            label=row[2] or "",
+            reason=row[3] or "",
+            attempts=row[4],
+            trips=loads(row[5], []),
+            last_budget=loads(row[6], None),
+            payload=row[7],
+            updated_s=row[8],
+        )
+
+    _DLQ_COLUMNS = (
+        "fingerprint, procedure, label, reason, attempts, trips, "
+        "last_budget, payload, updated_s"
+    )
+
+    def get_dlq(self, fingerprint: str) -> DLQRecord | None:
+        conn = self._connection()
+        row = self._retry(
+            lambda: conn.execute(
+                f"SELECT {self._DLQ_COLUMNS} FROM dlq WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+        )
+        return self._dlq_record(row) if row else None
+
+    def list_dlq(self) -> list[DLQRecord]:
+        """Every dead-letter record, oldest first."""
+        conn = self._connection()
+        rows = self._retry(
+            lambda: conn.execute(
+                f"SELECT {self._DLQ_COLUMNS} FROM dlq "
+                "ORDER BY updated_s, fingerprint"
+            ).fetchall()
+        )
+        return [self._dlq_record(row) for row in rows]
+
+    def delete_dlq(self, fingerprint: str) -> bool:
+        conn = self._connection()
+        cursor = self._retry(
+            lambda: conn.execute(
+                "DELETE FROM dlq WHERE fingerprint = ?", (fingerprint,)
+            )
+        )
+        return cursor.rowcount > 0
+
+    def purge_dlq(self) -> int:
+        conn = self._connection()
+        cursor = self._retry(lambda: conn.execute("DELETE FROM dlq"))
+        return max(cursor.rowcount, 0)
+
+    def dlq_count(self) -> int:
+        conn = self._connection()
+        return self._retry(
+            lambda: conn.execute("SELECT COUNT(*) FROM dlq").fetchone()
+        )[0]
+
     # -- meta / maintenance ------------------------------------------------------
 
     def get_meta(self, key: str) -> str | None:
@@ -422,6 +579,7 @@ class Store:
             ).fetchone()[0],
             "answers": self.answer_count(),
             "artifacts": self.artifact_counts(),
+            "dlq": self.dlq_count(),
             "file_bytes": size,
             "journal_mode": pragma("journal_mode"),
             "page_size": pragma("page_size"),

@@ -134,6 +134,23 @@ def render(
         f"hits {_fmt_count(hits)}  misses {_fmt_count(misses)}"
     )
 
+    retried = metrics.counter_total(counters, "serve.retry.scheduled")
+    exhausted = metrics.counter_total(counters, "serve.retry.exhausted")
+    rejected = metrics.counter_total(counters, "serve.rejected")
+    worker_lost = metrics.counter_total(counters, "serve.worker.lost")
+    respawns = metrics.counter_total(counters, "serve.pool.respawns")
+    dlq_added = metrics.counter_total(counters, "serve.dlq.added")
+    dlq_depth = gauges.get("serve.dlq.depth", 0.0)
+    if retried or exhausted or rejected or worker_lost or dlq_added or dlq_depth:
+        lines.append(
+            f"resilience  retried {_fmt_count(retried)}  "
+            f"exhausted {_fmt_count(exhausted)}  "
+            f"rejected {_fmt_count(rejected)}  "
+            f"worker-lost {_fmt_count(worker_lost)} "
+            f"(respawns {_fmt_count(respawns)})  "
+            f"dlq {_fmt_count(dlq_depth)} (+{_fmt_count(dlq_added)})"
+        )
+
     trips = {
         labels.get("limit", "?"): value
         for key, value in counters.items()

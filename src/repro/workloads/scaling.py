@@ -273,3 +273,50 @@ def serve_traffic(
         sws = rng.choices(instances, weights=weights, k=1)[0]
         jobs.append(("nonempty_pl", (sws,)))
     return jobs
+
+
+def serve_traffic_burst(
+    n_jobs: int = 10_000,
+    distinct: int = 12,
+    seed: int = 0,
+    min_bits: int = 4,
+    waves: int = 8,
+    burst_every: int = 3,
+    burst_factor: int = 4,
+) -> list[list[tuple[str, tuple]]]:
+    """Zipf traffic with periodic bursts, split into submission waves.
+
+    The chaos/soak harness wants traffic that looks like an incident,
+    not a steady state: mostly-steady Zipf-shaped repetition
+    (:func:`serve_traffic` semantics) punctuated by bursts where one
+    wave carries ``burst_factor`` times its fair share of jobs — the
+    queue spikes that make admission control and worker recovery earn
+    their keep.  Every ``burst_every``-th wave (1-based) is a burst;
+    wave sizes are scaled so the total stays ``n_jobs``.
+
+    Returns a list of ``waves`` job lists (some possibly empty for tiny
+    ``n_jobs``), each of ``(procedure_name, args)`` pairs.
+    """
+    if n_jobs < 1 or distinct < 1 or waves < 1:
+        raise ValueError("n_jobs, distinct, and waves must be positive")
+    if burst_every < 1 or burst_factor < 1:
+        raise ValueError("burst_every and burst_factor must be positive")
+    rng = random.Random(seed)
+    instances = [pl_counter_sws(min_bits + i) for i in range(distinct)]
+    weights = [1.0 / (rank + 1) for rank in range(distinct)]
+    shares = [
+        burst_factor if wave % burst_every == 0 else 1
+        for wave in range(1, waves + 1)
+    ]
+    total_share = sum(shares)
+    sizes = [n_jobs * share // total_share for share in shares]
+    sizes[-1] += n_jobs - sum(sizes)  # rounding remainder
+    batches = []
+    for size in sizes:
+        batches.append(
+            [
+                ("nonempty_pl", (rng.choices(instances, weights=weights, k=1)[0],))
+                for _ in range(size)
+            ]
+        )
+    return batches

@@ -1,0 +1,173 @@
+"""Process-level chaos: ChaosSpec decisions, env transport, job hooks."""
+
+import pytest
+
+from repro.guard import GuardTrip, checkpoint
+from repro.guard import _governor, inject
+from repro.guard.inject import (
+    CHAOS_ENV_VAR,
+    ChaosSpec,
+    active_chaos,
+    apply_job_chaos,
+    chaos,
+    clear_job_chaos,
+    install_chaos,
+    remove_chaos,
+    store_fault_due,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos_state():
+    remove_chaos()
+    clear_job_chaos()
+    yield
+    remove_chaos()
+    clear_job_chaos()
+
+
+class TestChaosSpec:
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(kill_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosSpec(store_error_rate=-0.1)
+
+    def test_bad_trip_limit_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosSpec(trip_rate=0.5, trip_limit="gasoline")
+
+    def test_decide_is_deterministic(self):
+        spec = ChaosSpec(kill_rate=0.5, seed=3)
+        draws = [spec.decide("kill", f"job-{i}:0") for i in range(64)]
+        assert draws == [spec.decide("kill", f"job-{i}:0") for i in range(64)]
+        # A 0.5 rate over 64 keys lands somewhere strictly between the
+        # extremes -- the hash actually spreads.
+        assert 0 < sum(draws) < 64
+
+    def test_decide_respects_rate_extremes(self):
+        always = ChaosSpec(kill_rate=1.0)
+        never = ChaosSpec(kill_rate=0.0)
+        assert all(always.decide("kill", f"k{i}") for i in range(16))
+        assert not any(never.decide("kill", f"k{i}") for i in range(16))
+
+    def test_seed_changes_the_schedule(self):
+        keys = [f"job-{i}" for i in range(128)]
+        a = [ChaosSpec(kill_rate=0.3, seed=1).decide("kill", k) for k in keys]
+        b = [ChaosSpec(kill_rate=0.3, seed=2).decide("kill", k) for k in keys]
+        assert a != b
+
+    def test_env_roundtrip(self):
+        spec = ChaosSpec(
+            kill_rate=0.1, stall_rate=0.2, stall_s=0.01, trip_rate=0.3,
+            trip_limit="deadline", store_error_rate=0.4, seed=9,
+        )
+        assert ChaosSpec.from_dict(spec.as_dict()) == spec
+        import json
+
+        assert ChaosSpec.from_dict(json.loads(spec.as_env())) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            ChaosSpec.from_dict({"kill_rate": 0.1, "meteor_rate": 1.0})
+
+
+class TestActiveChaos:
+    def test_install_and_remove(self):
+        assert active_chaos() is None
+        spec = install_chaos(ChaosSpec(kill_rate=0.5))
+        assert active_chaos() is spec
+        remove_chaos()
+        assert active_chaos() is None
+
+    def test_context_manager(self):
+        with chaos(ChaosSpec(trip_rate=1.0)) as spec:
+            assert active_chaos() is spec
+        assert active_chaos() is None
+
+    def test_env_var_transport(self, monkeypatch):
+        spec = ChaosSpec(kill_rate=0.25, seed=4)
+        monkeypatch.setenv(CHAOS_ENV_VAR, spec.as_env())
+        assert active_chaos() == spec
+
+    def test_installed_spec_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV_VAR, ChaosSpec(kill_rate=0.9).as_env())
+        spec = install_chaos(ChaosSpec(kill_rate=0.1))
+        assert active_chaos() is spec
+
+    def test_malformed_env_is_no_chaos(self, monkeypatch):
+        for junk in ("not json", '{"kill_rate": "high"}', '{"nope": 1}'):
+            monkeypatch.setenv(CHAOS_ENV_VAR, junk)
+            assert active_chaos() is None
+        monkeypatch.delenv(CHAOS_ENV_VAR)
+        assert active_chaos() is None
+
+
+class TestJobChaos:
+    def test_no_chaos_is_a_noop(self):
+        assert apply_job_chaos("fp", 0) == 0.0
+        assert _governor._INJECT_HOOK is None
+        checkpoint("unit.span")  # must not raise
+
+    def test_trip_fires_as_injected_guard_trip(self):
+        install_chaos(ChaosSpec(trip_rate=1.0, trip_limit="deadline"))
+        stall = apply_job_chaos("fp", 0)
+        assert stall == 0.0
+        with pytest.raises(GuardTrip) as info:
+            for _ in range(8):  # the arm point is drawn in 1..4
+                checkpoint("unit.span")
+        assert info.value.trip.injected
+        assert info.value.trip.limit == "deadline"
+        clear_job_chaos()
+        checkpoint("unit.span")  # hook gone
+
+    def test_kill_installs_the_kill_hook(self):
+        # Never let it reach the arm point: os._exit would take pytest down.
+        install_chaos(ChaosSpec(kill_rate=1.0))
+        apply_job_chaos("fp", 0)
+        assert isinstance(_governor._INJECT_HOOK, inject._KillAtCheckpoint)
+        assert _governor._INJECT_HOOK.at >= 1
+
+    def test_kill_takes_precedence_over_trip(self):
+        install_chaos(ChaosSpec(kill_rate=1.0, trip_rate=1.0))
+        apply_job_chaos("fp", 0)
+        assert isinstance(_governor._INJECT_HOOK, inject._KillAtCheckpoint)
+
+    def test_unselected_job_clears_the_previous_hook(self):
+        install_chaos(ChaosSpec(trip_rate=1.0))
+        apply_job_chaos("fp", 0)
+        assert _governor._INJECT_HOOK is not None
+        remove_chaos()
+        install_chaos(ChaosSpec(trip_rate=0.0))
+        apply_job_chaos("fp", 0)
+        assert _governor._INJECT_HOOK is None
+
+    def test_stall_returns_the_sleep(self):
+        install_chaos(ChaosSpec(stall_rate=1.0, stall_s=0.125))
+        assert apply_job_chaos("fp", 0) == 0.125
+
+    def test_attempt_is_part_of_the_fate(self):
+        # Some fingerprint must draw differently across attempts at a
+        # middling rate -- that independence is what stops a re-dispatched
+        # job from dying deterministically forever.
+        spec = install_chaos(ChaosSpec(kill_rate=0.5, seed=11))
+        differs = any(
+            spec.decide("kill", f"fp-{i}:0") != spec.decide("kill", f"fp-{i}:1")
+            for i in range(64)
+        )
+        assert differs
+
+
+class TestStoreFaults:
+    def test_only_first_attempts_fire(self):
+        install_chaos(ChaosSpec(store_error_rate=1.0))
+        assert store_fault_due(0)
+        assert not store_fault_due(1)
+        assert not store_fault_due(5)
+
+    def test_disabled_without_chaos(self):
+        assert not store_fault_due(0)
+
+    def test_zero_rate_never_fires(self):
+        install_chaos(ChaosSpec(store_error_rate=0.0))
+        assert not any(store_fault_due(0) for _ in range(32))

@@ -159,3 +159,21 @@ def test_legacy_jsonl_migration_roundtrip(tmp_path):
     reopened = AnswerCache(directory=str(d))
     assert reopened.get("legacy-k").detail == "updated"
     reopened.close()
+
+
+def test_disk_tier_io_errors_degrade_to_misses(tmp_path):
+    """A broken store behind the cache means misses, never crashes."""
+    from repro import metrics
+
+    metrics.configure(enabled=True)
+    d = str(tmp_path / "cache")
+    cache = AnswerCache(directory=d)
+    assert cache.put("k", Answer.yes(detail="stored"))
+    # Break the disk tier out from under the cache (not via cache.close,
+    # which would detach it) and drop the memory tier.
+    cache.store.close()
+    cache._memory.clear()
+    assert cache.get("k") is None  # disk read fails -> miss
+    assert cache.put("k2", Answer.no()) is False  # disk write fails -> skipped
+    counters = metrics.snapshot()["counters"]
+    assert metrics.counter_total(counters, "serve.store.io_errors") >= 2

@@ -1,0 +1,199 @@
+"""Chaos-faulted serving: worker loss, recovery, and the soak invariants.
+
+The soak tests mirror ``benchmarks/bench_serve_chaos.py`` at test scale:
+every job resolves (decided / sound UNKNOWN / dead-lettered), no decided
+answer contradicts the unfaulted ground truth, and the drain is bounded.
+The full 10k-job shape is ``slow``-marked; the 200-job variant runs in
+the default tier.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis import nonempty_pl
+from repro.guard import Budget, checkpoint, guarded, inject
+from repro.serve import (
+    CANCELLED_DETAIL,
+    WORKER_LOST_DETAIL,
+    RetryPolicy,
+    SolverService,
+    register_procedure,
+)
+from repro.serve.fingerprint import job_fingerprint
+from repro.workloads.scaling import serve_traffic_burst
+
+from repro.analysis.verdict import Answer
+
+
+@guarded()
+def stepping_procedure(tag: str, steps: int = 40) -> Answer:
+    for _ in range(steps):
+        checkpoint("test.stepping")
+    return Answer.yes(detail=f"ran {tag}")
+
+
+@pytest.fixture(autouse=True)
+def _register_stubs():
+    register_procedure("test_stepping", stepping_procedure, replace=True)
+    yield
+    inject.remove_chaos()
+    inject.clear_job_chaos()
+
+
+# -- worker-crash recovery ---------------------------------------------------------
+
+
+def test_persistent_kills_dead_letter_with_worker_lost_detail():
+    """A job whose worker dies on every dispatch exhausts the re-dispatch
+    limit and lands in the DLQ instead of hanging the batch."""
+    with inject.chaos(inject.ChaosSpec(kill_rate=1.0)):
+        with SolverService(workers=1, worker_redispatch_limit=2) as service:
+            handle = service.submit("test_stepping", "doomed")
+            answer = handle.result(timeout=120)
+            assert answer.is_unknown and answer.detail == WORKER_LOST_DETAIL
+            assert handle.dead_lettered
+            # initial dispatch + 2 re-dispatches, each killing its worker
+            assert service.jobs_worker_lost == 3
+            assert service.jobs_redispatched == 2
+            assert service.stats()["resilience"]["pool_respawns"] == 3
+            records = service.dlq.records()
+            assert len(records) == 1
+            assert records[0].trips[-1] == {"worker_lost": True, "dispatch": 3}
+
+            # The respawned pool still serves: same service, new job.
+            inject.remove_chaos()
+            assert service.submit("test_stepping", "alive").result(
+                timeout=120
+            ).is_yes
+
+
+def test_single_kill_redispatch_recovers():
+    """A worker lost once re-dispatches (fresh fate draw) and decides."""
+    fp = job_fingerprint("test_stepping", ("phoenix",), {})
+    spec = next(
+        s
+        for s in (inject.ChaosSpec(kill_rate=0.5, seed=seed) for seed in range(200))
+        if s.decide("kill", f"{fp}:0") and not s.decide("kill", f"{fp}:1")
+    )
+    with inject.chaos(spec):
+        with SolverService(workers=1, worker_redispatch_limit=2) as service:
+            handle = service.submit("test_stepping", "phoenix")
+            answer = handle.result(timeout=120)
+            assert answer.is_yes
+            assert not handle.dead_lettered
+            assert service.jobs_worker_lost == 1
+            assert service.jobs_redispatched == 1
+
+
+def test_cancellation_during_pool_respawn_resolves_cancelled():
+    """Cancelling while the worker is dying resolves promptly to
+    CANCELLED, not WORKER_LOST, and is never re-dispatched."""
+    spec = inject.ChaosSpec(kill_rate=1.0, stall_rate=1.0, stall_s=0.4)
+    with inject.chaos(spec):
+        with SolverService(workers=1, worker_redispatch_limit=5) as service:
+            handle = service.submit("test_stepping", "let-go")
+            timer = threading.Timer(0.1, handle.cancel)
+            timer.start()
+            try:
+                answer = handle.result(timeout=120)
+            finally:
+                timer.cancel()
+            assert answer.is_unknown and answer.detail == CANCELLED_DETAIL
+            assert service.jobs_worker_lost == 1
+            assert service.jobs_redispatched == 0
+            assert not handle.dead_lettered
+
+
+# -- the soak ----------------------------------------------------------------------
+
+SOAK_CHAOS = inject.ChaosSpec(
+    kill_rate=0.15,
+    stall_rate=0.10,
+    stall_s=0.02,
+    trip_rate=0.35,
+    trip_limit="steps",
+    store_error_rate=0.20,
+    seed=7,
+)
+
+SOAK_BUDGET = Budget(step_budget=200_000)
+
+
+def _run_soak(
+    traffic_kwargs: dict, workers: int, drain_bound_s: float, tmp_path
+) -> dict:
+    waves = serve_traffic_burst(**traffic_kwargs)
+    n_jobs = sum(len(wave) for wave in waves)
+
+    truth: dict[int, str] = {}
+    for wave in waves:
+        for _, args in wave:
+            if id(args[0]) not in truth:
+                truth[id(args[0])] = nonempty_pl(args[0]).verdict.value
+    assert all(v != "unknown" for v in truth.values())
+
+    outcomes = {"decided": 0, "unknown": 0, "dead_lettered": 0}
+    contradictions = 0
+    t0 = time.perf_counter()
+    with inject.chaos(SOAK_CHAOS):
+        with SolverService(
+            workers=workers,
+            cache_dir=str(tmp_path / "soak-cache"),
+            retry_policy=RetryPolicy(
+                max_attempts=3,
+                budget_multiplier=4.0,
+                backoff_base_s=0.01,
+                backoff_cap_s=0.2,
+            ),
+        ) as service:
+            for wave in waves:
+                handles = [
+                    service.submit(name, *args, budget=SOAK_BUDGET, source="soak")
+                    for name, args in wave
+                ]
+                service.drain()
+                for handle, (_, args) in zip(handles, wave):
+                    assert handle.done(), "handle left unresolved"
+                    verdict = handle.result(timeout=0).verdict.value
+                    if handle.dead_lettered:
+                        outcomes["dead_lettered"] += 1
+                    elif verdict == "unknown":
+                        outcomes["unknown"] += 1
+                    else:
+                        outcomes["decided"] += 1
+                        if verdict != truth[id(args[0])]:
+                            contradictions += 1
+    elapsed = time.perf_counter() - t0
+
+    assert sum(outcomes.values()) == n_jobs
+    assert contradictions == 0, f"{contradictions} decided answers wrong"
+    assert elapsed < drain_bound_s, f"soak took {elapsed:.1f}s"
+    return outcomes
+
+
+def test_chaos_soak_fast(tmp_path):
+    outcomes = _run_soak(
+        dict(n_jobs=200, distinct=6, seed=7, min_bits=4, waves=4, burst_every=2,
+             burst_factor=3),
+        workers=2,
+        drain_bound_s=120.0,
+        tmp_path=tmp_path,
+    )
+    assert outcomes["decided"] > 0
+
+
+@pytest.mark.slow
+def test_chaos_soak_full(tmp_path):
+    """The benchmark's 10k-job Zipf+burst shape, as a soak test."""
+    outcomes = _run_soak(
+        dict(n_jobs=10_000, distinct=12, seed=7, min_bits=4, waves=8,
+             burst_every=3, burst_factor=4),
+        workers=4,
+        drain_bound_s=300.0,
+        tmp_path=tmp_path,
+    )
+    assert outcomes["decided"] > 0

@@ -171,3 +171,146 @@ def test_comments_and_blanks_skipped(tmp_path, capsys):
     )
     assert main(["fingerprint", str(path)]) == 0
     assert len(capsys.readouterr().out.strip().splitlines()) == 1
+
+
+# -- resilience flags and the dlq subcommand ---------------------------------------
+
+
+def _starved_jobs_file(tmp_path, step_budget, label="counter-12"):
+    """One job that needs >1024 steps under a too-small step budget."""
+    path = tmp_path / "starved.jsonl"
+    write_jobs(
+        path,
+        [
+            {
+                "procedure": "nonempty_pl",
+                "instances": [
+                    {
+                        "factory": "repro.workloads.scaling:pl_counter_sws",
+                        "args": [12],
+                    }
+                ],
+                "budget": {"step_budget": step_budget},
+                "label": label,
+            }
+        ],
+    )
+    return path
+
+
+def test_run_prints_outcomes_and_strict_fails_unknown(tmp_path, capsys):
+    jobs = _starved_jobs_file(tmp_path, step_budget=256)
+    out = tmp_path / "results.jsonl"
+    # A tripped job is a sound UNKNOWN: exit 0 without --strict...
+    assert main(["run", str(jobs), "--out", str(out)]) == 0
+    stderr = capsys.readouterr().err
+    assert "outcomes: 0 decided, 1 unknown, 0 rejected, 0 dead_lettered" in stderr
+    # ...and exit 1 with it.
+    assert main(["run", str(jobs), "--out", str(out), "--strict"]) == 1
+    assert "FAIL (--strict): 1 unknown" in capsys.readouterr().err
+
+
+def test_run_retries_convert_unknown_to_decided(tmp_path, capsys):
+    jobs = _starved_jobs_file(tmp_path, step_budget=256)
+    out = tmp_path / "results.jsonl"
+    code = main(
+        ["run", str(jobs), "--out", str(out), "--strict", "--retries", "3",
+         "--budget-multiplier", "4"]
+    )
+    assert code == 0
+    record = json.loads(out.read_text().splitlines()[0])
+    assert record["outcome"] == "decided"
+    assert record["verdict"] == "yes"
+    assert record["attempts"] == 3  # 256 -> 1024 -> 4096 steps
+    stderr = capsys.readouterr().err
+    assert "outcomes: 1 decided" in stderr
+    assert "2 retried" in stderr
+
+
+def test_run_admission_rejects_and_strict_fails(tmp_path, capsys):
+    path = tmp_path / "two.jsonl"
+    write_jobs(
+        path,
+        [
+            {
+                "procedure": "nonempty_pl",
+                "instances": [
+                    {
+                        "factory": "repro.workloads.scaling:pl_counter_sws",
+                        "args": [bits],
+                    }
+                ],
+                "label": f"counter-{bits}",
+            }
+            for bits in (4, 5)
+        ],
+    )
+    out = tmp_path / "results.jsonl"
+    assert main(["run", str(path), "--out", str(out), "--max-queue-depth", "1"]) == 0
+    records = [json.loads(line) for line in out.read_text().splitlines()[:-1]]
+    assert [r["outcome"] for r in records] == ["decided", "rejected"]
+    assert "1 rejected" in capsys.readouterr().err
+    assert (
+        main(
+            ["run", str(path), "--out", str(out), "--max-queue-depth", "1",
+             "--strict"]
+        )
+        == 1
+    )
+
+
+def test_dead_letter_run_then_dlq_list_retry_purge(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    # 4 -> 8 steps after one escalation: still starved => dead-lettered.
+    jobs = _starved_jobs_file(tmp_path, step_budget=4)
+    out = tmp_path / "results.jsonl"
+    code = main(
+        ["run", str(jobs), "--out", str(out), "--cache-dir", cache_dir,
+         "--retries", "2", "--budget-multiplier", "2"]
+    )
+    assert code == 1
+    stderr = capsys.readouterr().err
+    assert "1 dead_lettered" in stderr and "FAIL: 1 job(s) dead-lettered" in stderr
+    record = json.loads(out.read_text().splitlines()[0])
+    assert record["outcome"] == "dead_lettered"
+
+    # list: one record, both human and JSON forms.
+    assert main(["dlq", "list", cache_dir]) == 0
+    human = capsys.readouterr().out
+    assert "nonempty_pl" in human and "counter-12" in human
+    assert main(["dlq", "list", cache_dir, "--json"]) == 0
+    dlq_record = json.loads(capsys.readouterr().out)
+    assert dlq_record["attempts"] == 2
+    assert dlq_record["last_budget"] == {"step_budget": 8}
+    assert dlq_record["has_payload"] is True
+
+    # retry with more escalation room: 8 -> 256 -> 8192 steps decides.
+    code = main(
+        ["dlq", "retry", cache_dir, "--retries", "3", "--budget-multiplier", "32"]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "recovered" in captured.out
+    assert "1 recovered, 0 still dead" in captured.err
+    assert main(["dlq", "list", cache_dir]) == 0
+    assert "dlq: empty" in capsys.readouterr().err
+
+    # purge on an empty queue is a clean no-op.
+    assert main(["dlq", "purge", cache_dir]) == 0
+    assert "purged 0" in capsys.readouterr().err
+
+
+def test_dlq_retry_without_escalation_stays_dead(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    jobs = _starved_jobs_file(tmp_path, step_budget=4)
+    assert main(
+        ["run", str(jobs), "--out", str(tmp_path / "r.jsonl"), "--cache-dir",
+         cache_dir, "--retries", "2", "--budget-multiplier", "2"]
+    ) == 1
+    capsys.readouterr()
+    # Re-running at the recorded (still-starved) budget cannot recover.
+    assert main(["dlq", "retry", cache_dir]) == 1
+    captured = capsys.readouterr()
+    assert "0 recovered, 1 still dead" in captured.err
+    assert main(["dlq", "list", cache_dir, "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["attempts"] == 2

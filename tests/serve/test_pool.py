@@ -81,3 +81,22 @@ def test_pool_results_match_inline():
         [JobSpec("nonempty_pl", (pl_counter_sws(n),)) for n in (5, 6)]
     )
     assert [a.verdict for a in pooled_results] == [a.verdict for a in inline_results]
+
+
+def test_respawn_keeps_serving():
+    """An explicit respawn (what worker-loss recovery does) is invisible
+    to later batches: new executor, counters advanced, answers correct."""
+    with SolverService(workers=2) as service:
+        assert service.run_batch(
+            [JobSpec("nonempty_pl", (pl_counter_sws(6),))]
+        )[0].is_yes
+        pool = service._pool
+        executor_before = pool._executor
+        pool.respawn()
+        assert pool.respawns == 1
+        assert pool._executor is not executor_before
+        answer = service.run_batch(
+            [JobSpec("nonempty_pl", (pl_counter_sws(7),))]
+        )[0]
+        assert answer.is_yes
+        assert service.stats()["resilience"]["pool_respawns"] == 1

@@ -253,4 +253,14 @@ def test_stats_shape():
         "jobs_deduped",
         "jobs_skipped",
         "cache",
+        "resilience",
+    }
+    assert set(stats["resilience"]) == {
+        "retried",
+        "rejected",
+        "redispatched",
+        "worker_lost",
+        "dead_lettered",
+        "pool_respawns",
+        "dlq_depth",
     }

@@ -230,3 +230,161 @@ def test_artifacts_warm_start_cold_process(tmp_path):
         second = service.run_batch([JobSpec("nonempty_pl", (sws,))])[0]
     assert second.verdict == first.verdict
     assert STATS.artifact_hits > hits_before
+
+
+# -- dead-letter table -------------------------------------------------------------
+
+
+def _dlq_record(fingerprint="fp-1", **overrides):
+    from repro.serve import DLQRecord
+
+    defaults = dict(
+        fingerprint=fingerprint,
+        procedure="nonempty_pl",
+        label="job",
+        reason="retries exhausted",
+        attempts=3,
+        trips=[{"limit": "steps", "site": "afa.search_witness"}],
+        last_budget={"step_budget": 64},
+        payload=DLQRecord.encode_job((1, "x"), {"k": 2}),
+    )
+    defaults.update(overrides)
+    return DLQRecord(**defaults)
+
+
+def test_dlq_roundtrip(tmp_path):
+    with Store(str(tmp_path / "s.sqlite3")) as store:
+        store.put_dlq(_dlq_record("fp-a"))
+        store.put_dlq(_dlq_record("fp-b", payload=None, last_budget=None))
+        assert store.dlq_count() == 2
+        assert store.stats()["dlq"] == 2
+        loaded = store.get_dlq("fp-a")
+        assert loaded.procedure == "nonempty_pl"
+        assert loaded.attempts == 3
+        assert loaded.trips == [{"limit": "steps", "site": "afa.search_witness"}]
+        assert loaded.last_budget == {"step_budget": 64}
+        assert loaded.job() == ((1, "x"), {"k": 2})
+        bare = store.get_dlq("fp-b")
+        assert bare.payload is None and bare.last_budget is None
+        assert store.get_dlq("absent") is None
+        # Upsert: one record per fingerprint, updated in place.
+        store.put_dlq(_dlq_record("fp-a", attempts=5))
+        assert store.dlq_count() == 2
+        assert store.get_dlq("fp-a").attempts == 5
+        assert store.delete_dlq("fp-a") and not store.delete_dlq("fp-a")
+        assert store.purge_dlq() == 1
+        assert store.list_dlq() == []
+
+
+def test_dlq_survives_reopen(tmp_path):
+    path = str(tmp_path / "s.sqlite3")
+    with Store(path) as store:
+        store.put_dlq(_dlq_record("fp-a"))
+    with Store(path) as store:
+        assert [r.fingerprint for r in store.list_dlq()] == ["fp-a"]
+
+
+def test_v1_store_upgrades_in_place(tmp_path):
+    """A pre-dlq store opens cleanly: the table is added, version bumped."""
+    path = str(tmp_path / "s.sqlite3")
+    with Store(path) as store:
+        store.put_answer("keep", Answer.yes(detail="survives the upgrade"))
+    with sqlite3.connect(path) as conn:
+        conn.execute("DROP TABLE dlq")
+        conn.execute("UPDATE schema_version SET version = 1")
+    with Store(path) as store:
+        assert store.stats()["schema_version"] == STORE_SCHEMA_VERSION
+        assert store.get_answer("keep").detail == "survives the upgrade"
+        store.put_dlq(_dlq_record("fp-new"))
+        assert store.dlq_count() == 1
+
+
+# -- decorrelated retry backoff ----------------------------------------------------
+
+
+def test_retry_backoff_bounds():
+    import random
+
+    from repro.serve.store import (
+        _RETRY_BASE_SLEEP_S,
+        _RETRY_CAP_SLEEP_S,
+        retry_backoff_s,
+    )
+
+    rng = random.Random(42)
+    previous = None
+    for _ in range(200):
+        wait = retry_backoff_s(previous, rng)
+        assert _RETRY_BASE_SLEEP_S <= wait <= _RETRY_CAP_SLEEP_S
+        window = max(_RETRY_BASE_SLEEP_S, 3.0 * (previous or _RETRY_BASE_SLEEP_S))
+        assert wait <= window + 1e-9
+        previous = wait
+
+
+def test_retry_backoff_is_not_lockstep():
+    """The old ``base * 2**attempt`` schedule retried every writer in
+    phase; decorrelated jitter must give distinct schedules to writers
+    with distinct rngs."""
+    import random
+
+    from repro.serve.store import retry_backoff_s
+
+    def schedule(seed):
+        rng, previous, waits = random.Random(seed), None, []
+        for _ in range(5):
+            previous = retry_backoff_s(previous, rng)
+            waits.append(previous)
+        return waits
+
+    assert schedule(1) != schedule(2)
+    assert len(set(schedule(3))) > 1  # and is not constant within a writer
+
+
+def test_injected_store_fault_recovers_via_retry(tmp_path):
+    """A chaos-injected first-attempt lock error never loses the write."""
+    from repro import metrics
+    from repro.guard import inject
+
+    metrics.configure(enabled=True)
+    with Store(str(tmp_path / "s.sqlite3")) as store:
+        with inject.chaos(inject.ChaosSpec(store_error_rate=1.0)):
+            assert store.put_answer("k", Answer.yes(detail="landed"))
+            assert store.get_answer("k").detail == "landed"
+    counters = metrics.snapshot()["counters"]
+    assert metrics.counter_total(counters, "serve.store.retries") >= 2
+
+
+def test_five_concurrent_writers_under_injected_faults(tmp_path):
+    """Five writer threads on one store file, every first attempt failing
+    with a transient lock error: all writes land, none raise (the S2
+    backoff-regression scenario)."""
+    import threading
+
+    from repro.guard import inject
+
+    path = str(tmp_path / "s.sqlite3")
+    writers, writes_each = 5, 10
+    errors: list[Exception] = []
+
+    def writer(w: int) -> None:
+        try:
+            with Store(path) as store:
+                for i in range(writes_each):
+                    store.put_answer(f"w{w}-{i}", Answer.no(detail=f"w{w}-{i}"))
+        except Exception as error:  # noqa: BLE001 - the assertion below reports it
+            errors.append(error)
+
+    with inject.chaos(inject.ChaosSpec(store_error_rate=0.5, seed=5)):
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+    assert not errors, f"writer raised: {errors[0]!r}"
+    with Store(path) as store:
+        assert store.answer_count() == writers * writes_each
+        for w in range(writers):
+            for i in range(writes_each):
+                assert store.get_answer(f"w{w}-{i}").detail == f"w{w}-{i}"

@@ -141,3 +141,29 @@ class TestProgressAndHeartbeat:
 
     def test_no_progress_gauges_no_table(self):
         assert "search site" not in render(_snapshot())
+
+
+class TestResilienceLine:
+    def _snapshot_with_faults(self):
+        r = Registry()
+        r.counter("serve.jobs.executed").inc(4)
+        r.counter("serve.retry.scheduled").inc(3)
+        r.counter("serve.retry.exhausted").inc(1)
+        r.counter("serve.rejected", reason="depth").inc(2)
+        r.counter("serve.worker.lost", procedure="nonempty_pl").inc(5)
+        r.counter("serve.pool.respawns").inc(2)
+        r.counter("serve.dlq.added").inc(1)
+        r.gauge("serve.dlq.depth").set(1)
+        snap = r.snapshot()
+        snap["seq"], snap["t_wall"] = 1, 1000.0
+        return snap
+
+    def test_rendered_when_faults_present(self):
+        frame = render(self._snapshot_with_faults())
+        assert "resilience  retried 3  exhausted 1  rejected 2" in frame
+        assert "worker-lost 5 (respawns 2)" in frame
+        assert "dlq 1 (+1)" in frame
+
+    def test_omitted_on_a_quiet_service(self):
+        frame = render(_snapshot())
+        assert "resilience" not in frame
