@@ -229,6 +229,30 @@ assert rate is not None and rate >= 0.4, counters  # warm repeat round
 PY
 python -m repro.serve top "${METRICS_DIR}/metrics.jsonl" --once > /dev/null
 
+echo "== delta smoke (incremental re-check CLI + serve --repeat sessions) =="
+DELTA_DIR="$(mktemp -d /tmp/repro_delta_smoke.XXXXXX)"
+trap 'rm -f "${OBS_TRACE}"; rm -rf "${STORE_DIR}" "${CHAOS_DIR}" "${METRICS_DIR}" "${DELTA_DIR}"' EXIT
+# Replay an edit script through one session: every verdict is
+# cross-checked against a from-scratch solve, and at least 3 re-checks
+# must avoid the full path.
+python -m repro.delta replay \
+    --trace repro.workloads.editing:menu_editing_trace \
+    --compare --require-warm 3 > /dev/null
+python -m repro.delta diff \
+    --trace repro.workloads.editing:growing_trace --json \
+    | grep -q '"alphabet_changed": true'
+cat > "${DELTA_DIR}/jobs.jsonl" <<'JOBS'
+{"procedure": "nonempty_pl", "instances": [{"factory": "repro.workloads.editing:edited_menu", "kwargs": {"step": "@round", "edits": 4}}], "label": "edited-menu"}
+{"procedure": "nonempty_pl", "instances": [{"factory": "repro.workloads.scaling:pl_counter_sws", "args": [5]}], "label": "static-counter"}
+JOBS
+# Repeated rounds reuse one Session per job line: the "@round" spec
+# re-checks incrementally, the static one stays cached.
+python -m repro.serve run "${DELTA_DIR}/jobs.jsonl" --repeat 3 \
+    --metrics "${DELTA_DIR}/delta-metrics.jsonl" --out /dev/null \
+    2> "${DELTA_DIR}/run.err"
+grep -q "delta: 2 session(s), 4 recheck(s)" "${DELTA_DIR}/run.err"
+grep -q "2 cached" "${DELTA_DIR}/run.err"
+
 echo "== perf tripwire (obs check vs committed baselines) =="
 python -m repro.obs check --baseline benchmarks/baselines.json \
     --metrics "${METRICS_DIR}/metrics.jsonl" --trace 'BENCH_*.trace.jsonl'
@@ -236,11 +260,15 @@ python -m repro.obs check --baseline benchmarks/baselines.json \
 # (serve.retry.*, serve.dlq.*) only have values there.
 python -m repro.obs check --baseline benchmarks/baselines.json \
     --metrics "${CHAOS_DIR}/chaos-metrics.jsonl" --trace 'BENCH_*.trace.jsonl'
+# Third pass with the delta-smoke snapshot: the incremental re-check
+# bounds (delta.*) only have values there.
+python -m repro.obs check --baseline benchmarks/baselines.json \
+    --metrics "${DELTA_DIR}/delta-metrics.jsonl" --trace 'BENCH_*.trace.jsonl'
 python -m repro.obs critical-path 'BENCH_*.trace.jsonl' --limit 8 > /dev/null
 
 echo "== introspection smoke (profiler + progress + explain + flame) =="
 INTROSPECT_DIR="$(mktemp -d /tmp/repro_introspect_smoke.XXXXXX)"
-trap 'rm -f "${OBS_TRACE}"; rm -rf "${STORE_DIR}" "${CHAOS_DIR}" "${METRICS_DIR}" "${INTROSPECT_DIR}"' EXIT
+trap 'rm -f "${OBS_TRACE}"; rm -rf "${STORE_DIR}" "${CHAOS_DIR}" "${METRICS_DIR}" "${DELTA_DIR}" "${INTROSPECT_DIR}"' EXIT
 REPRO_INTROSPECT_DIR="${INTROSPECT_DIR}" python - <<'PY'
 import json
 import os

@@ -322,6 +322,66 @@ def _compile_searchers(engine: "_CompiledAFA") -> tuple[Callable, Callable]:
     return built
 
 
+def generic_search(
+    rows: Sequence[tuple[int, Callable[[int], int]]],
+    start: int,
+    accepting: bool | None,
+    initial: Callable[[int], bool],
+    ckpt: Callable[..., None],
+    seed: tuple[dict, Iterable[int]] | None = None,
+) -> tuple[dict, int | None, int]:
+    """Interpreted BFS over parameterized transition rows.
+
+    Same contract as the generated ``_search`` / ``_sweep`` (parent links
+    carry the symbol-*class index* paired with each row; returns
+    ``(parents, hit_or_None, n)``, with ``accepting=None`` meaning a full
+    sweep) but taking the per-class row callables as data instead of
+    code-generating the loop body.  :mod:`repro.delta` uses it to re-check
+    an edited automaton over *patched* rows without paying searcher
+    codegen, and to resume a budget-tripped search: ``seed`` supplies a
+    previously captured ``(parents, frontier)`` so exploration continues
+    from the surviving frontier instead of the start vector.  Seeded nodes
+    were already tested at their original insertion, so only newly
+    discovered vectors are tested here — identical to what the generated
+    search would have done had it not tripped.
+    """
+    if seed is None:
+        parents: dict = {start: None}
+        queue = deque((start,))
+    else:
+        parents, frontier = seed
+        # A deque seed is adopted in place (not copied) so the caller's
+        # reference tracks the live frontier across a guard trip.
+        queue = frontier if isinstance(frontier, deque) else deque(frontier)
+        if not parents:
+            parents[start] = None
+            queue.append(start)
+    n = 0
+    append = queue.append
+    popleft = queue.popleft
+    ckpt(0, queue, parents)
+    while queue:
+        v = popleft()
+        n += 1
+        if not n & 255:
+            try:
+                ckpt(n, queue, parents)
+            except BaseException:
+                # A guard trip between pop and expansion would silently
+                # lose v's expansions; requeue it so a seeded resume
+                # from (parents, queue) is complete.
+                queue.appendleft(v)
+                raise
+        for idx, row in rows:
+            nxt = row(v)
+            if nxt not in parents:
+                parents[nxt] = (idx, v)
+                if accepting is not None and initial(nxt) == accepting:
+                    return parents, nxt, n
+                append(nxt)
+    return parents, None, n
+
+
 def _compile_diff_search(
     mine: "_CompiledAFA", theirs: "_CompiledAFA"
 ) -> tuple[Callable, tuple[Symbol, ...]]:
@@ -558,6 +618,105 @@ class _CompiledAFA:
         return mask
 
 
+def patch_engine(
+    base: "_CompiledAFA", afa: "AFA", dirty_states: Iterable[State]
+) -> "_CompiledAFA | None":
+    """A compiled engine for ``afa`` reusing ``base``'s row closures.
+
+    Applicable when ``afa`` has the same state order and alphabet as the
+    engine ``base`` was compiled for and its transition formulas differ
+    from ``base``'s only on the AFA states in ``dirty_states`` (the
+    *support* of the edit); returns ``None`` when the layouts diverge.
+    Each transition-row bit depends only on its own state's formula, so a
+    patched row is ``(base_row(v) & clean) | patch(v)`` where ``patch``
+    compiles just the dirty states' formulas — per-class compile cost is
+    proportional to the edit, not to the automaton.  The symbol quotient
+    is refined the same way: symbols sharing a base class split only when
+    their dirty-state formulas differ.
+    """
+    order = tuple(sorted(afa.states))
+    if order != base.order:
+        return None
+    symbols = tuple(sorted(afa.alphabet, key=symbol_sort_key))
+    if symbols != base.symbols:
+        return None
+    index = base.index
+    dirty = [s for s in order if s in set(dirty_states)]
+    dirty_idx = [index[s] for s in dirty]
+    clean = (1 << len(order)) - 1
+    for i in dirty_idx:
+        clean &= ~(1 << i)
+
+    engine = object.__new__(_CompiledAFA)
+    engine.order = order
+    engine.index = index
+    engine.final_mask = 0
+    for state in afa.finals:
+        engine.final_mask |= 1 << index[state]
+    engine.initial_fn = pl.compile_mask(afa.initial_condition, index)
+    engine.symbols = symbols
+    engine.row_keys = {}
+    engine.rep_of = {}
+    engine.rows = {}
+    # Two-level quotient: symbols with the same base class and the same
+    # dirty-state patch provably share a row, so the (long) full row key
+    # is built and hashed once per *group*, not once per symbol.  Groups
+    # whose patched keys coincide anyway (base rows differed only on now
+    # overridden dirty states) still merge through ``classes``, keeping
+    # the quotient exact — and stopping class-count drift across chained
+    # patches.
+    classes: dict[tuple, Symbol] = {}
+    patch_keys: dict[Symbol, tuple] = {}
+    key_of_rep: dict[Symbol, tuple] = {}
+    group_rep: dict[tuple, Symbol] = {}
+    for symbol in symbols:
+        patch = tuple(
+            afa.transitions.get((state, symbol), pl.FALSE) for state in dirty
+        )
+        rep = group_rep.get((base.rep_of[symbol], patch))
+        if rep is None:
+            key = list(base.row_keys[symbol])
+            for j, i in enumerate(dirty_idx):
+                key[i] = patch[j]
+            full_key = tuple(key)
+            rep = classes.setdefault(full_key, symbol)
+            if rep is symbol:
+                patch_keys[rep] = patch
+                key_of_rep[rep] = full_key
+            group_rep[(base.rep_of[symbol], patch)] = rep
+        engine.rep_of[symbol] = rep
+        engine.row_keys[symbol] = key_of_rep[rep]
+    engine.reps = tuple(classes.values())
+    for rep in engine.reps:
+        base_row = base.rows[base.rep_of[rep]]
+        patch_row = pl.compile_row(
+            (
+                (1 << i, formula)
+                for i, formula in zip(dirty_idx, patch_keys[rep])
+                if formula is not pl.FALSE
+            ),
+            index,
+        )
+        engine.rows[rep] = _patched_row(base_row, clean, patch_row)
+    engine.rep_rows = tuple((rep, engine.rows[rep]) for rep in engine.reps)
+    engine._search_fn = None
+    engine._sweep_fn = None
+    engine._diff_cache = {}
+    STATS.afa_engine_patches += 1
+    STATS.alphabet_symbols += len(engine.symbols)
+    STATS.symbol_classes += len(engine.reps)
+    return engine
+
+
+def _patched_row(
+    base_row: Callable[[int], int], clean: int, patch_row: Callable[[int], int]
+) -> Callable[[int], int]:
+    def row(v: int) -> int:
+        return (base_row(v) & clean) | patch_row(v)
+
+    return row
+
+
 class AFA:
     """An alternating finite automaton with boolean transition conditions.
 
@@ -596,6 +755,34 @@ class AFA:
         stray = initial_condition.variables() - self.states
         if stray:
             raise ReproError(f"initial condition mentions non-states {sorted(stray)}")
+
+    @classmethod
+    def _from_validated(
+        cls,
+        states: frozenset,
+        alphabet: frozenset,
+        transitions: dict,
+        initial_condition: pl.Formula,
+        finals: frozenset,
+    ) -> "AFA":
+        """Construct without re-validating, for derived automata.
+
+        ``__init__`` checks every transition formula against the state
+        set — linear in the whole automaton, which defeats incremental
+        construction (:func:`repro.core.pl_semantics.to_afa_incremental`
+        splices a few recomputed rows into an already-validated base).
+        Callers own the arguments: all five must already satisfy the
+        ``__init__`` invariants, and the dicts/frozensets are stored
+        as-is, not copied.
+        """
+        afa = object.__new__(cls)
+        afa.states = states
+        afa.alphabet = alphabet
+        afa.transitions = transitions
+        afa.initial_condition = initial_condition
+        afa.finals = finals
+        afa._engine_cache = None
+        return afa
 
     def __getstate__(self) -> dict:
         # The compiled engine holds exec()-generated closures, which cannot

@@ -88,39 +88,115 @@ def to_afa(sws: SWS, variables: Iterable[str] | None = None) -> AFA:
     transitions: dict[tuple[str, Assignment], pl.Formula] = {}
     finals: set[str] = set()
     for state in sws.states:
-        rule = sws.transitions[state]
-        sigma = sws.synthesis[state].query
-        assert isinstance(sigma, pl.Formula)
-        aliases = sws.successor_register_aliases(state) if not rule.is_final else {}
-        for msg in (True, False):
-            pair = _state_var(state, msg)
-            if rule.is_final:
-                # V_ε entry: ψ on the empty assignment.
-                env_eps = frozenset({MSG}) if msg else frozenset()
-                if sigma.evaluate(env_eps):
-                    finals.add(pair)
-                for a in symbols:
-                    env = a | ({MSG} if msg else frozenset())
-                    transitions[(pair, a)] = pl.TRUE if sigma.evaluate(env) else pl.FALSE
-                continue
-            if not msg and state != sws.start:
-                continue  # dead pair: all transitions false, not final
-            for a in symbols:
-                env = a | ({MSG} if msg else frozenset())
-                substitution: dict[str, pl.Formula] = {}
-                child_pairs: list[str] = []
-                for target, phi in rule.targets:
-                    assert isinstance(phi, pl.Formula)
-                    child_pairs.append(_state_var(target, phi.evaluate(env)))
-                for name, position in aliases.items():
-                    substitution[name] = pl.Var(child_pairs[position])
-                transitions[(pair, a)] = sigma.substitute(substitution).simplify()
+        state_finals, state_transitions = _pair_rows(sws, state, symbols)
+        finals |= state_finals
+        transitions.update(state_transitions)
     return AFA(
         states,
         symbols,
         transitions,
         pl.Var(_state_var(sws.start, False)),
         finals,
+    )
+
+
+def _pair_rows(
+    sws: SWS, state: str, symbols: Sequence[Assignment]
+) -> tuple[set[str], dict[tuple[str, Assignment], pl.Formula]]:
+    """The finals and transition entries contributed by one state's pairs.
+
+    Both pairs of ``state`` depend only on ``state``'s own transition and
+    synthesis rules (successor states appear as *names* in the produced
+    formulas, not as rules), which is what makes the construction
+    incremental: :func:`to_afa_incremental` re-runs this for edited
+    states only.
+    """
+    rule = sws.transitions[state]
+    sigma = sws.synthesis[state].query
+    assert isinstance(sigma, pl.Formula)
+    aliases = sws.successor_register_aliases(state) if not rule.is_final else {}
+    transitions: dict[tuple[str, Assignment], pl.Formula] = {}
+    finals: set[str] = set()
+    for msg in (True, False):
+        pair = _state_var(state, msg)
+        if rule.is_final:
+            # V_ε entry: ψ on the empty assignment.
+            env_eps = frozenset({MSG}) if msg else frozenset()
+            if sigma.evaluate(env_eps):
+                finals.add(pair)
+            for a in symbols:
+                env = a | ({MSG} if msg else frozenset())
+                transitions[(pair, a)] = pl.TRUE if sigma.evaluate(env) else pl.FALSE
+            continue
+        if not msg and state != sws.start:
+            continue  # dead pair: all transitions false, not final
+        for a in symbols:
+            env = a | ({MSG} if msg else frozenset())
+            substitution: dict[str, pl.Formula] = {}
+            child_pairs: list[str] = []
+            for target, phi in rule.targets:
+                assert isinstance(phi, pl.Formula)
+                child_pairs.append(_state_var(target, phi.evaluate(env)))
+            for name, position in aliases.items():
+                substitution[name] = pl.Var(child_pairs[position])
+            transitions[(pair, a)] = sigma.substitute(substitution).simplify()
+    return finals, transitions
+
+
+def pair_states(state: str) -> tuple[str, str]:
+    """The two AFA pair-state names of an SWS state (``msg`` true/false)."""
+    return _state_var(state, True), _state_var(state, False)
+
+
+def to_afa_incremental(
+    sws: SWS,
+    base: SWS,
+    base_afa: AFA,
+    changed_states: Iterable[str],
+    variables: Iterable[str] | None = None,
+) -> AFA | None:
+    """Rebuild ``to_afa(sws)`` from ``base_afa`` re-deriving only edits.
+
+    ``sws`` must differ from ``base`` (for which ``base_afa`` was built)
+    only in the transition/synthesis rules of ``changed_states``: same
+    state set, same start, same input variables.  Returns ``None`` when
+    those layout preconditions fail — alphabet-growing or state-adding
+    edits fall back to the full construction.  Per-state locality of
+    :func:`_pair_rows` makes the result formula-identical to a scratch
+    ``to_afa(sws)``; cost is proportional to the edited states.
+    """
+    require_class(sws, SWSClass.PL_PL, "to_afa_incremental")
+    if frozenset(sws.states) != frozenset(base.states):
+        return None
+    if sws.start != base.start:
+        return None
+    symbols = alphabet_for(sws, variables)
+    if frozenset(symbols) != base_afa.alphabet:
+        return None
+    changed = set(changed_states)
+    dead_pairs = {
+        pair for state in changed for pair in pair_states(state)
+    }
+    # Bulk-copy then evict the edited pairs' rows: the C-level dict copy
+    # beats a filtering comprehension, and eviction is O(edit × symbols).
+    transitions = dict(base_afa.transitions)
+    for pair in dead_pairs:
+        for a in symbols:
+            transitions.pop((pair, a), None)
+    finals = set(base_afa.finals) - dead_pairs
+    for state in changed:
+        state_finals, state_transitions = _pair_rows(sws, state, symbols)
+        finals |= state_finals
+        transitions.update(state_transitions)
+    # The spliced parts are the already-validated base plus rows from the
+    # same `_pair_rows` a scratch `to_afa` would run, over an identical
+    # state/alphabet layout — skip `AFA.__init__`'s full re-validation.
+    return AFA._from_validated(
+        base_afa.states,
+        base_afa.alphabet,
+        transitions,
+        pl.Var(_state_var(sws.start, False)),
+        frozenset(finals),
     )
 
 

@@ -26,6 +26,7 @@ from repro.guard._governor import (
     GuardedSpan,
     GuardTrip,
     Trip,
+    capture_search_state,
     checkpoint,
     checkpoint_callable,
     current_guard,
@@ -33,6 +34,7 @@ from repro.guard._governor import (
     guarded,
     iter_guarded_spans,
     register_span,
+    snapshot_sink,
 )
 from repro.guard.batch import BatchItem, BatchReport, batch_run
 
@@ -48,6 +50,7 @@ __all__ = [
     "BatchItem",
     "BatchReport",
     "batch_run",
+    "capture_search_state",
     "checkpoint",
     "checkpoint_callable",
     "current_guard",
@@ -55,4 +58,5 @@ __all__ = [
     "guarded",
     "iter_guarded_spans",
     "register_span",
+    "snapshot_sink",
 ]

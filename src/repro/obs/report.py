@@ -243,6 +243,7 @@ def render_guard_map() -> str:
     import repro.analysis.nonemptiness  # noqa: F401
     import repro.analysis.validation  # noqa: F401
     import repro.automata.regular_rewriting  # noqa: F401
+    import repro.delta.engine  # noqa: F401
     import repro.logic.rewriting  # noqa: F401
     import repro.logic.sat  # noqa: F401
     import repro.mediator.bounded  # noqa: F401

@@ -43,6 +43,13 @@ modules, plus ``args``/``kwargs`` for it) or an inline ``pickle``
 :meth:`repro.guard.Budget.as_dict` fields.  Lines starting with ``#``
 and blank lines are skipped.
 
+With ``--repeat K``, factory arguments equal to the string ``"@round"``
+are replaced by the round index, so each round can build an *edited*
+version of the instance.  PL nonempty/validate jobs then reuse one
+:class:`repro.delta.Session` per fingerprint across rounds — re-checks
+run incrementally (cached / replay / warm) instead of resubmitting, and
+the summary reports the per-mode counts.
+
 Result records carry the job's label, procedure, fingerprint, verdict
 summary (via ``Answer.as_dict`` when available), whether it was served
 from cache, and the batch-level stats as a trailing ``_summary`` record.
@@ -71,7 +78,26 @@ from repro.serve.scheduler import JobSpec, SolverService
 from repro.serve.store import Store
 
 
-def _build_instance(spec: Any) -> Any:
+def _substitute_round(spec: Any, round_index: int) -> Any:
+    """Replace ``"@round"`` placeholders in a factory spec's arguments.
+
+    Lets a job file describe an *edited* instance per repeat round, e.g.
+    ``{"factory": "repro.workloads.editing:edited_menu", "kwargs":
+    {"step": "@round"}}`` — round 0 builds the base version, later
+    rounds its successive edits, so ``--repeat`` exercises the delta
+    path instead of resubmitting one frozen instance.
+    """
+    if not (isinstance(spec, dict) and "factory" in spec):
+        return spec
+    sub = lambda v: round_index if v == "@round" else v  # noqa: E731
+    out = dict(spec)
+    out["args"] = [sub(v) for v in spec.get("args", ())]
+    out["kwargs"] = {k: sub(v) for k, v in spec.get("kwargs", {}).items()}
+    return out
+
+
+def _build_instance(spec: Any, round_index: int = 0) -> Any:
+    spec = _substitute_round(spec, round_index)
     if isinstance(spec, dict) and "factory" in spec:
         factory = resolve_factory(spec["factory"])
         return factory(*spec.get("args", ()), **spec.get("kwargs", {}))
@@ -85,8 +111,35 @@ def _build_instance(spec: Any) -> Any:
     )
 
 
-def _load_jobs(path: str) -> list[JobSpec]:
-    jobs: list[JobSpec] = []
+class _RawJob:
+    """A parsed job line whose instances rebuild per repeat round."""
+
+    def __init__(
+        self,
+        procedure: str,
+        specs: tuple[Any, ...],
+        kwargs: dict[str, Any],
+        budget: Budget | None,
+        label: str,
+    ) -> None:
+        self.procedure = procedure
+        self.specs = specs
+        self.kwargs = kwargs
+        self.budget = budget
+        self.label = label
+
+    def build(self, round_index: int = 0) -> JobSpec:
+        try:
+            args = tuple(
+                _build_instance(spec, round_index) for spec in self.specs
+            )
+        except (ValueError, TypeError) as error:
+            raise SystemExit(f"job {self.label!r}: {error}") from None
+        return JobSpec(self.procedure, args, self.kwargs, self.budget, self.label)
+
+
+def _load_jobs(path: str) -> list[_RawJob]:
+    jobs: list[_RawJob] = []
     with open(path, encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -98,16 +151,14 @@ def _load_jobs(path: str) -> list[JobSpec]:
                 raise SystemExit(f"{path}:{lineno}: bad JSON: {error}") from None
             try:
                 procedure = record["procedure"]
-                args = tuple(
-                    _build_instance(spec) for spec in record.get("instances", ())
-                )
+                specs = tuple(record.get("instances", ()))
                 kwargs = dict(record.get("kwargs", {}))
                 budget_spec = record.get("budget")
                 budget = Budget.from_dict(budget_spec) if budget_spec else None
                 label = record.get("label") or f"{procedure}#{lineno}"
             except (KeyError, ValueError, TypeError) as error:
                 raise SystemExit(f"{path}:{lineno}: bad job: {error}") from None
-            jobs.append(JobSpec(procedure, args, kwargs, budget, label))
+            jobs.append(_RawJob(procedure, specs, kwargs, budget, label))
     return jobs
 
 
@@ -140,6 +191,26 @@ def _outcome(handle: Any, result: Any) -> str:
     return "unknown" if verdict == "unknown" else "decided"
 
 
+def _session_record(
+    job: JobSpec, session: Any, answer: Any, mode: str
+) -> dict[str, Any]:
+    """A result record for a job served inline by a delta Session."""
+    verdict = getattr(getattr(answer, "verdict", None), "value", None)
+    record: dict[str, Any] = {
+        "label": job.label,
+        "procedure": job.procedure,
+        "fingerprint": session.fingerprint,
+        "from_cache": mode == "cached",
+        "deduped": False,
+        "outcome": "unknown" if verdict == "unknown" else "decided",
+        "attempts": 1,
+        "delta_mode": mode,
+    }
+    if hasattr(answer, "as_dict"):
+        record.update(answer.as_dict())
+    return record
+
+
 def _build_resilience(
     args: argparse.Namespace,
 ) -> tuple[RetryPolicy | None, AdmissionControl | None]:
@@ -157,8 +228,8 @@ def _build_resilience(
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    jobs = _load_jobs(args.jobs)
-    if not jobs:
+    raw_jobs = _load_jobs(args.jobs)
+    if not raw_jobs:
         print(f"{args.jobs}: no jobs", file=sys.stderr)
         return 1
     if args.metrics:
@@ -178,29 +249,84 @@ def _cmd_run(args: argparse.Namespace) -> int:
         admission=admission,
     )
     started = time.perf_counter()
+    rounds = max(1, args.repeat)
+    sessions: dict[str, Any] = {}
+    line_keys: dict[int, str] = {}
+    jobs: list[JobSpec] = []
+    records: list[dict[str, Any]] = []
+    if rounds > 1:
+        # `--repeat` opens one delta Session per job fingerprint: rounds
+        # after the first go through edit/recheck (incremental when the
+        # spec only moved a little — see `"@round"` factory substitution)
+        # instead of resubmitting against the answer cache.
+        from repro.core.sws import SWS
+        from repro.delta.engine import SUPPORTED_PROCEDURES
+        from repro.delta.session import Session
     try:
-        # Each repeat round drains before the next submits, so rounds
-        # after the first hit the warm answer cache instead of deduping
-        # inside one batch — `--repeat 2` demos the cache tier for real.
-        handles = []
-        rounds = max(1, args.repeat)
-        for _ in range(rounds):
-            handles.extend(
-                service.submit(
-                    job.procedure,
-                    *job.args,
-                    budget=job.budget,
-                    label=job.label,
-                    **job.kwargs,
+        for rnd in range(rounds):
+            # Each repeat round drains before the next submits, so
+            # non-session rounds after the first hit the warm answer
+            # cache instead of deduping inside one batch.
+            entries: list[tuple[JobSpec, Any]] = []
+            for idx, raw in enumerate(raw_jobs):
+                job = raw.build(rnd)
+                jobs.append(job)
+                eligible = (
+                    rounds > 1
+                    and job.procedure in SUPPORTED_PROCEDURES
+                    and len(job.args) == 1
+                    and isinstance(job.args[0], SWS)
                 )
-                for job in jobs
-            )
+                if not eligible:
+                    entries.append(
+                        (
+                            job,
+                            service.submit(
+                                job.procedure,
+                                *job.args,
+                                budget=job.budget,
+                                label=job.label,
+                                **job.kwargs,
+                            ),
+                        )
+                    )
+                    continue
+                if idx not in line_keys:
+                    key = job_fingerprint(job.procedure, job.args, job.kwargs)
+                    line_keys[idx] = key
+                else:
+                    key = line_keys[idx]
+                session = sessions.get(key)
+                if session is None:
+                    session = Session(
+                        job.args[0],
+                        job.procedure,
+                        cache=cache,
+                        budget=job.budget,
+                        **job.kwargs,
+                    )
+                    sessions[key] = session
+                    answer = session.check()
+                    entries.append(
+                        (job, _session_record(job, session, answer, "solve"))
+                    )
+                else:
+                    session.edit(job.args[0])
+                    result = session.recheck(job.budget)
+                    entries.append(
+                        (
+                            job,
+                            _session_record(
+                                job, session, result.answer, result.mode
+                            ),
+                        )
+                    )
             service.drain()
-        jobs = jobs * rounds
-        records = [
-            _result_record(job, handle, handle.result())
-            for job, handle in zip(jobs, handles)
-        ]
+            for job, item in entries:
+                if isinstance(item, dict):
+                    records.append(item)
+                else:
+                    records.append(_result_record(job, item, item.result()))
     finally:
         service.close()
         if cache is not None:
@@ -219,6 +345,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 )
     elapsed = time.perf_counter() - started
     summary = {"_summary": service.stats(), "elapsed_s": round(elapsed, 6)}
+    if sessions:
+        modes: dict[str, int] = {}
+        rechecks = 0
+        for session in sessions.values():
+            rechecks += session.rechecks
+            for mode, count in session.modes.items():
+                modes[mode] = modes.get(mode, 0) + count
+        summary["delta"] = {
+            "sessions": len(sessions),
+            "rechecks": rechecks,
+            "modes": dict(sorted(modes.items())),
+        }
     out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
     try:
         for record in records:
@@ -238,6 +376,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     outcomes = {"decided": 0, "unknown": 0, "rejected": 0, "dead_lettered": 0}
     for record in records:
         outcomes[record["outcome"]] += 1
+    if sessions:
+        delta_stats = summary["delta"]
+        print(
+            f"delta: {delta_stats['sessions']} session(s), "
+            f"{delta_stats['rechecks']} recheck(s): "
+            + (
+                ", ".join(
+                    f"{count} {mode}"
+                    for mode, count in delta_stats["modes"].items()
+                )
+                or "none"
+            ),
+            file=sys.stderr,
+        )
     resilience = stats["resilience"]
     print(
         "outcomes: "
@@ -271,7 +423,8 @@ def _cmd_procedures(_args: argparse.Namespace) -> int:
 
 
 def _cmd_fingerprint(args: argparse.Namespace) -> int:
-    for job in _load_jobs(args.jobs):
+    for raw in _load_jobs(args.jobs):
+        job = raw.build()
         key = job_fingerprint(job.procedure, job.args, job.kwargs)
         print(f"{key}  {job.label}")
     return 0
@@ -427,7 +580,14 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--workers", type=int, default=0, help="worker processes (0 = in-process)")
     run.add_argument("--out", default=None, help="results JSONL path (default: stdout)")
     run.add_argument("--cache-dir", default=None, help="on-disk answer cache directory")
-    run.add_argument("--repeat", type=int, default=1, help="submit the job list K times (cache/dedup demo)")
+    run.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run the job list K rounds; PL nonempty/validate jobs reuse "
+        'one delta Session per fingerprint ("@round" factory args build '
+        "an edited instance per round)",
+    )
     run.add_argument(
         "--metrics",
         default=None,

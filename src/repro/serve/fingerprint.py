@@ -45,7 +45,14 @@ from repro.logic.terms import Constant, Variable
 from repro.logic.ucq import UnionQuery
 from repro.mediator.mediator import Mediator, MediatorTransitionRule
 
-__all__ = ["FingerprintError", "canonical", "fingerprint", "job_fingerprint"]
+__all__ = [
+    "FingerprintError",
+    "SubFingerprints",
+    "canonical",
+    "fingerprint",
+    "job_fingerprint",
+    "sub_fingerprints",
+]
 
 
 class FingerprintError(ReproError):
@@ -321,6 +328,86 @@ def canonical(value: Any) -> Any:
 def fingerprint(value: Any) -> str:
     """SHA-256 hex digest of ``value``'s canonical form."""
     return hashlib.sha256(repr(canonical(value)).encode("utf-8")).hexdigest()
+
+
+#: Per-state digest memo.  ``TransitionRule``/``SynthesisRule`` are frozen
+#: dataclasses over hash-consed formulas, so edited copies of a service
+#: share rule *objects* for untouched states and their digests hash-match
+#: here without re-canonicalizing the rules.
+_STATE_DIGEST_MEMO: dict[tuple[TransitionRule, SynthesisRule], str] = {}
+_STATE_DIGEST_MEMO_LIMIT = 100_000
+
+
+def _digest(payload: Any) -> str:
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+class SubFingerprints:
+    """Merkle decomposition of an SWS fingerprint.
+
+    ``states`` maps each state to the digest of its local rules
+    (transition rule + synthesis rule); ``globals_digest`` covers
+    everything that is not local to one state (kind, state set, start
+    state, schemas, output arity).  ``root`` hashes the two layers
+    together, so two instances have equal roots exactly when they have
+    equal :func:`fingerprint`\\ s (up to SHA-256 collisions) — and a diff
+    of two trees localizes *which* states changed without comparing
+    canonical forms rule by rule.
+    """
+
+    __slots__ = ("root", "globals_digest", "states")
+
+    def __init__(self, root: str, globals_digest: str, states: Mapping[str, str]):
+        self.root = root
+        self.globals_digest = globals_digest
+        self.states = dict(states)
+
+    def changed_states(self, other: "SubFingerprints") -> frozenset[str]:
+        """States whose local digest differs (or exists on one side only)."""
+        mine, theirs = self.states, other.states
+        changed = {
+            state
+            for state in mine.keys() | theirs.keys()
+            if mine.get(state) != theirs.get(state)
+        }
+        return frozenset(changed)
+
+
+def sub_fingerprints(sws: SWS) -> SubFingerprints:
+    """Per-state Merkle tree over ``sws``'s canonical form."""
+    if not isinstance(sws, SWS):
+        raise FingerprintError(
+            f"sub_fingerprints is defined for SWS instances, not {type(sws).__name__}"
+        )
+    states: dict[str, str] = {}
+    for state in sws.states:
+        rule = sws.transitions[state]
+        synth = sws.synthesis[state]
+        key = (rule, synth)
+        cached = _STATE_DIGEST_MEMO.get(key)
+        if cached is None:
+            cached = _digest(
+                ("sws.state", _transition_rule(rule), canonical(synth.query))
+            )
+            if len(_STATE_DIGEST_MEMO) >= _STATE_DIGEST_MEMO_LIMIT:
+                _STATE_DIGEST_MEMO.clear()
+            _STATE_DIGEST_MEMO[key] = cached
+        states[state] = cached
+    globals_digest = _digest(
+        (
+            "sws.globals",
+            sws.kind.value,
+            _sorted_set(sws.states),
+            sws.start,
+            canonical(sws.db_schema),
+            canonical(sws.input_schema),
+            sws.output_arity,
+        )
+    )
+    root = _digest(
+        ("sws.root", globals_digest, tuple(sorted(states.items())))
+    )
+    return SubFingerprints(root, globals_digest, states)
 
 
 def job_fingerprint(

@@ -116,6 +116,7 @@ _FACTORY_MODULES = (
     "repro.workloads.pl_services",
     "repro.workloads.random_sws",
     "repro.workloads.travel",
+    "repro.workloads.editing",
 )
 
 

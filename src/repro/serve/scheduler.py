@@ -466,6 +466,35 @@ class SolverService:
             entry.handles.append(handle)
             return handle
 
+    def session(
+        self,
+        instance: Any,
+        procedure: str = "nonempty_pl",
+        *,
+        budget: Budget | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """An incremental editing session wired into this service.
+
+        Returns a :class:`repro.delta.session.Session` sharing this
+        service's answer cache (so decided re-check answers are visible
+        to later ``submit`` calls under the same delta-aware job
+        fingerprints) and its store (so ``SearchState`` snapshots
+        persist in the ``search_states`` table across processes).  The
+        session solves inline on the caller's thread — edits are
+        latency-sensitive, not throughput work for the pool.
+        """
+        from repro.delta.session import Session
+
+        return Session(
+            instance,
+            procedure,
+            cache=self.cache,
+            store=self.cache.store,
+            budget=budget,
+            **kwargs,
+        )
+
     def _reject(
         self,
         key: str,

@@ -58,9 +58,10 @@ __all__ = [
 ]
 
 #: Version of the on-disk schema; bump on incompatible layout changes.
-#: v2 added the ``dlq`` dead-letter table (older stores upgrade in
-#: place on open — the new table is simply created).
-STORE_SCHEMA_VERSION = 2
+#: v2 added the ``dlq`` dead-letter table; v3 the ``search_states``
+#: table for :mod:`repro.delta` snapshots (older stores upgrade in
+#: place on open — the new tables are simply created).
+STORE_SCHEMA_VERSION = 3
 
 #: How long a writer waits on SQLite's lock before erroring (ms).
 BUSY_TIMEOUT_MS = 10_000
@@ -128,6 +129,16 @@ _SCHEMA = (
         last_budget TEXT,
         payload     BLOB,
         updated_s   REAL NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS search_states (
+        procedure   TEXT NOT NULL,
+        fingerprint TEXT NOT NULL,
+        payload     BLOB NOT NULL,
+        meta        TEXT,
+        updated_s   REAL NOT NULL,
+        PRIMARY KEY (procedure, fingerprint)
     )
     """,
 )
@@ -494,6 +505,79 @@ class Store:
             lambda: conn.execute("SELECT COUNT(*) FROM dlq").fetchone()
         )[0]
 
+    # -- search-state snapshots (repro.delta) ------------------------------------
+
+    def put_search_state(
+        self,
+        procedure: str,
+        fingerprint: str,
+        state: Any,
+        meta: dict | None = None,
+    ) -> bool:
+        """Persist a :mod:`repro.delta` snapshot; False when unpicklable."""
+        try:
+            payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:  # noqa: BLE001 - unpicklable snapshots stay memory-only
+            return False
+        conn = self._connection()
+        self._retry(
+            lambda: conn.execute(
+                "INSERT OR REPLACE INTO search_states "
+                "(procedure, fingerprint, payload, meta, updated_s) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    procedure,
+                    fingerprint,
+                    payload,
+                    json.dumps(meta, sort_keys=True) if meta else None,
+                    time.time(),
+                ),
+            )
+        )
+        return True
+
+    def get_search_state(self, procedure: str, fingerprint: str) -> Any | None:
+        conn = self._connection()
+        row = self._retry(
+            lambda: conn.execute(
+                "SELECT payload FROM search_states "
+                "WHERE procedure = ? AND fingerprint = ?",
+                (procedure, fingerprint),
+            ).fetchone()
+        )
+        if row is None:
+            return None
+        try:
+            return pickle.loads(row[0])
+        except Exception:  # noqa: BLE001 - stale/corrupt snapshot: drop it
+            self._retry(
+                lambda: conn.execute(
+                    "DELETE FROM search_states "
+                    "WHERE procedure = ? AND fingerprint = ?",
+                    (procedure, fingerprint),
+                )
+            )
+            return None
+
+    def delete_search_state(self, procedure: str, fingerprint: str) -> bool:
+        conn = self._connection()
+        cursor = self._retry(
+            lambda: conn.execute(
+                "DELETE FROM search_states "
+                "WHERE procedure = ? AND fingerprint = ?",
+                (procedure, fingerprint),
+            )
+        )
+        return cursor.rowcount > 0
+
+    def search_state_count(self) -> int:
+        conn = self._connection()
+        return self._retry(
+            lambda: conn.execute(
+                "SELECT COUNT(*) FROM search_states"
+            ).fetchone()
+        )[0]
+
     # -- meta / maintenance ------------------------------------------------------
 
     def get_meta(self, key: str) -> str | None:
@@ -580,6 +664,7 @@ class Store:
             "answers": self.answer_count(),
             "artifacts": self.artifact_counts(),
             "dlq": self.dlq_count(),
+            "search_states": self.search_state_count(),
             "file_bytes": size,
             "journal_mode": pragma("journal_mode"),
             "page_size": pragma("page_size"),

@@ -1,0 +1,1 @@
+"""Tests for repro.delta — incremental re-solving for edited services."""

@@ -1,0 +1,80 @@
+"""Hypothesis property: incremental re-check == from-scratch solve.
+
+Random edit scripts over random PL services, replayed through one
+:class:`repro.delta.Session`.  The contract is *verdict* equality plus
+witness validity — not full ``Answer`` equality, because a replayed
+re-check legitimately keeps the previous witness while a scratch solve
+may find a different (equally valid) one.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import nonempty_pl, validate_pl
+from repro.core.run import run_pl
+from repro.delta import Session
+from repro.workloads.editing import replace_rule
+from repro.workloads.random_sws import random_pl_sws
+
+
+@st.composite
+def edit_scripts(draw):
+    """A base service plus 1–4 single-state edits borrowed from a donor.
+
+    Swapping in a donor state's (rule, synthesis) pair keeps the script
+    well-formed (targets name the same state set) while freely changing
+    guards, branching, and finality — including edits that change the
+    verdict or shrink the inspected alphabet (which forces the full
+    path; the property holds for every mode).
+    """
+    n_states = draw(st.integers(3, 6))
+    recursive = draw(st.booleans())
+    base = random_pl_sws(
+        draw(st.integers(0, 150)), n_states=n_states, recursive=recursive
+    )
+    donor = random_pl_sws(
+        draw(st.integers(151, 300)), n_states=n_states, recursive=recursive
+    )
+    states = sorted(base.states)
+    script = [base]
+    current = base
+    for step in range(draw(st.integers(1, 4))):
+        state = draw(st.sampled_from(states))
+        current = replace_rule(
+            current,
+            state,
+            rule=donor.transitions[state],
+            synthesis=donor.synthesis.get(state),
+            name=f"v{step + 1}",
+        )
+        script.append(current)
+    return script
+
+
+@given(edit_scripts())
+@settings(max_examples=40, deadline=None)
+def test_incremental_nonempty_matches_scratch(script):
+    session = Session(script[0])
+    session.check()
+    for version in script[1:]:
+        session.edit(version)
+        result = session.recheck()
+        scratch = nonempty_pl(version)
+        assert result.answer.verdict is scratch.verdict
+        if result.answer.is_yes:
+            assert run_pl(version, list(result.answer.witness)).output
+
+
+@given(edit_scripts(), st.booleans())
+@settings(max_examples=20, deadline=None)
+def test_incremental_validate_matches_scratch(script, output):
+    session = Session(script[0], "validate_pl", output=output)
+    session.check()
+    for version in script[1:]:
+        session.edit(version)
+        result = session.recheck()
+        scratch = validate_pl(version, output=output)
+        assert result.answer.verdict is scratch.verdict
+        if result.answer.is_yes:
+            assert run_pl(version, list(result.answer.witness)).output is output

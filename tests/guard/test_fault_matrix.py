@@ -29,6 +29,7 @@ from repro.analysis.nonemptiness import (
 from repro.analysis.validation import validate, validate_cq_nr, validate_pl_nr_sat
 from repro.analysis.verdict import Verdict
 from repro.core.sws import SWS, SWSKind, SynthesisRule, TransitionRule
+from repro.delta import Session
 from repro.errors import BudgetExceededError
 from repro.guard import GUARDED_SPANS, LIMITS
 from repro.guard.inject import injected
@@ -95,6 +96,19 @@ def _compose_cq_case():
     return compose_cq_nr(_emit_service("R", "goal"), components)
 
 
+def _delta_recheck_case():
+    from repro.workloads.editing import flip_trace
+
+    # The initial solve runs under the afa.* spans; the YES → NO edit
+    # defeats witness replay, so the re-check enters the warm BFS whose
+    # checkpoints carry the delta.recheck site.
+    trace = flip_trace()
+    session = Session(trace[0])
+    session.check()
+    session.edit(trace[1])
+    return session.recheck().answer
+
+
 #: span name -> zero-argument exerciser reaching that span's checkpoint
 #: through a guarded (UNKNOWN-converting) procedure boundary.
 EXERCISERS = {
@@ -122,6 +136,7 @@ EXERCISERS = {
     ),
     "compose_pl_prefix": lambda: compose_pl_prefix(_pl_goal(), _pl_components()),
     "compose_cq_nr": _compose_cq_case,
+    "delta.recheck": _delta_recheck_case,
     "contained_pl": lambda: contained_pl(pl_counter_sws(2), pl_counter_sws(2)),
     "contained_cq_nr": lambda: contained_cq_nr(
         cq_diamond_sws(1), cq_diamond_sws(1)

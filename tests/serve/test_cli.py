@@ -60,6 +60,52 @@ def test_run_writes_results_in_order(tmp_path, jobs_file):
     assert summary["_summary"]["jobs_executed"] == 1
 
 
+def test_repeat_reuses_delta_sessions(tmp_path, capsys):
+    """--repeat routes PL jobs through one Session per fingerprint; the
+    `"@round"` placeholder builds an edited instance each round, so the
+    edited spec re-checks incrementally instead of resubmitting."""
+    path = tmp_path / "jobs.jsonl"
+    write_jobs(
+        path,
+        [
+            {
+                "procedure": "nonempty_pl",
+                "instances": [
+                    {
+                        "factory": "repro.workloads.editing:edited_menu",
+                        "kwargs": {"step": "@round", "edits": 4},
+                    }
+                ],
+                "label": "edited-menu",
+            },
+            {
+                "procedure": "nonempty_pl",
+                "instances": [
+                    {
+                        "factory": "repro.workloads.scaling:pl_counter_sws",
+                        "args": [5],
+                    }
+                ],
+                "label": "counter-5",
+            },
+        ],
+    )
+    out = tmp_path / "results.jsonl"
+    assert main(["run", str(path), "--repeat", "3", "--out", str(out)]) == 0
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    *results, summary = records
+    assert summary["delta"]["sessions"] == 2
+    assert summary["delta"]["rechecks"] == 4  # 2 jobs x 2 later rounds
+    menu = [r for r in results if r["label"] == "edited-menu"]
+    assert menu[0]["delta_mode"] == "solve"
+    assert all(r["delta_mode"] in ("replay", "warm") for r in menu[1:])
+    counter = [r for r in results if r["label"] == "counter-5"]
+    # The unchanged spec re-checks as an empty delta every round.
+    assert [r["delta_mode"] for r in counter[1:]] == ["cached", "cached"]
+    assert all(r["verdict"] == "yes" for r in results)
+    assert "delta: 2 session(s)" in capsys.readouterr().err
+
+
 def test_run_with_cache_dir_hits_on_second_run(tmp_path, jobs_file):
     out = tmp_path / "results.jsonl"
     cache_dir = str(tmp_path / "cache")

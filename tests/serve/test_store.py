@@ -299,6 +299,87 @@ def test_v1_store_upgrades_in_place(tmp_path):
         assert store.dlq_count() == 1
 
 
+# -- search-state snapshots (schema v3) --------------------------------------------
+
+
+def test_search_state_roundtrip(tmp_path):
+    with Store(str(tmp_path / "s.sqlite3")) as store:
+        payload = {"frontier": (1, 2, 3), "answer": Answer.yes(witness=("a",))}
+        assert store.put_search_state(
+            "nonempty_pl", "fp-1", payload, meta={"pops": 3}
+        )
+        hit = store.get_search_state("nonempty_pl", "fp-1")
+        assert hit == payload
+        # Keyed by (procedure, fingerprint) — same fingerprint, other
+        # procedure is a distinct row.
+        assert store.get_search_state("validate_pl", "fp-1") is None
+        assert store.search_state_count() == 1
+        assert store.stats()["search_states"] == 1
+        assert store.delete_search_state("nonempty_pl", "fp-1")
+        assert not store.delete_search_state("nonempty_pl", "fp-1")
+        assert store.search_state_count() == 0
+
+
+def test_search_state_upsert_and_unpicklable(tmp_path):
+    with Store(str(tmp_path / "s.sqlite3")) as store:
+        store.put_search_state("p", "fp", {"version": 1})
+        store.put_search_state("p", "fp", {"version": 2})
+        assert store.get_search_state("p", "fp") == {"version": 2}
+        assert store.search_state_count() == 1
+        # Unpicklable snapshots stay memory-only; the store reports it.
+        assert not store.put_search_state("p", "fp2", lambda: None)
+        assert store.search_state_count() == 1
+
+
+def test_search_state_corrupt_payload_is_dropped(tmp_path):
+    path = str(tmp_path / "s.sqlite3")
+    with Store(path) as store:
+        store.put_search_state("p", "fp", {"ok": True})
+    with sqlite3.connect(path) as conn:
+        conn.execute(
+            "UPDATE search_states SET payload = ?", (b"not a pickle",)
+        )
+    with Store(path) as store:
+        assert store.get_search_state("p", "fp") is None
+        assert store.search_state_count() == 0  # the bad row was deleted
+
+
+def test_v2_store_upgrades_to_v3_in_place(tmp_path):
+    """A pre-delta (v2) store opens cleanly: ``search_states`` is added,
+    version bumped, and the dlq table carries over untouched."""
+    path = str(tmp_path / "s.sqlite3")
+    with Store(path) as store:
+        store.put_answer("keep", Answer.yes(detail="survives the upgrade"))
+        store.put_dlq(_dlq_record("fp-old"))
+    with sqlite3.connect(path) as conn:
+        conn.execute("DROP TABLE search_states")
+        conn.execute("UPDATE schema_version SET version = 2")
+    with Store(path) as store:
+        assert store.stats()["schema_version"] == STORE_SCHEMA_VERSION
+        assert store.get_answer("keep").detail == "survives the upgrade"
+        assert store.dlq_count() == 1
+        assert store.put_search_state("p", "fp", {"fresh": True})
+        assert store.get_search_state("p", "fp") == {"fresh": True}
+
+
+def test_v1_store_upgrades_to_v3_chained(tmp_path):
+    """A v1 store (no dlq, no search_states) chains straight to v3."""
+    path = str(tmp_path / "s.sqlite3")
+    with Store(path) as store:
+        store.put_answer("keep", Answer.no(detail="v1 payload"))
+    with sqlite3.connect(path) as conn:
+        conn.execute("DROP TABLE dlq")
+        conn.execute("DROP TABLE search_states")
+        conn.execute("UPDATE schema_version SET version = 1")
+    with Store(path) as store:
+        assert store.stats()["schema_version"] == STORE_SCHEMA_VERSION
+        assert store.get_answer("keep").detail == "v1 payload"
+        store.put_dlq(_dlq_record("fp-new"))
+        assert store.dlq_count() == 1
+        assert store.put_search_state("p", "fp", {"fresh": True})
+        assert store.get_search_state("p", "fp") == {"fresh": True}
+
+
 # -- decorrelated retry backoff ----------------------------------------------------
 
 
